@@ -1,0 +1,71 @@
+// Command tpal-bench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	tpal-bench -exp fig6              # one figure
+//	tpal-bench -exp all               # everything (the default)
+//	tpal-bench -exp fig7,fig14 -scale 2 -reps 5 -cores 15
+//	tpal-bench -list                  # list experiment ids
+//	tpal-bench -bench spmv-random,mandelbrot -exp fig6
+//
+// See DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-versus-measured shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tpal/internal/harness"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id(s), comma separated, or 'all'")
+		scale  = flag.Float64("scale", 1.0, "input scale multiplier (1.0 = scaled-down defaults)")
+		reps   = flag.Int("reps", 3, "repetitions per measurement (minimum kept)")
+		cores  = flag.Int("cores", 15, "simulated machine size for at-scale figures")
+		benchs = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-9s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opt := harness.Options{
+		Out:   os.Stdout,
+		Scale: *scale,
+		Reps:  *reps,
+		Cores: *cores,
+	}
+	if *benchs != "" {
+		opt.Benchmarks = strings.Split(*benchs, ",")
+	}
+	session := harness.NewSession(opt)
+
+	var selected []harness.Experiment
+	if *exp == "all" {
+		selected = harness.Experiments()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := harness.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		fmt.Printf("== %s: %s ==\n\n", e.ID, e.Title)
+		e.Run(session)
+	}
+}

@@ -1,0 +1,179 @@
+// Command tpal-run assembles and executes TPAL assembly programs on the
+// abstract machine, and compiles and runs minipar programs (files ending
+// in .mp) through the minipar→TPAL compiler.
+//
+// Usage:
+//
+//	tpal-run -builtin prod -reg a=1000,b=3 -heartbeat 50
+//	tpal-run -builtin fib -reg n=20 -heartbeat 100 -schedule random -seed 7
+//	tpal-run -reg x=5 -out result program.tpal
+//	tpal-run -reg n=100 -out result -stats program.mp
+//	tpal-run -dump program.mp          # print the compiled TPAL assembly
+//	tpal-run -builtin pow -reg d=3,e=9 -stats
+//	tpal-run -list-builtins
+//
+// Flags must precede the program file.
+//
+// With -heartbeat 0 the program runs its pure sequential elaboration;
+// otherwise heartbeat interrupts fire every N instructions and promote
+// latent parallelism at promotion-ready program points. -signal N
+// instead delivers OS-style signals every N instructions with
+// rollforward semantics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tpal/internal/minipar"
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/asm"
+	"tpal/internal/tpal/machine"
+	"tpal/internal/tpal/programs"
+)
+
+func main() {
+	var (
+		builtin  = flag.String("builtin", "", "run a built-in program (prod, pow, fib)")
+		regs     = flag.String("reg", "", "entry registers, e.g. a=1000,b=3")
+		out      = flag.String("out", "", "result register to print (default: all registers)")
+		hb       = flag.Int64("heartbeat", 100, "heartbeat threshold ♥ in instructions (0 = serial)")
+		signal   = flag.Int64("signal", 0, "OS-signal period in instructions, rollforward semantics (0 = off)")
+		tau      = flag.Int64("tau", 1, "fork-join cost τ for the cost semantics")
+		schedule = flag.String("schedule", "lockstep", "task interleaving: lockstep, random, or depth-first")
+		seed     = flag.Int64("seed", 0, "seed for the random schedule")
+		maxSteps = flag.Int64("max-steps", 0, "step bound (0 = default 100M)")
+		stats    = flag.Bool("stats", false, "print execution statistics")
+		list     = flag.Bool("list-builtins", false, "list built-in programs and exit")
+		dump     = flag.Bool("dump", false, "print the assembled program instead of running it")
+		trace    = flag.Bool("trace", false, "print an instruction-level execution trace (Appendix D style)")
+	)
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, 3)
+		for name := range programs.All() {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	prog, err := loadProgram(*builtin, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	if *dump {
+		fmt.Print(prog.String())
+		return
+	}
+
+	cfg := machine.Config{
+		Heartbeat:    *hb,
+		SignalPeriod: *signal,
+		Tau:          *tau,
+		MaxSteps:     *maxSteps,
+		Seed:         *seed,
+		Regs:         make(machine.RegFile),
+	}
+	switch *schedule {
+	case "lockstep":
+		cfg.Schedule = machine.Lockstep
+	case "random":
+		cfg.Schedule = machine.RandomOrder
+	case "depth-first":
+		cfg.Schedule = machine.DepthFirst
+	default:
+		fatal(fmt.Errorf("unknown schedule %q", *schedule))
+	}
+
+	if *trace {
+		cfg.Trace = machine.WriteTrace(os.Stdout)
+	}
+
+	if *regs != "" {
+		for _, pair := range strings.Split(*regs, ",") {
+			name, val, ok := strings.Cut(pair, "=")
+			if !ok {
+				fatal(fmt.Errorf("bad register assignment %q (want name=int)", pair))
+			}
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad register value %q: %v", pair, err))
+			}
+			cfg.Regs[tpal.Reg(name)] = machine.IntV(n)
+		}
+	}
+
+	res, err := machine.Run(prog, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *out != "" {
+		fmt.Printf("%s = %s\n", *out, res.Regs.Get(tpal.Reg(*out)))
+	} else {
+		names := make([]string, 0, len(res.Regs))
+		for r := range res.Regs {
+			names = append(names, string(r))
+		}
+		sort.Strings(names)
+		for _, r := range names {
+			fmt.Printf("%s = %s\n", r, res.Regs.Get(tpal.Reg(r)))
+		}
+	}
+	if *stats {
+		st := res.Stats
+		fmt.Printf("steps=%d work=%d span=%d parallelism=%.2f forks=%d joins=%d handlers=%d records=%d tasks=%d maxLive=%d\n",
+			st.Steps, st.Work, st.Span,
+			float64(st.Work)/float64(max64(st.Span, 1)),
+			st.Forks, st.Joins, st.HandlerRuns, st.JoinRecords, st.TasksCreated, st.MaxLiveTasks)
+	}
+}
+
+func loadProgram(builtin string, args []string) (*tpal.Program, error) {
+	switch {
+	case builtin != "":
+		p, ok := programs.All()[builtin]
+		if !ok {
+			return nil, fmt.Errorf("unknown built-in %q (try -list-builtins)", builtin)
+		}
+		return p, nil
+	case len(args) == 1:
+		src, err := os.ReadFile(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(args[0], ".mp") {
+			mp, err := minipar.Parse(string(src))
+			if err != nil {
+				return nil, err
+			}
+			return minipar.Compile(mp)
+		}
+		return asm.Parse(string(src))
+	case len(args) > 1:
+		return nil, fmt.Errorf("flags must precede the program file (got extra arguments %v)", args[1:])
+	default:
+		return nil, fmt.Errorf("provide a .tpal or .mp file, or -builtin name")
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tpal-run:", err)
+	os.Exit(1)
+}

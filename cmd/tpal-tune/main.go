@@ -1,0 +1,109 @@
+// Command tpal-tune implements the paper's one-time, per-machine
+// heartbeat tuning procedure: sweep ♥ over a range, measure the
+// single-core overhead of heartbeat execution relative to serial on a
+// calibration workload, and report the smallest ♥ whose overhead stays
+// under a target bound (the paper targets a small constant, picking
+// ♥ = 100µs for its EPYC test machine).
+//
+// Usage:
+//
+//	tpal-tune                 # defaults: 5% bound, plus-reduce calibration
+//	tpal-tune -bound 0.03 -mech nautilus -sizes 4000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tpal/internal/bench"
+	"tpal/internal/harness"
+	"tpal/internal/heartbeat"
+	"tpal/internal/interrupt"
+)
+
+func main() {
+	var (
+		bound = flag.Float64("bound", 0.05, "acceptable promotion+interrupt overhead (fraction over serial)")
+		mech  = flag.String("mech", "linux-ping", "mechanism model: linux-ping, linux-papi, nautilus")
+		reps  = flag.Int("reps", 3, "repetitions per point (minimum kept)")
+		scale = flag.Float64("scale", 1.0, "calibration workload scale")
+		name  = flag.String("workload", "plus-reduce-array", "calibration benchmark")
+	)
+	flag.Parse()
+
+	profile, err := profileFor(*mech)
+	if err != nil {
+		fatal(err)
+	}
+	b, err := bench.ByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	b.Setup(*scale)
+	b.RunSerial() // warmup + reference output
+
+	serial := time.Duration(0)
+	for r := 0; r < *reps; r++ {
+		t0 := time.Now()
+		b.RunSerial()
+		if d := time.Since(t0); serial == 0 || d < serial {
+			serial = d
+		}
+	}
+	fmt.Printf("calibration: %s, serial %v, mechanism %s, bound %.1f%%\n\n",
+		*name, serial, *mech, *bound*100)
+	fmt.Printf("%-12s %-12s %-10s %s\n", "heartbeat", "elapsed", "overhead", "promotions")
+
+	sweep := []time.Duration{
+		10 * time.Microsecond, 20 * time.Microsecond, 40 * time.Microsecond,
+		60 * time.Microsecond, 80 * time.Microsecond, 100 * time.Microsecond,
+		150 * time.Microsecond, 200 * time.Microsecond, 400 * time.Microsecond,
+		800 * time.Microsecond,
+	}
+	chosen := time.Duration(0)
+	for _, hb := range sweep {
+		var best heartbeat.Stats
+		for r := 0; r < *reps; r++ {
+			st := heartbeat.Run(heartbeat.Config{
+				Workers:   1,
+				Heartbeat: hb,
+				Mechanism: interrupt.NewVirtual(profile),
+			}, func(c *heartbeat.Ctx) { b.RunHeartbeat(c) })
+			if r == 0 || st.Elapsed < best.Elapsed {
+				best = st
+			}
+		}
+		overhead := best.Elapsed.Seconds()/serial.Seconds() - 1
+		mark := ""
+		if overhead <= *bound && chosen == 0 {
+			chosen = hb
+			mark = "  <- smallest within bound"
+		}
+		fmt.Printf("%-12v %-12v %8.1f%%  %d%s\n", hb, best.Elapsed.Round(time.Microsecond), overhead*100, best.Promotions, mark)
+	}
+	fmt.Println()
+	if chosen == 0 {
+		fmt.Println("no heartbeat in the sweep met the bound; the workload may be too small or the host too noisy")
+		os.Exit(1)
+	}
+	fmt.Printf("tuned heartbeat: ♥ = %v\n", chosen)
+}
+
+func profileFor(name string) (interrupt.Profile, error) {
+	switch harness.MechProfile(name) {
+	case harness.MechLinux:
+		return interrupt.LinuxPingThread, nil
+	case harness.MechPAPI:
+		return interrupt.LinuxPAPI, nil
+	case harness.MechNautilus:
+		return interrupt.Nautilus, nil
+	}
+	return interrupt.Profile{}, fmt.Errorf("unknown mechanism %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tpal-tune:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+package tpal_test
+
+import (
+	"fmt"
+
+	"tpal"
+)
+
+// A latently parallel reduction: with no interrupt mechanism configured
+// the runtime executes its pure sequential elaboration — same code,
+// zero tasks.
+func Example() {
+	xs := make([]float64, 100_000)
+	for i := range xs {
+		xs[i] = 1
+	}
+	var sum float64
+	st := tpal.Run(tpal.Config{Workers: 1}, func(c *tpal.Ctx) {
+		sum = tpal.Reduce(c, 0, len(xs),
+			func(a, b float64) float64 { return a + b },
+			func(lo, hi int) float64 {
+				s := 0.0
+				for i := lo; i < hi; i++ {
+					s += xs[i]
+				}
+				return s
+			})
+	})
+	fmt.Printf("sum=%.0f promotions=%d\n", sum, st.Promotions)
+	// Output: sum=100000 promotions=0
+}
+
+// Assembling and executing the paper's prod program on the abstract
+// machine, serially (heartbeat off) and with heartbeat-driven promotion.
+func ExampleAssemble() {
+	src := `
+program double entry main
+block main [.] {
+  r := 0
+  jump loop
+}
+block out [jtppt assoc-comm; {r -> r2}; comb] {
+  halt
+}
+block loop [prppt try] {
+  if-jump n, out
+  r := r + 2
+  n := n - 1
+  jump loop
+}
+block try [.] {
+  t := n < 2
+  if-jump t, loop
+  jr := jralloc out
+  jump promote
+}
+block try-par [.] {
+  t := n < 2
+  if-jump t, loop-par
+  jump promote
+}
+block promote [.] {
+  m := n / 2
+  k := n % 2
+  n := m
+  tr := r
+  r := 0
+  fork jr, loop-par
+  n := m + k
+  r := tr
+  jump loop-par
+}
+block loop-par [prppt try-par] {
+  if-jump n, done-par
+  r := r + 2
+  n := n - 1
+  jump loop-par
+}
+block comb [.] {
+  r := r + r2
+  join jr
+}
+block done-par [.] {
+  join jr
+}
+`
+	prog, err := tpal.Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	for _, hb := range []int64{0, 25} {
+		res, err := tpal.Execute(prog, tpal.MachineConfig{
+			Heartbeat: hb,
+			Regs:      tpal.IntReg(map[string]int64{"n": 500}),
+		})
+		if err != nil {
+			panic(err)
+		}
+		r, _ := tpal.ResultInt(res, "r")
+		fmt.Printf("heartbeat=%d r=%d forked=%v\n", hb, r, res.Stats.Forks > 0)
+	}
+	// Output:
+	// heartbeat=0 r=1000 forked=false
+	// heartbeat=25 r=1000 forked=true
+}
+
+type exampleFibArgs struct {
+	n   int
+	out *int64
+}
+
+func exampleFib(c *tpal.Ctx, a exampleFibArgs) {
+	if a.n < 2 {
+		*a.out = int64(a.n)
+		return
+	}
+	var x, y int64
+	tpal.Fork2Call(c, exampleFib, exampleFibArgs{a.n - 1, &x}, exampleFibArgs{a.n - 2, &y})
+	*a.out = x + y
+}
+
+// Allocation-free fork-join recursion: the second branch stays latent
+// (a mark in the task's promotion-ready list) unless a heartbeat
+// promotes it.
+func ExampleFork2Call() {
+	var f int64
+	tpal.Run(tpal.Config{Workers: 1}, func(c *tpal.Ctx) {
+		exampleFib(c, exampleFibArgs{20, &f})
+	})
+	fmt.Println(f)
+	// Output: 6765
+}

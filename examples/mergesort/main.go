@@ -1,0 +1,96 @@
+// Parallel mergesort combining both kinds of latent parallelism the
+// paper evaluates: fork-join recursion (the sort and the
+// binary-search-splitting merge, via the allocation-free Fork2Call) and
+// a parallel copy loop.
+//
+//	go run ./examples/mergesort
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"tpal"
+)
+
+const cutoff = 2048
+
+type sortArgs struct{ a, buf []int64 }
+type mergeArgs struct{ x, y, out []int64 }
+
+func hbSort(c *tpal.Ctx, s sortArgs) {
+	a, buf := s.a, s.buf
+	if len(a) <= cutoff {
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		return
+	}
+	mid := len(a) / 2
+	tpal.Fork2Call(c, hbSort,
+		sortArgs{a[:mid], buf[:mid]},
+		sortArgs{a[mid:], buf[mid:]})
+	hbMerge(c, mergeArgs{a[:mid], a[mid:], buf})
+	c.For(0, len(a), func(i int) { a[i] = buf[i] })
+}
+
+func hbMerge(c *tpal.Ctx, m mergeArgs) {
+	x, y := m.x, m.y
+	if len(x) < len(y) {
+		x, y = y, x
+	}
+	if len(x) == 0 {
+		return
+	}
+	if len(x)+len(y) <= cutoff {
+		serialMerge(x, y, m.out)
+		return
+	}
+	mx := len(x) / 2
+	my := sort.Search(len(y), func(i int) bool { return y[i] >= x[mx] })
+	tpal.Fork2Call(c, hbMerge,
+		mergeArgs{x[:mx], y[:my], m.out[:mx+my]},
+		mergeArgs{x[mx:], y[my:], m.out[mx+my:]})
+}
+
+func serialMerge(a, b, out []int64) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(out[k:], a[i:])
+	copy(out[k+len(a)-i:], b[j:])
+}
+
+func main() {
+	const n = 2_000_000
+	rng := rand.New(rand.NewSource(4))
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(rng.Uint64() % (4 * n))
+	}
+	buf := make([]int64, n)
+
+	stats := tpal.Run(tpal.Config{
+		Heartbeat: tpal.DefaultHeartbeat,
+		Mechanism: tpal.NewNautilus(),
+	}, func(c *tpal.Ctx) {
+		hbSort(c, sortArgs{data, buf})
+	})
+
+	sorted := sort.SliceIsSorted(data, func(i, j int) bool { return data[i] < data[j] })
+	fmt.Printf("sorted %d ints in %v, %d promotions, sorted=%v\n",
+		n, stats.Elapsed.Round(time.Microsecond), stats.Promotions, sorted)
+	fmt.Printf("work %v span %v -> parallelism %.1f, projected %v on 15 cores\n",
+		time.Duration(stats.WorkNanos).Round(time.Microsecond),
+		time.Duration(stats.SpanNanos).Round(time.Microsecond),
+		float64(stats.WorkNanos)/float64(stats.SpanNanos),
+		stats.ProjectedTime(15).Round(time.Microsecond))
+}

@@ -1,0 +1,60 @@
+// Quickstart: sum a large array with heartbeat scheduling.
+//
+// The reduction below is written with maximal parallelism — every block
+// could in principle become a task — yet runs as ordinary sequential
+// code until heartbeat interrupts promote latent parallelism, so the
+// program needs no granularity tuning at all.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tpal"
+)
+
+func main() {
+	const n = 4_000_000
+	xs := make([]float64, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+
+	leaf := func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += xs[i]
+		}
+		return s
+	}
+	add := func(a, b float64) float64 { return a + b }
+
+	// Serial reference.
+	t0 := time.Now()
+	want := leaf(0, n)
+	serial := time.Since(t0)
+
+	// Heartbeat run: ♥ = 100µs, Nautilus-style precise delivery.
+	var got float64
+	stats := tpal.Run(tpal.Config{
+		Heartbeat: tpal.DefaultHeartbeat,
+		Mechanism: tpal.NewNautilus(),
+	}, func(c *tpal.Ctx) {
+		got = tpal.Reduce(c, 0, n, add, leaf)
+	})
+
+	fmt.Printf("serial sum   = %.6f in %v\n", want, serial)
+	fmt.Printf("heartbeat    = %.6f in %v\n", got, stats.Elapsed)
+	fmt.Printf("promotions   = %d (tasks created on demand by heartbeats)\n", stats.Promotions)
+	fmt.Printf("work         = %v, span = %v -> parallelism %.1f\n",
+		time.Duration(stats.WorkNanos), time.Duration(stats.SpanNanos),
+		float64(stats.WorkNanos)/float64(stats.SpanNanos))
+	fmt.Printf("projected t  = %v on 15 cores (greedy bound)\n", stats.ProjectedTime(15))
+	if diff := got - want; diff < -1e-6 || diff > 1e-6 {
+		fmt.Println("MISMATCH:", diff)
+	}
+}

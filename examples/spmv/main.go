@@ -1,0 +1,74 @@
+// Sparse matrix-vector product over the paper's three matrix
+// structures — random, powerlaw, and arrowhead — with both levels of
+// parallelism (across rows and within each row's dot product) exposed
+// latently. Skewed inputs like arrowhead defeat schedulers that
+// parallelize rows only; heartbeat scheduling splits the giant rows on
+// demand, paying nothing on the millions of short ones.
+//
+//	go run ./examples/spmv
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"tpal"
+	"tpal/internal/matrix"
+)
+
+func spmvSerial(m *matrix.CSR, x, y []float64) {
+	for r := 0; r < m.Rows; r++ {
+		var s float64
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			s += m.Vals[i] * x[m.Cols[i]]
+		}
+		y[r] = s
+	}
+}
+
+func spmvHeartbeat(c *tpal.Ctx, m *matrix.CSR, x, y []float64) {
+	add := func(a, b float64) float64 { return a + b }
+	leaf := func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += m.Vals[i] * x[m.Cols[i]]
+		}
+		return s
+	}
+	c.ForNested(0, m.Rows, func(cc *tpal.Ctx, r int) {
+		y[r] = tpal.Reduce(cc, int(m.RowPtr[r]), int(m.RowPtr[r+1]), add, leaf)
+	})
+}
+
+func main() {
+	inputs := []struct {
+		name string
+		m    *matrix.CSR
+	}{
+		{"random", matrix.Random(40_000, 100, 1)},
+		{"powerlaw", matrix.PowerLaw(40_000, 1.6, 40_000, 2)},
+		{"arrowhead", matrix.Arrowhead(500_000, 3)},
+	}
+	for _, in := range inputs {
+		m := in.m
+		x := matrix.RandomVector(m.ColsN, 9)
+		y := make([]float64, m.Rows)
+		ref := make([]float64, m.Rows)
+
+		t0 := time.Now()
+		spmvSerial(m, x, ref)
+		serial := time.Since(t0)
+
+		stats := tpal.Run(tpal.Config{
+			Heartbeat: tpal.DefaultHeartbeat,
+			Mechanism: tpal.NewNautilus(),
+		}, func(c *tpal.Ctx) {
+			spmvHeartbeat(c, m, x, y)
+		})
+
+		ok := matrix.NearlyEqual(y, ref, 1e-9)
+		fmt.Printf("%-10s %9d nnz  max row %7d  serial %8v  heartbeat %8v  promotions %4d  verified %v\n",
+			in.name, m.NNZ(), m.MaxRowLen(), serial.Round(time.Microsecond),
+			stats.Elapsed.Round(time.Microsecond), stats.Promotions, ok)
+	}
+}

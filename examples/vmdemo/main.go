@@ -1,0 +1,62 @@
+// vmdemo traces the paper's example programs — prod (Figure 2), pow
+// (Figures 16–19), and fib (Figures 20–23) — through the TPAL abstract
+// machine at several heartbeat thresholds, showing how the same
+// annotated assembly elaborates to anything from a fully serial run
+// (zero tasks) to a deeply parallel one (hundreds of tasks), with the
+// cost semantics' work and span alongside.
+//
+//	go run ./examples/vmdemo
+package main
+
+import (
+	"fmt"
+
+	"tpal"
+	"tpal/internal/tpal/programs"
+)
+
+func main() {
+	runs := []struct {
+		name   string
+		source string
+		regs   map[string]int64
+		out    string
+	}{
+		{"prod (c = a*b)", programs.ProdSource, map[string]int64{"a": 2000, "b": 3}, "c"},
+		{"pow (f = d^e)", programs.PowSource, map[string]int64{"d": 3, "e": 12}, "f"},
+		{"fib (f = fib n)", programs.FibSource, map[string]int64{"n": 17}, "f"},
+	}
+	heartbeats := []int64{0, 1000, 100, 25}
+
+	for _, r := range runs {
+		prog, err := tpal.Assemble(r.source)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s\n", r.name)
+		fmt.Printf("  %-12s %-10s %-10s %-8s %-12s %-8s %s\n",
+			"heartbeat", "result", "steps", "tasks", "parallelism", "span", "work")
+		for _, hb := range heartbeats {
+			res, err := tpal.Execute(prog, tpal.MachineConfig{
+				Heartbeat: hb,
+				Regs:      tpal.IntReg(r.regs),
+			})
+			if err != nil {
+				panic(err)
+			}
+			v, _ := tpal.ResultInt(res, r.out)
+			st := res.Stats
+			label := fmt.Sprintf("%d", hb)
+			if hb == 0 {
+				label = "off (serial)"
+			}
+			par := float64(st.Work) / float64(st.Span)
+			fmt.Printf("  %-12s %-10d %-10d %-8d %-12.2f %-8d %d\n",
+				label, v, st.Steps, st.Forks, par, st.Span, st.Work)
+		}
+		fmt.Println()
+	}
+	fmt.Println("With the heartbeat off the annotated programs run exactly their serial")
+	fmt.Println("elaboration; shrinking ♥ manifests more latent parallelism (more forked")
+	fmt.Println("tasks, shorter span) from the same code, at bounded work overhead.")
+}

@@ -1,0 +1,3 @@
+module tpal
+
+go 1.22

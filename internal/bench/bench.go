@@ -1,0 +1,117 @@
+// Package bench implements the paper's benchmark suite — the iterative
+// benchmarks plus-reduce-array, spmv (random, powerlaw, arrowhead),
+// mandelbrot, kmeans, srad, and floyd-warshall (two sizes), and the
+// recursive benchmarks knapsack and mergesort (uniform and exponential
+// inputs) — each in three variants: serial, Cilk-style (eager task
+// creation with the 8P grain heuristic), and heartbeat (TPAL).
+//
+// Parallel variants express maximal latent parallelism, including nested
+// loops (for example spmv parallelizes both the row loop and each row's
+// dot product), as the paper's programming model prescribes: granularity
+// is the scheduler's problem, not the program's.
+//
+// Default input sizes are scaled down from the paper's (which target a
+// 16-core 32 GB machine) to complete in fractions of a second per run;
+// the Scale parameter raises them toward the paper's.
+package bench
+
+import (
+	"fmt"
+
+	"tpal/internal/cilk"
+	"tpal/internal/heartbeat"
+)
+
+// Kind classifies benchmarks as the paper's figures group them.
+type Kind uint8
+
+// Kinds.
+const (
+	Iterative Kind = iota
+	Recursive
+)
+
+func (k Kind) String() string {
+	if k == Recursive {
+		return "recursive"
+	}
+	return "iterative"
+}
+
+// Benchmark is one workload with three variants. Setup must be called
+// before any Run; RunSerial must be called at least once before Verify
+// (it records the reference output).
+type Benchmark interface {
+	Name() string
+	Kind() Kind
+	// Setup prepares inputs at the given scale (1.0 = default size).
+	Setup(scale float64)
+	// RunSerial executes the serial variant and records its output as
+	// the verification reference.
+	RunSerial()
+	// RunCilk executes the Cilk-style variant inside a cilk context.
+	RunCilk(c *cilk.Ctx)
+	// RunHeartbeat executes the TPAL variant inside a heartbeat context.
+	RunHeartbeat(c *heartbeat.Ctx)
+	// Verify checks the most recent parallel output against the serial
+	// reference.
+	Verify() error
+}
+
+// registry of all benchmarks in the paper's presentation order:
+// iterative benchmarks first, then recursive.
+var registry = []func() Benchmark{
+	func() Benchmark { return &plusReduce{} },
+	func() Benchmark { return &spmv{variant: "random"} },
+	func() Benchmark { return &spmv{variant: "powerlaw"} },
+	func() Benchmark { return &spmv{variant: "arrowhead"} },
+	func() Benchmark { return &mandelbrot{} },
+	func() Benchmark { return &kmeans{} },
+	func() Benchmark { return &srad{} },
+	func() Benchmark { return &floydWarshall{label: "1K", n: 256} },
+	func() Benchmark { return &floydWarshall{label: "2K", n: 512} },
+	func() Benchmark { return &knapsack{} },
+	func() Benchmark { return &mergesort{dist: "uniform"} },
+	func() Benchmark { return &mergesort{dist: "exp"} },
+}
+
+// All instantiates every benchmark in presentation order (iterative
+// first, then recursive).
+func All() []Benchmark {
+	out := make([]Benchmark, len(registry))
+	for i, f := range registry {
+		out[i] = f()
+	}
+	return out
+}
+
+// ByName instantiates one benchmark.
+func ByName(name string) (Benchmark, error) {
+	for _, f := range registry {
+		b := f()
+		if b.Name() == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+}
+
+// Names lists benchmark names in presentation order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, f := range registry {
+		out[i] = f().Name()
+	}
+	return out
+}
+
+func scaled(n int, scale float64) int {
+	if scale <= 0 {
+		scale = 1
+	}
+	v := int(float64(n) * scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"tpal/internal/cilk"
+	"tpal/internal/heartbeat"
+	"tpal/internal/interrupt"
+)
+
+// smallScale keeps unit-test inputs quick.
+const smallScale = 0.1
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"plus-reduce-array",
+		"spmv-random", "spmv-powerlaw", "spmv-arrowhead",
+		"mandelbrot", "kmeans", "srad",
+		"floyd-warshall-1K", "floyd-warshall-2K",
+		"knapsack", "mergesort-uniform", "mergesort-exp",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("registry[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	kinds := map[string]Kind{"knapsack": Recursive, "mergesort-uniform": Recursive,
+		"mergesort-exp": Recursive, "spmv-random": Iterative, "srad": Iterative}
+	for name, k := range kinds {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Kind() != k {
+			t.Errorf("%s kind = %v, want %v", name, b.Kind(), k)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("no-such-benchmark"); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+func TestSerialIsDeterministic(t *testing.T) {
+	for _, name := range []string{"plus-reduce-array", "spmv-random", "srad"} {
+		b1, _ := ByName(name)
+		b1.Setup(smallScale)
+		b1.RunSerial()
+		b1.RunSerial() // run twice: second must match its own reference
+		if err := b1.Verify(); err != nil {
+			t.Errorf("%s: serial rerun does not verify: %v", name, err)
+		}
+	}
+}
+
+func TestCilkVariantsMatchSerial(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			b.Setup(smallScale)
+			b.RunSerial()
+			cilk.Run(cilk.Config{Workers: 2}, func(c *cilk.Ctx) {
+				b.RunCilk(c)
+			})
+			if err := b.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestHeartbeatVariantsMatchSerial(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			b.Setup(smallScale)
+			b.RunSerial()
+			// No-beat config: pure serial elaboration of the TPAL variant.
+			heartbeat.Run(heartbeat.Config{Workers: 1}, func(c *heartbeat.Ctx) {
+				b.RunHeartbeat(c)
+			})
+			if err := b.Verify(); err != nil {
+				t.Fatalf("no-beat: %v", err)
+			}
+			// Aggressive promotion config.
+			heartbeat.Run(heartbeat.Config{
+				Workers:   2,
+				Mechanism: interrupt.NewVirtual(interrupt.Profile{Name: "test-fast"}),
+				Heartbeat: 2 * time.Microsecond,
+			}, func(c *heartbeat.Ctx) {
+				b.RunHeartbeat(c)
+			})
+			if err := b.Verify(); err != nil {
+				t.Fatalf("fast-beat: %v", err)
+			}
+		})
+	}
+}
+
+func TestHeartbeatPromotesOnBenchmarks(t *testing.T) {
+	// At a fast beat the iterative benchmarks must actually promote.
+	// Scale must be large enough that loops exceed one poll stride
+	// (ranges within a stride are unpromotable by design).
+	for _, name := range []string{"plus-reduce-array", "mandelbrot", "mergesort-uniform"} {
+		b, _ := ByName(name)
+		b.Setup(0.5)
+		b.RunSerial()
+		st := heartbeat.Run(heartbeat.Config{
+			Workers:   2,
+			Mechanism: interrupt.NewVirtual(interrupt.Profile{Name: "test-fast"}),
+			Heartbeat: 5 * time.Microsecond,
+		}, func(c *heartbeat.Ctx) {
+			b.RunHeartbeat(c)
+		})
+		if st.Promotions == 0 {
+			t.Errorf("%s: no promotions under fast beat", name)
+		}
+	}
+}
+
+func TestWorkSpanSane(t *testing.T) {
+	b, _ := ByName("plus-reduce-array")
+	b.Setup(smallScale)
+	b.RunSerial()
+	st := heartbeat.Run(heartbeat.Config{
+		Workers:   1,
+		Mechanism: interrupt.NewNautilus(),
+		Heartbeat: 100 * time.Microsecond,
+	}, func(c *heartbeat.Ctx) {
+		b.RunHeartbeat(c)
+	})
+	if st.WorkNanos <= 0 {
+		t.Fatalf("work = %d", st.WorkNanos)
+	}
+	if st.SpanNanos <= 0 || st.SpanNanos > st.WorkNanos*2 {
+		t.Fatalf("span = %d vs work %d", st.SpanNanos, st.WorkNanos)
+	}
+	if st.Promotions > 0 && st.SpanNanos >= st.WorkNanos {
+		t.Errorf("promotions happened but span (%d) did not drop below work (%d)", st.SpanNanos, st.WorkNanos)
+	}
+}

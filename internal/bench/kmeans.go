@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tpal/internal/cilk"
+	"tpal/internal/heartbeat"
+)
+
+const (
+	kmeansK    = 8
+	kmeansDim  = 4
+	kmeansIter = 3
+)
+
+// kmeans is Lloyd's algorithm (ported from Rodinia in the paper; 1
+// million objects there). Each iteration assigns every point to its
+// nearest centroid and recomputes centroids. The parallel variants
+// accumulate per-block partial centroid sums and merge them — the
+// auxiliary accumulation structure the paper blames for kmeans's 17%
+// single-core overhead relative to the plain serial version, which
+// accumulates in place.
+type kmeans struct {
+	n      int
+	points []float64 // n × dim
+	ref    []float64 // final centroids, serial
+	cent   []float64 // working centroids, k × dim
+}
+
+// kmAcc is a partial accumulation of points per cluster.
+type kmAcc struct {
+	sum   [kmeansK * kmeansDim]float64
+	count [kmeansK]int64
+}
+
+func (a *kmAcc) add(b *kmAcc) *kmAcc {
+	for i := range a.sum {
+		a.sum[i] += b.sum[i]
+	}
+	for i := range a.count {
+		a.count[i] += b.count[i]
+	}
+	return a
+}
+
+func (b *kmeans) Name() string { return "kmeans" }
+func (b *kmeans) Kind() Kind   { return Iterative }
+
+func (b *kmeans) Setup(scale float64) {
+	b.n = scaled(200_000, scale)
+	rng := rand.New(rand.NewSource(11))
+	b.points = make([]float64, b.n*kmeansDim)
+	for i := range b.points {
+		b.points[i] = rng.Float64() * 10
+	}
+	b.ref = nil
+}
+
+func (b *kmeans) initCentroids() {
+	b.cent = make([]float64, kmeansK*kmeansDim)
+	for k := 0; k < kmeansK; k++ {
+		copy(b.cent[k*kmeansDim:(k+1)*kmeansDim], b.points[k*kmeansDim:(k+1)*kmeansDim])
+	}
+}
+
+func (b *kmeans) nearest(p int) int {
+	best, bestD := 0, math.MaxFloat64
+	for k := 0; k < kmeansK; k++ {
+		var d float64
+		for j := 0; j < kmeansDim; j++ {
+			diff := b.points[p*kmeansDim+j] - b.cent[k*kmeansDim+j]
+			d += diff * diff
+		}
+		if d < bestD {
+			best, bestD = k, d
+		}
+	}
+	return best
+}
+
+// accumulate folds points [lo, hi) into a fresh partial accumulator.
+func (b *kmeans) accumulate(lo, hi int) *kmAcc {
+	acc := &kmAcc{}
+	b.accumulateInto(acc, lo, hi)
+	return acc
+}
+
+// accumulateInto folds points [lo, hi) into an existing accumulator
+// view (the per-task reducer view of the heartbeat variant).
+func (b *kmeans) accumulateInto(acc *kmAcc, lo, hi int) {
+	for p := lo; p < hi; p++ {
+		k := b.nearest(p)
+		acc.count[k]++
+		for j := 0; j < kmeansDim; j++ {
+			acc.sum[k*kmeansDim+j] += b.points[p*kmeansDim+j]
+		}
+	}
+}
+
+func (b *kmeans) updateCentroids(acc *kmAcc) {
+	for k := 0; k < kmeansK; k++ {
+		if acc.count[k] == 0 {
+			continue
+		}
+		inv := 1 / float64(acc.count[k])
+		for j := 0; j < kmeansDim; j++ {
+			b.cent[k*kmeansDim+j] = acc.sum[k*kmeansDim+j] * inv
+		}
+	}
+}
+
+func (b *kmeans) RunSerial() {
+	b.initCentroids()
+	for it := 0; it < kmeansIter; it++ {
+		// The plain serial version accumulates directly, without the
+		// parallel variants' mergeable partials.
+		var acc kmAcc
+		for p := 0; p < b.n; p++ {
+			k := b.nearest(p)
+			acc.count[k]++
+			for j := 0; j < kmeansDim; j++ {
+				acc.sum[k*kmeansDim+j] += b.points[p*kmeansDim+j]
+			}
+		}
+		b.updateCentroids(&acc)
+	}
+	b.ref = append([]float64(nil), b.cent...)
+}
+
+func (b *kmeans) RunCilk(c *cilk.Ctx) {
+	b.initCentroids()
+	for it := 0; it < kmeansIter; it++ {
+		acc := cilk.Reduce(c, 0, b.n,
+			func(a, v *kmAcc) *kmAcc { return a.add(v) },
+			b.accumulate)
+		b.updateCentroids(acc)
+	}
+}
+
+func (b *kmeans) RunHeartbeat(c *heartbeat.Ctx) {
+	b.initCentroids()
+	for it := 0; it < kmeansIter; it++ {
+		acc := heartbeat.Accumulate(c, 0, b.n,
+			func() *kmAcc { return &kmAcc{} },
+			func(into, from *kmAcc) { into.add(from) },
+			b.accumulateInto)
+		b.updateCentroids(acc)
+	}
+}
+
+func (b *kmeans) Verify() error {
+	if b.ref == nil {
+		return fmt.Errorf("kmeans: RunSerial must run before Verify")
+	}
+	for i := range b.cent {
+		if math.Abs(b.cent[i]-b.ref[i]) > 1e-6 {
+			return fmt.Errorf("kmeans: centroid component %d = %g, want %g", i, b.cent[i], b.ref[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"tpal/internal/cilk"
+	"tpal/internal/heartbeat"
+)
+
+// knapsack is the branch-and-bound 0/1 knapsack solver from the Cilk
+// benchmark suite (36 items in the paper). It is the suite's only
+// nondeterministic benchmark: the amount of work depends on how fast
+// good bounds propagate between concurrently exploring tasks, though the
+// optimal value itself is schedule-independent. Recursion is pure
+// fork-join with almost no computation per frame, which is why the paper
+// reports the cost of maintaining promotion-ready marks most visibly
+// here.
+type knapsack struct {
+	items    []ksItem // sorted by value density
+	capacity int64
+	ref      int64
+	out      int64
+	best     atomic.Int64
+}
+
+type ksItem struct {
+	weight, value int64
+}
+
+func (b *knapsack) Name() string { return "knapsack" }
+func (b *knapsack) Kind() Kind   { return Recursive }
+
+func (b *knapsack) Setup(scale float64) {
+	// Strongly correlated instances (value ≈ weight + constant) keep the
+	// fractional bound uninformative, forcing genuine branch-and-bound
+	// search, as the Cilk suite's hard inputs do. Item count controls
+	// tree size; each item roughly doubles it.
+	n := 32
+	switch {
+	case scale >= 4:
+		n = 36 // the paper's item count
+	case scale >= 2:
+		n = 34
+	case scale < 0.5:
+		n = 22
+	}
+	rng := rand.New(rand.NewSource(31))
+	b.items = make([]ksItem, n)
+	var total int64
+	for i := range b.items {
+		// Subset-sum-like: value equals weight, weights large and
+		// incommensurate, so the fractional bound stays loose until an
+		// exact-looking fill is found.
+		w := int64(1_000_000 + rng.Intn(9_000_000))
+		b.items[i] = ksItem{weight: w, value: w}
+		total += w
+	}
+	// Sort by value density, descending, for the fractional bound.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0; j-- {
+			a, c := b.items[j-1], b.items[j]
+			if c.value*a.weight > a.value*c.weight {
+				b.items[j-1], b.items[j] = c, a
+			} else {
+				break
+			}
+		}
+	}
+	b.capacity = total / 2
+	b.ref = 0
+}
+
+// bound is the fractional (linear relaxation) upper bound from item i
+// with remaining capacity cap and accumulated value v.
+func (b *knapsack) bound(i int, cap, v int64) int64 {
+	for ; i < len(b.items) && cap > 0; i++ {
+		it := b.items[i]
+		if it.weight <= cap {
+			cap -= it.weight
+			v += it.value
+		} else {
+			return v + it.value*cap/it.weight
+		}
+	}
+	return v
+}
+
+func serialKS(n ksNode) {
+	if n.leafOrPrune() {
+		return
+	}
+	take, skip := n.branches()
+	serialKS(take)
+	serialKS(skip)
+}
+
+func (b *knapsack) RunSerial() {
+	b.best.Store(0)
+	serialKS(ksNode{b: b, i: 0, cap: b.capacity})
+	b.ref = b.best.Load()
+	b.out = b.ref
+}
+
+// ksNode is a branch-and-bound search node, passed by value to the
+// closure-free fork primitives so the recursion allocates nothing.
+type ksNode struct {
+	b      *knapsack
+	i      int
+	cap, v int64
+}
+
+func (n ksNode) leafOrPrune() bool {
+	b := n.b
+	if n.cap < 0 {
+		return true
+	}
+	if n.i == len(b.items) {
+		for {
+			cur := b.best.Load()
+			if n.v <= cur || b.best.CompareAndSwap(cur, n.v) {
+				return true
+			}
+		}
+	}
+	return b.bound(n.i, n.cap, n.v) <= b.best.Load()
+}
+
+func (n ksNode) branches() (take, skip ksNode) {
+	it := n.b.items[n.i]
+	take = ksNode{b: n.b, i: n.i + 1, cap: n.cap - it.weight, v: n.v + it.value}
+	skip = ksNode{b: n.b, i: n.i + 1, cap: n.cap, v: n.v}
+	return take, skip
+}
+
+func cilkKS(c *cilk.Ctx, n ksNode) {
+	if n.leafOrPrune() {
+		return
+	}
+	take, skip := n.branches()
+	cilk.Spawn2Call(c, cilkKS, take, skip)
+}
+
+func (b *knapsack) RunCilk(c *cilk.Ctx) {
+	b.best.Store(0)
+	cilkKS(c, ksNode{b: b, i: 0, cap: b.capacity})
+	b.out = b.best.Load()
+}
+
+func hbKS(c *heartbeat.Ctx, n ksNode) {
+	if n.leafOrPrune() {
+		return
+	}
+	take, skip := n.branches()
+	heartbeat.Fork2Call(c, hbKS, take, skip)
+}
+
+func (b *knapsack) RunHeartbeat(c *heartbeat.Ctx) {
+	b.best.Store(0)
+	hbKS(c, ksNode{b: b, i: 0, cap: b.capacity})
+	b.out = b.best.Load()
+}
+
+func (b *knapsack) Verify() error {
+	if b.ref == 0 {
+		return fmt.Errorf("knapsack: RunSerial must run before Verify")
+	}
+	if b.out != b.ref {
+		return fmt.Errorf("knapsack: optimal value %d, want %d", b.out, b.ref)
+	}
+	return nil
+}

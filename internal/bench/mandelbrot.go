@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+
+	"tpal/internal/cilk"
+	"tpal/internal/heartbeat"
+)
+
+// mandelbrot renders a square image of the Mandelbrot set (4k × 4k in
+// the paper). Iteration counts vary wildly across pixels, so rows have
+// irregular cost; the parallel variants expose both row- and pixel-level
+// parallelism.
+type mandelbrot struct {
+	n       int
+	maxIter int
+	img     []int32
+	ref     []int32
+}
+
+func (b *mandelbrot) Name() string { return "mandelbrot" }
+func (b *mandelbrot) Kind() Kind   { return Iterative }
+
+func (b *mandelbrot) Setup(scale float64) {
+	b.n = scaled(400, scale)
+	b.maxIter = 200
+	b.img = make([]int32, b.n*b.n)
+	b.ref = nil
+}
+
+func (b *mandelbrot) pixel(px, py int) int32 {
+	x0 := -2.0 + 2.6*float64(px)/float64(b.n)
+	y0 := -1.3 + 2.6*float64(py)/float64(b.n)
+	var x, y float64
+	var it int32
+	for it = 0; int(it) < b.maxIter; it++ {
+		xx, yy := x*x, y*y
+		if xx+yy > 4 {
+			break
+		}
+		x, y = xx-yy+x0, 2*x*y+y0
+	}
+	return it
+}
+
+func (b *mandelbrot) row(py, lo, hi int) {
+	for px := lo; px < hi; px++ {
+		b.img[py*b.n+px] = b.pixel(px, py)
+	}
+}
+
+func (b *mandelbrot) RunSerial() {
+	for py := 0; py < b.n; py++ {
+		b.row(py, 0, b.n)
+	}
+	b.ref = append([]int32(nil), b.img...)
+}
+
+func (b *mandelbrot) RunCilk(c *cilk.Ctx) {
+	c.ForNested(0, b.n, func(cc *cilk.Ctx, py int) {
+		cc.For(0, b.n, func(px int) {
+			b.img[py*b.n+px] = b.pixel(px, py)
+		})
+	})
+}
+
+func (b *mandelbrot) RunHeartbeat(c *heartbeat.Ctx) {
+	c.ForNested(0, b.n, func(cc *heartbeat.Ctx, py int) {
+		cc.For(0, b.n, func(px int) {
+			b.img[py*b.n+px] = b.pixel(px, py)
+		})
+	})
+}
+
+func (b *mandelbrot) Verify() error {
+	if b.ref == nil {
+		return fmt.Errorf("mandelbrot: RunSerial must run before Verify")
+	}
+	for i := range b.img {
+		if b.img[i] != b.ref[i] {
+			return fmt.Errorf("mandelbrot: pixel %d = %d, want %d", i, b.img[i], b.ref[i])
+		}
+	}
+	return nil
+}

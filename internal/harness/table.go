@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// table renders aligned plain-text tables for experiment output.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table {
+	return &table{header: header}
+}
+
+func (t *table) addRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) addf(format string, args ...any) {
+	t.addRow(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+func (t *table) render() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			if i == 0 {
+				// left-align the first column
+				sb.WriteString(c)
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			} else {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	line(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2) + "\n")
+	for _, r := range t.rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func f1(x float64) string  { return fmt.Sprintf("%.1f", x) }
+func pct(x float64) string { return fmt.Sprintf("%.0f%%", x*100) }

@@ -1,0 +1,91 @@
+package heartbeat
+
+import (
+	"sync/atomic"
+
+	"tpal/internal/sched"
+)
+
+// Accumulate folds [lo, hi) into a mutable accumulator with latent
+// parallelism: the loop owns one accumulator view and mutates it in
+// place; a promotion gives the child task its own fresh view, and views
+// merge (in range order) at the join. This is the runtime analogue of
+// reducer views in Cilk and of the paper's kmeans port, which pays for
+// an auxiliary accumulation structure only when parallelism actually
+// manifests... except for the one view the serial path needs.
+//
+// T is typically a pointer type; newAcc creates an identity view, leaf
+// folds a block into a view, and merge folds a later-range view into an
+// earlier-range one.
+func Accumulate[T any](c *Ctx, lo, hi int, newAcc func() T, merge func(into, from T), leaf func(acc T, lo, hi int)) T {
+	acc := newAcc()
+	if hi-lo <= 0 {
+		return acc
+	}
+	if hi-lo <= c.rt.cfg.PollStride {
+		leaf(acc, lo, hi)
+		c.Poll()
+		return acc
+	}
+	as := &accState[T]{next: lo, stop: hi, acc: acc, newAcc: newAcc, merge: merge, leaf: leaf}
+	c.pushMark(as)
+	stride := c.rt.cfg.PollStride
+	for as.next < as.stop {
+		end := as.next + stride
+		if end > as.stop {
+			end = as.stop
+		}
+		leaf(acc, as.next, end)
+		as.next = end
+		c.Poll()
+	}
+	c.popMark(as)
+	if len(as.children) > 0 {
+		c.waitJoin(&as.pending)
+		c.raiseFloor(as.spanMax.Load())
+		// Children cover successively earlier tail ranges; merge them
+		// back in reverse promotion order to preserve range order.
+		for i := len(as.children) - 1; i >= 0; i-- {
+			merge(acc, as.children[i].value)
+		}
+	}
+	return acc
+}
+
+// accState is the promotion-ready mark of an Accumulate in progress.
+type accState[T any] struct {
+	next, stop int
+	acc        T
+	newAcc     func() T
+	merge      func(T, T)
+	leaf       func(T, int, int)
+
+	children []*reduceChild[T]
+	pending  atomic.Int64
+	spanMax  atomic.Int64
+}
+
+func (as *accState[T]) promote(c *Ctx) bool {
+	remaining := as.stop - as.next
+	if remaining < 2 {
+		return false
+	}
+	mid := as.next + remaining/2
+	childLo, childHi := mid, as.stop
+	as.stop = mid
+
+	node := &reduceChild[T]{}
+	as.children = append(as.children, node)
+	as.pending.Add(1)
+	newAcc, merge, leaf, rt := as.newAcc, as.merge, as.leaf, c.rt
+	pending, spanMax := &as.pending, &as.spanMax
+	base := c.SpanNow()
+	recID := c.recordSpawn()
+	c.spawn(sched.TaskFunc(func(w *sched.Worker) {
+		cc := newChildCtx(w, rt, base, recID)
+		node.value = Accumulate(cc, childLo, childHi, newAcc, merge, leaf)
+		maxInto(spanMax, cc.finish())
+		pending.Add(-1)
+	}))
+	return true
+}

@@ -1,0 +1,274 @@
+package heartbeat
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"tpal/internal/sched"
+)
+
+// Ctx is a task's execution context: the worker it runs on plus its
+// promotion-ready mark list. The mark list is the runtime analogue of
+// the paper's per-task promotion-ready marks: one entry per piece of
+// latent parallelism, ordered oldest first, touched only by the owning
+// goroutine (promotion happens synchronously inside poll, exactly as
+// TPAL's handler runs in the interrupted task).
+type Ctx struct {
+	w     *sched.Worker
+	rt    *RT
+	marks []mark
+
+	// Critical-path (span) tracking for the at-scale performance model:
+	// a task's span is its creation point's span plus its self time
+	// (wall time net of join waits), floored by the spans of tasks it
+	// joined. Clock reads happen only at task boundaries, promotions,
+	// and joins, so tracking is always on and costs nothing on the hot
+	// path.
+	start  time.Time
+	base   int64 // span at task creation, ns
+	helped int64 // wall time spent inside join waits (helping or idle)
+	floor  int64 // span floor raised by joined children
+	recID  int   // task id in the vtime recorder, when recording
+
+	// Free lists for mark objects, so the serial path of loops and
+	// forks allocates nothing after warm-up. Safe because marks are
+	// strictly goroutine-local: promoted tasks capture only the
+	// separately allocated join object, never the mark itself.
+	loopPool    []*loopState
+	callPool    []*callMark
+	callAnyPool []any // pooled *callMarkT[A] instances (see forkcall.go)
+}
+
+func (c *Ctx) getLoopState() *loopState {
+	if n := len(c.loopPool); n > 0 {
+		ls := c.loopPool[n-1]
+		c.loopPool = c.loopPool[:n-1]
+		return ls
+	}
+	return &loopState{}
+}
+
+func (c *Ctx) putLoopState(ls *loopState) {
+	*ls = loopState{}
+	c.loopPool = append(c.loopPool, ls)
+}
+
+func (c *Ctx) getCallMark() *callMark {
+	if n := len(c.callPool); n > 0 {
+		m := c.callPool[n-1]
+		c.callPool = c.callPool[:n-1]
+		return m
+	}
+	return &callMark{}
+}
+
+func (c *Ctx) putCallMark(m *callMark) {
+	*m = callMark{}
+	c.callPool = append(c.callPool, m)
+}
+
+func newCtx(w *sched.Worker, rt *RT) *Ctx {
+	return &Ctx{w: w, rt: rt, start: time.Now()}
+}
+
+func newChildCtx(w *sched.Worker, rt *RT, base int64, recID int) *Ctx {
+	return &Ctx{w: w, rt: rt, start: time.Now(), base: base, recID: recID}
+}
+
+// recordSpawn registers a promotion with the vtime recorder (if any)
+// and returns the child's recorder id.
+func (c *Ctx) recordSpawn() int {
+	if rec := c.rt.cfg.Recorder; rec != nil {
+		return rec.Spawn(c.recID, c.selfNanos())
+	}
+	return 0
+}
+
+// selfNanos is the task's accumulated self time.
+func (c *Ctx) selfNanos() int64 {
+	return time.Since(c.start).Nanoseconds() - c.helped
+}
+
+// SpanNow is the span of the computation's critical path through this
+// task, as of now.
+func (c *Ctx) SpanNow() int64 {
+	s := c.base + c.selfNanos()
+	if c.floor > s {
+		return c.floor
+	}
+	return s
+}
+
+// waitJoin waits on a join counter, attributing the whole wait (helping
+// other tasks or idling) to non-self time.
+func (c *Ctx) waitJoin(pending *atomic.Int64) {
+	t0 := time.Now()
+	c.w.WaitJoin(pending)
+	c.helped += time.Since(t0).Nanoseconds()
+}
+
+// raiseFloor folds a joined child's final span into this task's span.
+func (c *Ctx) raiseFloor(span int64) {
+	if span > c.floor {
+		c.floor = span
+	}
+}
+
+// finish records the task's self time as work and returns its final
+// span. Called exactly once, when the task's function returns.
+func (c *Ctx) finish() int64 {
+	self := c.selfNanos()
+	c.w.AddSelfWork(self)
+	if rec := c.rt.cfg.Recorder; rec != nil {
+		rec.Finish(c.recID, self)
+	}
+	return c.SpanNow()
+}
+
+// maxInto lifts v into an atomic running maximum.
+func maxInto(a *atomic.Int64, v int64) {
+	for {
+		old := a.Load()
+		if v <= old || a.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Worker returns the worker currently executing this context.
+func (c *Ctx) Worker() *sched.Worker { return c.w }
+
+// mark is one entry of the promotion-ready mark list.
+type mark interface {
+	// promote manifests the mark's latent parallelism as a task if
+	// possible, returning whether a task was created.
+	promote(c *Ctx) bool
+}
+
+func (c *Ctx) pushMark(m mark) {
+	c.marks = append(c.marks, m)
+}
+
+func (c *Ctx) popMark(m mark) {
+	n := len(c.marks)
+	if n == 0 || c.marks[n-1] != m {
+		panic(fmt.Sprintf("heartbeat: mark list corrupted: popping %T, top is %v", m, c.marks))
+	}
+	c.marks[n-1] = nil
+	c.marks = c.marks[:n-1]
+}
+
+// Poll is the promotion-ready program point: it checks the worker's
+// heartbeat flag (one atomic load on the fast path) and, when a beat is
+// pending, services it — paying the simulated handler cost and
+// promoting the oldest promotable latent parallelism.
+func (c *Ctx) Poll() {
+	if !c.w.PollHeartbeat() {
+		return
+	}
+	if c.rt.cfg.DisablePromotion {
+		return
+	}
+	c.promoteOne()
+}
+
+// promoteOne applies the promotion policy over the mark list and
+// performs at most one promotion, as one heartbeat manifests one task.
+func (c *Ctx) promoteOne() bool {
+	if c.rt.cfg.Policy == InnerFirst {
+		for i := len(c.marks) - 1; i >= 0; i-- {
+			if c.marks[i].promote(c) {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < len(c.marks); i++ {
+		if c.marks[i].promote(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// spawn pushes a task created by a promotion onto the current worker's
+// deque, where idle workers can steal it, and counts it.
+func (c *Ctx) spawn(t sched.Task) {
+	c.w.Pool().CountTaskCreated()
+	c.w.Deque().PushBottom(t)
+}
+
+// join is a completion counter for promoted tasks, carrying the maximum
+// final span among them for critical-path tracking.
+type join struct {
+	pending atomic.Int64
+	spanMax atomic.Int64
+}
+
+// Fork2 executes a and b with fork-join semantics, serially by default:
+// b is recorded as latent parallelism while a runs; if a heartbeat
+// promotes it, b becomes a task and Fork2 joins both sides before
+// returning; otherwise b runs inline right after a, with no task
+// created and no synchronization.
+//
+// This is the runtime analogue of the paper's parallel calling
+// convention (§B.2): the mark stands for the unstarted branch, and the
+// promotion handler turns the oldest such mark into a child task.
+func (c *Ctx) Fork2(a, b func(*Ctx)) {
+	// A fork is a promotion-ready program point, like the loop heads of
+	// the paper's fib: recursive code with no loops still observes
+	// heartbeats at every call.
+	c.Poll()
+	m := c.getCallMark()
+	m.fn = b
+	c.pushMark(m)
+	a(c)
+	c.popMark(m)
+	if m.state == callLatent {
+		c.putCallMark(m)
+		b(c)
+		return
+	}
+	// Promoted: wait for the child (helping with other work meanwhile).
+	j := m.join
+	c.putCallMark(m)
+	c.waitJoin(&j.pending)
+	c.raiseFloor(j.spanMax.Load())
+}
+
+// callMark is the latent second branch of a Fork2. The join is allocated
+// only at promotion, so the serial path pays nothing for it.
+type callMark struct {
+	fn    func(*Ctx)
+	state callState
+	join  *join
+}
+
+type callState uint8
+
+const (
+	callLatent callState = iota
+	callPromoted
+	callInlined
+)
+
+func (m *callMark) promote(c *Ctx) bool {
+	if m.state != callLatent {
+		return false
+	}
+	m.state = callPromoted
+	m.join = &join{}
+	m.join.pending.Store(1)
+	fn, rt := m.fn, c.rt
+	jp := m.join
+	base := c.SpanNow()
+	recID := c.recordSpawn()
+	c.spawn(sched.TaskFunc(func(w *sched.Worker) {
+		cc := newChildCtx(w, rt, base, recID)
+		fn(cc)
+		maxInto(&jp.spanMax, cc.finish())
+		jp.pending.Add(-1)
+	}))
+	return true
+}

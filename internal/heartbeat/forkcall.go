@@ -1,0 +1,80 @@
+package heartbeat
+
+import (
+	"tpal/internal/sched"
+)
+
+// Fork2Call is Fork2 for the common recursive pattern where both
+// branches call the same function with different arguments: it runs
+// f(c, aArg) with f(·, bArg) latent, promoting the latter on a
+// heartbeat. Because the branches are a static function plus a value
+// argument rather than closures, the serial path performs no heap
+// allocation at all — the runtime analogue of TPAL's promotion-ready
+// marks, which are just stack cells. Use it in recursion-heavy code
+// (the paper's knapsack and fib) where closure allocation would
+// otherwise dominate the nearly-empty frames.
+func Fork2Call[A any](c *Ctx, f func(*Ctx, A), aArg, bArg A) {
+	// A fork is a promotion-ready program point; see Fork2.
+	c.Poll()
+	m := getCallT[A](c)
+	m.f, m.arg = f, bArg
+	c.pushMark(m)
+	f(c, aArg)
+	c.popMark(m)
+	if m.state == callLatent {
+		arg := m.arg
+		putCallT(c, m)
+		f(c, arg)
+		return
+	}
+	j := m.join
+	putCallT(c, m)
+	c.waitJoin(&j.pending)
+	c.raiseFloor(j.spanMax.Load())
+}
+
+// callMarkT is the typed, closure-free latent branch of Fork2Call.
+type callMarkT[A any] struct {
+	f     func(*Ctx, A)
+	arg   A
+	state callState
+	join  *join
+}
+
+func (m *callMarkT[A]) promote(c *Ctx) bool {
+	if m.state != callLatent {
+		return false
+	}
+	m.state = callPromoted
+	m.join = &join{}
+	m.join.pending.Store(1)
+	f, arg, rt := m.f, m.arg, c.rt
+	jp := m.join
+	base := c.SpanNow()
+	recID := c.recordSpawn()
+	c.spawn(sched.TaskFunc(func(w *sched.Worker) {
+		cc := newChildCtx(w, rt, base, recID)
+		f(cc, arg)
+		maxInto(&jp.spanMax, cc.finish())
+		jp.pending.Add(-1)
+	}))
+	return true
+}
+
+// getCallT pops a typed call mark from the context's untyped pool when
+// the instantiation matches (storing pointers in an any is
+// allocation-free), otherwise allocates.
+func getCallT[A any](c *Ctx) *callMarkT[A] {
+	if n := len(c.callAnyPool); n > 0 {
+		if m, ok := c.callAnyPool[n-1].(*callMarkT[A]); ok {
+			c.callAnyPool = c.callAnyPool[:n-1]
+			return m
+		}
+	}
+	return &callMarkT[A]{}
+}
+
+func putCallT[A any](c *Ctx, m *callMarkT[A]) {
+	*m = callMarkT[A]{}
+	c.callAnyPool = append(c.callAnyPool, m)
+}

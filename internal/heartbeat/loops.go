@@ -1,0 +1,252 @@
+package heartbeat
+
+import (
+	"sync/atomic"
+
+	"tpal/internal/sched"
+)
+
+// For executes body(i) for every i in [lo, hi) with latent parallelism:
+// the loop runs serially, polling the heartbeat flag once per poll
+// stride, and a heartbeat splits the remaining iterations in half,
+// promoting the upper half into a task (recursively promotable the same
+// way). For returns once every iteration, promoted or not, has run.
+//
+// Iterations must be independent or synchronize among themselves; use
+// Reduce for accumulations, and ForNested for bodies that contain
+// nested latent parallelism.
+func (c *Ctx) For(lo, hi int, body func(i int)) {
+	if hi-lo <= 0 {
+		return
+	}
+	if hi-lo <= c.rt.cfg.PollStride {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+		c.Poll()
+		return
+	}
+	ls := c.getLoopState()
+	ls.next, ls.stop, ls.flat = lo, hi, body
+	c.runLoop(ls)
+	j := ls.join
+	c.putLoopState(ls)
+	if j != nil {
+		c.waitJoin(&j.pending)
+		c.raiseFloor(j.spanMax.Load())
+	}
+}
+
+// ForNested is For for bodies that themselves contain latent
+// parallelism: the body receives the context of the task actually
+// executing the iteration (which differs from c for promoted ranges), so
+// nested For/Reduce/Fork2 calls attach to the right mark list. Promotion
+// is outer-most-first across the whole nest, as heartbeat scheduling
+// prescribes.
+func (c *Ctx) ForNested(lo, hi int, body func(cc *Ctx, i int)) {
+	if hi-lo <= 0 {
+		return
+	}
+	// Fast path: a range no larger than one poll stride can never be
+	// promoted before it completes (by the time a promotion could
+	// split it, fewer than two iterations remain in the worst case we
+	// care about) — no loop state, no mark, no allocation. This is the
+	// Go analogue of TPAL's zero-cost serial elaboration of short inner
+	// loops. Nested bodies are coarse by definition, so polling every
+	// iteration costs nothing relative to the body and keeps heartbeat
+	// observation latency at one iteration, as the paper's per-loop-head
+	// promotion points do.
+	if hi-lo <= c.rt.cfg.PollStride {
+		for i := lo; i < hi; i++ {
+			body(c, i)
+			c.Poll()
+		}
+		return
+	}
+	ls := c.getLoopState()
+	ls.next, ls.stop, ls.body = lo, hi, body
+	c.runLoop(ls)
+	j := ls.join
+	c.putLoopState(ls)
+	if j != nil {
+		c.waitJoin(&j.pending)
+		c.raiseFloor(j.spanMax.Load())
+	}
+}
+
+// loopState is a promotion-ready parallel loop: the mark representing
+// the remaining iterations [next, stop). Promotion (from a poll on the
+// owning goroutine) shrinks stop; the running loop advances next. The
+// join pointer is nil until the first promotion — an unpromoted loop
+// allocates nothing and synchronizes nothing, the "serial by default"
+// property that makes heartbeat loops near zero-cost.
+//
+// Exactly one of flat and body is set: flat bodies cannot reach a Ctx
+// and therefore cannot trigger promotions mid-iteration, so the loop may
+// run whole strides between polls; ctx-receiving bodies may promote this
+// very loop from a nested poll, so next and stop must be re-read every
+// iteration or the loop would re-run iterations it has already given
+// away.
+type loopState struct {
+	next, stop int
+	flat       func(int)
+	body       func(*Ctx, int)
+	join       *join // lazily allocated at first promotion; shared by the whole loop tree
+}
+
+// runLoop executes ls's iterations with stride polling, registering ls
+// in the mark list for the duration.
+func (c *Ctx) runLoop(ls *loopState) {
+	c.pushMark(ls)
+	stride := c.rt.cfg.PollStride
+	if ls.flat != nil {
+		flat := ls.flat
+		for ls.next < ls.stop {
+			end := ls.next + stride
+			if end > ls.stop {
+				end = ls.stop
+			}
+			for i := ls.next; i < end; i++ {
+				flat(i)
+			}
+			ls.next = end
+			c.Poll()
+		}
+	} else {
+		body := ls.body
+		for ls.next < ls.stop {
+			i := ls.next
+			ls.next = i + 1
+			body(c, i)
+			c.Poll()
+		}
+	}
+	c.popMark(ls)
+}
+
+func (ls *loopState) promote(c *Ctx) bool {
+	remaining := ls.stop - ls.next
+	if remaining < 2 {
+		return false
+	}
+	if ls.join == nil {
+		ls.join = &join{}
+	}
+	j := ls.join
+	mid := ls.next + remaining/2
+	childLo, childHi := mid, ls.stop
+	ls.stop = mid
+
+	j.pending.Add(1)
+	flat, body, rt := ls.flat, ls.body, c.rt
+	base := c.SpanNow()
+	recID := c.recordSpawn()
+	c.spawn(sched.TaskFunc(func(w *sched.Worker) {
+		cc := newChildCtx(w, rt, base, recID)
+		child := cc.getLoopState()
+		child.next, child.stop, child.flat, child.body, child.join = childLo, childHi, flat, body, j
+		cc.runLoop(child)
+		cc.putLoopState(child)
+		maxInto(&j.spanMax, cc.finish())
+		j.pending.Add(-1)
+	}))
+	return true
+}
+
+// Reduce folds leaf results over [lo, hi) with latent parallelism.
+// leaf(a, b) computes the fold of the block [a, b) from the identity;
+// combine must be associative (it is applied in range order, so it need
+// not be commutative). The heartbeat version accumulates serially and,
+// when promoted, gives the child its own accumulator, combining partial
+// results in range order at the join — the TPAL analogue of the
+// register-file merge driven by the jtppt ΔR annotation.
+func Reduce[T any](c *Ctx, lo, hi int, combine func(T, T) T, leaf func(lo, hi int) T) T {
+	var zero T
+	if hi-lo <= 0 {
+		return zero
+	}
+	// Fast path, as in ForNested: a sub-stride range cannot be promoted,
+	// so it needs no reduction state.
+	if hi-lo <= c.rt.cfg.PollStride {
+		v := leaf(lo, hi)
+		c.Poll()
+		return v
+	}
+	rs := &reduceState[T]{next: lo, stop: hi, combine: combine, leaf: leaf}
+	runReduce(c, rs)
+	acc := rs.acc
+	if len(rs.children) > 0 {
+		c.waitJoin(&rs.pending)
+		c.raiseFloor(rs.spanMax.Load())
+		// Children were split off the tail of the remaining range, so
+		// successive promotions cover earlier ranges: fold them back in
+		// reverse promotion order to preserve range order.
+		for i := len(rs.children) - 1; i >= 0; i-- {
+			acc = combine(acc, rs.children[i].value)
+		}
+	}
+	return acc
+}
+
+// reduceState is the promotion-ready mark of a Reduce in progress.
+type reduceState[T any] struct {
+	next, stop int
+	combine    func(T, T) T
+	leaf       func(int, int) T
+	acc        T
+	started    bool // acc holds a value (avoid combining with uninitialized zero when T's zero is not an identity)
+
+	children []*reduceChild[T]
+	pending  atomic.Int64
+	spanMax  atomic.Int64
+}
+
+type reduceChild[T any] struct {
+	value T
+}
+
+func runReduce[T any](c *Ctx, rs *reduceState[T]) {
+	c.pushMark(rs)
+	stride := c.rt.cfg.PollStride
+	for rs.next < rs.stop {
+		end := rs.next + stride
+		if end > rs.stop {
+			end = rs.stop
+		}
+		v := rs.leaf(rs.next, end)
+		if rs.started {
+			rs.acc = rs.combine(rs.acc, v)
+		} else {
+			rs.acc = v
+			rs.started = true
+		}
+		rs.next = end
+		c.Poll()
+	}
+	c.popMark(rs)
+}
+
+func (rs *reduceState[T]) promote(c *Ctx) bool {
+	remaining := rs.stop - rs.next
+	if remaining < 2 {
+		return false
+	}
+	mid := rs.next + remaining/2
+	childLo, childHi := mid, rs.stop
+	rs.stop = mid
+
+	node := &reduceChild[T]{}
+	rs.children = append(rs.children, node)
+	rs.pending.Add(1)
+	combine, leaf, rt := rs.combine, rs.leaf, c.rt
+	pending, spanMax := &rs.pending, &rs.spanMax
+	base := c.SpanNow()
+	recID := c.recordSpawn()
+	c.spawn(sched.TaskFunc(func(w *sched.Worker) {
+		cc := newChildCtx(w, rt, base, recID)
+		node.value = Reduce(cc, childLo, childHi, combine, leaf)
+		maxInto(spanMax, cc.finish())
+		pending.Add(-1)
+	}))
+	return true
+}

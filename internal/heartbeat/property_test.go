@@ -1,0 +1,241 @@
+package heartbeat
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"tpal/internal/interrupt"
+	"tpal/internal/vtime"
+)
+
+// opTree is a randomly generated nested parallel computation: a tree of
+// loops, reductions, and forks over a shared output array. Its
+// sequential evaluation defines the expected result; the heartbeat
+// execution must agree under every configuration.
+type opTree struct {
+	kind     opKind
+	lo, hi   int // loop/reduce range
+	children []*opTree
+	salt     int64
+}
+
+type opKind uint8
+
+const (
+	opLeafSum opKind = iota // sum f(i) over [lo,hi)
+	opForWrite
+	opFork
+	opNestedReduce
+)
+
+func genTree(rng *rand.Rand, depth int) *opTree {
+	if depth == 0 {
+		lo := rng.Intn(50)
+		return &opTree{kind: opLeafSum, lo: lo, hi: lo + rng.Intn(4000), salt: rng.Int63n(1000)}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		lo := rng.Intn(10)
+		t := &opTree{kind: opNestedReduce, lo: lo, hi: lo + 2 + rng.Intn(40)}
+		t.children = []*opTree{genTree(rng, depth-1)}
+		return t
+	case 1:
+		t := &opTree{kind: opFork}
+		t.children = []*opTree{genTree(rng, depth-1), genTree(rng, depth-1)}
+		return t
+	default:
+		lo := rng.Intn(50)
+		return &opTree{kind: opForWrite, lo: lo, hi: lo + rng.Intn(2000), salt: rng.Int63n(1000)}
+	}
+}
+
+func leafVal(i int, salt int64) int64 {
+	return (int64(i)*2654435761 + salt) % 1001
+}
+
+// evalSeq is the sequential reference.
+func evalSeq(t *opTree, out []int64) int64 {
+	switch t.kind {
+	case opLeafSum:
+		var s int64
+		for i := t.lo; i < t.hi; i++ {
+			s += leafVal(i, t.salt)
+		}
+		return s
+	case opForWrite:
+		var s int64
+		for i := t.lo; i < t.hi; i++ {
+			out[i%len(out)] = leafVal(i, t.salt)
+			s += leafVal(i, t.salt) % 7
+		}
+		return s
+	case opFork:
+		return evalSeq(t.children[0], out) + evalSeq(t.children[1], out)
+	case opNestedReduce:
+		var s int64
+		for i := t.lo; i < t.hi; i++ {
+			s += evalSeq(t.children[0], out)
+		}
+		return s
+	}
+	return 0
+}
+
+// evalHB is the heartbeat version, maximal latent parallelism. ForWrite
+// writes race on out across iterations of different trees, so the
+// comparison only covers the returned sums (out writes are idempotent
+// per index within a tree).
+func evalHB(c *Ctx, t *opTree, out []int64) int64 {
+	switch t.kind {
+	case opLeafSum:
+		salt := t.salt
+		return Reduce(c, t.lo, t.hi,
+			func(a, b int64) int64 { return a + b },
+			func(lo, hi int) int64 {
+				var s int64
+				for i := lo; i < hi; i++ {
+					s += leafVal(i, salt)
+				}
+				return s
+			})
+	case opForWrite:
+		salt := t.salt
+		return Reduce(c, t.lo, t.hi,
+			func(a, b int64) int64 { return a + b },
+			func(lo, hi int) int64 {
+				var s int64
+				for i := lo; i < hi; i++ {
+					out[i%len(out)] = leafVal(i, salt)
+					s += leafVal(i, salt) % 7
+				}
+				return s
+			})
+	case opFork:
+		var a, b int64
+		c.Fork2(
+			func(cc *Ctx) { a = evalHB(cc, t.children[0], out) },
+			func(cc *Ctx) { b = evalHB(cc, t.children[1], out) },
+		)
+		return a + b
+	case opNestedReduce:
+		child := t.children[0]
+		return Reduce(c, t.lo, t.hi,
+			func(a, b int64) int64 { return a + b },
+			func(lo, hi int) int64 {
+				// This leaf is itself parallel: it needs the executing
+				// context, so use a nested reduce through ForNested
+				// instead... leaves are sequential by contract, so sum
+				// sequential evaluations here and rely on outer
+				// promotion for parallelism within a chunk.
+				var s int64
+				for i := lo; i < hi; i++ {
+					s += evalSeq(child, out)
+				}
+				return s
+			})
+	}
+	return 0
+}
+
+// TestPropertyRandomStructures: heartbeat execution of random nested
+// structures agrees with sequential evaluation for every mechanism and
+// worker count.
+func TestPropertyRandomStructures(t *testing.T) {
+	trials := 40
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 104729))
+		tree := genTree(rng, 1+rng.Intn(3))
+		out := make([]int64, 512)
+		want := evalSeq(tree, out)
+
+		for ci, cfg := range []Config{
+			{Workers: 1},
+			{Workers: 1, Mechanism: interrupt.NewVirtual(interrupt.Profile{Name: "fast"}), Heartbeat: time.Microsecond},
+			{Workers: 3, Mechanism: interrupt.NewVirtual(interrupt.Profile{Name: "fast"}), Heartbeat: time.Microsecond, PollStride: 8},
+			{Workers: 2, Mechanism: interrupt.NewCountingPoll(5)},
+			{Workers: 2, Mechanism: interrupt.NewCountingPoll(1), Policy: InnerFirst},
+		} {
+			var got int64
+			Run(cfg, func(c *Ctx) {
+				got = evalHB(c, tree, out)
+			})
+			if got != want {
+				t.Fatalf("trial %d config %d: got %d, want %d", trial, ci, got, want)
+			}
+		}
+	}
+}
+
+// TestCountingPollWithRuntime exercises the deterministic software
+// polling mechanism end to end: with beats every N polls, promotions are
+// plentiful and results exact.
+func TestCountingPollWithRuntime(t *testing.T) {
+	var got int64
+	st := Run(Config{Workers: 2, Mechanism: interrupt.NewCountingPoll(3)}, func(c *Ctx) {
+		got = Reduce(c, 0, 100_000,
+			func(a, b int64) int64 { return a + b },
+			func(lo, hi int) int64 {
+				var s int64
+				for i := lo; i < hi; i++ {
+					s += int64(i)
+				}
+				return s
+			})
+	})
+	if want := int64(100_000) * 99_999 / 2; got != want {
+		t.Fatalf("got %d, want %d", got, want)
+	}
+	if st.Promotions == 0 {
+		t.Fatal("software polling produced no promotions")
+	}
+}
+
+// TestRecorderCrossValidatesSpanTracking runs one benchmark-like loop
+// with the DAG recorder attached and checks that the recorder's work and
+// span agree with the runtime's own accounting (they are measured by
+// different code paths).
+func TestRecorderCrossValidatesSpanTracking(t *testing.T) {
+	rec := vtime.NewRecorder()
+	st := Run(Config{
+		Workers:   1,
+		Mechanism: interrupt.NewVirtual(interrupt.Profile{Name: "fast"}),
+		Heartbeat: 20 * time.Microsecond,
+		Recorder:  rec,
+	}, func(c *Ctx) {
+		_ = Reduce(c, 0, 3_000_000,
+			func(a, b int64) int64 { return a + b },
+			func(lo, hi int) int64 {
+				var s int64
+				for i := lo; i < hi; i++ {
+					s += int64(i)
+				}
+				return s
+			})
+	})
+	dag, err := rec.DAG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(dag.Tasks()) != st.Promotions+1 {
+		t.Fatalf("recorded %d tasks, runtime promoted %d", dag.Tasks(), st.Promotions)
+	}
+	if st.Promotions == 0 {
+		t.Skip("no promotions this run")
+	}
+	ratio := func(a, b int64) float64 { return float64(a) / float64(b) }
+	if r := ratio(dag.Work(), st.WorkNanos); r < 0.5 || r > 2 {
+		t.Fatalf("recorder work %d vs runtime work %d (ratio %.2f)", dag.Work(), st.WorkNanos, r)
+	}
+	if r := ratio(dag.Span(), st.SpanNanos); r < 0.3 || r > 3 {
+		t.Fatalf("recorder span %d vs runtime span %d (ratio %.2f)", dag.Span(), st.SpanNanos, r)
+	}
+	// The simulated makespan must interpolate between span and work.
+	sim := dag.Simulate(8)
+	if sim < dag.Span() || sim > dag.Work() {
+		t.Fatalf("simulate(8) = %d outside [span %d, work %d]", sim, dag.Span(), dag.Work())
+	}
+}

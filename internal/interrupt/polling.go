@@ -1,0 +1,90 @@
+package interrupt
+
+import (
+	"sync/atomic"
+	"time"
+
+	"tpal/internal/sched"
+)
+
+// CountingPoll is the software-polling alternative the paper's related
+// work discusses (§6, Feeley-style polling): instead of any timer, the
+// compiled code's poll sites count down and fire a beat every N polls.
+// Delivery precision then depends entirely on how uniformly the program
+// polls — exactly the property the paper notes makes software polling
+// hard to keep both cheap and accurate. It is provided both for
+// comparison experiments and as a fully deterministic mechanism for
+// tests.
+type CountingPoll struct {
+	period  int64 // polls per beat
+	workers []*sched.Worker
+	states  []*pollState
+	started time.Time
+	elapsed time.Duration
+	stopped atomic.Bool
+}
+
+type pollState struct {
+	countdown int64
+	period    int64
+	delivered int64
+}
+
+// NewCountingPoll returns a mechanism firing every pollsPerBeat polls.
+func NewCountingPoll(pollsPerBeat int64) *CountingPoll {
+	if pollsPerBeat < 1 {
+		pollsPerBeat = 1
+	}
+	return &CountingPoll{period: pollsPerBeat}
+}
+
+// Name implements Mechanism.
+func (m *CountingPoll) Name() string { return "software-polling" }
+
+// Start implements Mechanism. The period argument (the wall-clock ♥) is
+// ignored: beats are counted in polls, not time.
+func (m *CountingPoll) Start(workers []*sched.Worker, _ time.Duration) {
+	m.workers = workers
+	m.started = time.Now()
+	m.states = make([]*pollState, len(workers))
+	for i, w := range workers {
+		st := &pollState{countdown: m.period, period: m.period}
+		m.states[i] = st
+		w.SetBeatSource(st)
+	}
+}
+
+// Poll implements sched.BeatSource.
+func (s *pollState) Poll(*sched.Worker) bool {
+	if s.countdown--; s.countdown > 0 {
+		return false
+	}
+	s.countdown = s.period
+	s.delivered++
+	return true
+}
+
+// Stop implements Mechanism.
+func (m *CountingPoll) Stop() {
+	if m.stopped.Swap(true) {
+		return
+	}
+	m.elapsed = time.Since(m.started)
+	for _, w := range m.workers {
+		w.SetBeatSource(nil)
+	}
+}
+
+// Stats implements Mechanism.
+func (m *CountingPoll) Stats() Stats {
+	var delivered int64
+	for _, st := range m.states {
+		delivered += st.delivered
+	}
+	return Stats{
+		Mechanism: m.Name(),
+		Workers:   len(m.workers),
+		Elapsed:   m.elapsed,
+		Delivered: delivered,
+	}
+}

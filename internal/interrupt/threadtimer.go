@@ -1,0 +1,101 @@
+package interrupt
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tpal/internal/sched"
+)
+
+// threadTimer drives beats from one dedicated goroutine raising each
+// worker's heartbeat flag in turn — the literal structure of the paper's
+// ping thread (and, with SpikeProb/SlopMean zero and a spinning wait, of
+// the Nautilus CPU-0 timer handler fanning out Nemo IPIs, Figure 12).
+//
+// This mechanism is honest when a spare hardware thread exists to run
+// it. On single-CPU hosts the Go scheduler timeshares it with the
+// workers at millisecond granularity, which grossly distorts ♥ = 100µs
+// delivery; the virtual-clock mechanisms in virtual.go are the default
+// there.
+type threadTimer struct {
+	profile Profile
+	spin    bool
+	period  time.Duration
+	workers []*sched.Worker
+
+	stop      atomic.Bool
+	wg        sync.WaitGroup
+	started   time.Time
+	elapsed   time.Duration
+	delivered atomic.Int64
+}
+
+// NewThreadTimer creates a goroutine-driven mechanism from a profile.
+// spin selects a busy-wait timer (precise; burns a hardware thread)
+// instead of time.Sleep.
+func NewThreadTimer(p Profile, spin bool) Mechanism {
+	return &threadTimer{profile: p, spin: spin}
+}
+
+func (m *threadTimer) Name() string { return m.profile.Name + "-thread" }
+
+func (m *threadTimer) Start(workers []*sched.Worker, period time.Duration) {
+	m.workers = workers
+	m.period = period
+	m.started = time.Now()
+	m.wg.Add(1)
+	go m.loop()
+}
+
+func (m *threadTimer) loop() {
+	defer m.wg.Done()
+	recv := m.profile.RecvCost.Nanoseconds()
+	next := time.Now().Add(m.period)
+	for !m.stop.Load() {
+		if m.spin {
+			for time.Now().Before(next) {
+				if m.stop.Load() {
+					return
+				}
+			}
+		} else if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		if m.stop.Load() {
+			return
+		}
+		for _, w := range m.workers {
+			if m.profile.SendCost > 0 {
+				spinDelay(m.profile.SendCost)
+			}
+			w.RaiseHeartbeat(recv)
+			m.delivered.Add(1)
+		}
+		next = next.Add(m.period)
+		// Skip beats that delivery overran: a timer masked past its
+		// period fires once, not in a burst.
+		if now := time.Now(); now.After(next) {
+			missed := now.Sub(next)/m.period + 1
+			next = next.Add(missed * m.period)
+		}
+	}
+}
+
+func (m *threadTimer) Stop() {
+	if m.stop.Swap(true) {
+		return
+	}
+	m.wg.Wait()
+	m.elapsed = time.Since(m.started)
+}
+
+func (m *threadTimer) Stats() Stats {
+	return Stats{
+		Mechanism: m.Name(),
+		Period:    m.period,
+		Workers:   len(m.workers),
+		Elapsed:   m.elapsed,
+		Delivered: m.delivered.Load(),
+	}
+}

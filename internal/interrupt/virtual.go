@@ -1,0 +1,171 @@
+package interrupt
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"tpal/internal/sched"
+)
+
+// virtualMech is the virtual-clock delivery model: each worker owns a
+// next-beat deadline and checks it against a monotonic clock at poll
+// sites. Delivery latency (timer slop, signaling sweep, spikes) is
+// sampled per beat from the profile. Beats that would land while the
+// worker is between polls coalesce — only one fires at the next poll,
+// just as a masked periodic interrupt fires once when unmasked.
+type virtualMech struct {
+	profile    Profile
+	simWorkers int // sweep-cost worker count override (simulated machine size)
+	period     time.Duration
+	workers    []*sched.Worker
+	states     []*vstate
+
+	started time.Time
+	elapsed time.Duration
+	stopped atomic.Bool
+}
+
+// NewVirtual creates a virtual-clock mechanism from a profile.
+func NewVirtual(p Profile) Mechanism { return &virtualMech{profile: p} }
+
+// NewVirtualSim creates a virtual-clock mechanism whose serialized
+// signaling sweep is costed as if simWorkers workers were being
+// signaled, regardless of how many real workers attach. The harness uses
+// it to model the paper's 15-worker machine from runs on fewer cores.
+func NewVirtualSim(p Profile, simWorkers int) Mechanism {
+	return &virtualMech{profile: p, simWorkers: simWorkers}
+}
+
+func (m *virtualMech) Name() string { return m.profile.Name }
+
+func (m *virtualMech) Start(workers []*sched.Worker, period time.Duration) {
+	m.workers = workers
+	m.period = period
+	m.started = time.Now()
+
+	// The effective period is stretched by the signaling sweep: one
+	// sender delivering to every worker serially cannot beat faster than
+	// SendCost × workers.
+	nw := len(workers)
+	if m.simWorkers > 0 {
+		nw = m.simWorkers
+	}
+	eff := period.Nanoseconds()
+	if sweep := m.profile.SendCost.Nanoseconds() * int64(nw); sweep > eff {
+		eff = sweep
+	}
+
+	m.states = make([]*vstate, len(workers))
+	for i, w := range workers {
+		st := &vstate{
+			mech:      m,
+			effPeriod: eff,
+			rng:       uint64(i+1) * 0x9E3779B97F4A7C15,
+		}
+		st.next = eff + st.sampleSlop()
+		m.states[i] = st
+		w.SetBeatSource(st)
+	}
+}
+
+func (m *virtualMech) Stop() {
+	if m.stopped.Swap(true) {
+		return
+	}
+	m.elapsed = time.Since(m.started)
+	for _, w := range m.workers {
+		w.SetBeatSource(nil)
+	}
+}
+
+func (m *virtualMech) Stats() Stats {
+	var delivered int64
+	for _, st := range m.states {
+		delivered += st.delivered
+	}
+	return Stats{
+		Mechanism: m.profile.Name,
+		Period:    m.period,
+		Workers:   len(m.workers),
+		Elapsed:   m.elapsed,
+		Delivered: delivered,
+	}
+}
+
+// vstate is one worker's delivery state; only the owning worker touches
+// it (through polls), so no synchronization is needed.
+type vstate struct {
+	mech      *virtualMech
+	effPeriod int64
+	next      int64 // deadline, ns since mech.started
+	skip      int32 // polls remaining before the next clock read
+	lastRead  int64 // clock value at the previous read
+	rng       uint64
+	delivered int64
+}
+
+// clockSkip bounds how many polls may pass between clock reads. Reading
+// the monotonic clock costs ~25ns, which would dominate fine-grained
+// loop bodies if paid at every poll; amortizing it over clockSkip polls
+// adds at most clockSkip poll intervals of beat-detection latency. The
+// skip adapts: when consecutive clock reads are far apart, the code is
+// polling sparsely (coarse loop bodies), the read is already amortized,
+// and skipping would only delay beats — so dense pollers skip and
+// sparse pollers read every time.
+const (
+	clockSkip     = 8
+	sparsePollGap = 2000 // ns between reads above which skipping stops
+)
+
+// Poll implements sched.BeatSource.
+func (s *vstate) Poll(w *sched.Worker) bool {
+	if s.skip > 0 {
+		s.skip--
+		return false
+	}
+	now := time.Since(s.mech.started).Nanoseconds()
+	if now-s.lastRead < sparsePollGap*clockSkip {
+		s.skip = clockSkip - 1
+	}
+	s.lastRead = now
+	if now < s.next {
+		return false
+	}
+	s.delivered++
+	if rc := s.mech.profile.RecvCost; rc > 0 {
+		w.AddPenalty(rc.Nanoseconds())
+		spinDelay(rc)
+	}
+	// Schedule the next beat from now: beats missed while the task was
+	// between polls are skipped, not bursted.
+	s.next = now + s.effPeriod + s.sampleSlop()
+	return true
+}
+
+// sampleSlop draws the per-beat extra delay: Exp(SlopMean) plus an
+// occasional spike.
+func (s *vstate) sampleSlop() int64 {
+	p := &s.mech.profile
+	var d int64
+	if p.SlopMean > 0 {
+		u := s.nextFloat()
+		if u < 1e-12 {
+			u = 1e-12
+		}
+		d += int64(-float64(p.SlopMean.Nanoseconds()) * math.Log(u))
+	}
+	if p.SpikeProb > 0 && s.nextFloat() < p.SpikeProb {
+		d += p.SpikeLen.Nanoseconds()
+	}
+	return d
+}
+
+func (s *vstate) nextFloat() float64 {
+	x := s.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rng = x
+	return float64(x>>11) / float64(1<<53)
+}

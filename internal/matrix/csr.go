@@ -1,0 +1,173 @@
+// Package matrix provides compressed-sparse-row matrices and the three
+// input generators of the paper's spmv benchmark: random (uniform short
+// rows), powerlaw (Zipf-distributed row lengths), and arrowhead (dense
+// first row, first column, and diagonal — a known hard case for task
+// schedulers).
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// CSR is a sparse matrix in compressed sparse row format with float64
+// values: row r's nonzeros are Vals[RowPtr[r]:RowPtr[r+1]] in columns
+// Cols[RowPtr[r]:RowPtr[r+1]].
+type CSR struct {
+	Rows, ColsN int
+	RowPtr      []int64
+	Cols        []int32
+	Vals        []float64
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int64 { return int64(len(m.Vals)) }
+
+// RowLen returns the number of nonzeros in row r.
+func (m *CSR) RowLen(r int) int64 { return m.RowPtr[r+1] - m.RowPtr[r] }
+
+// MaxRowLen returns the largest row length.
+func (m *CSR) MaxRowLen() int64 {
+	var mx int64
+	for r := 0; r < m.Rows; r++ {
+		if l := m.RowLen(r); l > mx {
+			mx = l
+		}
+	}
+	return mx
+}
+
+// Validate checks the structural invariants of the CSR representation:
+// monotone row pointers spanning the value array, column indices in
+// range, and matching array lengths.
+func (m *CSR) Validate() error {
+	if len(m.RowPtr) != m.Rows+1 {
+		return fmt.Errorf("matrix: RowPtr has %d entries for %d rows", len(m.RowPtr), m.Rows)
+	}
+	if len(m.Cols) != len(m.Vals) {
+		return fmt.Errorf("matrix: %d columns vs %d values", len(m.Cols), len(m.Vals))
+	}
+	if m.RowPtr[0] != 0 || m.RowPtr[m.Rows] != int64(len(m.Vals)) {
+		return fmt.Errorf("matrix: RowPtr spans [%d,%d], values span [0,%d]", m.RowPtr[0], m.RowPtr[m.Rows], len(m.Vals))
+	}
+	for r := 0; r < m.Rows; r++ {
+		if m.RowPtr[r] > m.RowPtr[r+1] {
+			return fmt.Errorf("matrix: RowPtr not monotone at row %d", r)
+		}
+	}
+	for i, c := range m.Cols {
+		if c < 0 || int(c) >= m.ColsN {
+			return fmt.Errorf("matrix: column %d out of range at nnz %d", c, i)
+		}
+	}
+	return nil
+}
+
+// Random generates a square matrix with rows of uniformly random length
+// in [1, maxRowLen] and random column positions — the paper's "random"
+// input, characterized by a bounded maximum column (row) size.
+func Random(n, maxRowLen int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	m := &CSR{Rows: n, ColsN: n, RowPtr: make([]int64, n+1)}
+	for r := 0; r < n; r++ {
+		l := 1 + rng.Intn(maxRowLen)
+		m.RowPtr[r+1] = m.RowPtr[r] + int64(l)
+	}
+	nnz := m.RowPtr[n]
+	m.Cols = make([]int32, nnz)
+	m.Vals = make([]float64, nnz)
+	for i := range m.Cols {
+		m.Cols[i] = int32(rng.Intn(n))
+		m.Vals[i] = rng.Float64()
+	}
+	return m
+}
+
+// PowerLaw generates a square matrix whose row lengths follow a Zipf
+// distribution with the given exponent (s > 1), scaled so the longest
+// row is a substantial fraction of the total — the paper's "powerlaw"
+// input, whose largest column holds about 3% of all nonzeros.
+func PowerLaw(n int, s float64, maxRowLen int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	if s <= 1 {
+		s = 1.5
+	}
+	zipf := rand.NewZipf(rng, s, 1, uint64(maxRowLen-1))
+	m := &CSR{Rows: n, ColsN: n, RowPtr: make([]int64, n+1)}
+	for r := 0; r < n; r++ {
+		l := int64(zipf.Uint64()) + 1
+		m.RowPtr[r+1] = m.RowPtr[r] + l
+	}
+	// Plant one deliberately huge row (the "largest column" the paper
+	// calls out) at the front so schedulers face the skew immediately.
+	big := int64(float64(m.RowPtr[n]) * 0.03)
+	if big > int64(n) {
+		big = int64(n)
+	}
+	if big > m.RowLen(0) {
+		delta := big - m.RowLen(0)
+		for r := 1; r <= n; r++ {
+			m.RowPtr[r] += delta
+		}
+	}
+	nnz := m.RowPtr[n]
+	m.Cols = make([]int32, nnz)
+	m.Vals = make([]float64, nnz)
+	for i := range m.Cols {
+		m.Cols[i] = int32(rng.Intn(n))
+		m.Vals[i] = rng.Float64()
+	}
+	return m
+}
+
+// Arrowhead generates the arrowhead matrix: nonzeros on the diagonal,
+// the first row, and the first column. Row 0 has n nonzeros while every
+// other row has just two, which defeats uniform-grain schedulers.
+func Arrowhead(n int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	m := &CSR{Rows: n, ColsN: n, RowPtr: make([]int64, n+1)}
+	m.RowPtr[1] = int64(n)
+	for r := 1; r < n; r++ {
+		m.RowPtr[r+1] = m.RowPtr[r] + 2
+	}
+	nnz := m.RowPtr[n]
+	m.Cols = make([]int32, 0, nnz)
+	m.Vals = make([]float64, 0, nnz)
+	for c := 0; c < n; c++ { // first row
+		m.Cols = append(m.Cols, int32(c))
+		m.Vals = append(m.Vals, rng.Float64())
+	}
+	for r := 1; r < n; r++ { // first column + diagonal
+		m.Cols = append(m.Cols, 0, int32(r))
+		m.Vals = append(m.Vals, rng.Float64(), rng.Float64())
+	}
+	return m
+}
+
+// RandomVector returns a dense vector of n uniform values.
+func RandomVector(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	return v
+}
+
+// NearlyEqual compares vectors with a relative tolerance, for verifying
+// parallel results whose floating-point reduction order differs from the
+// serial reference.
+func NearlyEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		scale := math.Max(math.Abs(a[i]), math.Abs(b[i]))
+		if d > tol*math.Max(scale, 1) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,174 @@
+package matrix
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomMatrix(t *testing.T) {
+	m := Random(1000, 50, 7)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 1000 || m.ColsN != 1000 {
+		t.Fatalf("dims %dx%d", m.Rows, m.ColsN)
+	}
+	if mx := m.MaxRowLen(); mx > 50 || mx < 1 {
+		t.Fatalf("max row len %d", mx)
+	}
+	for r := 0; r < m.Rows; r++ {
+		if l := m.RowLen(r); l < 1 || l > 50 {
+			t.Fatalf("row %d has %d nnz", r, l)
+		}
+	}
+}
+
+func TestRandomMatrixDeterministicSeed(t *testing.T) {
+	a, b := Random(100, 10, 3), Random(100, 10, 3)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("same seed, different structure")
+	}
+	for i := range a.Vals {
+		if a.Vals[i] != b.Vals[i] || a.Cols[i] != b.Cols[i] {
+			t.Fatal("same seed, different contents")
+		}
+	}
+	c := Random(100, 10, 4)
+	if c.NNZ() == a.NNZ() && reflect.DeepEqual(c.Cols, a.Cols) {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
+
+func TestPowerLawMatrix(t *testing.T) {
+	n := 5000
+	m := PowerLaw(n, 1.6, n, 7)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The planted giant row holds about 3% of all nonzeros.
+	big := m.RowLen(0)
+	if frac := float64(big) / float64(m.NNZ()); frac < 0.01 {
+		t.Errorf("giant row fraction %.4f, want >= 0.01", frac)
+	}
+	// Row lengths must be heavily skewed: the median row is tiny
+	// compared to the maximum.
+	var small int
+	for r := 0; r < n; r++ {
+		if m.RowLen(r) <= 4 {
+			small++
+		}
+	}
+	if small < n/2 {
+		t.Errorf("only %d/%d rows are short; not a power law", small, n)
+	}
+}
+
+func TestArrowheadMatrix(t *testing.T) {
+	n := 1000
+	m := Arrowhead(n, 7)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != int64(3*n-2) {
+		t.Fatalf("nnz = %d, want %d", m.NNZ(), 3*n-2)
+	}
+	if m.RowLen(0) != int64(n) {
+		t.Fatalf("first row has %d nnz, want %d", m.RowLen(0), n)
+	}
+	for r := 1; r < n; r++ {
+		if m.RowLen(r) != 2 {
+			t.Fatalf("row %d has %d nnz, want 2", r, m.RowLen(r))
+		}
+		base := m.RowPtr[r]
+		if m.Cols[base] != 0 {
+			t.Fatalf("row %d first nnz at column %d, want 0", r, m.Cols[base])
+		}
+		if m.Cols[base+1] != int32(r) {
+			t.Fatalf("row %d second nnz at column %d, want diagonal %d", r, m.Cols[base+1], r)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	fresh := func() *CSR { return Random(10, 4, 1) }
+
+	m := fresh()
+	m.RowPtr[5] = m.RowPtr[6] + 1 // non-monotone
+	if m.Validate() == nil {
+		t.Error("non-monotone RowPtr accepted")
+	}
+
+	m = fresh()
+	m.Cols[0] = int32(m.ColsN) // out of range
+	if m.Validate() == nil {
+		t.Error("out-of-range column accepted")
+	}
+
+	m = fresh()
+	m.Vals = m.Vals[:len(m.Vals)-1] // length mismatch
+	if m.Validate() == nil {
+		t.Error("length mismatch accepted")
+	}
+
+	m = fresh()
+	m.RowPtr = m.RowPtr[:m.Rows] // short RowPtr
+	if m.Validate() == nil {
+		t.Error("short RowPtr accepted")
+	}
+}
+
+// Property: every generator yields structurally valid CSR for random
+// parameters.
+func TestPropertyGeneratorsValid(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 40,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			vals[0] = reflect.ValueOf(2 + rng.Intn(300))
+			vals[1] = reflect.ValueOf(1 + rng.Intn(40))
+			vals[2] = reflect.ValueOf(rng.Int63())
+		},
+	}
+	f := func(n, maxRow int, seed int64) bool {
+		if Random(n, maxRow, seed).Validate() != nil {
+			return false
+		}
+		if PowerLaw(n, 1.2+float64(maxRow)/20, n, seed).Validate() != nil {
+			return false
+		}
+		return Arrowhead(n, seed).Validate() == nil
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomVector(t *testing.T) {
+	v := RandomVector(100, 3)
+	if len(v) != 100 {
+		t.Fatal("wrong length")
+	}
+	for _, x := range v {
+		if x < 0 || x >= 1 {
+			t.Fatalf("value %f out of [0,1)", x)
+		}
+	}
+}
+
+func TestNearlyEqual(t *testing.T) {
+	a := []float64{1, 2, 3}
+	if !NearlyEqual(a, []float64{1, 2, 3.0000000001}, 1e-9) {
+		t.Error("tiny relative error rejected")
+	}
+	if NearlyEqual(a, []float64{1, 2, 3.1}, 1e-9) {
+		t.Error("large error accepted")
+	}
+	if NearlyEqual(a, []float64{1, 2}, 1e-9) {
+		t.Error("length mismatch accepted")
+	}
+	// Relative tolerance scales with magnitude.
+	if !NearlyEqual([]float64{1e12}, []float64{1e12 + 1}, 1e-9) {
+		t.Error("scaled tolerance rejected")
+	}
+}

@@ -1,0 +1,182 @@
+// Package minipar is a compiler from a small, Cilk-like parallel
+// language to TPAL assembly, following the lowering the paper sketches
+// in §3.1 (there for Cilk Plus via Tapir; here for a language small
+// enough to implement completely).
+//
+// The language has 64-bit integer variables, arithmetic, while loops,
+// conditionals, and parallel for loops with optional reduction clauses:
+//
+//	params a, b
+//	var r = 0
+//	parfor i in 0 .. a reduce(r, +) {
+//	    r = r + b
+//	}
+//	return r
+//
+// and recursive parallel functions in the divide-and-conquer shape of
+// the paper's fib (see funcs.go):
+//
+//	func fib(m) {
+//	    if m < 2 { return m }
+//	    parcall a, b = fib(m - 1), fib(m - 2)
+//	    return a + b
+//	}
+//
+// Parallel loops may nest arbitrarily. The compiler emits, per loop, the
+// serial-by-default block structure of the paper's examples — a serial
+// head, a parallel head, promotion handlers implementing the
+// outer-most-first policy across the whole enclosing nest (the
+// generalization of the pow program's handler chain), a combining block,
+// and a jtppt-annotated continuation — so compiled programs pay nothing
+// for parallelism until a heartbeat promotes it.
+//
+// Comparison operators follow the TPAL truth convention (0 = true);
+// conditions of if/while/parfor bounds must be comparisons, so ordinary
+// programs never observe it.
+package minipar
+
+import "fmt"
+
+// Program is a compilation unit: one entry function with integer
+// parameters, optional recursive parallel function declarations (see
+// funcs.go), a statement body, and a result delivered by return.
+type Program struct {
+	Params []string
+	Funcs  []FuncDecl
+	Body   []Stmt
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// VarDecl introduces a variable with an initializer.
+type VarDecl struct {
+	Name string
+	Init Expr
+	Pos  Pos
+}
+
+// Assign updates a variable.
+type Assign struct {
+	Name string
+	Expr Expr
+	Pos  Pos
+}
+
+// If branches on a comparison.
+type If struct {
+	Cond Expr // must be a comparison
+	Then []Stmt
+	Else []Stmt
+	Pos  Pos
+}
+
+// While loops on a comparison. While loops are serial; only parfor
+// carries latent parallelism.
+type While struct {
+	Cond Expr // must be a comparison
+	Body []Stmt
+	Pos  Pos
+}
+
+// ParFor is a parallel loop over [Lo, Hi) with an optional reduction.
+type ParFor struct {
+	Var    string
+	Lo, Hi Expr
+	Reduce *ReduceClause
+	Body   []Stmt
+	Pos    Pos
+}
+
+// ReduceClause names an accumulator variable declared outside the loop
+// and the associative operator combining per-task views.
+type ReduceClause struct {
+	Acc string
+	Op  BinOp // OpAdd or OpMul
+}
+
+// Return delivers the program result.
+type Return struct {
+	Expr Expr
+	Pos  Pos
+}
+
+func (VarDecl) stmt() {}
+func (Assign) stmt()  {}
+func (If) stmt()      {}
+func (While) stmt()   {}
+func (ParFor) stmt()  {}
+func (Return) stmt()  {}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int64
+	Pos   Pos
+}
+
+// VarRef reads a variable.
+type VarRef struct {
+	Name string
+	Pos  Pos
+}
+
+// Binary applies a binary operator.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+	Pos  Pos
+}
+
+func (IntLit) expr() {}
+func (VarRef) expr() {}
+func (Binary) expr() {}
+
+// BinOp is a binary operator.
+type BinOp uint8
+
+// Operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpEq
+	OpNe
+)
+
+var opNames = [...]string{"+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!="}
+
+func (o BinOp) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsComparison reports whether o produces a TPAL truth value.
+func (o BinOp) IsComparison() bool { return o >= OpLt }
+
+// Pos is a source position.
+type Pos struct{ Line, Col int }
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a positioned compilation error.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("minipar: %s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

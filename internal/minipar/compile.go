@@ -1,0 +1,449 @@
+package minipar
+
+import (
+	"fmt"
+
+	"tpal/internal/tpal"
+)
+
+// Compile lowers a checked program to TPAL assembly. Every parfor
+// becomes the serial-by-default block family of the paper's examples:
+//
+//	pf<k>-loop      serial head (prppt -> pf<k>-try); exits straight to
+//	                the continuation when the loop was never promoted
+//	pf<k>-loop-par  parallel head (same handler); exits into the join
+//	pf<k>-body      one shared copy of the body; the back edge jumps
+//	                through cont-<k>, which promotion retargets to the
+//	                parallel head (the pow program's ret redirection,
+//	                per loop)
+//	pf<k>-try...    the promotion handler: outer-most-first attempts
+//	                over every enclosing parfor, then this loop, then
+//	                resume
+//	pf<k>-promote   allocate-once join record, split the remaining
+//	                iterations, fork the upper half, restore
+//	pf<k>-after     the loop continuation, jtppt-annotated with the
+//	                reduce register merge
+//	pf<k>-comb      combines parent and child accumulators
+//	pf<k>-join      the parallel exit's join
+//
+// Generated registers and labels contain '-', which user identifiers
+// cannot, so they never collide with source variables.
+func Compile(p *Program) (*tpal.Program, error) {
+	if err := Check(p); err != nil {
+		return nil, err
+	}
+	c := &compiler{}
+	c.startBlock("main", tpal.Annotation{})
+	if len(p.Funcs) > 0 {
+		// Recursive parallel functions manage an explicit call stack.
+		c.emit(tpal.Instr{Kind: tpal.ISNew, Dst: regSP})
+	}
+	if err := c.stmts(p.Body); err != nil {
+		return nil, err
+	}
+	// Falling off the end returns 0.
+	if !c.done {
+		c.emit(tpal.Instr{Kind: tpal.IMove, Dst: resultReg, Val: tpal.N(0)})
+		c.finish(tpal.Term{Kind: tpal.TJump, Val: tpal.L("done")})
+	}
+	c.startBlock("done", tpal.Annotation{})
+	c.finish(tpal.Term{Kind: tpal.THalt})
+	for _, fd := range p.Funcs {
+		if err := c.compileFunc(fd); err != nil {
+			return nil, err
+		}
+	}
+	prog, err := tpal.NewProgram("minipar", "main", c.blocks)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("minipar: generated invalid TPAL: %w", err)
+	}
+	return prog, nil
+}
+
+// resultReg receives the program result; the machine harness reads it
+// after halt.
+const resultReg tpal.Reg = "result"
+
+// resumeReg is the handler's saved resume target. Handlers never nest
+// (a handler runs without passing any promotion-ready point), so one
+// register suffices, exactly like the paper's pabort.
+const resumeReg tpal.Reg = "resume"
+
+// loopInfo is the compile-time state of one parfor.
+type loopInfo struct {
+	id     int
+	idxReg tpal.Reg // the user's loop variable
+	hiReg  tpal.Reg
+	jrReg  tpal.Reg
+	contRg tpal.Reg
+	reduce *ReduceClause
+}
+
+func (l *loopInfo) label(part string) tpal.Label {
+	return tpal.Label(fmt.Sprintf("pf%d-%s", l.id, part))
+}
+
+type compiler struct {
+	blocks []*tpal.Block
+	cur    *tpal.Block
+	done   bool // current block already terminated
+
+	loops   []*loopInfo // enclosing parfors, outermost first
+	rename  map[string]tpal.Reg
+	nextID  int
+	nextTmp int
+	nextLbl int
+}
+
+func (c *compiler) startBlock(l tpal.Label, ann tpal.Annotation) {
+	c.cur = &tpal.Block{Label: l, Ann: ann}
+	c.blocks = append(c.blocks, c.cur)
+	c.done = false
+}
+
+func (c *compiler) emit(in tpal.Instr) {
+	c.cur.Instrs = append(c.cur.Instrs, in)
+}
+
+func (c *compiler) finish(t tpal.Term) {
+	c.cur.Term = t
+	c.done = true
+}
+
+func (c *compiler) jumpTo(l tpal.Label) { c.finish(tpal.Term{Kind: tpal.TJump, Val: tpal.L(l)}) }
+
+func (c *compiler) tmp() tpal.Reg {
+	r := tpal.Reg(fmt.Sprintf("t-%d", c.nextTmp))
+	c.nextTmp++
+	return r
+}
+
+func (c *compiler) freshLabel(stem string) tpal.Label {
+	l := tpal.Label(fmt.Sprintf("%s-%d", stem, c.nextLbl))
+	c.nextLbl++
+	return l
+}
+
+var binopMap = map[BinOp]tpal.Op{
+	OpAdd: tpal.OpAdd, OpSub: tpal.OpSub, OpMul: tpal.OpMul,
+	OpDiv: tpal.OpDiv, OpMod: tpal.OpMod,
+	OpLt: tpal.OpLt, OpLe: tpal.OpLe, OpGt: tpal.OpGt, OpGe: tpal.OpGe,
+	OpEq: tpal.OpEq, OpNe: tpal.OpNe,
+}
+
+// expr compiles an expression into the current block, returning the
+// operand holding its value.
+func (c *compiler) expr(e Expr) (tpal.Operand, error) {
+	switch ex := e.(type) {
+	case IntLit:
+		return tpal.N(ex.Value), nil
+	case VarRef:
+		if r, ok := c.rename[ex.Name]; ok {
+			return tpal.R(r), nil
+		}
+		return tpal.R(tpal.Reg(ex.Name)), nil
+	case Binary:
+		l, err := c.expr(ex.L)
+		if err != nil {
+			return tpal.Operand{}, err
+		}
+		// The machine's binop takes a register on the left.
+		var lreg tpal.Reg
+		if l.Kind == tpal.OperReg {
+			lreg = l.Reg
+		} else {
+			lreg = c.tmp()
+			c.emit(tpal.Instr{Kind: tpal.IMove, Dst: lreg, Val: l})
+		}
+		r, err := c.expr(ex.R)
+		if err != nil {
+			return tpal.Operand{}, err
+		}
+		dst := c.tmp()
+		c.emit(tpal.Instr{Kind: tpal.IBinOp, Dst: dst, Op: binopMap[ex.Op], Src: lreg, Val: r})
+		return tpal.R(dst), nil
+	}
+	return tpal.Operand{}, errf(Pos{}, "unknown expression %T", e)
+}
+
+// cond compiles a comparison and emits a branch: control flows to
+// whenTrue if it holds, whenFalse otherwise. The current block is
+// finished.
+func (c *compiler) cond(e Expr, whenTrue, whenFalse tpal.Label) error {
+	v, err := c.expr(e)
+	if err != nil {
+		return err
+	}
+	var reg tpal.Reg
+	if v.Kind == tpal.OperReg {
+		reg = v.Reg
+	} else {
+		reg = c.tmp()
+		c.emit(tpal.Instr{Kind: tpal.IMove, Dst: reg, Val: v})
+	}
+	// TPAL truth: comparisons yield 0 when they hold; if-jump branches
+	// on 0.
+	c.emit(tpal.Instr{Kind: tpal.IIfJump, Src: reg, Val: tpal.L(whenTrue)})
+	c.jumpTo(whenFalse)
+	return nil
+}
+
+func (c *compiler) stmts(ss []Stmt) error {
+	for _, s := range ss {
+		if c.done {
+			// Unreachable code after return: keep compiling into a dead
+			// block so later statements still typecheck.
+			c.startBlock(c.freshLabel("dead"), tpal.Annotation{})
+		}
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *compiler) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case VarDecl:
+		v, err := c.expr(st.Init)
+		if err != nil {
+			return err
+		}
+		c.emit(tpal.Instr{Kind: tpal.IMove, Dst: tpal.Reg(st.Name), Val: v})
+		return nil
+
+	case Assign:
+		v, err := c.expr(st.Expr)
+		if err != nil {
+			return err
+		}
+		c.emit(tpal.Instr{Kind: tpal.IMove, Dst: tpal.Reg(st.Name), Val: v})
+		return nil
+
+	case Return:
+		v, err := c.expr(st.Expr)
+		if err != nil {
+			return err
+		}
+		c.emit(tpal.Instr{Kind: tpal.IMove, Dst: resultReg, Val: v})
+		c.jumpTo("done")
+		return nil
+
+	case If:
+		thenL := c.freshLabel("if-then")
+		elseL := c.freshLabel("if-else")
+		joinL := c.freshLabel("if-join")
+		if err := c.cond(st.Cond, thenL, elseL); err != nil {
+			return err
+		}
+		c.startBlock(thenL, tpal.Annotation{})
+		if err := c.stmts(st.Then); err != nil {
+			return err
+		}
+		if !c.done {
+			c.jumpTo(joinL)
+		}
+		c.startBlock(elseL, tpal.Annotation{})
+		if err := c.stmts(st.Else); err != nil {
+			return err
+		}
+		if !c.done {
+			c.jumpTo(joinL)
+		}
+		c.startBlock(joinL, tpal.Annotation{})
+		return nil
+
+	case While:
+		headL := c.freshLabel("wh-head")
+		bodyL := c.freshLabel("wh-body")
+		afterL := c.freshLabel("wh-after")
+		c.jumpTo(headL)
+		c.startBlock(headL, tpal.Annotation{})
+		if err := c.cond(st.Cond, bodyL, afterL); err != nil {
+			return err
+		}
+		c.startBlock(bodyL, tpal.Annotation{})
+		if err := c.stmts(st.Body); err != nil {
+			return err
+		}
+		if !c.done {
+			c.jumpTo(headL)
+		}
+		c.startBlock(afterL, tpal.Annotation{})
+		return nil
+
+	case ParFor:
+		return c.parfor(st)
+
+	case Call:
+		return c.compileCall(st)
+	}
+	return errf(Pos{}, "unknown statement %T", s)
+}
+
+// reduceIdentity returns the identity element of a reduce operator.
+func reduceIdentity(op BinOp) int64 {
+	if op == OpMul {
+		return 1
+	}
+	return 0
+}
+
+func (c *compiler) parfor(st ParFor) error {
+	l := &loopInfo{
+		id:     c.nextID,
+		idxReg: tpal.Reg(st.Var),
+		reduce: st.Reduce,
+	}
+	c.nextID++
+	l.hiReg = tpal.Reg(fmt.Sprintf("hi-%d", l.id))
+	l.jrReg = tpal.Reg(fmt.Sprintf("jr-%d", l.id))
+	l.contRg = tpal.Reg(fmt.Sprintf("cont-%d", l.id))
+
+	// Loop prologue, in the current block.
+	lo, err := c.expr(st.Lo)
+	if err != nil {
+		return err
+	}
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: l.idxReg, Val: lo})
+	hi, err := c.expr(st.Hi)
+	if err != nil {
+		return err
+	}
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: l.hiReg, Val: hi})
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: l.jrReg, Val: tpal.N(0)})
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: l.contRg, Val: tpal.L(l.label("loop"))})
+	c.jumpTo(l.label("loop"))
+
+	prppt := tpal.Annotation{Kind: tpal.AnnPrppt, Handler: l.label("try")}
+
+	// Serial head: exit straight to the continuation (never promoted on
+	// this path, see the block comment on Compile).
+	c.startBlock(l.label("loop"), prppt)
+	t := c.tmp()
+	c.emit(tpal.Instr{Kind: tpal.IBinOp, Dst: t, Op: tpal.OpGe, Src: l.idxReg, Val: tpal.R(l.hiReg)})
+	c.emit(tpal.Instr{Kind: tpal.IIfJump, Src: t, Val: tpal.L(l.label("after"))})
+	c.jumpTo(l.label("body"))
+
+	// Parallel head: exit into the join.
+	c.startBlock(l.label("loop-par"), prppt)
+	t2 := c.tmp()
+	c.emit(tpal.Instr{Kind: tpal.IBinOp, Dst: t2, Op: tpal.OpGe, Src: l.idxReg, Val: tpal.R(l.hiReg)})
+	c.emit(tpal.Instr{Kind: tpal.IIfJump, Src: t2, Val: tpal.L(l.label("join"))})
+	c.jumpTo(l.label("body"))
+
+	// Shared body; the back edge jumps through cont-<k>.
+	c.startBlock(l.label("body"), tpal.Annotation{})
+	c.loops = append(c.loops, l)
+	if err := c.stmts(st.Body); err != nil {
+		return err
+	}
+	c.loops = c.loops[:len(c.loops)-1]
+	if !c.done {
+		c.emit(tpal.Instr{Kind: tpal.IBinOp, Dst: l.idxReg, Op: tpal.OpAdd, Src: l.idxReg, Val: tpal.N(1)})
+		c.finish(tpal.Term{Kind: tpal.TJump, Val: tpal.R(l.contRg)})
+	}
+
+	// Parallel exit.
+	c.startBlock(l.label("join"), tpal.Annotation{})
+	c.finish(tpal.Term{Kind: tpal.TJoin, Val: tpal.R(l.jrReg)})
+
+	// Promotion handler chain: outermost enclosing loop first, then
+	// this loop, then resume.
+	if err := c.emitHandler(l); err != nil {
+		return err
+	}
+	// Promote/alloc/split blocks for this loop.
+	c.emitPromote(l)
+	// Combining block.
+	c.startBlock(l.label("comb"), tpal.Annotation{})
+	if l.reduce != nil {
+		acc := tpal.Reg(l.reduce.Acc)
+		rv := tpal.Reg(fmt.Sprintf("rv-%d", l.id))
+		c.emit(tpal.Instr{Kind: tpal.IBinOp, Dst: acc, Op: binopMap[l.reduce.Op], Src: acc, Val: tpal.R(rv)})
+	}
+	c.finish(tpal.Term{Kind: tpal.TJoin, Val: tpal.R(l.jrReg)})
+
+	// Continuation: the join-target program point. Compilation of the
+	// statements after the loop continues here.
+	ann := tpal.Annotation{Kind: tpal.AnnJtppt, Policy: tpal.AssocComm, Comb: l.label("comb")}
+	if l.reduce != nil {
+		ann.DeltaR = []tpal.RegRename{{
+			From: tpal.Reg(l.reduce.Acc),
+			To:   tpal.Reg(fmt.Sprintf("rv-%d", l.id)),
+		}}
+	}
+	c.startBlock(l.label("after"), ann)
+	return nil
+}
+
+// emitHandler generates the pf<k>-try chain implementing the
+// outer-most-first policy: the handler saves the interrupted head in
+// resume, then attempts each loop from the outermost enclosing parfor
+// inward, promoting the first with at least two remaining iterations.
+func (c *compiler) emitHandler(l *loopInfo) error {
+	candidates := append(append([]*loopInfo{}, c.loops...), l)
+	c.startBlock(l.label("try"), tpal.Annotation{})
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: resumeReg, Val: tpal.R(l.contRg)})
+	for i, cand := range candidates {
+		next := l.label(fmt.Sprintf("try-%d", i+1))
+		rem := c.tmp()
+		c.emit(tpal.Instr{Kind: tpal.IBinOp, Dst: rem, Op: tpal.OpSub, Src: cand.hiReg, Val: tpal.R(cand.idxReg)})
+		small := c.tmp()
+		c.emit(tpal.Instr{Kind: tpal.IBinOp, Dst: small, Op: tpal.OpLt, Src: rem, Val: tpal.N(2)})
+		// TPAL truth: small == 0 means "fewer than 2 remain" — skip to
+		// the next candidate.
+		c.emit(tpal.Instr{Kind: tpal.IIfJump, Src: small, Val: tpal.L(next)})
+		c.jumpTo(cand.label("promote"))
+		c.startBlock(next, tpal.Annotation{})
+	}
+	// No candidate: resume the interrupted head.
+	c.finish(tpal.Term{Kind: tpal.TJump, Val: tpal.R(resumeReg)})
+	return nil
+}
+
+// emitPromote generates pf<k>-promote / -alloc / -split: allocate the
+// loop's join record on first promotion, split the remaining iterations
+// in half, fork the upper half into the parallel head, and resume.
+func (c *compiler) emitPromote(l *loopInfo) {
+	c.startBlock(l.label("promote"), tpal.Annotation{})
+	// jr == 0 (TPAL-true) means not yet allocated.
+	c.emit(tpal.Instr{Kind: tpal.IIfJump, Src: l.jrReg, Val: tpal.L(l.label("alloc"))})
+	c.jumpTo(l.label("split"))
+
+	c.startBlock(l.label("alloc"), tpal.Annotation{})
+	c.emit(tpal.Instr{Kind: tpal.IJrAlloc, Dst: l.jrReg, Lbl: l.label("after")})
+	c.jumpTo(l.label("split"))
+
+	c.startBlock(l.label("split"), tpal.Annotation{})
+	rem := tpal.Reg(fmt.Sprintf("tp-rem-%d", l.id))
+	half := tpal.Reg(fmt.Sprintf("tp-half-%d", l.id))
+	mid := tpal.Reg(fmt.Sprintf("tp-mid-%d", l.id))
+	savedI := tpal.Reg(fmt.Sprintf("tp-i-%d", l.id))
+	c.emit(tpal.Instr{Kind: tpal.IBinOp, Dst: rem, Op: tpal.OpSub, Src: l.hiReg, Val: tpal.R(l.idxReg)})
+	c.emit(tpal.Instr{Kind: tpal.IBinOp, Dst: half, Op: tpal.OpDiv, Src: rem, Val: tpal.N(2)})
+	c.emit(tpal.Instr{Kind: tpal.IBinOp, Dst: mid, Op: tpal.OpSub, Src: l.hiReg, Val: tpal.R(half)})
+	// Prepare the child's view: start at mid, parallel continuation,
+	// identity accumulator.
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: savedI, Val: tpal.R(l.idxReg)})
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: l.idxReg, Val: tpal.R(mid)})
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: l.contRg, Val: tpal.L(l.label("loop-par"))})
+	var savedAcc tpal.Reg
+	if l.reduce != nil {
+		savedAcc = tpal.Reg(fmt.Sprintf("tp-acc-%d", l.id))
+		acc := tpal.Reg(l.reduce.Acc)
+		c.emit(tpal.Instr{Kind: tpal.IMove, Dst: savedAcc, Val: tpal.R(acc)})
+		c.emit(tpal.Instr{Kind: tpal.IMove, Dst: acc, Val: tpal.N(reduceIdentity(l.reduce.Op))})
+	}
+	c.emit(tpal.Instr{Kind: tpal.IFork, Src: l.jrReg, Val: tpal.L(l.label("loop-par"))})
+	// Restore the parent: original index, truncated bound, accumulator.
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: l.idxReg, Val: tpal.R(savedI)})
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: l.hiReg, Val: tpal.R(mid)})
+	if l.reduce != nil {
+		c.emit(tpal.Instr{Kind: tpal.IMove, Dst: tpal.Reg(l.reduce.Acc), Val: tpal.R(savedAcc)})
+	}
+	c.finish(tpal.Term{Kind: tpal.TJump, Val: tpal.R(resumeReg)})
+}

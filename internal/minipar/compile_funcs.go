@@ -1,0 +1,196 @@
+package minipar
+
+import (
+	"fmt"
+
+	"tpal/internal/tpal"
+)
+
+// Function compilation: the Figure 22/23 template, generalized over the
+// base case, argument, and combine expressions, in the "reduced" single
+// copy style (one loop block whose handler resumes it; §D.5 discusses
+// the expanded/reduced trade-off). Per function f the compiler emits:
+//
+//	fn-f-entry    allocate the return-continuation cell
+//	fn-f-loop     [prppt fn-f-try] base case or push a 3-cell frame
+//	              [continuation, prmark, pending arg] and recurse
+//	fn-f-retk     [jtppt {fn-rv -> fn-rv2}; fn-f-comb] return dispatcher
+//	fn-f-branch1  first branch returned: swap in the pending argument
+//	fn-f-branch2  both branches done serially: combine, pop the frame
+//	fn-f-try      promotion handler: split the oldest mark, retarget the
+//	              frame to fn-f-joink, stash the join record in the dead
+//	              mark cell, fork the latent branch on a fresh stack
+//	fn-f-joink    reload the record from the frame, pop it, join
+//	fn-f-comb     combine parent and child results, join again
+//
+// Shared registers (hyphenated, so they cannot collide with source
+// variables): fn-sp (stack pointer), fn-arg, fn-rv / fn-rv2 (results),
+// fn-ret (entry continuation), fn-jr, fn-top, fn-sptop, fn-tn, fn-tsp.
+const (
+	regSP    tpal.Reg = "fn-sp"
+	regArg   tpal.Reg = "fn-arg"
+	regRV    tpal.Reg = "fn-rv"
+	regRV2   tpal.Reg = "fn-rv2"
+	regRet   tpal.Reg = "fn-ret"
+	regJR    tpal.Reg = "fn-jr"
+	regTop   tpal.Reg = "fn-top"
+	regSPTop tpal.Reg = "fn-sptop"
+	regTN    tpal.Reg = "fn-tn"
+	regTSP   tpal.Reg = "fn-tsp"
+)
+
+func fnLabel(name, part string) tpal.Label {
+	return tpal.Label(fmt.Sprintf("fn-%s-%s", name, part))
+}
+
+// exprRenamed compiles an expression with source variables renamed to
+// machine registers.
+func (c *compiler) exprRenamed(e Expr, rename map[string]tpal.Reg) (tpal.Operand, error) {
+	old := c.rename
+	c.rename = rename
+	defer func() { c.rename = old }()
+	return c.expr(e)
+}
+
+// compileCall emits the call-site sequence for x = call f(e).
+func (c *compiler) compileCall(st Call) error {
+	v, err := c.expr(st.Arg)
+	if err != nil {
+		return err
+	}
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: regArg, Val: v})
+	cont := c.freshLabel("call-cont")
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: regRet, Val: tpal.L(cont)})
+	c.jumpTo(fnLabel(st.Func, "entry"))
+	c.startBlock(cont, tpal.Annotation{})
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: tpal.Reg(st.Dst), Val: tpal.R(regRV)})
+	return nil
+}
+
+// compileFunc emits the whole block family of one function.
+func (c *compiler) compileFunc(fd FuncDecl) error {
+	q := func(part string) tpal.Label { return fnLabel(fd.Name, part) }
+	param := map[string]tpal.Reg{fd.Param: regArg}
+	results := map[string]tpal.Reg{} // set per block below
+
+	// entry
+	c.startBlock(q("entry"), tpal.Annotation{})
+	c.emit(tpal.Instr{Kind: tpal.ISAlloc, Src: regSP, Off: 1})
+	c.emit(tpal.Instr{Kind: tpal.IStore, Src: regSP, Off: 0, Val: tpal.R(regRet)})
+	c.jumpTo(q("loop"))
+
+	// loop
+	c.startBlock(q("loop"), tpal.Annotation{Kind: tpal.AnnPrppt, Handler: q("try")})
+	baseV, err := c.exprRenamed(fd.BaseRet, param)
+	if err != nil {
+		return err
+	}
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: regRV, Val: baseV})
+	condV, err := c.exprRenamed(fd.BaseCmp, param)
+	if err != nil {
+		return err
+	}
+	condReg := c.operandReg(condV)
+	c.emit(tpal.Instr{Kind: tpal.IIfJump, Src: condReg, Val: tpal.L(q("retk"))})
+	c.emit(tpal.Instr{Kind: tpal.ISAlloc, Src: regSP, Off: 3})
+	c.emit(tpal.Instr{Kind: tpal.IStore, Src: regSP, Off: 0, Val: tpal.L(q("branch1"))})
+	argBV, err := c.exprRenamed(fd.ArgB, param)
+	if err != nil {
+		return err
+	}
+	c.emit(tpal.Instr{Kind: tpal.IPrmPush, Src: regSP, Off: 1})
+	c.emit(tpal.Instr{Kind: tpal.IStore, Src: regSP, Off: 2, Val: argBV})
+	argAV, err := c.exprRenamed(fd.ArgA, param)
+	if err != nil {
+		return err
+	}
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: regArg, Val: argAV})
+	c.jumpTo(q("loop"))
+
+	// retk: the join-target program point and return dispatcher.
+	c.startBlock(q("retk"), tpal.Annotation{
+		Kind:   tpal.AnnJtppt,
+		Policy: tpal.AssocComm,
+		DeltaR: []tpal.RegRename{{From: regRV, To: regRV2}},
+		Comb:   q("comb"),
+	})
+	kt := c.tmp()
+	c.emit(tpal.Instr{Kind: tpal.ILoad, Dst: kt, Src: regSP, Off: 0})
+	c.finish(tpal.Term{Kind: tpal.TJump, Val: tpal.R(kt)})
+
+	// branch1: the first recursive call returned with fn-rv.
+	c.startBlock(q("branch1"), tpal.Annotation{})
+	c.emit(tpal.Instr{Kind: tpal.IStore, Src: regSP, Off: 0, Val: tpal.L(q("branch2"))})
+	c.emit(tpal.Instr{Kind: tpal.IPrmPop, Src: regSP, Off: 1})
+	b1t := c.tmp()
+	c.emit(tpal.Instr{Kind: tpal.ILoad, Dst: b1t, Src: regSP, Off: 2})
+	c.emit(tpal.Instr{Kind: tpal.IStore, Src: regSP, Off: 2, Val: tpal.R(regRV)})
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: regArg, Val: tpal.R(b1t)})
+	c.jumpTo(q("loop"))
+
+	// branch2: both branches computed serially; combine and pop.
+	c.startBlock(q("branch2"), tpal.Annotation{})
+	aReg := c.tmp()
+	c.emit(tpal.Instr{Kind: tpal.ILoad, Dst: aReg, Src: regSP, Off: 2})
+	results[fd.AName] = aReg
+	results[fd.BName] = regRV
+	combV, err := c.exprRenamed(fd.Combine, results)
+	if err != nil {
+		return err
+	}
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: regRV, Val: combV})
+	c.emit(tpal.Instr{Kind: tpal.ISFree, Src: regSP, Off: 3})
+	c.jumpTo(q("retk"))
+
+	// try: the promotion handler (Figure 23, with the frame-local join
+	// record; see internal/tpal/programs for the rationale).
+	c.startBlock(q("try"), tpal.Annotation{})
+	et := c.tmp()
+	c.emit(tpal.Instr{Kind: tpal.IPrmEmpty, Dst: et, Src2: regSP})
+	c.emit(tpal.Instr{Kind: tpal.IIfJump, Src: et, Val: tpal.L(q("loop"))})
+	c.emit(tpal.Instr{Kind: tpal.IJrAlloc, Dst: regJR, Lbl: q("retk")})
+	c.emit(tpal.Instr{Kind: tpal.IPrmSplit, Src: regSP, Src2: regTop})
+	c.emit(tpal.Instr{Kind: tpal.IBinOp, Dst: regSPTop, Op: tpal.OpAdd, Src: regSP, Val: tpal.R(regTop)})
+	c.emit(tpal.Instr{Kind: tpal.IBinOp, Dst: regSPTop, Op: tpal.OpSub, Src: regSPTop, Val: tpal.N(1)})
+	c.emit(tpal.Instr{Kind: tpal.IStore, Src: regSPTop, Off: 0, Val: tpal.L(q("joink"))})
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: regTN, Val: tpal.R(regArg)})
+	c.emit(tpal.Instr{Kind: tpal.ILoad, Dst: regArg, Src: regSPTop, Off: 2})
+	c.emit(tpal.Instr{Kind: tpal.IStore, Src: regSPTop, Off: 1, Val: tpal.R(regJR)})
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: regTSP, Val: tpal.R(regSP)})
+	c.emit(tpal.Instr{Kind: tpal.ISNew, Dst: regSP})
+	c.emit(tpal.Instr{Kind: tpal.ISAlloc, Src: regSP, Off: 3})
+	c.emit(tpal.Instr{Kind: tpal.IStore, Src: regSP, Off: 0, Val: tpal.L(q("joink"))})
+	c.emit(tpal.Instr{Kind: tpal.IStore, Src: regSP, Off: 1, Val: tpal.R(regJR)})
+	c.emit(tpal.Instr{Kind: tpal.IFork, Src: regJR, Val: tpal.L(q("loop"))})
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: regSP, Val: tpal.R(regTSP)})
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: regArg, Val: tpal.R(regTN)})
+	c.jumpTo(q("loop"))
+
+	// joink: a promoted frame unwinds here.
+	c.startBlock(q("joink"), tpal.Annotation{})
+	c.emit(tpal.Instr{Kind: tpal.ILoad, Dst: regJR, Src: regSP, Off: 1})
+	c.emit(tpal.Instr{Kind: tpal.IBinOp, Dst: regSP, Op: tpal.OpAdd, Src: regSP, Val: tpal.N(3)})
+	c.finish(tpal.Term{Kind: tpal.TJoin, Val: tpal.R(regJR)})
+
+	// comb: combine the parent (fn-rv) and child (fn-rv2) results.
+	c.startBlock(q("comb"), tpal.Annotation{})
+	combPar, err := c.exprRenamed(fd.Combine, map[string]tpal.Reg{fd.AName: regRV, fd.BName: regRV2})
+	if err != nil {
+		return err
+	}
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: regRV, Val: combPar})
+	c.finish(tpal.Term{Kind: tpal.TJoin, Val: tpal.R(regJR)})
+
+	return nil
+}
+
+// operandReg materializes an operand into a register for instruction
+// positions that require one.
+func (c *compiler) operandReg(v tpal.Operand) tpal.Reg {
+	if v.Kind == tpal.OperReg {
+		return v.Reg
+	}
+	r := c.tmp()
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: r, Val: v})
+	return r
+}

@@ -1,0 +1,249 @@
+package minipar
+
+import (
+	"strings"
+	"testing"
+
+	"tpal/internal/tpal/machine"
+)
+
+const fibSrc = `
+params n
+
+func fib(m) {
+  if m < 2 { return m }
+  parcall a, b = fib(m - 1), fib(m - 2)
+  return a + b
+}
+
+var r = 0
+r = call fib(n)
+return r
+`
+
+func TestFuncFib(t *testing.T) {
+	want := both(t, fibSrc, map[string]int64{"n": 14}, []string{"n"})
+	if want != 377 {
+		t.Fatalf("fib(14) = %d", want)
+	}
+}
+
+func TestFuncFibPromotes(t *testing.T) {
+	_, st := runCompiled(t, fibSrc, map[string]int64{"n": 16}, machine.Config{Heartbeat: 50})
+	if st.Forks == 0 {
+		t.Fatal("no promotions")
+	}
+	// One join record per promotion, the fib protocol.
+	if st.JoinRecords != st.Forks {
+		t.Fatalf("records %d != forks %d", st.JoinRecords, st.Forks)
+	}
+	if st.Span >= st.Work/4 {
+		t.Fatalf("span %d did not shrink against work %d", st.Span, st.Work)
+	}
+}
+
+func TestFuncSumTree(t *testing.T) {
+	// sum(m) = m + sum(m-1) + sum(m-2)-ish shape with a different
+	// combiner: product of subtree sizes.
+	src := `
+params n
+
+func count(m) {
+  if m <= 1 { return 1 }
+  parcall a, b = count(m - 1), count(m - 2)
+  return a + b + 1
+}
+
+var r = 0
+r = call count(n)
+return r
+`
+	both(t, src, map[string]int64{"n": 13}, []string{"n"})
+}
+
+func TestFuncDivideAndConquerSum(t *testing.T) {
+	// sum of 1..2^k by halving a synthetic range encoded in the
+	// argument: f(k) = 2*f(k-1) for k>0 — a perfectly balanced tree.
+	src := `
+params k
+
+func pow2(m) {
+  if m <= 0 { return 1 }
+  parcall a, b = pow2(m - 1), pow2(m - 1)
+  return a + b
+}
+
+var r = 0
+r = call pow2(k)
+return r
+`
+	got := both(t, src, map[string]int64{"k": 10}, []string{"k"})
+	if got != 1024 {
+		t.Fatalf("pow2(10) = %d", got)
+	}
+}
+
+func TestTwoFunctionsAndLoops(t *testing.T) {
+	// Functions and parfors in one program; calls happen outside loops.
+	src := `
+params n
+
+func fib(m) {
+  if m < 2 { return m }
+  parcall a, b = fib(m - 1), fib(m - 2)
+  return a + b
+}
+
+func tri(m) {
+  if m <= 0 { return 0 }
+  parcall a, b = tri(m - 1), tri(m - 2)
+  return a + b + 1
+}
+
+var x = 0
+x = call fib(n)
+var y = 0
+y = call tri(8)
+var s = 0
+parfor i in 0 .. n reduce(s, +) {
+    s = s + i
+}
+return x + y + s
+`
+	both(t, src, map[string]int64{"n": 12}, []string{"n"})
+}
+
+func TestSequentialCallsReuseStack(t *testing.T) {
+	// Two calls in sequence must leave the stack balanced.
+	src := `
+params n
+
+func fib(m) {
+  if m < 2 { return m }
+  parcall a, b = fib(m - 1), fib(m - 2)
+  return a + b
+}
+
+var x = 0
+x = call fib(n)
+var y = 0
+y = call fib(n - 1)
+return x + y
+`
+	got := both(t, src, map[string]int64{"n": 12}, []string{"n"})
+	if got != 144+89 {
+		t.Fatalf("fib(12)+fib(11) = %d", got)
+	}
+}
+
+func TestFuncCheckerRejections(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"non-self", `
+func f(m) {
+  if m < 2 { return m }
+  parcall a, b = g(m - 1), f(m - 2)
+  return a + b
+}
+return 0`, "self-recursion"},
+		{"combine-uses-param", `
+func f(m) {
+  if m < 2 { return m }
+  parcall a, b = f(m - 1), f(m - 2)
+  return a + b + m
+}
+return 0`, "not in scope"},
+		{"arg-uses-unknown", `
+func f(m) {
+  if m < 2 { return m }
+  parcall a, b = f(z - 1), f(m - 2)
+  return a + b
+}
+return 0`, "not in scope"},
+		{"base-not-cmp", `
+func f(m) {
+  if m { return m }
+  parcall a, b = f(m - 1), f(m - 2)
+  return a + b
+}
+return 0`, "comparison"},
+		{"same-result-names", `
+func f(m) {
+  if m < 2 { return m }
+  parcall a, a = f(m - 1), f(m - 2)
+  return a + a
+}
+return 0`, "must differ"},
+		{"call-unknown", `var x = 0
+x = call nope(3)
+return x`, "undeclared function"},
+		{"call-in-parfor", `
+func f(m) {
+  if m < 2 { return m }
+  parcall a, b = f(m - 1), f(m - 2)
+  return a + b
+}
+var x = 0
+parfor i in 0 .. 4 {
+  x = call f(i)
+}
+return x`, "inside parfor"},
+		{"redeclared-func", `
+func f(m) {
+  if m < 2 { return m }
+  parcall a, b = f(m - 1), f(m - 2)
+  return a + b
+}
+func f(m) {
+  if m < 2 { return m }
+  parcall a, b = f(m - 1), f(m - 2)
+  return a + b
+}
+return 0`, "redeclared"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestFuncSignalModeAndRandomSchedules(t *testing.T) {
+	// Rollforward signals and adversarial schedules, heavy promotion.
+	prog := MustParse(fibSrc)
+	want, err := Interpret(prog, []int64{13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []machine.Config{
+		{SignalPeriod: 40},
+		{SignalPeriod: 40, Schedule: machine.RandomOrder, Seed: 5},
+		{Heartbeat: 35, Schedule: machine.DepthFirst},
+		{Heartbeat: 35, SignalPeriod: 77, Schedule: machine.RandomOrder, Seed: 11},
+	} {
+		got, _ := runCompiled(t, fibSrc, map[string]int64{"n": 13}, cfg)
+		if got != want {
+			t.Fatalf("cfg %+v: got %d, want %d", cfg, got, want)
+		}
+	}
+}
+
+func TestFuncGeneratedAssemblyShape(t *testing.T) {
+	prog := MustParse(fibSrc)
+	asmProg, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := asmProg.String()
+	for _, want := range []string{
+		"block fn-fib-loop [prppt fn-fib-try]",
+		"jtppt assoc-comm; {fn-rv -> fn-rv2}; fn-fib-comb",
+		"prmpush mem[fn-sp + 1]",
+		"prmsplit fn-sp, fn-top",
+		"fork fn-jr, fn-fib-loop",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("assembly missing %q", want)
+		}
+	}
+}

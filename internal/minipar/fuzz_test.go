@@ -1,0 +1,226 @@
+package minipar
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tpal/internal/tpal/machine"
+)
+
+// progGen generates random well-formed minipar programs for differential
+// testing: interpreter versus compiled TPAL under several heartbeat
+// configurations. Generated loops have small bounds so runs stay fast;
+// while loops always count a fresh local variable down to a constant so
+// they terminate.
+type progGen struct {
+	rng    *rand.Rand
+	sb     strings.Builder
+	vars   []string // assignable in current context (declared at current loop depth)
+	outer  []string // readable but not assignable (outside current loop)
+	nextID int
+	depth  int
+	loops  int
+}
+
+func (g *progGen) fresh(prefix string) string {
+	g.nextID++
+	return fmt.Sprintf("%s%d", prefix, g.nextID)
+}
+
+func (g *progGen) line(indent int, format string, args ...any) {
+	g.sb.WriteString(strings.Repeat("    ", indent))
+	fmt.Fprintf(&g.sb, format, args...)
+	g.sb.WriteString("\n")
+}
+
+// expr emits a random arithmetic expression over readable variables.
+func (g *progGen) expr(depth int) string {
+	readable := append(append([]string{}, g.vars...), g.outer...)
+	if depth <= 0 || g.rng.Intn(3) == 0 || len(readable) == 0 {
+		if len(readable) > 0 && g.rng.Intn(2) == 0 {
+			return readable[g.rng.Intn(len(readable))]
+		}
+		return fmt.Sprintf("%d", g.rng.Intn(20))
+	}
+	ops := []string{"+", "-", "*"}
+	// Division and modulo only by nonzero constants.
+	if g.rng.Intn(4) == 0 {
+		return fmt.Sprintf("(%s %s %d)", g.expr(depth-1), []string{"/", "%"}[g.rng.Intn(2)], 1+g.rng.Intn(7))
+	}
+	return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), ops[g.rng.Intn(len(ops))], g.expr(depth-1))
+}
+
+func (g *progGen) cmp(depth int) string {
+	cmps := []string{"<", "<=", ">", ">=", "==", "!="}
+	return fmt.Sprintf("%s %s %s", g.expr(depth), cmps[g.rng.Intn(len(cmps))], g.expr(depth))
+}
+
+func (g *progGen) stmts(indent, budget int) {
+	n := 1 + g.rng.Intn(3)
+	for i := 0; i < n && budget > 0; i++ {
+		g.stmt(indent, budget-1)
+	}
+}
+
+func (g *progGen) stmt(indent, budget int) {
+	switch g.rng.Intn(10) {
+	case 0, 1, 2:
+		v := g.fresh("v")
+		g.line(indent, "var %s = %s", v, g.expr(2))
+		g.vars = append(g.vars, v)
+	case 3, 4:
+		if len(g.vars) > 0 {
+			v := g.vars[g.rng.Intn(len(g.vars))]
+			g.line(indent, "%s = %s", v, g.expr(2))
+		} else {
+			v := g.fresh("v")
+			g.line(indent, "var %s = %s", v, g.expr(1))
+			g.vars = append(g.vars, v)
+		}
+	case 5:
+		g.line(indent, "if %s {", g.cmp(1))
+		savedV, savedO := len(g.vars), len(g.outer)
+		g.stmts(indent+1, budget)
+		g.vars, g.outer = g.vars[:savedV], g.outer[:savedO]
+		if g.rng.Intn(2) == 0 {
+			g.line(indent, "} else {")
+			g.stmts(indent+1, budget)
+			g.vars, g.outer = g.vars[:savedV], g.outer[:savedO]
+		}
+		g.line(indent, "}")
+	case 6:
+		// Terminating while: count a fresh local down.
+		c := g.fresh("w")
+		g.line(indent, "var %s = %d", c, 1+g.rng.Intn(6))
+		g.vars = append(g.vars, c)
+		g.line(indent, "while %s > 0 {", c)
+		savedV, savedO := len(g.vars), len(g.outer)
+		g.stmts(indent+1, budget)
+		g.vars, g.outer = g.vars[:savedV], g.outer[:savedO]
+		g.line(indent+1, "%s = %s - 1", c, c)
+		g.line(indent, "}")
+	case 7, 8:
+		if g.depth >= 3 || g.loops >= 5 {
+			v := g.fresh("v")
+			g.line(indent, "var %s = %s", v, g.expr(1))
+			g.vars = append(g.vars, v)
+			return
+		}
+		g.loops++
+		acc := g.fresh("acc")
+		op := []string{"+", "*"}[g.rng.Intn(2)]
+		init := 0
+		if op == "*" {
+			init = 1
+		}
+		g.line(indent, "var %s = %d", acc, init)
+		g.vars = append(g.vars, acc)
+		idx := g.fresh("i")
+		lo := g.rng.Intn(4)
+		hi := lo + g.rng.Intn(12)
+		g.line(indent, "parfor %s in %d .. %d reduce(%s, %s) {", idx, lo, hi, acc, op)
+		savedVars := g.vars
+		savedOuter := g.outer
+		g.outer = append(append([]string{}, g.outer...), g.vars...)
+		g.outer = append(g.outer, idx)
+		g.vars = nil
+		g.depth++
+		g.stmts(indent+1, budget)
+		// Mergeable accumulator update; keep * growth in check.
+		if op == "*" {
+			g.line(indent+1, "%s = %s * 1", acc, acc)
+		} else {
+			g.line(indent+1, "%s = %s + %s", acc, acc, g.expr(1))
+		}
+		g.depth--
+		g.vars = savedVars
+		g.outer = savedOuter
+		g.line(indent, "}")
+	default:
+		v := g.fresh("v")
+		g.line(indent, "var %s = %s", v, g.expr(2))
+		g.vars = append(g.vars, v)
+	}
+}
+
+func (g *progGen) generate() string {
+	g.line(0, "params p0, p1")
+	// Sometimes declare a recursive parallel function and call it.
+	hasFunc := g.rng.Intn(2) == 0
+	if hasFunc {
+		ops := []string{"+", "-", "*"}
+		g.line(0, "func rec(m) {")
+		g.line(1, "if m < %d { return m %s %d }", 2+g.rng.Intn(3), ops[g.rng.Intn(len(ops))], g.rng.Intn(5))
+		g.line(1, "parcall ra, rb = rec(m - 1), rec(m - 2)")
+		g.line(1, "return ra %s rb %s %d", ops[g.rng.Intn(2)], ops[g.rng.Intn(2)], g.rng.Intn(4))
+		g.line(0, "}")
+	}
+	g.outer = nil
+	g.vars = []string{"p0", "p1"}
+	if hasFunc {
+		v := g.fresh("c")
+		g.line(0, "var %s = 0", v)
+		g.line(0, "%s = call rec(%d)", v, 3+g.rng.Intn(10))
+		g.vars = append(g.vars, v)
+	}
+	g.stmts(0, 4)
+	g.line(0, "return %s", g.expr(2))
+	return g.sb.String()
+}
+
+// TestDifferentialRandomPrograms compiles random programs and checks the
+// abstract machine agrees with the interpreter at every heartbeat
+// configuration. Division by a zero-valued expression can legitimately
+// fail in both implementations; such programs are skipped when both
+// sides agree the program faults.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 7919))
+		g := &progGen{rng: rng}
+		src := g.generate()
+
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: generated invalid program: %v\n%s", trial, err, src)
+		}
+		args := []int64{int64(rng.Intn(30)), int64(rng.Intn(30))}
+		want, ierr := Interpret(prog, args)
+
+		asmProg, err := Compile(prog)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\n%s", trial, err, src)
+		}
+		for _, cfg := range []machine.Config{
+			{},
+			{Heartbeat: 50},
+			{Heartbeat: 50, Schedule: machine.RandomOrder, Seed: int64(trial)},
+			{Heartbeat: 300, Schedule: machine.DepthFirst},
+		} {
+			cfg.Regs = machine.RegFile{"p0": machine.IntV(args[0]), "p1": machine.IntV(args[1])}
+			cfg.MaxSteps = 20_000_000
+			res, merr := machine.Run(asmProg, cfg)
+			if ierr != nil {
+				// The interpreter faulted (division by zero); the
+				// machine must fault too.
+				if merr == nil {
+					t.Fatalf("trial %d: interpreter faulted (%v) but machine succeeded\n%s", trial, ierr, src)
+				}
+				continue
+			}
+			if merr != nil {
+				t.Fatalf("trial %d hb=%d: machine error: %v\n%s", trial, cfg.Heartbeat, merr, src)
+			}
+			got, _ := res.Regs.Get("result").AsInt()
+			if got != want {
+				t.Fatalf("trial %d hb=%d sched=%d: compiled=%d interpreted=%d\n%s\n%s",
+					trial, cfg.Heartbeat, cfg.Schedule, got, want, src, asmProg.String())
+			}
+		}
+	}
+}

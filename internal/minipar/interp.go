@@ -1,0 +1,216 @@
+package minipar
+
+import "fmt"
+
+// Interpret evaluates a program sequentially, the reference semantics
+// the compiled TPAL code must agree with under every heartbeat
+// configuration. Parfor loops evaluate in index order; since the checker
+// enforces the reducer discipline and + and * are associative and
+// commutative over the integers, any parallel interleaving of the
+// compiled code agrees.
+func Interpret(p *Program, args []int64) (int64, error) {
+	if len(args) != len(p.Params) {
+		return 0, fmt.Errorf("minipar: program takes %d params, got %d", len(p.Params), len(args))
+	}
+	env := map[string]int64{}
+	for i, name := range p.Params {
+		env[name] = args[i]
+	}
+	in := &interp{env: env, funcs: map[string]*FuncDecl{}}
+	for i := range p.Funcs {
+		in.funcs[p.Funcs[i].Name] = &p.Funcs[i]
+	}
+	if err := in.stmtsTop(p.Body); err != nil {
+		return 0, err
+	}
+	return in.result, nil
+}
+
+// errReturn unwinds to the program entry on return.
+type errReturn struct{}
+
+func (errReturn) Error() string { return "return" }
+
+type interp struct {
+	env    map[string]int64
+	funcs  map[string]*FuncDecl
+	result int64
+	steps  int64
+}
+
+// maxInterpSteps guards against non-terminating while loops in randomly
+// generated test programs.
+const maxInterpSteps = 50_000_000
+
+func (in *interp) stmts(ss []Stmt) error {
+	for _, s := range ss {
+		if err := in.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *interp) tick(pos Pos) error {
+	in.steps++
+	if in.steps > maxInterpSteps {
+		return errf(pos, "interpreter step limit exceeded")
+	}
+	return nil
+}
+
+func (in *interp) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case VarDecl:
+		v, err := in.eval(st.Init)
+		if err != nil {
+			return err
+		}
+		in.env[st.Name] = v
+		return nil
+	case Assign:
+		v, err := in.eval(st.Expr)
+		if err != nil {
+			return err
+		}
+		in.env[st.Name] = v
+		return nil
+	case If:
+		v, err := in.eval(st.Cond)
+		if err != nil {
+			return err
+		}
+		if v == 0 { // TPAL truth
+			return in.stmts(st.Then)
+		}
+		return in.stmts(st.Else)
+	case While:
+		for {
+			if err := in.tick(st.Pos); err != nil {
+				return err
+			}
+			v, err := in.eval(st.Cond)
+			if err != nil {
+				return err
+			}
+			if v != 0 {
+				return nil
+			}
+			if err := in.stmts(st.Body); err != nil {
+				return err
+			}
+		}
+	case ParFor:
+		lo, err := in.eval(st.Lo)
+		if err != nil {
+			return err
+		}
+		hi, err := in.eval(st.Hi)
+		if err != nil {
+			return err
+		}
+		saved, hadOuter := in.env[st.Var]
+		for i := lo; i < hi; i++ {
+			if err := in.tick(st.Pos); err != nil {
+				return err
+			}
+			in.env[st.Var] = i
+			if err := in.stmts(st.Body); err != nil {
+				return err
+			}
+		}
+		if hadOuter {
+			in.env[st.Var] = saved
+		} else {
+			delete(in.env, st.Var)
+		}
+		return nil
+	case Return:
+		v, err := in.eval(st.Expr)
+		if err != nil {
+			return err
+		}
+		in.result = v
+		return errReturn{}
+	case Call:
+		arg, err := in.eval(st.Arg)
+		if err != nil {
+			return err
+		}
+		v, err := in.callFunc(in.funcs[st.Func], arg)
+		if err != nil {
+			return err
+		}
+		in.env[st.Dst] = v
+		return nil
+	}
+	return errf(Pos{}, "unknown statement %T", s)
+}
+
+func (in *interp) stmtsTop(ss []Stmt) error {
+	err := in.stmts(ss)
+	if _, ok := err.(errReturn); ok {
+		return nil
+	}
+	return err
+}
+
+func (in *interp) eval(e Expr) (int64, error) {
+	switch ex := e.(type) {
+	case IntLit:
+		return ex.Value, nil
+	case VarRef:
+		return in.env[ex.Name], nil
+	case Binary:
+		l, err := in.eval(ex.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := in.eval(ex.R)
+		if err != nil {
+			return 0, err
+		}
+		return evalOp(ex.Op, l, r, ex.Pos)
+	}
+	return 0, errf(Pos{}, "unknown expression %T", e)
+}
+
+func evalOp(op BinOp, l, r int64, pos Pos) (int64, error) {
+	truth := func(b bool) int64 {
+		if b {
+			return 0 // TPAL truth
+		}
+		return 1
+	}
+	switch op {
+	case OpAdd:
+		return l + r, nil
+	case OpSub:
+		return l - r, nil
+	case OpMul:
+		return l * r, nil
+	case OpDiv:
+		if r == 0 {
+			return 0, errf(pos, "division by zero")
+		}
+		return l / r, nil
+	case OpMod:
+		if r == 0 {
+			return 0, errf(pos, "modulo by zero")
+		}
+		return l % r, nil
+	case OpLt:
+		return truth(l < r), nil
+	case OpLe:
+		return truth(l <= r), nil
+	case OpGt:
+		return truth(l > r), nil
+	case OpGe:
+		return truth(l >= r), nil
+	case OpEq:
+		return truth(l == r), nil
+	case OpNe:
+		return truth(l != r), nil
+	}
+	return 0, errf(pos, "unknown operator %s", op)
+}

@@ -1,0 +1,109 @@
+package minipar
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tSym
+	tNewline
+)
+
+type token struct {
+	kind tokKind
+	text string
+	n    int64
+	pos  Pos
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of input"
+	case tNewline:
+		return "newline"
+	case tInt:
+		return strconv.FormatInt(t.n, 10)
+	default:
+		return "\"" + t.text + "\""
+	}
+}
+
+var symbols = []string{
+	"..", "<=", ">=", "==", "!=",
+	"(", ")", "{", "}", ",", ";", "=",
+	"+", "-", "*", "/", "%", "<", ">",
+}
+
+// lex tokenizes a minipar source. Newlines are significant (statement
+// separators) and emitted as tokens; consecutive separators collapse in
+// the parser.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < len(src) {
+		c := src[i]
+		pos := Pos{line, col}
+		switch {
+		case c == '\n':
+			toks = append(toks, token{kind: tNewline, pos: pos})
+			advance(1)
+		case c == ' ' || c == '\t' || c == '\r':
+			advance(1)
+		case c == '#' || (c == '/' && i+1 < len(src) && src[i+1] == '/'):
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				advance(1)
+			}
+			toks = append(toks, token{kind: tIdent, text: src[start:i], pos: pos})
+		case unicode.IsDigit(rune(c)):
+			start := i
+			for i < len(src) && unicode.IsDigit(rune(src[i])) {
+				advance(1)
+			}
+			n, err := strconv.ParseInt(src[start:i], 10, 64)
+			if err != nil {
+				return nil, errf(pos, "bad integer literal %q", src[start:i])
+			}
+			toks = append(toks, token{kind: tInt, n: n, pos: pos})
+		default:
+			matched := false
+			for _, s := range symbols {
+				if strings.HasPrefix(src[i:], s) {
+					toks = append(toks, token{kind: tSym, text: s, pos: pos})
+					advance(len(s))
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, errf(pos, "unexpected character %q", string(c))
+			}
+		}
+	}
+	toks = append(toks, token{kind: tEOF, pos: Pos{line, col}})
+	return toks, nil
+}

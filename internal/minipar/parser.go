@@ -1,0 +1,572 @@
+package minipar
+
+// Parse parses a minipar source into an AST and checks it.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse but panics on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) skipSeparators() {
+	for {
+		t := p.peek()
+		if t.kind == tNewline || (t.kind == tSym && t.text == ";") {
+			p.next()
+			continue
+		}
+		return
+	}
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tIdent && t.text == kw
+}
+
+func (p *parser) atSym(s string) bool {
+	t := p.peek()
+	return t.kind == tSym && t.text == s
+}
+
+func (p *parser) expectSym(s string) (token, error) {
+	p.skipNewlinesBeforeBrace(s)
+	t := p.next()
+	if t.kind != tSym || t.text != s {
+		return t, errf(t.pos, "expected %q, found %s", s, t)
+	}
+	return t, nil
+}
+
+// skipNewlinesBeforeBrace lets closing braces and else appear on their
+// own lines.
+func (p *parser) skipNewlinesBeforeBrace(s string) {
+	if s == "}" || s == "{" {
+		for p.peek().kind == tNewline {
+			p.next()
+		}
+	}
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.next()
+	if t.kind != tIdent {
+		return t, errf(t.pos, "expected identifier, found %s", t)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if t.text != kw {
+		return errf(t.pos, "expected keyword %q, found %s", kw, t)
+	}
+	return nil
+}
+
+func (p *parser) endOfStatement() error {
+	t := p.peek()
+	switch {
+	case t.kind == tNewline || t.kind == tEOF:
+		p.skipSeparators()
+		return nil
+	case t.kind == tSym && (t.text == ";" || t.text == "}"):
+		p.skipSeparators()
+		return nil
+	}
+	return errf(t.pos, "expected end of statement, found %s", t)
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	p.skipSeparators()
+	if p.atKeyword("params") {
+		p.next()
+		for {
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			prog.Params = append(prog.Params, id.text)
+			if p.atSym(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.endOfStatement(); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		p.skipSeparators()
+		if !p.atKeyword("func") {
+			break
+		}
+		fd, err := p.parseFunc()
+		if err != nil {
+			return nil, err
+		}
+		prog.Funcs = append(prog.Funcs, fd)
+	}
+	body, err := p.parseStmts(func() bool { return p.peek().kind == tEOF })
+	if err != nil {
+		return nil, err
+	}
+	prog.Body = body
+	return prog, nil
+}
+
+// parseFunc parses a recursive parallel function declaration; see
+// funcs.go for the required shape.
+func (p *parser) parseFunc() (FuncDecl, error) {
+	var fd FuncDecl
+	t := p.peek()
+	fd.Pos = t.pos
+	p.next() // func
+	name, err := p.expectIdent()
+	if err != nil {
+		return fd, err
+	}
+	fd.Name = name.text
+	if _, err := p.expectSym("("); err != nil {
+		return fd, err
+	}
+	param, err := p.expectIdent()
+	if err != nil {
+		return fd, err
+	}
+	fd.Param = param.text
+	if _, err := p.expectSym(")"); err != nil {
+		return fd, err
+	}
+	if _, err := p.expectSym("{"); err != nil {
+		return fd, err
+	}
+	p.skipSeparators()
+	// Base case: if CMP { return EXPR }
+	if err := p.expectKeyword("if"); err != nil {
+		return fd, err
+	}
+	if fd.BaseCmp, err = p.parseExpr(); err != nil {
+		return fd, err
+	}
+	if _, err := p.expectSym("{"); err != nil {
+		return fd, err
+	}
+	p.skipSeparators()
+	if err := p.expectKeyword("return"); err != nil {
+		return fd, err
+	}
+	if fd.BaseRet, err = p.parseExpr(); err != nil {
+		return fd, err
+	}
+	if _, err := p.expectSym("}"); err != nil {
+		return fd, err
+	}
+	p.skipSeparators()
+	// parcall a, b = f(E1), f(E2)
+	if err := p.expectKeyword("parcall"); err != nil {
+		return fd, err
+	}
+	a, err := p.expectIdent()
+	if err != nil {
+		return fd, err
+	}
+	fd.AName = a.text
+	if _, err := p.expectSym(","); err != nil {
+		return fd, err
+	}
+	b, err := p.expectIdent()
+	if err != nil {
+		return fd, err
+	}
+	fd.BName = b.text
+	if _, err := p.expectSym("="); err != nil {
+		return fd, err
+	}
+	parseBranch := func() (string, Expr, error) {
+		callee, err := p.expectIdent()
+		if err != nil {
+			return "", nil, err
+		}
+		if _, err := p.expectSym("("); err != nil {
+			return "", nil, err
+		}
+		arg, err := p.parseExpr()
+		if err != nil {
+			return "", nil, err
+		}
+		if _, err := p.expectSym(")"); err != nil {
+			return "", nil, err
+		}
+		return callee.text, arg, nil
+	}
+	callee1, arg1, err := parseBranch()
+	if err != nil {
+		return fd, err
+	}
+	if _, err := p.expectSym(","); err != nil {
+		return fd, err
+	}
+	callee2, arg2, err := parseBranch()
+	if err != nil {
+		return fd, err
+	}
+	if callee1 != fd.Name || callee2 != fd.Name {
+		return fd, errf(fd.Pos, "parcall callees must be the enclosing function %q (self-recursion)", fd.Name)
+	}
+	fd.ArgA, fd.ArgB = arg1, arg2
+	p.skipSeparators()
+	// return EXPR
+	if err := p.expectKeyword("return"); err != nil {
+		return fd, err
+	}
+	if fd.Combine, err = p.parseExpr(); err != nil {
+		return fd, err
+	}
+	if _, err := p.expectSym("}"); err != nil {
+		return fd, err
+	}
+	return fd, nil
+}
+
+func (p *parser) parseStmts(done func() bool) ([]Stmt, error) {
+	var out []Stmt
+	p.skipSeparators()
+	for !done() {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		p.skipSeparators()
+	}
+	return out, nil
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if _, err := p.expectSym("{"); err != nil {
+		return nil, err
+	}
+	stmts, err := p.parseStmts(func() bool {
+		for p.peek().kind == tNewline {
+			p.next()
+		}
+		return p.atSym("}") || p.peek().kind == tEOF
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectSym("}"); err != nil {
+		return nil, err
+	}
+	return stmts, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	if t.kind != tIdent {
+		return nil, errf(t.pos, "expected statement, found %s", t)
+	}
+	switch t.text {
+	case "var":
+		p.next()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectSym("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return VarDecl{Name: name.text, Init: e, Pos: t.pos}, p.endOfStatement()
+
+	case "if":
+		p.next()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		save := p.pos
+		p.skipSeparators()
+		if p.atKeyword("else") {
+			p.next()
+			els, err = p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			p.pos = save
+		}
+		return If{Cond: cond, Then: then, Else: els, Pos: t.pos}, nil
+
+	case "while":
+		p.next()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return While{Cond: cond, Body: body, Pos: t.pos}, nil
+
+	case "parfor":
+		p.next()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("in"); err != nil {
+			return nil, err
+		}
+		lo, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectSym(".."); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		var reduce *ReduceClause
+		if p.atKeyword("reduce") {
+			p.next()
+			if _, err := p.expectSym("("); err != nil {
+				return nil, err
+			}
+			acc, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectSym(","); err != nil {
+				return nil, err
+			}
+			opTok := p.next()
+			var op BinOp
+			switch opTok.text {
+			case "+":
+				op = OpAdd
+			case "*":
+				op = OpMul
+			default:
+				return nil, errf(opTok.pos, "reduce operator must be + or *, found %s", opTok)
+			}
+			if _, err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			reduce = &ReduceClause{Acc: acc.text, Op: op}
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return ParFor{Var: name.text, Lo: lo, Hi: hi, Reduce: reduce, Body: body, Pos: t.pos}, nil
+
+	case "return":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Return{Expr: e, Pos: t.pos}, p.endOfStatement()
+
+	default:
+		// assignment: IDENT = expr, or IDENT = call f(expr)
+		p.next()
+		if _, err := p.expectSym("="); err != nil {
+			return nil, err
+		}
+		if p.atKeyword("call") {
+			p.next()
+			fn, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectSym("("); err != nil {
+				return nil, err
+			}
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return Call{Dst: t.text, Func: fn.text, Arg: arg, Pos: t.pos}, p.endOfStatement()
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Assign{Name: t.text, Expr: e, Pos: t.pos}, p.endOfStatement()
+	}
+}
+
+// Expression grammar, lowest precedence first:
+//
+//	expr   := arith (CMP arith)?
+//	arith  := term (("+"|"-") term)*
+//	term   := factor (("*"|"/"|"%") factor)*
+//	factor := INT | IDENT | "(" expr ")" | "-" factor
+func (p *parser) parseExpr() (Expr, error) {
+	l, err := p.parseArith()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tSym {
+		var op BinOp
+		ok := true
+		switch t.text {
+		case "<":
+			op = OpLt
+		case "<=":
+			op = OpLe
+		case ">":
+			op = OpGt
+		case ">=":
+			op = OpGe
+		case "==":
+			op = OpEq
+		case "!=":
+			op = OpNe
+		default:
+			ok = false
+		}
+		if ok {
+			p.next()
+			r, err := p.parseArith()
+			if err != nil {
+				return nil, err
+			}
+			return Binary{Op: op, L: l, R: r, Pos: t.pos}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseArith() (Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tSym || (t.text != "+" && t.text != "-") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		op := OpAdd
+		if t.text == "-" {
+			op = OpSub
+		}
+		l = Binary{Op: op, L: l, R: r, Pos: t.pos}
+	}
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tSym || (t.text != "*" && t.text != "/" && t.text != "%") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		var op BinOp
+		switch t.text {
+		case "*":
+			op = OpMul
+		case "/":
+			op = OpDiv
+		default:
+			op = OpMod
+		}
+		l = Binary{Op: op, L: l, R: r, Pos: t.pos}
+	}
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	t := p.next()
+	switch {
+	case t.kind == tInt:
+		return IntLit{Value: t.n, Pos: t.pos}, nil
+	case t.kind == tIdent:
+		return VarRef{Name: t.text, Pos: t.pos}, nil
+	case t.kind == tSym && t.text == "(":
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tSym && t.text == "-":
+		e, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return Binary{Op: OpSub, L: IntLit{Value: 0, Pos: t.pos}, R: e, Pos: t.pos}, nil
+	}
+	return nil, errf(t.pos, "expected expression, found %s", t)
+}

@@ -1,0 +1,83 @@
+package minipar
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tpal/internal/tpal/machine"
+)
+
+// testdataArgs supplies parameters for each sample program and the
+// expected result computed independently.
+var testdataArgs = map[string]struct {
+	args map[string]int64
+	want func(map[string]int64) int64
+}{
+	"fib.mp": {
+		args: map[string]int64{"n": 15},
+		want: func(map[string]int64) int64 { return 610 },
+	},
+	"prod-pow.mp": {
+		args: map[string]int64{"d": 7, "e": 5},
+		want: func(map[string]int64) int64 { return 1 }, // pr multiplied by 1 each round
+	},
+	"sumsquares.mp": {
+		args: map[string]int64{"n": 200},
+		want: func(map[string]int64) int64 { return 199 * 200 * 399 / 6 },
+	},
+	"mixed.mp":       {args: map[string]int64{"n": 60}, want: nil},
+	"triple-nest.mp": {args: map[string]int64{"n": 7}, want: nil},
+}
+
+// TestSamplePrograms compiles every checked-in .mp sample and runs it
+// against the interpreter under serial, heartbeat, and signal-mode
+// execution.
+func TestSamplePrograms(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.mp")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs found: %v", err)
+	}
+	for _, file := range files {
+		file := file
+		name := filepath.Base(file)
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, ok := testdataArgs[name]
+			if !ok {
+				t.Fatalf("no parameters registered for %s", name)
+			}
+			prog, err := Parse(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			args := make([]int64, len(prog.Params))
+			for i, p := range prog.Params {
+				args[i] = spec.args[p]
+			}
+			want, err := Interpret(prog, args)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spec.want != nil {
+				if w := spec.want(spec.args); w != want {
+					t.Fatalf("interpreter disagrees with closed form: %d vs %d", want, w)
+				}
+			}
+			for _, cfg := range []machine.Config{
+				{},
+				{Heartbeat: 60},
+				{Heartbeat: 60, Schedule: machine.RandomOrder, Seed: 2},
+				{SignalPeriod: 90},
+			} {
+				got, _ := runCompiled(t, string(src), spec.args, cfg)
+				if got != want {
+					t.Fatalf("cfg %+v: compiled = %d, interpreted = %d", cfg, got, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,154 @@
+// Package sched provides the work-stealing substrate shared by the
+// heartbeat runtime (internal/heartbeat) and the Cilk-style baseline
+// (internal/cilk): per-worker Chase-Lev deques, a worker pool with
+// randomized stealing, and per-worker accounting of tasks, busy time,
+// and heartbeat deliveries.
+package sched
+
+import (
+	"sync/atomic"
+)
+
+// Task is a schedulable unit of work.
+type Task interface {
+	Run(w *Worker)
+}
+
+// TaskFunc adapts a function to Task.
+type TaskFunc func(w *Worker)
+
+// Run implements Task.
+func (f TaskFunc) Run(w *Worker) { f(w) }
+
+// Deque is a Chase-Lev work-stealing deque: the owning worker pushes and
+// pops at the bottom (LIFO), thieves steal from the top (FIFO), so
+// steals take the oldest — and under heartbeat or Cilk scheduling the
+// largest — tasks. The dynamic circular array grows on demand; old
+// arrays stay reachable until the garbage collector frees them, which
+// sidesteps the reclamation races of the original algorithm.
+type Deque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	ring   atomic.Pointer[dequeRing]
+}
+
+type dequeRing struct {
+	mask  int64
+	slots []atomic.Pointer[Box]
+}
+
+// Box is the deque's slot unit: a single-word-publishable holder for a
+// task. Callers that allocate tasks anyway can embed a Box in the task
+// and push with PushBottomBox, making a spawn a single allocation.
+type Box struct {
+	task Task
+}
+
+// Bind points the box at its task. Call once, before pushing.
+func (b *Box) Bind(t Task) { b.task = t }
+
+func newRing(capacity int64) *dequeRing {
+	return &dequeRing{mask: capacity - 1, slots: make([]atomic.Pointer[Box], capacity)}
+}
+
+func (r *dequeRing) get(i int64) *Box    { return r.slots[i&r.mask].Load() }
+func (r *dequeRing) put(i int64, b *Box) { r.slots[i&r.mask].Store(b) }
+func (r *dequeRing) capacity() int64     { return r.mask + 1 }
+func (r *dequeRing) grow(t, b int64) *dequeRing {
+	nr := newRing(r.capacity() * 2)
+	for i := t; i < b; i++ {
+		nr.put(i, r.get(i))
+	}
+	return nr
+}
+
+// NewDeque returns an empty deque with a small initial capacity.
+func NewDeque() *Deque {
+	d := &Deque{}
+	d.ring.Store(newRing(64))
+	return d
+}
+
+// PushBottom pushes a task at the bottom. Only the owning worker may
+// call it.
+func (d *Deque) PushBottom(task Task) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.ring.Load()
+	if b-t >= r.capacity()-1 {
+		r = r.grow(t, b)
+		d.ring.Store(r)
+	}
+	r.put(b, &Box{task: task})
+	d.bottom.Store(b + 1)
+}
+
+// PushBottomBox pushes a caller-allocated box, avoiding the box
+// allocation of PushBottom. The box must be bound to its task and must
+// not be reused until the task has been taken.
+func (d *Deque) PushBottomBox(box *Box) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.ring.Load()
+	if b-t >= r.capacity()-1 {
+		r = r.grow(t, b)
+		d.ring.Store(r)
+	}
+	r.put(b, box)
+	d.bottom.Store(b + 1)
+}
+
+// PopBottom pops the most recently pushed task. Only the owning worker
+// may call it. It returns nil when the deque is empty or the last task
+// was lost to a concurrent steal.
+func (d *Deque) PopBottom() Task {
+	b := d.bottom.Load() - 1
+	r := d.ring.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore.
+		d.bottom.Store(t)
+		return nil
+	}
+	box := r.get(b)
+	if t == b {
+		// Last element: race against thieves for it.
+		if !d.top.CompareAndSwap(t, t+1) {
+			box = nil // a thief won
+		}
+		d.bottom.Store(b + 1)
+	}
+	if box == nil {
+		return nil
+	}
+	return box.task
+}
+
+// Steal takes the oldest task. Any worker may call it. It returns nil
+// when the deque is empty or the steal raced with another and lost.
+func (d *Deque) Steal() Task {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	r := d.ring.Load()
+	box := r.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil
+	}
+	if box == nil {
+		return nil
+	}
+	return box.task
+}
+
+// Size returns a racy snapshot of the number of queued tasks.
+func (d *Deque) Size() int64 {
+	s := d.bottom.Load() - d.top.Load()
+	if s < 0 {
+		return 0
+	}
+	return s
+}

@@ -1,0 +1,179 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool is a set of workers executing tasks cooperatively through
+// work stealing. A pool runs one root task to completion per Run call;
+// workers spin (with escalating pauses) between tasks, mirroring the
+// paper's runtime, which keeps worker threads hot for the duration of a
+// benchmark.
+type Pool struct {
+	workers []*Worker
+	done    atomic.Bool
+	wg      sync.WaitGroup
+
+	tasksCreated atomic.Int64
+
+	started   time.Time
+	elapsed   time.Duration
+	startOnce sync.Once
+}
+
+// NewPool creates a pool with n workers (n >= 1). Workers are not
+// started until Run.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{}
+	p.workers = make([]*Worker, n)
+	for i := range p.workers {
+		p.workers[i] = &Worker{
+			id:    i,
+			pool:  p,
+			deque: NewDeque(),
+			rng:   uint64(i)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D,
+		}
+	}
+	return p
+}
+
+// Workers returns the pool's workers, for interrupt mechanisms and
+// accounting.
+func (p *Pool) Workers() []*Worker { return p.workers }
+
+// NumWorkers returns the worker count.
+func (p *Pool) NumWorkers() int { return len(p.workers) }
+
+// CountTaskCreated bumps the pool-wide created-task counter; the
+// heartbeat and Cilk layers call it at every promotion / spawn so that
+// Figure 15a's task counts come from one place.
+func (p *Pool) CountTaskCreated() { p.tasksCreated.Add(1) }
+
+// TasksCreated returns the number of tasks created during Run.
+func (p *Pool) TasksCreated() int64 { return p.tasksCreated.Load() }
+
+// Run executes root on worker 0 and returns when it and every task it
+// transitively created have completed. It may be called once per pool.
+func (p *Pool) Run(root func(w *Worker)) {
+	var rootDone atomic.Int64
+	rootDone.Store(1)
+	w0 := p.workers[0]
+	w0.deque.PushBottom(TaskFunc(func(w *Worker) {
+		defer rootDone.Store(0)
+		root(w)
+	}))
+
+	p.started = time.Now()
+	// Workers 1..n-1 run the generic loop; worker 0 runs it too and will
+	// pick up the root task immediately (it is at its own bottom).
+	for _, w := range p.workers {
+		p.wg.Add(1)
+		go p.workerLoop(w, &rootDone)
+	}
+	p.wg.Wait()
+	p.elapsed = time.Since(p.started)
+}
+
+// Elapsed returns the wall-clock duration of Run.
+func (p *Pool) Elapsed() time.Duration { return p.elapsed }
+
+func (p *Pool) workerLoop(w *Worker, rootDone *atomic.Int64) {
+	defer p.wg.Done()
+	fails := 0
+	for {
+		if rootDone.Load() == 0 {
+			// The root task has returned; its join structure guarantees
+			// all transitive work completed before that.
+			p.done.Store(true)
+			return
+		}
+		if p.done.Load() {
+			return
+		}
+		if t := w.PopOrSteal(); t != nil {
+			fails = 0
+			w.Execute(t)
+			continue
+		}
+		fails++
+		p.pauseFor(fails)
+	}
+}
+
+// idlePause is a single short pause used inside join waits.
+func (p *Pool) idlePause() {
+	runtime.Gosched()
+}
+
+// pauseFor escalates from busy yields to short sleeps as consecutive
+// failed steal sweeps accumulate, so an idle pool does not burn a full
+// core per worker indefinitely while still reacting to new work within
+// microseconds.
+func (p *Pool) pauseFor(fails int) {
+	switch {
+	case fails < 8:
+		// spin
+	case fails < 64:
+		runtime.Gosched()
+	default:
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// Stats aggregates per-worker accounting after Run.
+type Stats struct {
+	Elapsed        time.Duration
+	Workers        int
+	TasksCreated   int64
+	TasksExecuted  int64
+	Steals         int64
+	HeartbeatsSeen int64
+	PenaltyNanos   int64
+	BusyNanos      int64
+	JoinIdleNanos  int64
+	SelfWorkNanos  int64
+}
+
+// Stats returns aggregated counters. Call after Run returns.
+func (p *Pool) Stats() Stats {
+	s := Stats{
+		Elapsed:      p.elapsed,
+		Workers:      len(p.workers),
+		TasksCreated: p.tasksCreated.Load(),
+	}
+	for _, w := range p.workers {
+		s.TasksExecuted += w.TasksExecuted
+		s.Steals += w.Steals
+		s.HeartbeatsSeen += w.HeartbeatsSeen
+		s.PenaltyNanos += w.PenaltyNanos
+		s.BusyNanos += w.BusyNanos
+		s.JoinIdleNanos += w.JoinIdleNanos
+		s.SelfWorkNanos += w.SelfWorkNanos
+	}
+	return s
+}
+
+// Utilization is the fraction of total worker wall time spent doing
+// useful work: busy time minus time idling inside joins, over workers ×
+// elapsed. This is the measure of Figure 15b.
+func (s Stats) Utilization() float64 {
+	total := float64(s.Elapsed.Nanoseconds()) * float64(s.Workers)
+	if total <= 0 {
+		return 0
+	}
+	useful := float64(s.BusyNanos - s.JoinIdleNanos)
+	if useful < 0 {
+		useful = 0
+	}
+	u := useful / total
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

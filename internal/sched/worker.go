@@ -1,0 +1,209 @@
+package sched
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Worker is one scheduling thread of a Pool. Workers own a deque, a
+// heartbeat mailbox written by an interrupt mechanism, and accounting
+// counters.
+//
+// The heartbeat mailbox is the runtime analogue of the paper's signal
+// delivery: an interrupt mechanism (internal/interrupt) raises the flag,
+// and the running task observes it at the next promotion-ready program
+// point (a poll site emitted in the compiled loop). The mailbox also
+// carries a simulated interrupt-handler cost that the worker pays when
+// it observes the flag, modeling the receive-side overhead of a Linux
+// signal, a PAPI overflow interrupt, or a Nautilus IPI.
+type Worker struct {
+	id    int
+	pool  *Pool
+	deque *Deque
+	rng   uint64
+
+	hbFlag     atomic.Uint32
+	hbPenalty  atomic.Int64 // simulated handler cost, nanoseconds
+	beatSource BeatSource   // virtual-clock delivery model, owner-polled
+	_pad       [40]byte     // keep hot heartbeat state off neighbors' lines
+
+	// Accounting (owner-written; read after the pool stops).
+	TasksExecuted  int64 // tasks run from deques (own or stolen)
+	Steals         int64 // successful steals
+	FailedSteals   int64
+	HeartbeatsSeen int64 // heartbeat flags observed at poll sites
+	PenaltyNanos   int64 // simulated handler time paid
+	BusyNanos      int64 // wall time inside top-level task execution
+	JoinIdleNanos  int64 // time spent in joins with nothing to help with
+	SelfWorkNanos  int64 // task wall time net of join waits (cost-model work)
+
+	execDepth int // nesting of execute (helping in joins re-enters)
+	busyStart time.Time
+}
+
+// ID returns the worker's index within its pool.
+func (w *Worker) ID() int { return w.id }
+
+// Pool returns the owning pool.
+func (w *Worker) Pool() *Pool { return w.pool }
+
+// Deque returns the worker's deque.
+func (w *Worker) Deque() *Deque { return w.deque }
+
+// BeatSource is a poll-driven heartbeat delivery model: the worker asks
+// it at every promotion-ready program point whether a beat fires. Only
+// the owning worker calls Poll, so implementations need no internal
+// synchronization for per-worker state.
+type BeatSource interface {
+	Poll(w *Worker) bool
+}
+
+// SetBeatSource installs (or, with nil, removes) a poll-driven delivery
+// model. Interrupt mechanisms call this at Start/Stop.
+func (w *Worker) SetBeatSource(s BeatSource) { w.beatSource = s }
+
+// AddPenalty records simulated interrupt-handler time paid by this
+// worker. Owner-goroutine only.
+func (w *Worker) AddPenalty(nanos int64) { w.PenaltyNanos += nanos }
+
+// AddSelfWork records a completed task's self time (wall time minus time
+// spent waiting at joins), the T₁ contribution used by the at-scale
+// performance model. Owner-goroutine only.
+func (w *Worker) AddSelfWork(nanos int64) { w.SelfWorkNanos += nanos }
+
+// PollHeartbeat is the promotion-ready program point's check: it
+// consults the installed beat source if any, else the heartbeat flag
+// raised by a thread-driven mechanism. It returns whether a beat fired,
+// having already paid the receive-side cost.
+func (w *Worker) PollHeartbeat() bool {
+	if w.beatSource != nil {
+		if w.beatSource.Poll(w) {
+			w.HeartbeatsSeen++
+			return true
+		}
+		return false
+	}
+	if w.hbFlag.Load() == 0 {
+		return false
+	}
+	return w.TakeHeartbeat()
+}
+
+// RaiseHeartbeat sets the worker's heartbeat flag; the running task
+// observes it at its next poll site. penaltyNanos is the simulated
+// receive-side interrupt-handling cost the worker will pay on
+// observation. Safe to call from any goroutine.
+func (w *Worker) RaiseHeartbeat(penaltyNanos int64) {
+	w.hbPenalty.Store(penaltyNanos)
+	w.hbFlag.Store(1)
+}
+
+// HeartbeatPending reports whether a heartbeat is waiting, without
+// consuming it. This is the fast path: one atomic load.
+func (w *Worker) HeartbeatPending() bool {
+	return w.hbFlag.Load() != 0
+}
+
+// TakeHeartbeat consumes a pending heartbeat, paying the simulated
+// handler cost, and reports whether one was pending.
+func (w *Worker) TakeHeartbeat() bool {
+	if w.hbFlag.Load() == 0 {
+		return false
+	}
+	w.hbFlag.Store(0)
+	w.HeartbeatsSeen++
+	if p := w.hbPenalty.Load(); p > 0 {
+		w.PenaltyNanos += p
+		spinFor(p)
+	}
+	return true
+}
+
+// spinFor busy-waits for approximately d nanoseconds, simulating work
+// performed inside an interrupt handler.
+func spinFor(d int64) {
+	start := time.Now()
+	for time.Since(start).Nanoseconds() < d {
+	}
+}
+
+// nextRand is a xorshift64 step for victim selection.
+func (w *Worker) nextRand() uint64 {
+	x := w.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rng = x
+	return x
+}
+
+// Execute runs a task, maintaining busy-time accounting at the outermost
+// nesting level only (helping inside joins re-enters Execute).
+func (w *Worker) Execute(t Task) {
+	if w.execDepth == 0 {
+		w.busyStart = time.Now()
+	}
+	w.execDepth++
+	w.TasksExecuted++
+	t.Run(w)
+	w.execDepth--
+	if w.execDepth == 0 {
+		w.BusyNanos += time.Since(w.busyStart).Nanoseconds()
+	}
+}
+
+// PopOrSteal fetches work: the worker's own bottom first, then random
+// victims. Returns nil when nothing was found in one sweep.
+func (w *Worker) PopOrSteal() Task {
+	if t := w.deque.PopBottom(); t != nil {
+		return t
+	}
+	return w.trySteal()
+}
+
+func (w *Worker) trySteal() Task {
+	n := len(w.pool.workers)
+	if n <= 1 {
+		return nil
+	}
+	// One randomized sweep over the other workers.
+	offset := int(w.nextRand() % uint64(n))
+	for i := 0; i < n; i++ {
+		v := w.pool.workers[(offset+i)%n]
+		if v == w {
+			continue
+		}
+		if t := v.deque.Steal(); t != nil {
+			w.Steals++
+			return t
+		}
+	}
+	w.FailedSteals++
+	return nil
+}
+
+// WaitJoin participates in scheduling until the counter reaches zero:
+// the classic help-first join. Time spent finding no work is recorded
+// as join idle time so that utilization reflects useful work only.
+func (w *Worker) WaitJoin(pending *atomic.Int64) {
+	var idleStart time.Time
+	idling := false
+	for pending.Load() > 0 {
+		if t := w.PopOrSteal(); t != nil {
+			if idling {
+				w.JoinIdleNanos += time.Since(idleStart).Nanoseconds()
+				idling = false
+			}
+			w.Execute(t)
+			continue
+		}
+		if !idling {
+			idleStart = time.Now()
+			idling = true
+		}
+		w.pool.idlePause()
+	}
+	if idling {
+		w.JoinIdleNanos += time.Since(idleStart).Nanoseconds()
+	}
+}

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if !approx(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("mean")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if Geomean(nil) != 0 {
+		t.Error("empty geomean")
+	}
+	if !approx(Geomean([]float64{2, 8}), 4) {
+		t.Errorf("geomean(2,8) = %f", Geomean([]float64{2, 8}))
+	}
+	// Non-positive entries are ignored.
+	if !approx(Geomean([]float64{2, 8, 0, -1}), 4) {
+		t.Errorf("geomean with non-positives = %f", Geomean([]float64{2, 8, 0, -1}))
+	}
+	if Geomean([]float64{0, -1}) != 0 {
+		t.Error("all non-positive should yield 0")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Error("empty median")
+	}
+	if !approx(Median([]float64{3, 1, 2}), 2) {
+		t.Error("odd median")
+	}
+	if !approx(Median([]float64{4, 1, 2, 3}), 2.5) {
+		t.Error("even median")
+	}
+	// Median must not mutate its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if !reflect.DeepEqual(in, []float64{3, 1, 2}) {
+		t.Error("median mutated input")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if Stddev([]float64{5}) != 0 {
+		t.Error("single sample stddev")
+	}
+	if !approx(Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2.138089935299395) {
+		t.Errorf("stddev = %v", Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9}))
+	}
+}
+
+func TestMinDuration(t *testing.T) {
+	if MinDuration(nil) != 0 {
+		t.Error("empty min")
+	}
+	ds := []time.Duration{3 * time.Second, time.Second, 2 * time.Second}
+	if MinDuration(ds) != time.Second {
+		t.Error("min duration")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(4, 2) != 2 || Ratio(1, 0) != 0 {
+		t.Error("ratio")
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	cases := map[int64]string{
+		0:        "0",
+		5:        "5",
+		999:      "999",
+		1000:     "1,000",
+		1234567:  "1,234,567",
+		-9876543: "-9,876,543",
+	}
+	for in, want := range cases {
+		if got := FormatCount(in); got != want {
+			t.Errorf("FormatCount(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Property: geomean lies between min and max of positive inputs.
+func TestPropertyGeomeanBounds(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			n := 1 + rng.Intn(20)
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = rng.Float64()*100 + 0.001
+			}
+			vals[0] = reflect.ValueOf(xs)
+		},
+	}
+	f := func(xs []float64) bool {
+		g := Geomean(xs)
+		mn, mx := xs[0], xs[0]
+		for _, x := range xs {
+			mn = math.Min(mn, x)
+			mx = math.Max(mx, x)
+		}
+		return g >= mn-1e-9 && g <= mx+1e-9
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: geomean(xs scaled by k) = k * geomean(xs).
+func TestPropertyGeomeanScaling(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			n := 1 + rng.Intn(10)
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = rng.Float64()*10 + 0.1
+			}
+			vals[0] = reflect.ValueOf(xs)
+			vals[1] = reflect.ValueOf(rng.Float64()*5 + 0.1)
+		},
+	}
+	f := func(xs []float64, k float64) bool {
+		scaled := make([]float64, len(xs))
+		for i := range xs {
+			scaled[i] = xs[i] * k
+		}
+		return math.Abs(Geomean(scaled)-k*Geomean(xs)) < 1e-6*math.Max(1, k*Geomean(xs))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

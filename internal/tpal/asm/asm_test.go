@@ -1,0 +1,360 @@
+package asm
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tpal/internal/tpal"
+)
+
+func TestParseMinimal(t *testing.T) {
+	p, err := Parse(`
+program tiny entry main
+block main [.] {
+  r := 42
+  halt
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "tiny" || p.Entry != "main" || len(p.Blocks) != 1 {
+		t.Fatalf("parsed %+v", p)
+	}
+	b := p.Blocks[0]
+	if len(b.Instrs) != 1 || b.Instrs[0].Kind != tpal.IMove || b.Instrs[0].Val.Int != 42 {
+		t.Fatalf("instrs %+v", b.Instrs)
+	}
+	if b.Term.Kind != tpal.THalt {
+		t.Fatalf("term %+v", b.Term)
+	}
+}
+
+func TestParseLabelVsRegisterResolution(t *testing.T) {
+	p, err := Parse(`
+program p entry main
+block main [.] {
+  ret := done
+  jump ret
+}
+block done [.] {
+  halt
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := p.Block("main")
+	// "done" is a block label => label operand; "ret" is not => register.
+	if main.Instrs[0].Val.Kind != tpal.OperLabel || main.Instrs[0].Val.Label != "done" {
+		t.Errorf("rhs of move resolved to %+v, want label done", main.Instrs[0].Val)
+	}
+	if main.Term.Val.Kind != tpal.OperReg || main.Term.Val.Reg != "ret" {
+		t.Errorf("jump operand resolved to %+v, want register ret", main.Term.Val)
+	}
+}
+
+func TestParseHyphenatedIdents(t *testing.T) {
+	p, err := Parse(`
+program p entry loop-try-promote
+block loop-try-promote [.] {
+  sp-top := sp + top - 1
+  jump loop-try-promote
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := p.Blocks[0]
+	// Chained a + b - 1 expands to two instructions folding through dst.
+	if len(b.Instrs) != 2 {
+		t.Fatalf("chain expanded to %d instructions: %v", len(b.Instrs), b.Instrs)
+	}
+	if b.Instrs[0].Dst != "sp-top" || b.Instrs[0].Src != "sp" || b.Instrs[0].Op != tpal.OpAdd {
+		t.Errorf("first link %+v", b.Instrs[0])
+	}
+	if b.Instrs[1].Src != "sp-top" || b.Instrs[1].Op != tpal.OpSub || b.Instrs[1].Val.Int != 1 {
+		t.Errorf("second link %+v", b.Instrs[1])
+	}
+}
+
+func TestParseChainRejectsDstReuse(t *testing.T) {
+	_, err := Parse(`
+program p entry m
+block m [.] {
+  a := b + c - a
+  halt
+}
+`)
+	if err == nil || !strings.Contains(err.Error(), "may not appear") {
+		t.Fatalf("expected chained-dst error, got %v", err)
+	}
+}
+
+func TestParseAnnotations(t *testing.T) {
+	p, err := Parse(`
+program p entry a
+block a [prppt h] {
+  halt
+}
+block h [.] {
+  jump a
+}
+block j [jtppt assoc; {x -> y, p -> q}; comb] {
+  halt
+}
+block comb [.] {
+  halt
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := p.Block("a").Ann; a.Kind != tpal.AnnPrppt || a.Handler != "h" {
+		t.Errorf("prppt annotation %+v", a)
+	}
+	j := p.Block("j").Ann
+	if j.Kind != tpal.AnnJtppt || j.Policy != tpal.Assoc || j.Comb != "comb" || len(j.DeltaR) != 2 {
+		t.Errorf("jtppt annotation %+v", j)
+	}
+	if j.DeltaR[0] != (tpal.RegRename{From: "x", To: "y"}) {
+		t.Errorf("ΔR[0] = %+v", j.DeltaR[0])
+	}
+}
+
+func TestParseStackForms(t *testing.T) {
+	p, err := Parse(`
+program p entry m
+block m [.] {
+  sp := snew
+  salloc sp, 3
+  mem[sp + 0] := m
+  prmpush mem[sp + 1]
+  t := mem[sp + 2]
+  e := prmempty sp
+  prmsplit sp, top
+  prmpop mem[sp + 1]
+  sfree sp, 3
+  halt
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []tpal.InstrKind{
+		tpal.ISNew, tpal.ISAlloc, tpal.IStore, tpal.IPrmPush, tpal.ILoad,
+		tpal.IPrmEmpty, tpal.IPrmSplit, tpal.IPrmPop, tpal.ISFree,
+	}
+	instrs := p.Blocks[0].Instrs
+	if len(instrs) != len(kinds) {
+		t.Fatalf("got %d instrs", len(instrs))
+	}
+	for i, k := range kinds {
+		if instrs[i].Kind != k {
+			t.Errorf("instr %d kind = %v, want %v (%s)", i, instrs[i].Kind, k, instrs[i])
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	p, err := Parse(`
+program p entry m
+// a line comment
+block m [.] { # hash comment
+  r := 1 // trailing
+  halt
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Blocks[0].Instrs) != 1 {
+		t.Fatalf("comments leaked into instructions: %v", p.Blocks[0].Instrs)
+	}
+}
+
+func TestParseNegativeLiterals(t *testing.T) {
+	p, err := Parse(`
+program p entry m
+block m [.] {
+  r := -5
+  s := r + -3
+  halt
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := p.Blocks[0].Instrs
+	if in[0].Val.Int != -5 || in[1].Val.Int != -3 {
+		t.Fatalf("negative literals parsed as %v", in)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"no-program", "block m [.] { halt }", "program"},
+		{"no-terminator", "program p entry m\nblock m [.] {\n r := 1\n}", "terminator"},
+		{"stmt-after-term", "program p entry m\nblock m [.] {\n halt\n r := 1\n}", "after terminator"},
+		{"bad-annotation", "program p entry m\nblock m [wat] { halt }", "annotation"},
+		{"bad-policy", "program p entry m\nblock m [jtppt weird; {}; c] { halt }\nblock c [.] { halt }", "join policy"},
+		{"unterminated", "program p entry m\nblock m [.] {\n halt", "unterminated"},
+		{"undefined-ref", "program p entry m\nblock m [prppt ghost] { halt }", "ghost"},
+		{"int-lhs-binop", "program p entry m\nblock m [.] {\n r := 3 + x\n halt\n}", "left operand"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.src); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: expected error containing %q, got %v", tc.name, tc.want, err)
+		}
+	}
+}
+
+func TestRoundTripPaperPrograms(t *testing.T) {
+	// Parse -> print -> parse must reach a fixed point with identical
+	// structure.
+	for _, src := range paperSources(t) {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := Parse(p1.String())
+		if err != nil {
+			t.Fatalf("reparse of printed program failed: %v\n%s", err, p1.String())
+		}
+		if p1.String() != p2.String() {
+			t.Fatal("print/parse did not reach a fixed point")
+		}
+	}
+}
+
+// paperSources returns the example programs without importing the
+// programs package (which would create an import cycle in tests).
+func paperSources(t *testing.T) []string {
+	t.Helper()
+	return []string{
+		`
+program prod entry main
+block main [.] {
+  ret := done
+  jump prod
+}
+block done [.] {
+  halt
+}
+block prod [.] {
+  r := 0
+  jump loop
+}
+block exit [jtppt assoc-comm; {r -> r2}; comb] {
+  c := r
+  jump ret
+}
+block loop [prppt h] {
+  if-jump a, exit
+  r := r + b
+  a := a - 1
+  jump loop
+}
+block h [.] {
+  jump loop
+}
+block comb [.] {
+  r := r + r2
+  join jr
+}
+`,
+	}
+}
+
+// TestRoundTripRandomPrograms is a property test: generate random valid
+// programs, print them, reparse, and compare the printed forms.
+func TestRoundTripRandomPrograms(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			vals[0] = reflect.ValueOf(randomProgram(rng))
+		},
+	}
+	f := func(src string) bool {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Logf("generated program failed to parse: %v\n%s", err, src)
+			return false
+		}
+		p2, err := Parse(p1.String())
+		if err != nil {
+			t.Logf("printed program failed to reparse: %v\n%s", err, p1.String())
+			return false
+		}
+		return p1.String() == p2.String()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomProgram emits a random syntactically valid TPAL program.
+func randomProgram(rng *rand.Rand) string {
+	nBlocks := 1 + rng.Intn(5)
+	labels := make([]string, nBlocks)
+	for i := range labels {
+		labels[i] = "blk-" + string(rune('a'+i))
+	}
+	regs := []string{"r", "a", "b", "sp", "sp-top", "t0"}
+	ops := []string{"+", "-", "*", "/", "<", "<=", "==", "!="}
+	var sb strings.Builder
+	sb.WriteString("program gen entry " + labels[0] + "\n")
+	for i, l := range labels {
+		ann := "."
+		switch rng.Intn(4) {
+		case 1:
+			ann = "prppt " + labels[rng.Intn(nBlocks)]
+		case 2:
+			ann = "jtppt assoc-comm; {" + regs[rng.Intn(len(regs))] + " -> " + regs[rng.Intn(len(regs))] + "}; " + labels[rng.Intn(nBlocks)]
+		}
+		sb.WriteString("block " + l + " [" + ann + "] {\n")
+		for k := rng.Intn(5); k > 0; k-- {
+			switch rng.Intn(6) {
+			case 0:
+				sb.WriteString("  " + regs[rng.Intn(len(regs))] + " := " + itoa(rng.Intn(100)-50) + "\n")
+			case 1:
+				sb.WriteString("  " + regs[rng.Intn(len(regs))] + " := " +
+					regs[rng.Intn(len(regs))] + " " + ops[rng.Intn(len(ops))] + " " + itoa(1+rng.Intn(9)) + "\n")
+			case 2:
+				sb.WriteString("  if-jump " + regs[rng.Intn(len(regs))] + ", " + labels[rng.Intn(nBlocks)] + "\n")
+			case 3:
+				sb.WriteString("  " + regs[rng.Intn(len(regs))] + " := jralloc " + labels[rng.Intn(nBlocks)] + "\n")
+			case 4:
+				sb.WriteString("  salloc sp, " + itoa(1+rng.Intn(4)) + "\n")
+			case 5:
+				sb.WriteString("  mem[sp + " + itoa(rng.Intn(4)) + "] := " + itoa(rng.Intn(50)) + "\n")
+			}
+		}
+		switch rng.Intn(3) {
+		case 0:
+			sb.WriteString("  halt\n")
+		case 1:
+			sb.WriteString("  jump " + labels[rng.Intn(nBlocks)] + "\n")
+		case 2:
+			sb.WriteString("  join " + regs[rng.Intn(len(regs))] + "\n")
+		}
+		sb.WriteString("}\n")
+		if i == nBlocks-1 {
+			break
+		}
+	}
+	return sb.String()
+}
+
+func itoa(n int) string {
+	if n < 0 {
+		return "-" + itoa(-n)
+	}
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return itoa(n/10) + string(rune('0'+n%10))
+}

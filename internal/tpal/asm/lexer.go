@@ -1,0 +1,214 @@
+// Package asm implements a textual assembler for TPAL programs. The
+// syntax mirrors the paper's listings:
+//
+//	program prod entry main
+//
+//	block loop [prppt loop-try-promote] {
+//	  if-jump a, exit
+//	  r := r + b
+//	  a := a - 1
+//	  jump loop
+//	}
+//
+//	block exit [jtppt assoc-comm; {r -> r2}; comb] {
+//	  c := r
+//	  halt
+//	}
+//
+// Identifiers may contain hyphens (loop-try-promote, sp-top); binary
+// operators must therefore be surrounded by spaces. An identifier in
+// operand position denotes a block label when a block with that name is
+// defined, and a register otherwise, so register names must not collide
+// with block labels. Comments run from "//" or "#" to end of line.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokSym // punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string
+	n    int64
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokInt:
+		return fmt.Sprintf("%d", t.n)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// Error is a positioned assembler error.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("tpal asm: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func isIdentStart(r byte) bool {
+	return r == '_' || unicode.IsLetter(rune(r))
+}
+
+func isIdentPart(r byte) bool {
+	return r == '_' || unicode.IsLetter(rune(r)) || unicode.IsDigit(rune(r))
+}
+
+func (l *lexer) errf(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekByteAt(k int) byte {
+	if l.pos+k >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+k]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance()
+		case c == '#' || (c == '/' && l.peekByteAt(1) == '/'):
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// multi-character symbols, longest first for maximal munch.
+var symbols = []string{
+	":=", "->", "<<", ">>", "<=", ">=", "==", "!=",
+	"[", "]", "{", "}", ",", ";", ".",
+	"+", "-", "*", "/", "%", "<", ">", "&", "|", "^",
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := l.peekByte()
+
+	// Identifier: letters, digits, underscores, and embedded hyphens
+	// (a hyphen continues an identifier when immediately followed by an
+	// identifier character).
+	if isIdentStart(c) {
+		start := l.pos
+		l.advance()
+		for l.pos < len(l.src) {
+			c := l.peekByte()
+			if isIdentPart(c) {
+				l.advance()
+				continue
+			}
+			if c == '-' && isIdentPart(l.peekByteAt(1)) {
+				l.advance() // hyphen
+				l.advance() // following identifier character
+				continue
+			}
+			break
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: line, col: col}, nil
+	}
+
+	// Integer literal, possibly negative when '-' directly abuts digits.
+	if unicode.IsDigit(rune(c)) || (c == '-' && unicode.IsDigit(rune(l.peekByteAt(1)))) {
+		start := l.pos
+		if c == '-' {
+			l.advance()
+		}
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.peekByte())) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return token{}, l.errf(line, col, "bad integer literal %q", text)
+		}
+		return token{kind: tokInt, text: text, n: n, line: line, col: col}, nil
+	}
+
+	for _, s := range symbols {
+		if strings.HasPrefix(l.src[l.pos:], s) {
+			for range s {
+				l.advance()
+			}
+			return token{kind: tokSym, text: s, line: line, col: col}, nil
+		}
+	}
+	return token{}, l.errf(line, col, "unexpected character %q", string(c))
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

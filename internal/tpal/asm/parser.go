@@ -1,0 +1,346 @@
+package asm
+
+import (
+	"fmt"
+
+	"tpal/internal/tpal"
+)
+
+// Parse assembles a textual TPAL program. Identifier operands are
+// resolved to labels when a block with that name is defined and to
+// registers otherwise, so parsing completes in two passes: syntax first,
+// then operand resolution against the set of block labels.
+func Parse(src string) (*tpal.Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse but panics on error; for statically known sources.
+func MustParse(src string) *tpal.Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks []token
+	pos  int
+
+	// pendingIdents records, for every identifier parsed in operand
+	// position, where the resolved operand must be written once block
+	// labels are known.
+	pendingIdents []pendingIdent
+	labels        map[string]bool
+}
+
+type pendingIdent struct {
+	name string
+	dst  *tpal.Operand
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expectSym(s string) (token, error) {
+	t := p.next()
+	if t.kind != tokSym || t.text != s {
+		return t, p.errf(t, "expected %q, found %s", s, t)
+	}
+	return t, nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return t, p.errf(t, "expected identifier, found %s", t)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if t.text != kw {
+		return p.errf(t, "expected keyword %q, found %s", kw, t)
+	}
+	return nil
+}
+
+func (p *parser) atSym(s string) bool {
+	t := p.peek()
+	return t.kind == tokSym && t.text == s
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && t.text == kw
+}
+
+func (p *parser) parseProgram() (*tpal.Program, error) {
+	if err := p.expectKeyword("program"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("entry"); err != nil {
+		return nil, err
+	}
+	entryTok, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+
+	var drafts []*blockDraft
+	p.labels = make(map[string]bool)
+	for !p.atEOF() {
+		b, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		drafts = append(drafts, b)
+		p.labels[string(b.label)] = true
+	}
+
+	// Resolve deferred identifier operands: label when a block with that
+	// name exists, register otherwise. The drafts hold heap-allocated
+	// instructions, so the patched pointers stay valid until the final
+	// blocks are materialized below.
+	for _, pi := range p.pendingIdents {
+		if p.labels[pi.name] {
+			*pi.dst = tpal.L(tpal.Label(pi.name))
+		} else {
+			*pi.dst = tpal.R(tpal.Reg(pi.name))
+		}
+	}
+
+	blocks := make([]*tpal.Block, len(drafts))
+	for i, d := range drafts {
+		b := &tpal.Block{Label: d.label, Ann: d.ann, Term: *d.term}
+		b.Instrs = make([]tpal.Instr, len(d.instrs))
+		for j, in := range d.instrs {
+			b.Instrs[j] = *in
+		}
+		blocks[i] = b
+	}
+	return tpal.NewProgram(nameTok.text, tpal.Label(entryTok.text), blocks)
+}
+
+// blockDraft is a block under construction: instructions stay behind
+// pointers until identifier operands have been resolved.
+type blockDraft struct {
+	label  tpal.Label
+	ann    tpal.Annotation
+	instrs []*tpal.Instr
+	term   *tpal.Term
+}
+
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) parseBlock() (*blockDraft, error) {
+	if err := p.expectKeyword("block"); err != nil {
+		return nil, err
+	}
+	labelTok, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ann, err := p.parseAnnotation()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectSym("{"); err != nil {
+		return nil, err
+	}
+	b := &blockDraft{label: tpal.Label(labelTok.text), ann: ann}
+	for !p.atSym("}") {
+		if p.atEOF() {
+			return nil, p.errf(p.peek(), "unterminated block %q", labelTok.text)
+		}
+		if b.term != nil {
+			return nil, p.errf(p.peek(), "statement after terminator in block %q", labelTok.text)
+		}
+		instrs, term, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		if term != nil {
+			b.term = term
+		} else {
+			b.instrs = append(b.instrs, instrs...)
+		}
+	}
+	p.next() // consume }
+	if b.term == nil {
+		return nil, p.errf(labelTok, "block %q has no terminator (jump, halt, or join)", labelTok.text)
+	}
+	return b, nil
+}
+
+// parseAnnotation parses [.], [prppt l], or [jtppt policy; {a -> b, ...}; l].
+func (p *parser) parseAnnotation() (tpal.Annotation, error) {
+	var ann tpal.Annotation
+	if _, err := p.expectSym("["); err != nil {
+		return ann, err
+	}
+	switch {
+	case p.atSym("."):
+		p.next()
+		ann.Kind = tpal.AnnNone
+	case p.atKeyword("prppt"):
+		p.next()
+		h, err := p.expectIdent()
+		if err != nil {
+			return ann, err
+		}
+		ann.Kind = tpal.AnnPrppt
+		ann.Handler = tpal.Label(h.text)
+	case p.atKeyword("jtppt"):
+		p.next()
+		pol, err := p.expectIdent()
+		if err != nil {
+			return ann, err
+		}
+		switch pol.text {
+		case "assoc":
+			ann.Policy = tpal.Assoc
+		case "assoc-comm":
+			ann.Policy = tpal.AssocComm
+		default:
+			return ann, p.errf(pol, "unknown join policy %q (want assoc or assoc-comm)", pol.text)
+		}
+		if _, err := p.expectSym(";"); err != nil {
+			return ann, err
+		}
+		if _, err := p.expectSym("{"); err != nil {
+			return ann, err
+		}
+		for !p.atSym("}") {
+			from, err := p.expectIdent()
+			if err != nil {
+				return ann, err
+			}
+			if _, err := p.expectSym("->"); err != nil {
+				return ann, err
+			}
+			to, err := p.expectIdent()
+			if err != nil {
+				return ann, err
+			}
+			ann.DeltaR = append(ann.DeltaR, tpal.RegRename{From: tpal.Reg(from.text), To: tpal.Reg(to.text)})
+			if p.atSym(",") {
+				p.next()
+			}
+		}
+		p.next() // consume }
+		if _, err := p.expectSym(";"); err != nil {
+			return ann, err
+		}
+		comb, err := p.expectIdent()
+		if err != nil {
+			return ann, err
+		}
+		ann.Kind = tpal.AnnJtppt
+		ann.Comb = tpal.Label(comb.text)
+	default:
+		return ann, p.errf(p.peek(), "expected annotation (., prppt, or jtppt), found %s", p.peek())
+	}
+	if _, err := p.expectSym("]"); err != nil {
+		return ann, err
+	}
+	return ann, nil
+}
+
+// operand parses an operand: an integer literal or an identifier whose
+// label/register resolution is deferred. The returned operand's storage
+// is registered for patching, so callers must keep the returned pointer's
+// target alive in the instruction they build.
+func (p *parser) parseOperandInto(dst *tpal.Operand) error {
+	t := p.next()
+	switch t.kind {
+	case tokInt:
+		*dst = tpal.N(t.n)
+		return nil
+	case tokIdent:
+		p.pendingIdents = append(p.pendingIdents, pendingIdent{name: t.text, dst: dst})
+		return nil
+	}
+	return p.errf(t, "expected operand, found %s", t)
+}
+
+func (p *parser) parseReg() (tpal.Reg, error) {
+	t, err := p.expectIdent()
+	if err != nil {
+		return "", err
+	}
+	return tpal.Reg(t.text), nil
+}
+
+func (p *parser) parseInt() (int64, error) {
+	t := p.next()
+	if t.kind != tokInt {
+		return 0, p.errf(t, "expected integer, found %s", t)
+	}
+	return t.n, nil
+}
+
+// parseMemRef parses mem[REG + INT] (or mem[REG - INT], or mem[REG]).
+func (p *parser) parseMemRef() (tpal.Reg, int64, error) {
+	if err := p.expectKeyword("mem"); err != nil {
+		return "", 0, err
+	}
+	if _, err := p.expectSym("["); err != nil {
+		return "", 0, err
+	}
+	reg, err := p.parseReg()
+	if err != nil {
+		return "", 0, err
+	}
+	var off int64
+	switch {
+	case p.atSym("+"):
+		p.next()
+		off, err = p.parseInt()
+		if err != nil {
+			return "", 0, err
+		}
+	case p.atSym("-"):
+		p.next()
+		off, err = p.parseInt()
+		if err != nil {
+			return "", 0, err
+		}
+		off = -off
+	}
+	if _, err := p.expectSym("]"); err != nil {
+		return "", 0, err
+	}
+	return reg, off, nil
+}

@@ -1,0 +1,268 @@
+package asm
+
+import (
+	"tpal/internal/tpal"
+)
+
+// parseStatement parses one statement inside a block body. It returns
+// either a non-empty list of instructions (a single source statement may
+// expand to several instructions, see chained operators below) or a
+// terminator.
+func (p *parser) parseStatement() ([]*tpal.Instr, *tpal.Term, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, nil, p.errf(t, "expected statement, found %s", t)
+	}
+	switch t.text {
+	case "jump":
+		p.next()
+		term := &tpal.Term{Kind: tpal.TJump}
+		if err := p.parseOperandInto(&term.Val); err != nil {
+			return nil, nil, err
+		}
+		return nil, term, nil
+
+	case "halt":
+		p.next()
+		return nil, &tpal.Term{Kind: tpal.THalt}, nil
+
+	case "join":
+		p.next()
+		term := &tpal.Term{Kind: tpal.TJoin}
+		if err := p.parseOperandInto(&term.Val); err != nil {
+			return nil, nil, err
+		}
+		return nil, term, nil
+
+	case "if-jump":
+		p.next()
+		in := &tpal.Instr{Kind: tpal.IIfJump}
+		reg, err := p.parseReg()
+		if err != nil {
+			return nil, nil, err
+		}
+		in.Src = reg
+		if _, err := p.expectSym(","); err != nil {
+			return nil, nil, err
+		}
+		if err := p.parseOperandInto(&in.Val); err != nil {
+			return nil, nil, err
+		}
+		return []*tpal.Instr{in}, nil, nil
+
+	case "fork":
+		p.next()
+		in := &tpal.Instr{Kind: tpal.IFork}
+		reg, err := p.parseReg()
+		if err != nil {
+			return nil, nil, err
+		}
+		in.Src = reg
+		if _, err := p.expectSym(","); err != nil {
+			return nil, nil, err
+		}
+		if err := p.parseOperandInto(&in.Val); err != nil {
+			return nil, nil, err
+		}
+		return []*tpal.Instr{in}, nil, nil
+
+	case "salloc", "sfree":
+		p.next()
+		kind := tpal.ISAlloc
+		if t.text == "sfree" {
+			kind = tpal.ISFree
+		}
+		reg, err := p.parseReg()
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expectSym(","); err != nil {
+			return nil, nil, err
+		}
+		n, err := p.parseInt()
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*tpal.Instr{{Kind: kind, Src: reg, Off: n}}, nil, nil
+
+	case "prmpush", "prmpop":
+		p.next()
+		kind := tpal.IPrmPush
+		if t.text == "prmpop" {
+			kind = tpal.IPrmPop
+		}
+		reg, off, err := p.parseMemRef()
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*tpal.Instr{{Kind: kind, Src: reg, Off: off}}, nil, nil
+
+	case "prmsplit":
+		p.next()
+		rs, err := p.parseReg()
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expectSym(","); err != nil {
+			return nil, nil, err
+		}
+		rp, err := p.parseReg()
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*tpal.Instr{{Kind: tpal.IPrmSplit, Src: rs, Src2: rp}}, nil, nil
+
+	case "mem":
+		// mem[r + n] := v
+		reg, off, err := p.parseMemRef()
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expectSym(":="); err != nil {
+			return nil, nil, err
+		}
+		in := &tpal.Instr{Kind: tpal.IStore, Src: reg, Off: off}
+		if err := p.parseOperandInto(&in.Val); err != nil {
+			return nil, nil, err
+		}
+		return []*tpal.Instr{in}, nil, nil
+	}
+
+	// Everything else is an assignment: REG := rhs.
+	dstTok := p.next()
+	dst := tpal.Reg(dstTok.text)
+	if _, err := p.expectSym(":="); err != nil {
+		return nil, nil, err
+	}
+	return p.parseAssignmentRHS(dstTok, dst)
+}
+
+// parseAssignmentRHS parses the right-hand side of REG := ...:
+//
+//	jralloc LABEL
+//	snew
+//	prmempty REG
+//	mem[REG + INT]
+//	OPERAND (OP OPERAND)*     -- chained operators fold left through dst
+func (p *parser) parseAssignmentRHS(dstTok token, dst tpal.Reg) ([]*tpal.Instr, *tpal.Term, error) {
+	t := p.peek()
+	if t.kind == tokIdent {
+		switch t.text {
+		case "jralloc":
+			p.next()
+			lbl, err := p.expectIdent()
+			if err != nil {
+				return nil, nil, err
+			}
+			return []*tpal.Instr{{Kind: tpal.IJrAlloc, Dst: dst, Lbl: tpal.Label(lbl.text)}}, nil, nil
+		case "snew":
+			p.next()
+			return []*tpal.Instr{{Kind: tpal.ISNew, Dst: dst}}, nil, nil
+		case "prmempty":
+			p.next()
+			src, err := p.parseReg()
+			if err != nil {
+				return nil, nil, err
+			}
+			return []*tpal.Instr{{Kind: tpal.IPrmEmpty, Dst: dst, Src2: src}}, nil, nil
+		case "mem":
+			reg, off, err := p.parseMemRef()
+			if err != nil {
+				return nil, nil, err
+			}
+			return []*tpal.Instr{{Kind: tpal.ILoad, Dst: dst, Src: reg, Off: off}}, nil, nil
+		}
+	}
+
+	// First operand.
+	var first tpal.Operand
+	firstTok := p.peek()
+	if err := p.parseOperandInto(&first); err != nil {
+		return nil, nil, err
+	}
+	if !p.atOperator() {
+		// Plain move. The move may carry a deferred identifier; the
+		// pendingIdents entry registered by parseOperandInto points into
+		// `first`, so rebind it to the instruction's own operand slot.
+		in := &tpal.Instr{Kind: tpal.IMove, Dst: dst}
+		p.rebindPending(&first, &in.Val)
+		in.Val = first
+		return []*tpal.Instr{in}, nil, nil
+	}
+
+	// Binary operation, possibly chained: dst := a OP b OP c ... folds
+	// left using dst as the accumulator (dst := a OP b; dst := dst OP c).
+	// The fold is only sound when dst does not occur as a later operand.
+	if first.Kind == tpal.OperInt {
+		return nil, nil, p.errf(firstTok, "left operand of a binary operation must be a register, found integer %d", first.Int)
+	}
+	srcName := p.pendingName(&first)
+
+	var instrs []*tpal.Instr
+	cur := srcName
+	for p.atOperator() {
+		opTok := p.next()
+		op, ok := tpal.OpFromString(opTok.text)
+		if !ok {
+			return nil, nil, p.errf(opTok, "unknown operator %q", opTok.text)
+		}
+		in := &tpal.Instr{Kind: tpal.IBinOp, Dst: dst, Op: op, Src: tpal.Reg(cur)}
+		rhsTok := p.peek()
+		if err := p.parseOperandInto(&in.Val); err != nil {
+			return nil, nil, err
+		}
+		if len(instrs) > 0 && p.peekPendingName(&in.Val) == string(dst) {
+			return nil, nil, p.errf(rhsTok, "destination register %q may not appear as a later operand of a chained expression", dst)
+		}
+		instrs = append(instrs, in)
+		cur = string(dst)
+	}
+	_ = dstTok
+	return instrs, nil, nil
+}
+
+// peekPendingName returns the identifier text pending against dst without
+// consuming the registration, or "" when dst has no pending entry.
+func (p *parser) peekPendingName(dst *tpal.Operand) string {
+	for i := len(p.pendingIdents) - 1; i >= 0; i-- {
+		if p.pendingIdents[i].dst == dst {
+			return p.pendingIdents[i].name
+		}
+	}
+	return ""
+}
+
+func (p *parser) atOperator() bool {
+	t := p.peek()
+	if t.kind != tokSym {
+		return false
+	}
+	_, ok := tpal.OpFromString(t.text)
+	return ok
+}
+
+// pendingName returns the identifier text of the most recent pending
+// operand registered against dst, removing the pending entry (the caller
+// consumes the identifier as a register name directly). If dst has no
+// pending entry (an integer operand), it returns "".
+func (p *parser) pendingName(dst *tpal.Operand) string {
+	for i := len(p.pendingIdents) - 1; i >= 0; i-- {
+		if p.pendingIdents[i].dst == dst {
+			name := p.pendingIdents[i].name
+			p.pendingIdents = append(p.pendingIdents[:i], p.pendingIdents[i+1:]...)
+			return name
+		}
+	}
+	return ""
+}
+
+// rebindPending retargets a pending operand registration from one slot to
+// another, used when a parsed operand is copied into its final location.
+func (p *parser) rebindPending(from, to *tpal.Operand) {
+	for i := len(p.pendingIdents) - 1; i >= 0; i-- {
+		if p.pendingIdents[i].dst == from {
+			p.pendingIdents[i].dst = to
+			return
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package cost implements the TPAL cost semantics of Figure 28:
+// series-parallel cost graphs with work and span, where each fork-join
+// pair is weighted by a task-creation cost τ.
+package cost
+
+import "fmt"
+
+// Graph is a series-parallel cost graph: the empty graph, the one-vertex
+// graph, sequential composition, or parallel composition.
+type Graph struct {
+	kind  kind
+	left  *Graph
+	right *Graph
+}
+
+type kind uint8
+
+const (
+	kEmpty kind = iota
+	kVertex
+	kSeq
+	kPar
+)
+
+// Empty returns the empty graph 0.
+func Empty() *Graph { return &Graph{kind: kEmpty} }
+
+// Vertex returns the one-vertex graph 1.
+func Vertex() *Graph { return &Graph{kind: kVertex} }
+
+// Seq returns the sequential composition g1 · g2.
+func Seq(g1, g2 *Graph) *Graph { return &Graph{kind: kSeq, left: g1, right: g2} }
+
+// Par returns the parallel composition g1 ∥ g2.
+func Par(g1, g2 *Graph) *Graph { return &Graph{kind: kPar, left: g1, right: g2} }
+
+// SeqN sequences a chain of graphs.
+func SeqN(gs ...*Graph) *Graph {
+	out := Empty()
+	for _, g := range gs {
+		out = Seq(out, g)
+	}
+	return out
+}
+
+// Straight returns a straight-line graph of n vertices.
+func Straight(n int64) *Graph {
+	g := Empty()
+	for i := int64(0); i < n; i++ {
+		g = Seq(g, Vertex())
+	}
+	return g
+}
+
+// Work computes Work(g) with fork-join cost tau:
+//
+//	Work(0) = 0;  Work(1) = 1
+//	Work(g1 · g2) = Work(g1) + Work(g2)
+//	Work(g1 ∥ g2) = τ + Work(g1) + Work(g2)
+func (g *Graph) Work(tau int64) int64 {
+	w, _ := g.measure(tau)
+	return w
+}
+
+// Span computes Span(g) with fork-join cost tau:
+//
+//	Span(0) = 0;  Span(1) = 1
+//	Span(g1 · g2) = Span(g1) + Span(g2)
+//	Span(g1 ∥ g2) = τ + max(Span(g1), Span(g2))
+func (g *Graph) Span(tau int64) int64 {
+	_, s := g.measure(tau)
+	return s
+}
+
+// measure computes (work, span) iteratively with an explicit stack so
+// that deep straight-line graphs (Straight of millions) do not overflow
+// the goroutine stack. Memoization is per-(graph, tau): a graph measured
+// under a new tau is re-measured.
+func (g *Graph) measure(tau int64) (int64, int64) {
+	type frame struct {
+		g     *Graph
+		stage int
+		lw    int64
+		ls    int64
+	}
+	var wOut, sOut int64
+	stack := []frame{{g: g}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		switch f.g.kind {
+		case kEmpty:
+			wOut, sOut = 0, 0
+			stack = stack[:len(stack)-1]
+		case kVertex:
+			wOut, sOut = 1, 1
+			stack = stack[:len(stack)-1]
+		case kSeq, kPar:
+			switch f.stage {
+			case 0:
+				f.stage = 1
+				stack = append(stack, frame{g: f.g.left})
+			case 1:
+				f.lw, f.ls = wOut, sOut
+				f.stage = 2
+				stack = append(stack, frame{g: f.g.right})
+			case 2:
+				if f.g.kind == kSeq {
+					wOut = f.lw + wOut
+					sOut = f.ls + sOut
+				} else {
+					wOut = tau + f.lw + wOut
+					if f.ls > sOut {
+						sOut = f.ls
+					}
+					sOut += tau
+				}
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return wOut, sOut
+}
+
+// AverageParallelism returns Work/Span as a float, the scheduling-theory
+// bound on achievable speedup.
+func (g *Graph) AverageParallelism(tau int64) float64 {
+	w, s := g.measure(tau)
+	if s == 0 {
+		return 0
+	}
+	return float64(w) / float64(s)
+}
+
+func (g *Graph) String() string {
+	switch g.kind {
+	case kEmpty:
+		return "0"
+	case kVertex:
+		return "1"
+	case kSeq:
+		return fmt.Sprintf("(%s · %s)", g.left, g.right)
+	case kPar:
+		return fmt.Sprintf("(%s ∥ %s)", g.left, g.right)
+	}
+	return "?"
+}
+
+// Size returns the number of vertices (work at tau = 0).
+func (g *Graph) Size() int64 { return g.Work(0) }

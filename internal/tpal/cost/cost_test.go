@@ -1,0 +1,181 @@
+package cost
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	if Empty().Work(1) != 0 || Empty().Span(1) != 0 {
+		t.Fatal("empty graph has nonzero cost")
+	}
+	if Vertex().Work(1) != 1 || Vertex().Span(1) != 1 {
+		t.Fatal("vertex cost wrong")
+	}
+	g := Seq(Vertex(), Vertex())
+	if g.Work(1) != 2 || g.Span(1) != 2 {
+		t.Fatalf("seq: work %d span %d", g.Work(1), g.Span(1))
+	}
+	p := Par(Vertex(), Vertex())
+	if p.Work(5) != 7 { // τ + 1 + 1
+		t.Fatalf("par work %d", p.Work(5))
+	}
+	if p.Span(5) != 6 { // τ + max(1,1)
+		t.Fatalf("par span %d", p.Span(5))
+	}
+}
+
+func TestStraight(t *testing.T) {
+	g := Straight(1000)
+	if g.Work(1) != 1000 || g.Span(1) != 1000 {
+		t.Fatalf("straight(1000): %d, %d", g.Work(1), g.Span(1))
+	}
+	if g.Size() != 1000 {
+		t.Fatalf("size %d", g.Size())
+	}
+}
+
+func TestDeepGraphNoOverflow(t *testing.T) {
+	// One million sequential vertices would overflow a recursive
+	// evaluator's stack.
+	g := Straight(1_000_000)
+	if g.Work(1) != 1_000_000 {
+		t.Fatal("deep graph mis-measured")
+	}
+}
+
+func TestBalancedTreeSpan(t *testing.T) {
+	// A perfect binary fork tree of depth d over unit leaves:
+	// work = 2^d + (2^d - 1)·τ, span = d·τ + 1.
+	var build func(d int) *Graph
+	build = func(d int) *Graph {
+		if d == 0 {
+			return Vertex()
+		}
+		return Par(build(d-1), build(d-1))
+	}
+	const d, tau = 10, 3
+	g := build(d)
+	wantWork := int64(1<<d) + int64((1<<d)-1)*tau
+	wantSpan := int64(d*tau + 1)
+	if got := g.Work(tau); got != wantWork {
+		t.Errorf("work = %d, want %d", got, wantWork)
+	}
+	if got := g.Span(tau); got != wantSpan {
+		t.Errorf("span = %d, want %d", got, wantSpan)
+	}
+	// work/span = 4093/31 ≈ 132 at depth 10, τ 3.
+	if ap := g.AverageParallelism(tau); ap < 100 || ap > 160 {
+		t.Errorf("average parallelism = %f", ap)
+	}
+}
+
+// randomGraph builds a random series-parallel graph of bounded size.
+func randomGraph(rng *rand.Rand, depth int) *Graph {
+	if depth == 0 {
+		if rng.Intn(4) == 0 {
+			return Empty()
+		}
+		return Vertex()
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return Seq(randomGraph(rng, depth-1), randomGraph(rng, depth-1))
+	case 1:
+		return Par(randomGraph(rng, depth-1), randomGraph(rng, depth-1))
+	default:
+		return Vertex()
+	}
+}
+
+func quickGraphs(t *testing.T, f func(g *Graph, tau int64) bool) {
+	t.Helper()
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			vals[0] = reflect.ValueOf(randomGraph(rng, 1+rng.Intn(8)))
+			vals[1] = reflect.ValueOf(int64(rng.Intn(50)))
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Span(g) ≤ Work(g) for every graph and τ.
+func TestPropertySpanLEWork(t *testing.T) {
+	quickGraphs(t, func(g *Graph, tau int64) bool {
+		return g.Span(tau) <= g.Work(tau)
+	})
+}
+
+// Property: both measures are monotone in τ.
+func TestPropertyMonotoneInTau(t *testing.T) {
+	quickGraphs(t, func(g *Graph, tau int64) bool {
+		return g.Work(tau) <= g.Work(tau+1) && g.Span(tau) <= g.Span(tau+1)
+	})
+}
+
+// Property: at τ = 0 a parallel composition's work equals the sequential
+// composition's, while its span can only be smaller or equal.
+func TestPropertyParVsSeqAtZeroTau(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			vals[0] = reflect.ValueOf(randomGraph(rng, 1+rng.Intn(6)))
+			vals[1] = reflect.ValueOf(randomGraph(rng, 1+rng.Intn(6)))
+		},
+	}
+	f := func(a, b *Graph) bool {
+		return Par(a, b).Work(0) == Seq(a, b).Work(0) &&
+			Par(a, b).Span(0) <= Seq(a, b).Span(0)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: composition arithmetic matches the definitional equations.
+func TestPropertyCompositionEquations(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			vals[0] = reflect.ValueOf(randomGraph(rng, 1+rng.Intn(6)))
+			vals[1] = reflect.ValueOf(randomGraph(rng, 1+rng.Intn(6)))
+			vals[2] = reflect.ValueOf(int64(rng.Intn(20)))
+		},
+	}
+	maxI := func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	f := func(a, b *Graph, tau int64) bool {
+		seqOK := Seq(a, b).Work(tau) == a.Work(tau)+b.Work(tau) &&
+			Seq(a, b).Span(tau) == a.Span(tau)+b.Span(tau)
+		parOK := Par(a, b).Work(tau) == tau+a.Work(tau)+b.Work(tau) &&
+			Par(a, b).Span(tau) == tau+maxI(a.Span(tau), b.Span(tau))
+		return seqOK && parOK
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqN(t *testing.T) {
+	g := SeqN(Vertex(), Par(Vertex(), Vertex()), Vertex())
+	if g.Work(1) != 5 { // 1 + (1+1+1) + 1
+		t.Fatalf("SeqN work = %d", g.Work(1))
+	}
+}
+
+func TestString(t *testing.T) {
+	g := Seq(Vertex(), Par(Empty(), Vertex()))
+	want := "(1 · (0 ∥ 1))"
+	if got := g.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,181 @@
+package tpal
+
+import (
+	"strings"
+	"testing"
+)
+
+func block(l Label, ann Annotation, term Term, instrs ...Instr) *Block {
+	return &Block{Label: l, Ann: ann, Instrs: instrs, Term: term}
+}
+
+func TestNewProgramDuplicateLabel(t *testing.T) {
+	_, err := NewProgram("p", "a",
+		[]*Block{
+			block("a", Annotation{}, Term{Kind: THalt}),
+			block("a", Annotation{}, Term{Kind: THalt}),
+		})
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("expected duplicate-label error, got %v", err)
+	}
+}
+
+func TestNewProgramMissingEntry(t *testing.T) {
+	_, err := NewProgram("p", "nope",
+		[]*Block{block("a", Annotation{}, Term{Kind: THalt})})
+	if err == nil || !strings.Contains(err.Error(), "entry") {
+		t.Fatalf("expected missing-entry error, got %v", err)
+	}
+}
+
+func TestValidateUndefinedLabels(t *testing.T) {
+	cases := []struct {
+		name  string
+		block *Block
+	}{
+		{"jump", block("a", Annotation{}, Term{Kind: TJump, Val: L("ghost")})},
+		{"if-jump", block("a", Annotation{}, Term{Kind: THalt},
+			Instr{Kind: IIfJump, Src: "r", Val: L("ghost")})},
+		{"jralloc", block("a", Annotation{}, Term{Kind: THalt},
+			Instr{Kind: IJrAlloc, Dst: "j", Lbl: "ghost"})},
+		{"fork", block("a", Annotation{}, Term{Kind: THalt},
+			Instr{Kind: IFork, Src: "j", Val: L("ghost")})},
+		{"prppt", block("a", Annotation{Kind: AnnPrppt, Handler: "ghost"}, Term{Kind: THalt})},
+		{"jtppt", block("a", Annotation{Kind: AnnJtppt, Comb: "ghost"}, Term{Kind: THalt})},
+	}
+	for _, tc := range cases {
+		p, err := NewProgram("p", "a", []*Block{tc.block})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "ghost") {
+			t.Errorf("%s: expected undefined-label error, got %v", tc.name, err)
+		}
+	}
+}
+
+func TestValidateDeltaRDuplicateTarget(t *testing.T) {
+	p := MustProgram("p", "a", []*Block{
+		block("a", Annotation{
+			Kind:   AnnJtppt,
+			Comb:   "a",
+			DeltaR: []RegRename{{From: "x", To: "z"}, {From: "y", To: "z"}},
+		}, Term{Kind: THalt}),
+	})
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "two registers") {
+		t.Fatalf("expected duplicate ΔR target error, got %v", err)
+	}
+}
+
+func TestValidateNegativeOffsets(t *testing.T) {
+	p := MustProgram("p", "a", []*Block{
+		block("a", Annotation{}, Term{Kind: THalt},
+			Instr{Kind: ISAlloc, Src: "sp", Off: -3},
+			Instr{Kind: ILoad, Dst: "x", Src: "sp", Off: -1}),
+	})
+	err := p.Validate()
+	if err == nil {
+		t.Fatal("expected errors for negative counts/offsets")
+	}
+	if !strings.Contains(err.Error(), "negative cell count") || !strings.Contains(err.Error(), "negative offset") {
+		t.Fatalf("unexpected error content: %v", err)
+	}
+}
+
+func TestValidateCleanProgram(t *testing.T) {
+	p := MustProgram("p", "main", []*Block{
+		block("main", Annotation{}, Term{Kind: TJump, Val: L("loop")},
+			Instr{Kind: IMove, Dst: "r", Val: N(0)}),
+		block("loop", Annotation{Kind: AnnPrppt, Handler: "h"}, Term{Kind: THalt},
+			Instr{Kind: IIfJump, Src: "r", Val: L("main")}),
+		block("h", Annotation{}, Term{Kind: TJump, Val: L("loop")}),
+	})
+	if err := p.Validate(); err != nil {
+		t.Fatalf("clean program failed validation: %v", err)
+	}
+}
+
+func TestOpStringRoundTrip(t *testing.T) {
+	ops := []Op{OpAdd, OpSub, OpMul, OpDiv, OpMod, OpLt, OpLe, OpGt, OpGe, OpEq, OpNe, OpAnd, OpOr, OpXor, OpShl, OpShr}
+	for _, op := range ops {
+		got, ok := OpFromString(op.String())
+		if !ok || got != op {
+			t.Errorf("OpFromString(%q) = %v, %v", op.String(), got, ok)
+		}
+	}
+	if _, ok := OpFromString("@@"); ok {
+		t.Error("OpFromString accepted garbage")
+	}
+}
+
+func TestIsComparison(t *testing.T) {
+	for _, op := range []Op{OpLt, OpLe, OpGt, OpGe, OpEq, OpNe} {
+		if !op.IsComparison() {
+			t.Errorf("%s should be a comparison", op)
+		}
+	}
+	for _, op := range []Op{OpAdd, OpMul, OpShl} {
+		if op.IsComparison() {
+			t.Errorf("%s should not be a comparison", op)
+		}
+	}
+}
+
+func TestInstrStrings(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Kind: IMove, Dst: "r", Val: N(7)}, "r := 7"},
+		{Instr{Kind: IBinOp, Dst: "t", Op: OpLt, Src: "a", Val: N(2)}, "t := a < 2"},
+		{Instr{Kind: IIfJump, Src: "t", Val: L("exit")}, "if-jump t, exit"},
+		{Instr{Kind: IJrAlloc, Dst: "jr", Lbl: "exit"}, "jr := jralloc exit"},
+		{Instr{Kind: IFork, Src: "jr", Val: L("par")}, "fork jr, par"},
+		{Instr{Kind: ISNew, Dst: "sp"}, "sp := snew"},
+		{Instr{Kind: ISAlloc, Src: "sp", Off: 3}, "salloc sp, 3"},
+		{Instr{Kind: ISFree, Src: "sp", Off: 1}, "sfree sp, 1"},
+		{Instr{Kind: ILoad, Dst: "n", Src: "sp", Off: 2}, "n := mem[sp + 2]"},
+		{Instr{Kind: IStore, Src: "sp", Off: 0, Val: L("branch1")}, "mem[sp + 0] := branch1"},
+		{Instr{Kind: IPrmPush, Src: "sp", Off: 1}, "prmpush mem[sp + 1]"},
+		{Instr{Kind: IPrmPop, Src: "sp", Off: 1}, "prmpop mem[sp + 1]"},
+		{Instr{Kind: IPrmEmpty, Dst: "t", Src2: "sp"}, "t := prmempty sp"},
+		{Instr{Kind: IPrmSplit, Src: "sp", Src2: "top"}, "prmsplit sp, top"},
+	}
+	for _, tc := range cases {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("Instr.String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestAnnotationStrings(t *testing.T) {
+	if got := (Annotation{}).String(); got != "." {
+		t.Errorf("empty annotation = %q", got)
+	}
+	if got := (Annotation{Kind: AnnPrppt, Handler: "h"}).String(); got != "prppt h" {
+		t.Errorf("prppt = %q", got)
+	}
+	ann := Annotation{Kind: AnnJtppt, Policy: AssocComm, Comb: "comb",
+		DeltaR: []RegRename{{From: "r", To: "r2"}}}
+	if got := ann.String(); got != "jtppt assoc-comm; {r -> r2}; comb" {
+		t.Errorf("jtppt = %q", got)
+	}
+}
+
+func TestLabelsOrder(t *testing.T) {
+	p := MustProgram("p", "b", []*Block{
+		block("b", Annotation{}, Term{Kind: THalt}),
+		block("a", Annotation{}, Term{Kind: THalt}),
+		block("c", Annotation{}, Term{Kind: THalt}),
+	})
+	got := p.Labels()
+	want := []Label{"b", "a", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Labels() = %v, want %v", got, want)
+		}
+	}
+	if p.Block("a") == nil || p.Block("zzz") != nil {
+		t.Error("Block lookup wrong")
+	}
+}

@@ -1,0 +1,258 @@
+package machine
+
+import (
+	"tpal/internal/tpal"
+)
+
+// exec executes one non-terminator instruction and advances the program
+// counter.
+func (m *Machine) exec(t *Task, in tpal.Instr) error {
+	advance := func() { t.off++ }
+	switch in.Kind {
+	case tpal.IMove:
+		t.regs.Set(in.Dst, Resolve(t.regs, in.Val))
+		advance()
+		return nil
+
+	case tpal.IBinOp:
+		v, err := m.binop(t, in.Op, t.regs.Get(in.Src), Resolve(t.regs, in.Val))
+		if err != nil {
+			return err
+		}
+		t.regs.Set(in.Dst, v)
+		advance()
+		return nil
+
+	case tpal.IIfJump:
+		if t.regs.Get(in.Src).Truthy() {
+			target := Resolve(t.regs, in.Val)
+			if target.Kind != VLabel {
+				return m.failf(t, "if-jump target %s is not a label", target)
+			}
+			return m.jumpTo(t, target.Label)
+		}
+		advance()
+		return nil
+
+	case tpal.IJrAlloc:
+		// [jralloc]: a fresh record, initially closed (zero registered
+		// dependency edges).
+		cont := m.prog.Block(in.Lbl)
+		if cont == nil {
+			return m.failf(t, "jralloc of undefined continuation %q", in.Lbl)
+		}
+		if cont.Ann.Kind != tpal.AnnJtppt {
+			return m.failf(t, "jralloc continuation %q lacks a jtppt annotation", in.Lbl)
+		}
+		rec := &JoinRecord{id: m.nextJoin, Cont: in.Lbl}
+		m.nextJoin++
+		m.stats.JoinRecords++
+		t.regs.Set(in.Dst, JoinV(rec))
+		advance()
+		return nil
+
+	case tpal.IFork:
+		return m.execFork(t, in)
+
+	case tpal.ISNew:
+		t.regs.Set(in.Dst, PtrV(NewStack().Top()))
+		advance()
+		return nil
+
+	case tpal.ISAlloc:
+		p, err := m.ptrReg(t, in.Src)
+		if err != nil {
+			return err
+		}
+		np, err := p.Stack.Alloc(p, int(in.Off))
+		if err != nil {
+			return m.failf(t, "%v", err)
+		}
+		t.regs.Set(in.Src, PtrV(np))
+		advance()
+		return nil
+
+	case tpal.ISFree:
+		p, err := m.ptrReg(t, in.Src)
+		if err != nil {
+			return err
+		}
+		np, err := p.Stack.Free(p, int(in.Off))
+		if err != nil {
+			return m.failf(t, "%v", err)
+		}
+		t.regs.Set(in.Src, PtrV(np))
+		advance()
+		return nil
+
+	case tpal.ILoad:
+		p, err := m.ptrReg(t, in.Src)
+		if err != nil {
+			return err
+		}
+		v, err := p.Stack.Load(p, in.Off)
+		if err != nil {
+			return m.failf(t, "%v", err)
+		}
+		t.regs.Set(in.Dst, v)
+		advance()
+		return nil
+
+	case tpal.IStore:
+		p, err := m.ptrReg(t, in.Src)
+		if err != nil {
+			return err
+		}
+		if err := p.Stack.Store(p, in.Off, Resolve(t.regs, in.Val)); err != nil {
+			return m.failf(t, "%v", err)
+		}
+		advance()
+		return nil
+
+	case tpal.IPrmPush:
+		p, err := m.ptrReg(t, in.Src)
+		if err != nil {
+			return err
+		}
+		if err := p.Stack.PushMark(p, in.Off); err != nil {
+			return m.failf(t, "%v", err)
+		}
+		advance()
+		return nil
+
+	case tpal.IPrmPop:
+		p, err := m.ptrReg(t, in.Src)
+		if err != nil {
+			return err
+		}
+		if err := p.Stack.PopMark(p, in.Off); err != nil {
+			return m.failf(t, "%v", err)
+		}
+		advance()
+		return nil
+
+	case tpal.IPrmEmpty:
+		p, err := m.ptrReg(t, in.Src2)
+		if err != nil {
+			return err
+		}
+		// TPAL truth: 0 when the mark list is empty, 1 otherwise, so the
+		// idiomatic handler prologue "t := prmempty sp; if-jump t, abort"
+		// aborts the promotion attempt when there is nothing to promote.
+		if p.Stack.MarksEmpty(p) {
+			t.regs.Set(in.Dst, IntV(0))
+		} else {
+			t.regs.Set(in.Dst, IntV(1))
+		}
+		advance()
+		return nil
+
+	case tpal.IPrmSplit:
+		p, err := m.ptrReg(t, in.Src)
+		if err != nil {
+			return err
+		}
+		off, err := p.Stack.SplitOldestMark(p)
+		if err != nil {
+			return m.failf(t, "%v", err)
+		}
+		t.regs.Set(in.Src2, IntV(off))
+		advance()
+		return nil
+	}
+	return m.failf(t, "unknown instruction kind %d", in.Kind)
+}
+
+func (m *Machine) ptrReg(t *Task, r tpal.Reg) (Ptr, error) {
+	v := t.regs.Get(r)
+	if v.Kind != VPtr {
+		return Ptr{}, m.failf(t, "register %s holds %s, not a stack pointer", r, v)
+	}
+	return v.Ptr, nil
+}
+
+// binop evaluates a primitive operation. Integer arithmetic follows Go's
+// int64 semantics; comparisons produce TPAL truth values (0 = true).
+// Pointer ± integer performs stack-pointer arithmetic: adding moves
+// toward the base (older cells), mirroring a downward-growing stack.
+func (m *Machine) binop(t *Task, op tpal.Op, a, b Value) (Value, error) {
+	if a.Kind == VPtr || b.Kind == VPtr {
+		return m.ptrArith(t, op, a, b)
+	}
+	x, okA := a.AsInt()
+	y, okB := b.AsInt()
+	if !okA || !okB {
+		return Value{}, m.failf(t, "operator %s applied to %s and %s", op, a, b)
+	}
+	truth := func(cond bool) Value {
+		if cond {
+			return IntV(0)
+		}
+		return IntV(1)
+	}
+	switch op {
+	case tpal.OpAdd:
+		return IntV(x + y), nil
+	case tpal.OpSub:
+		return IntV(x - y), nil
+	case tpal.OpMul:
+		return IntV(x * y), nil
+	case tpal.OpDiv:
+		if y == 0 {
+			return Value{}, m.failf(t, "division by zero")
+		}
+		return IntV(x / y), nil
+	case tpal.OpMod:
+		if y == 0 {
+			return Value{}, m.failf(t, "modulo by zero")
+		}
+		return IntV(x % y), nil
+	case tpal.OpLt:
+		return truth(x < y), nil
+	case tpal.OpLe:
+		return truth(x <= y), nil
+	case tpal.OpGt:
+		return truth(x > y), nil
+	case tpal.OpGe:
+		return truth(x >= y), nil
+	case tpal.OpEq:
+		return truth(x == y), nil
+	case tpal.OpNe:
+		return truth(x != y), nil
+	case tpal.OpAnd:
+		return IntV(x & y), nil
+	case tpal.OpOr:
+		return IntV(x | y), nil
+	case tpal.OpXor:
+		return IntV(x ^ y), nil
+	case tpal.OpShl:
+		return IntV(x << uint64(y)), nil
+	case tpal.OpShr:
+		return IntV(x >> uint64(y)), nil
+	}
+	return Value{}, m.failf(t, "unknown operator %s", op)
+}
+
+func (m *Machine) ptrArith(t *Task, op tpal.Op, a, b Value) (Value, error) {
+	switch {
+	case a.Kind == VPtr && b.Kind != VPtr:
+		n, ok := b.AsInt()
+		if !ok {
+			return Value{}, m.failf(t, "pointer arithmetic with non-integer %s", b)
+		}
+		switch op {
+		case tpal.OpAdd:
+			return PtrV(Ptr{Stack: a.Ptr.Stack, Abs: a.Ptr.Abs - int(n)}), nil
+		case tpal.OpSub:
+			return PtrV(Ptr{Stack: a.Ptr.Stack, Abs: a.Ptr.Abs + int(n)}), nil
+		}
+	case a.Kind == VPtr && b.Kind == VPtr && a.Ptr.Stack == b.Ptr.Stack:
+		// Pointer difference: the offset of b relative to a, such that
+		// a + (a - b)... not needed by the paper's programs, but cheap to
+		// support: a - b yields the relative offset of b from a.
+		if op == tpal.OpSub {
+			return IntV(int64(a.Ptr.Abs - b.Ptr.Abs)), nil
+		}
+	}
+	return Value{}, m.failf(t, "unsupported pointer operation %s on %s and %s", op, a, b)
+}

@@ -1,0 +1,148 @@
+package machine
+
+import (
+	"tpal/internal/tpal"
+)
+
+// execFork implements the fork instruction: register a dependency edge on
+// the join record, spawn a child task with a copy of the parent's
+// register file starting at the target block, and let the parent continue
+// at its next instruction. Both restart their heartbeat cycle counters,
+// matching the [fork] rule, whose parent and child subderivations begin
+// with ⋄ = 0.
+func (m *Machine) execFork(t *Task, in tpal.Instr) error {
+	jv := t.regs.Get(in.Src)
+	if jv.Kind != VJoin {
+		return m.failf(t, "fork join-record argument %s holds %s, not a join record", in.Src, jv)
+	}
+	target := Resolve(t.regs, in.Val)
+	if target.Kind != VLabel {
+		return m.failf(t, "fork target %s is not a label", target)
+	}
+	block := m.prog.Block(target.Label)
+	if block == nil {
+		return m.failf(t, "fork to undefined label %q", target.Label)
+	}
+
+	rec := jv.Join
+	edge := &joinEdge{rec: rec, up: t.edge, upSide: t.side}
+	rec.edges++
+
+	// Cost semantics (Figure 28): each fork-join pair is weighted τ; both
+	// branches of the parallel composition start from the parent's span
+	// plus τ.
+	m.stats.Work += m.cfg.Tau
+	base := t.span + m.cfg.Tau
+
+	child := &Task{
+		id:   m.nextTask,
+		regs: t.regs.Clone(),
+		edge: edge,
+		side: childSide,
+		span: base,
+	}
+	m.nextTask++
+	m.stats.TasksCreated++
+	m.stats.Forks++
+	child.label, child.block = block.Label, block
+	m.addTask(child)
+	m.traceTask(child, TraceTaskStart)
+
+	t.edge, t.side = edge, parentSide
+	t.cycles = 0
+	t.span = base
+	t.off++
+	return nil
+}
+
+// execTerm executes a block terminator.
+func (m *Machine) execTerm(t *Task, term tpal.Term) error {
+	switch term.Kind {
+	case tpal.TJump:
+		target := Resolve(t.regs, term.Val)
+		if target.Kind != VLabel {
+			return m.failf(t, "jump target %s is not a label", target)
+		}
+		return m.jumpTo(t, target.Label)
+
+	case tpal.THalt:
+		m.halted = true
+		m.finalRegs = t.regs
+		m.stats.Span = t.span
+		return nil
+
+	case tpal.TJoin:
+		return m.execJoin(t, term)
+	}
+	return m.failf(t, "unknown terminator kind %d", term.Kind)
+}
+
+// execJoin implements the join instruction's three-way behavior:
+//
+//   - [join-block]: the task is the first of its edge's pair to arrive.
+//     It stashes its register file in the join record's tree and
+//     terminates.
+//   - pair completion: the task is the second to arrive. Register files
+//     merge per the ΔR of the continuation block's jtppt annotation, and
+//     the task continues as the combining block one level up the fork
+//     tree.
+//   - [join-continue]: the task holds no unresolved edge on this record;
+//     the record is closed, and control transfers to the record's
+//     continuation block.
+func (m *Machine) execJoin(t *Task, term tpal.Term) error {
+	jv := Resolve(t.regs, term.Val)
+	if jv.Kind != VJoin {
+		return m.failf(t, "join argument %s is not a join record", jv)
+	}
+	rec := jv.Join
+	m.stats.Joins++
+
+	if t.edge == nil || t.edge.rec != rec {
+		// [join-continue]: every edge this task participated in on rec is
+		// resolved; the join point is closed and the continuation runs in
+		// this task.
+		return m.jumpTo(t, rec.Cont)
+	}
+
+	edge := t.edge
+	if !edge.arrived {
+		// [join-block]: first arriver stashes and terminates.
+		edge.arrived = true
+		edge.stashedRegs = t.regs
+		edge.stashedSide = t.side
+		edge.stashedSpan = t.span
+		m.removeTask(t)
+		m.traceTask(t, TraceTaskEnd)
+		return nil
+	}
+
+	// Second arriver: resolve the edge.
+	if edge.stashedSide == t.side {
+		return m.failf(t, "join edge resolved twice from the %s side", t.side)
+	}
+	cont := m.prog.Block(rec.Cont)
+	if cont == nil || cont.Ann.Kind != tpal.AnnJtppt {
+		return m.failf(t, "join continuation %q lacks a jtppt annotation", rec.Cont)
+	}
+	var parentRegs, childRegs RegFile
+	if t.side == parentSide {
+		parentRegs, childRegs = t.regs, edge.stashedRegs
+	} else {
+		parentRegs, childRegs = edge.stashedRegs, t.regs
+	}
+	merged := MergeR(parentRegs, childRegs, cont.Ann.DeltaR)
+
+	rec.edges--
+	// The surviving task becomes the combining task: it runs the
+	// combining block with the merged register file, resuming the
+	// parent's position in the fork tree.
+	t.regs = merged
+	t.edge = edge.up
+	t.side = edge.upSide
+	t.cycles = 0
+	if edge.stashedSpan > t.span {
+		t.span = edge.stashedSpan
+	}
+	m.stats.TasksCreated++ // the combine continuation counts as a scheduled task
+	return m.jumpTo(t, cont.Ann.Comb)
+}

@@ -1,0 +1,61 @@
+package machine
+
+import "tpal/internal/tpal"
+
+// JoinRecord is the synchronization object allocated by jralloc. A record
+// carries the label of the continuation block to run once every task
+// registered on the record has joined. One record can synchronize an
+// arbitrary number of forks (for example, every promotion of a parallel
+// loop shares the record allocated at the loop's first promotion).
+//
+// The TPAL runtime "keeps a record of the tree induced by the fork
+// instructions" (§2.2); that tree is represented here by joinEdge values.
+// Each fork adds one edge between the forking task and its child. Join
+// resolution is pairwise along edges: the first of the pair to join
+// stashes its register file and terminates; the second merges register
+// files per the ΔR of the continuation block's jtppt annotation and runs
+// the combining block one level up the tree.
+type JoinRecord struct {
+	id    int
+	Cont  tpal.Label
+	edges int // outstanding (unresolved) edges, for accounting/tests
+}
+
+// ID returns the record's allocation sequence number.
+func (j *JoinRecord) ID() int { return j.id }
+
+// PendingEdges returns the number of unresolved fork edges registered on
+// the record.
+func (j *JoinRecord) PendingEdges() int { return j.edges }
+
+// joinEdge is one parent↔child dependency edge in a record's fork tree.
+type joinEdge struct {
+	rec *JoinRecord
+
+	// up is the edge the forking task was participating in when it issued
+	// the fork, and upSide that task's role in it. The combining task
+	// produced by resolving this edge resumes participation at (up,
+	// upSide).
+	up     *joinEdge
+	upSide side
+
+	arrived     bool
+	stashedRegs RegFile
+	stashedSide side
+	stashedSpan int64
+}
+
+// side is a task's role on a join edge.
+type side uint8
+
+const (
+	parentSide side = iota
+	childSide
+)
+
+func (s side) String() string {
+	if s == parentSide {
+		return "parent"
+	}
+	return "child"
+}

@@ -1,0 +1,301 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"tpal/internal/tpal"
+)
+
+// SchedulePolicy selects how the machine interleaves runnable tasks.
+type SchedulePolicy uint8
+
+// Scheduling policies.
+const (
+	// Lockstep steps every runnable task once per round, modeling
+	// synchronous parallel execution. It is deterministic.
+	Lockstep SchedulePolicy = iota
+	// RandomOrder steps one task per step, chosen by a seeded RNG,
+	// modeling an arbitrary fair interleaving.
+	RandomOrder
+	// DepthFirst always steps the most recently created runnable task,
+	// modeling a single worker that eagerly follows children.
+	DepthFirst
+)
+
+// Config configures a machine run.
+type Config struct {
+	// Heartbeat is ♥, the promotion threshold, measured in executed
+	// instructions (the abstract machine's cycle counter increments once
+	// per instruction). Zero or negative disables heartbeat interrupts
+	// entirely, yielding the serial elaboration of the program.
+	Heartbeat int64
+	// SignalPeriod, when positive, models OS-signal delivery with
+	// rollforward semantics (§3.2): every SignalPeriod instructions a
+	// signal is delivered to the running task at whatever instruction it
+	// happens to be executing, and — as rollforward compilation
+	// guarantees — the interrupt is serviced at the next
+	// promotion-ready program point the task's control flow enters.
+	// Independent of Heartbeat; both may be active.
+	SignalPeriod int64
+	// Tau is τ, the cost charged to each fork-join pair by the cost
+	// semantics of Figure 28. Defaults to 1 when zero.
+	Tau int64
+	// MaxSteps bounds total executed instructions as a runaway guard.
+	// Defaults to 100 million when zero.
+	MaxSteps int64
+	// Schedule selects the interleaving policy; Seed seeds RandomOrder.
+	Schedule SchedulePolicy
+	Seed     int64
+	// Regs is the initial register file of the root task.
+	Regs RegFile
+	// Trace, when set, receives one event per machine transition plus
+	// task lifecycle events — the Appendix D execution-trace view. Use
+	// WriteTrace to render to a writer.
+	Trace func(TraceEvent)
+}
+
+// Stats aggregates execution statistics, including the cost-semantics
+// work and span of the executed computation.
+type Stats struct {
+	Steps            int64 // total machine transitions (instructions + terminators)
+	Work             int64 // cost-semantics work: instructions plus τ per fork
+	Span             int64 // cost-semantics span of the halting path's DAG
+	Forks            int64 // fork instructions executed (= promotions that created a task)
+	Joins            int64 // join instructions executed
+	HandlerRuns      int64 // heartbeat interrupts serviced (handler entries)
+	SignalsDelivered int64 // OS signals delivered under rollforward semantics
+	JoinRecords      int64 // jralloc instructions executed
+	MaxLiveTasks     int   // peak size of the runnable task set
+	TasksCreated     int64 // total tasks ever created (root + forked children + combine continuations)
+}
+
+// Result is the outcome of a machine run: the register file of the task
+// that executed halt, plus statistics.
+type Result struct {
+	Regs  RegFile
+	Stats Stats
+}
+
+// Task is one concurrent TPAL task: a program counter (block label +
+// instruction offset), a heartbeat cycle counter ⋄, a private register
+// file, and its position in the fork tree.
+type Task struct {
+	id     int
+	label  tpal.Label
+	block  *tpal.Block
+	off    int // index into block.Instrs; len(Instrs) addresses the terminator
+	cycles int64
+	regs   RegFile
+	edge   *joinEdge
+	side   side
+	span   int64 // cost-semantics span accumulated along this task's path
+
+	// Signal-delivery (rollforward) state: sinceSignal counts
+	// instructions since the last delivery; pendingSignal records a
+	// delivered but not yet serviced signal, consumed at the next
+	// promotion-ready program point.
+	sinceSignal   int64
+	pendingSignal bool
+}
+
+// ID returns the task's creation sequence number.
+func (t *Task) ID() int { return t.id }
+
+// Machine executes a TPAL program under heartbeat scheduling.
+type Machine struct {
+	prog *tpal.Program
+	cfg  Config
+
+	tasks    []*Task
+	nextTask int
+	nextJoin int
+	rng      *rand.Rand
+
+	halted    bool
+	finalRegs RegFile
+	stats     Stats
+}
+
+// New creates a machine for the program. The program is validated first.
+func New(prog *tpal.Program, cfg Config) (*Machine, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Tau == 0 {
+		cfg.Tau = 1
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 100_000_000
+	}
+	m := &Machine{
+		prog: prog,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+	regs := cfg.Regs
+	if regs == nil {
+		regs = make(RegFile)
+	} else {
+		regs = regs.Clone()
+	}
+	root := &Task{id: m.nextTask, regs: regs}
+	m.nextTask++
+	m.stats.TasksCreated++
+	entry := prog.Block(prog.Entry)
+	root.label, root.block = entry.Label, entry
+	m.tasks = []*Task{root}
+	m.stats.MaxLiveTasks = 1
+	return m, nil
+}
+
+// Run executes a program to completion and returns the halting task's
+// register file and statistics.
+func Run(prog *tpal.Program, cfg Config) (Result, error) {
+	m, err := New(prog, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return m.Run()
+}
+
+// ErrMachine is the class of dynamic machine errors (stuck states).
+var ErrMachine = errors.New("tpal machine error")
+
+// ErrMaxSteps reports that the step bound was exhausted.
+var ErrMaxSteps = errors.New("tpal machine: maximum step count exceeded")
+
+func (m *Machine) failf(t *Task, format string, args ...any) error {
+	loc := fmt.Sprintf("task %d at %s[%d]", t.id, t.label, t.off)
+	return fmt.Errorf("%w: %s: %s", ErrMachine, loc, fmt.Sprintf(format, args...))
+}
+
+// Run drives the machine until halt, deadlock-free completion of all
+// tasks, or an error.
+func (m *Machine) Run() (Result, error) {
+	for !m.halted && len(m.tasks) > 0 {
+		if m.stats.Steps >= m.cfg.MaxSteps {
+			return Result{}, ErrMaxSteps
+		}
+		var err error
+		switch m.cfg.Schedule {
+		case Lockstep:
+			// Snapshot the runnable set: tasks forked this round run
+			// starting next round, and tasks that die are skipped via
+			// the alive check inside step.
+			round := make([]*Task, len(m.tasks))
+			copy(round, m.tasks)
+			for _, t := range round {
+				if m.halted {
+					break
+				}
+				if !m.alive(t) {
+					continue
+				}
+				if err = m.step(t); err != nil {
+					return Result{}, err
+				}
+			}
+		case RandomOrder:
+			t := m.tasks[m.rng.Intn(len(m.tasks))]
+			err = m.step(t)
+		case DepthFirst:
+			t := m.tasks[len(m.tasks)-1]
+			err = m.step(t)
+		default:
+			return Result{}, fmt.Errorf("%w: unknown schedule policy %d", ErrMachine, m.cfg.Schedule)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	if !m.halted {
+		return Result{}, fmt.Errorf("%w: all tasks terminated without executing halt", ErrMachine)
+	}
+	return Result{Regs: m.finalRegs, Stats: m.stats}, nil
+}
+
+func (m *Machine) alive(t *Task) bool {
+	for _, u := range m.tasks {
+		if u == t {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Machine) removeTask(t *Task) {
+	for i, u := range m.tasks {
+		if u == t {
+			m.tasks = append(m.tasks[:i], m.tasks[i+1:]...)
+			return
+		}
+	}
+}
+
+func (m *Machine) addTask(t *Task) {
+	m.tasks = append(m.tasks, t)
+	if len(m.tasks) > m.stats.MaxLiveTasks {
+		m.stats.MaxLiveTasks = len(m.tasks)
+	}
+}
+
+// jumpTo transfers a task's control to the head of a block.
+func (m *Machine) jumpTo(t *Task, l tpal.Label) error {
+	b := m.prog.Block(l)
+	if b == nil {
+		return m.failf(t, "jump to undefined label %q", l)
+	}
+	t.label, t.block, t.off = l, b, 0
+	return nil
+}
+
+// promotionReady implements the PromotionReady metafunction of Figure 27:
+// control is at a block head, the block is a promotion-ready program
+// point, and either the cycle counter has passed the heartbeat threshold
+// or a delivered OS signal is pending under rollforward semantics.
+func (m *Machine) promotionReady(t *Task) bool {
+	if t.off != 0 || t.block.Ann.Kind != tpal.AnnPrppt {
+		return false
+	}
+	if m.cfg.Heartbeat > 0 && t.cycles > m.cfg.Heartbeat {
+		return true
+	}
+	return t.pendingSignal
+}
+
+// step executes one machine transition for t: either the try-promote
+// rule (redirecting control to the heartbeat handler) or one instruction
+// or terminator.
+func (m *Machine) step(t *Task) error {
+	m.stats.Steps++
+	if m.promotionReady(t) {
+		// [try-promote]: control flows to the handler block with a fresh
+		// cycle counter; the handler itself costs the one transition.
+		m.tracePromotion(t)
+		m.stats.HandlerRuns++
+		t.cycles = 0
+		t.pendingSignal = false
+		t.span++
+		m.stats.Work++
+		return m.jumpTo(t, t.block.Ann.Handler)
+	}
+	m.traceStep(t)
+	t.cycles++
+	t.span++
+	m.stats.Work++
+	if m.cfg.SignalPeriod > 0 {
+		// Rollforward delivery: the signal arrives here, mid-block, and
+		// is remembered until the next promotion-ready point.
+		if t.sinceSignal++; t.sinceSignal >= m.cfg.SignalPeriod {
+			t.sinceSignal = 0
+			t.pendingSignal = true
+			m.stats.SignalsDelivered++
+		}
+	}
+	if t.off < len(t.block.Instrs) {
+		return m.exec(t, t.block.Instrs[t.off])
+	}
+	return m.execTerm(t, t.block.Term)
+}

@@ -1,0 +1,168 @@
+package machine
+
+import (
+	"testing"
+
+	"tpal/internal/tpal/asm"
+)
+
+const signalLoopSrc = `
+program p entry m
+block m [.] {
+  a := 3000
+  r := 0
+  jump loop
+}
+block exit [jtppt assoc-comm; {r -> r2}; comb] {
+  c := r
+  halt
+}
+block loop [prppt try]  {
+  if-jump a, exit
+  r := r + 2
+  a := a - 1
+  jump loop
+}
+block try [.] {
+  t := a < 2
+  if-jump t, loop
+  jr := jralloc exit
+  jump promote
+}
+block try-par [.] {
+  t := a < 2
+  if-jump t, loop-par
+  jump promote
+}
+block promote [.] {
+  m2 := a / 2
+  n2 := a % 2
+  a := m2
+  tr := r
+  r := 0
+  fork jr, loop-par
+  a := m2 + n2
+  r := tr
+  jump loop-par
+}
+block loop-par [prppt try-par] {
+  if-jump a, exit-par
+  r := r + 2
+  a := a - 1
+  jump loop-par
+}
+block comb [.] {
+  r := r + r2
+  join jr
+}
+block exit-par [.] {
+  join jr
+}
+`
+
+func TestSignalModeProducesCorrectResult(t *testing.T) {
+	p, err := asm.Parse(signalLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, period := range []int64{25, 100, 1000} {
+		for _, sched := range []SchedulePolicy{Lockstep, RandomOrder, DepthFirst} {
+			res, err := Run(p, Config{SignalPeriod: period, Schedule: sched, Seed: period})
+			if err != nil {
+				t.Fatalf("period %d sched %d: %v", period, sched, err)
+			}
+			if got := res.Regs.Get("c"); got.Int != 6000 {
+				t.Errorf("period %d sched %d: c = %v, want 6000", period, sched, got)
+			}
+			if res.Stats.SignalsDelivered == 0 {
+				t.Errorf("period %d: no signals delivered", period)
+			}
+			if res.Stats.HandlerRuns == 0 {
+				t.Errorf("period %d: signals never serviced at a promotion point", period)
+			}
+		}
+	}
+}
+
+func TestSignalDeferredToPromotionPoint(t *testing.T) {
+	// A long straight-line stretch with no promotion-ready points: the
+	// signal is delivered inside it but the handler must not run until
+	// control enters a prppt block.
+	src := `
+program p entry m
+block m [.] {
+  n := 200
+  jump straight
+}
+block straight [.] {
+  x := 1
+  x := x + 1
+  x := x + 1
+  x := x + 1
+  x := x + 1
+  x := x + 1
+  x := x + 1
+  x := x + 1
+  n := n - 1
+  if-jump n, annotated
+  jump straight
+}
+block annotated [prppt h] {
+  halt
+}
+block h [.] {
+  hran := 1
+  jump out
+}
+block out [.] {
+  halt
+}
+`
+	p, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Signal period far smaller than the straight stretch: many signals
+	// delivered, but at most one service — at the single prppt entry.
+	res, err := Run(p, Config{SignalPeriod: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SignalsDelivered < 100 {
+		t.Fatalf("SignalsDelivered = %d", res.Stats.SignalsDelivered)
+	}
+	if res.Stats.HandlerRuns != 1 {
+		t.Fatalf("HandlerRuns = %d, want exactly 1 (deferred service)", res.Stats.HandlerRuns)
+	}
+	if res.Regs.Get("hran").Int != 1 {
+		t.Fatal("handler did not run at the promotion point")
+	}
+}
+
+func TestSignalAndHeartbeatCompose(t *testing.T) {
+	p, err := asm.Parse(signalLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, Config{Heartbeat: 500, SignalPeriod: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Regs.Get("c"); got.Int != 6000 {
+		t.Fatalf("c = %v", got)
+	}
+}
+
+func TestSignalModeOffByDefault(t *testing.T) {
+	p, err := asm.Parse(signalLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SignalsDelivered != 0 || res.Stats.HandlerRuns != 0 {
+		t.Fatalf("signals active by default: %+v", res.Stats)
+	}
+}

@@ -1,0 +1,89 @@
+package machine
+
+import (
+	"fmt"
+	"io"
+
+	"tpal/internal/tpal"
+)
+
+// TraceEvent describes one machine transition, in the style of the
+// paper's Appendix D execution traces: which task, its cycle counter ⋄,
+// the program point, and the instruction about to execute (or the
+// special promotion-redirect event).
+type TraceEvent struct {
+	Task    int
+	Cycles  int64
+	Label   tpal.Label
+	Offset  int
+	Instr   string // rendered instruction or terminator
+	Kind    TraceKind
+	Handler tpal.Label // for TracePromotion: the handler entered
+}
+
+// TraceKind classifies trace events.
+type TraceKind uint8
+
+// Trace event kinds.
+const (
+	TraceInstr TraceKind = iota
+	TraceTerm
+	TracePromotion
+	TraceTaskStart
+	TraceTaskEnd
+)
+
+func (e TraceEvent) String() string {
+	switch e.Kind {
+	case TracePromotion:
+		return fmt.Sprintf("task %d  ⋄=%-5d %s[%d]  --heartbeat--> %s", e.Task, e.Cycles, e.Label, e.Offset, e.Handler)
+	case TraceTaskStart:
+		return fmt.Sprintf("task %d  spawned at %s", e.Task, e.Label)
+	case TraceTaskEnd:
+		return fmt.Sprintf("task %d  terminated", e.Task)
+	default:
+		return fmt.Sprintf("task %d  ⋄=%-5d %s[%d]  %s", e.Task, e.Cycles, e.Label, e.Offset, e.Instr)
+	}
+}
+
+// WriteTrace returns a trace hook that renders events to w, one per
+// line, suitable for Config.Trace.
+func WriteTrace(w io.Writer) func(TraceEvent) {
+	return func(e TraceEvent) {
+		fmt.Fprintln(w, e.String())
+	}
+}
+
+// traceStep emits the instruction-level event for the transition t is
+// about to take.
+func (m *Machine) traceStep(t *Task) {
+	if m.cfg.Trace == nil {
+		return
+	}
+	e := TraceEvent{Task: t.id, Cycles: t.cycles, Label: t.label, Offset: t.off}
+	if t.off < len(t.block.Instrs) {
+		e.Kind = TraceInstr
+		e.Instr = t.block.Instrs[t.off].String()
+	} else {
+		e.Kind = TraceTerm
+		e.Instr = t.block.Term.String()
+	}
+	m.cfg.Trace(e)
+}
+
+func (m *Machine) tracePromotion(t *Task) {
+	if m.cfg.Trace == nil {
+		return
+	}
+	m.cfg.Trace(TraceEvent{
+		Task: t.id, Cycles: t.cycles, Label: t.label, Offset: t.off,
+		Kind: TracePromotion, Handler: t.block.Ann.Handler,
+	})
+}
+
+func (m *Machine) traceTask(t *Task, kind TraceKind) {
+	if m.cfg.Trace == nil {
+		return
+	}
+	m.cfg.Trace(TraceEvent{Task: t.id, Label: t.label, Kind: kind})
+}

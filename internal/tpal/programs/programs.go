@@ -1,0 +1,452 @@
+// Package programs contains the paper's example TPAL programs — prod
+// (Figure 2 / Figures 32–34), pow (Figures 16–19), and fib (Figures
+// 20–23) — in the textual assembler syntax, together with small wrappers
+// that run them on the abstract machine.
+//
+// Two places where the paper's listings are reconstructed rather than
+// copied verbatim:
+//
+//   - pow (Figure 18) reuses the block names loop-try-promote and
+//     loop-par-try-promote both for its outer-first wrapper handlers and
+//     for prod's original inner handlers, which cannot coexist in one
+//     program. The wrappers are named inner-try-promote and
+//     inner-par-try-promote here; the pabort register then points at
+//     prod's original handlers exactly as the figure intends.
+//
+//   - fib (Figure 23) keeps the promotion's join record only in the jr
+//     register and reads sp-top in joink. With more than one outstanding
+//     promotion per task both are stale by the time the older frame
+//     unwinds. Following the paper's own remark that the semantics is
+//     "prescriptive only for the high-level behavior of the stack", the
+//     handler here stashes the fresh join record in the promoted frame's
+//     dead mark cell (mem[frame + 1]), and joink reloads it from there
+//     (the stack pointer already addresses the frame when retk dispatches
+//     to joink, so sp-top is not needed either).
+package programs
+
+import (
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/asm"
+)
+
+// ProdSource is the textual TPAL source of the prod program, computing
+// c = a * b by repeated addition with a heartbeat-promotable loop. Entry
+// registers: a, b. Result register: c.
+const ProdSource = `
+program prod entry main
+
+// Wrapper: set the return continuation and run prod.
+block main [.] {
+  ret := done
+  jump prod
+}
+
+block done [.] {
+  halt
+}
+
+// Serial blocks (Figure 32). With heartbeat disabled these are the whole
+// program.
+block prod [.] {
+  r := 0
+  jump loop
+}
+
+block exit [jtppt assoc-comm; {r -> r2}; comb] {
+  c := r
+  jump ret
+}
+
+block loop [prppt loop-try-promote] {
+  if-jump a, exit
+  r := r + b
+  a := a - 1
+  jump loop
+}
+
+// Promotion handlers (Figure 33).
+block loop-try-promote [.] {
+  t := a < 2
+  if-jump t, loop
+  jr := jralloc exit
+  jump loop-promote
+}
+
+block loop-par-try-promote [.] {
+  t := a < 2
+  if-jump t, loop-par
+  jump loop-promote
+}
+
+block loop-promote [.] {
+  m := a / 2
+  n := a % 2
+  a := m
+  tr := r
+  r := 0
+  fork jr, loop-par
+  a := m + n
+  r := tr
+  jump loop-par
+}
+
+// Parallel blocks (Figure 34).
+block loop-par [prppt loop-par-try-promote] {
+  if-jump a, exit-par
+  r := r + b
+  a := a - 1
+  jump loop-par
+}
+
+block comb [.] {
+  r := r + r2
+  join jr
+}
+
+block exit-par [.] {
+  join jr
+}
+`
+
+// PowSource is the textual TPAL source of the pow program, computing
+// f = d^e by nesting prod inside an outer loop, with the
+// outer-most-first promotion policy of heartbeat scheduling (Figures
+// 16–19). Entry registers: d, e. Result register: f.
+const PowSource = `
+program pow entry main
+
+block main [.] {
+  pret := done
+  jump pow
+}
+
+block done [.] {
+  halt
+}
+
+// ---- Sequential outer blocks (Figure 17) ----
+
+block pow [.] {
+  pr := 1
+  pjr := 0
+  jump ploop
+}
+
+block pexit [jtppt assoc-comm; {pr -> pr2}; pcomb] {
+  f := pr
+  jump pret
+}
+
+block ploop [prppt ptry-promote] {
+  if-jump e, pexit
+  a := d
+  b := pr
+  ret := ploop-cont
+  jump prod
+}
+
+block ploop-cont [.] {
+  pr := c
+  e := e - 1
+  jump ploop
+}
+
+// ---- Outer-first promotion wrappers (Figure 18) ----
+// Each wrapper records where to resume on abort (pabort) and where the
+// outer promotion should send the parent afterwards
+// (ploop-promote-cont), then tries the outer loop first.
+
+block ptry-promote [.] {
+  pabort := ploop
+  ploop-promote-cont := ploop-par
+  if-jump pjr, ploop-try-promote
+  pabort := ploop-par
+  jump ploop-par-try-promote
+}
+
+block inner-try-promote [.] {
+  pabort := loop-try-promote
+  ploop-promote-cont := loop
+  if-jump pjr, ploop-try-promote
+  jump ploop-par-try-promote
+}
+
+block inner-par-try-promote [.] {
+  pabort := loop-par-try-promote
+  ploop-promote-cont := loop-par
+  if-jump pjr, ploop-try-promote
+  jump ploop-par-try-promote
+}
+
+block ploop-try-promote [.] {
+  t := e < 2
+  if-jump t, pabort
+  pjr := jralloc pexit
+  jump ploop-promote
+}
+
+block ploop-par-try-promote [.] {
+  t := e < 2
+  if-jump t, pabort
+  jump ploop-promote
+}
+
+block ploop-promote [.] {
+  m := e / 2
+  n := e % 2
+  e := m
+  tr := pr
+  pr := 1
+  ret := ploop-par-cont  // redirects the parent's inner return into the parallel outer loop
+  fork pjr, ploop-par
+  e := m + n
+  pr := tr
+  jump ploop-promote-cont
+}
+
+// ---- Parallel outer blocks (Figure 19) ----
+
+block pcomb [.] {
+  pr := pr * pr2
+  join pjr
+}
+
+block ploop-par [prppt ptry-promote] {
+  if-jump e, pjoin
+  a := d
+  b := pr
+  ret := ploop-par-cont
+  jump prod
+}
+
+block ploop-par-cont [.] {
+  pr := c
+  e := e - 1
+  jump ploop-par
+}
+
+block pjoin [.] {
+  join pjr
+}
+
+// ---- Inner prod, with handlers redirected outer-first ----
+
+block prod [.] {
+  r := 0
+  jump loop
+}
+
+block exit [jtppt assoc-comm; {r -> r2}; comb] {
+  c := r
+  jump ret
+}
+
+block loop [prppt inner-try-promote] {
+  if-jump a, exit
+  r := r + b
+  a := a - 1
+  jump loop
+}
+
+block loop-try-promote [.] {
+  t := a < 2
+  if-jump t, loop
+  jr := jralloc exit
+  jump loop-promote
+}
+
+block loop-par-try-promote [.] {
+  t := a < 2
+  if-jump t, loop-par
+  jump loop-promote
+}
+
+block loop-promote [.] {
+  m := a / 2
+  n := a % 2
+  a := m
+  tr := r
+  r := 0
+  fork jr, loop-par
+  a := m + n
+  r := tr
+  jump loop-par
+}
+
+block loop-par [prppt inner-par-try-promote] {
+  if-jump a, exit-par
+  r := r + b
+  a := a - 1
+  jump loop-par
+}
+
+block comb [.] {
+  r := r + r2
+  join jr
+}
+
+block exit-par [.] {
+  join jr
+}
+`
+
+// FibSource is the textual TPAL source of the recursive fib program
+// (Figures 20–23), using the stack extension and the promotion-ready
+// mark list. Entry register: n. Result register: f.
+const FibSource = `
+program fib entry main
+
+block main [.] {
+  ret := done
+  sp := snew
+  jump fib
+}
+
+block done [.] {
+  halt
+}
+
+// ---- Sequential blocks (Figure 22) ----
+
+block fib [.] {
+  salloc sp, 1
+  mem[sp + 0] := exit
+  jump loop
+}
+
+block exit [.] {
+  sfree sp, 1
+  jump ret
+}
+
+block loop [prppt loop-try-promote] {
+  f := n
+  t := n < 2
+  if-jump t, retk
+  f := 0
+  salloc sp, 3
+  mem[sp + 0] := branch1
+  t := n - 2
+  prmpush mem[sp + 1]
+  mem[sp + 2] := t
+  n := n - 1
+  jump loop
+}
+
+block retk [jtppt assoc-comm; {f -> f2}; comb] {
+  t := mem[sp + 0]
+  jump t
+}
+
+block branch1 [.] {
+  mem[sp + 0] := branch2
+  prmpop mem[sp + 1]
+  n := mem[sp + 2]
+  mem[sp + 2] := f
+  jump loop
+}
+
+block branch2 [.] {
+  t := mem[sp + 2]
+  f := f + t
+  sfree sp, 3
+  jump retk
+}
+
+// ---- Promotion handlers (Figure 23) ----
+// The promoted frame's layout after the handler runs is
+//   mem[frame + 0] = joink      (replaces the branch1 continuation)
+//   mem[frame + 1] = jr         (the dead mark cell stashes the record)
+//   mem[frame + 2] = n - 2      (consumed: the child takes this branch)
+// so that joink can reload the right join record no matter how many
+// promotions are outstanding.
+
+block loop-try-promote [.] {
+  t := prmempty sp
+  if-jump t, loop
+  jr := jralloc retk
+  prmsplit sp, top
+  sp-top := sp + top - 1
+  mem[sp-top + 0] := joink
+  tn := n
+  n := mem[sp-top + 2]
+  mem[sp-top + 1] := jr
+  tsp := sp
+  sp := snew
+  salloc sp, 3
+  mem[sp + 0] := joink
+  mem[sp + 1] := jr
+  fork jr, loop-par
+  sp := tsp
+  n := tn
+  jump loop
+}
+
+block loop-par-try-promote [.] {
+  t := prmempty sp
+  if-jump t, loop-par
+  jr := jralloc retk
+  prmsplit sp, top
+  sp-top := sp + top - 1
+  mem[sp-top + 0] := joink
+  tn := n
+  n := mem[sp-top + 2]
+  mem[sp-top + 1] := jr
+  tsp := sp
+  sp := snew
+  salloc sp, 3
+  mem[sp + 0] := joink
+  mem[sp + 1] := jr
+  fork jr, loop-par
+  sp := tsp
+  n := tn
+  jump loop-par
+}
+
+block comb [.] {
+  f := f + f2
+  join jr
+}
+
+block joink [.] {
+  jr := mem[sp + 1]
+  sp := sp + 3
+  join jr
+}
+
+// ---- Parallel blocks ----
+// The paper elides these as "similar to the loop block"; they differ
+// only in their promotion handler and self-jump.
+
+block loop-par [prppt loop-par-try-promote] {
+  f := n
+  t := n < 2
+  if-jump t, retk
+  f := 0
+  salloc sp, 3
+  mem[sp + 0] := branch1
+  t := n - 2
+  prmpush mem[sp + 1]
+  mem[sp + 2] := t
+  n := n - 1
+  jump loop-par
+}
+`
+
+// Prod returns the parsed prod program.
+func Prod() *tpal.Program { return asm.MustParse(ProdSource) }
+
+// Pow returns the parsed pow program.
+func Pow() *tpal.Program { return asm.MustParse(PowSource) }
+
+// Fib returns the parsed fib program.
+func Fib() *tpal.Program { return asm.MustParse(FibSource) }
+
+// All returns every example program keyed by name.
+func All() map[string]*tpal.Program {
+	return map[string]*tpal.Program{
+		"prod": Prod(),
+		"pow":  Pow(),
+		"fib":  Fib(),
+	}
+}

@@ -1,0 +1,272 @@
+package programs
+
+import (
+	"testing"
+
+	"tpal/internal/tpal/asm"
+	"tpal/internal/tpal/machine"
+)
+
+func TestProdSerial(t *testing.T) {
+	// With heartbeat disabled, prod runs its sequential elaboration.
+	for _, tc := range []struct{ a, b int64 }{
+		{0, 5}, {1, 7}, {2, 3}, {10, 10}, {100, 9}, {1, 0}, {17, -3},
+	} {
+		got, stats, err := RunProd(tc.a, tc.b, machine.Config{})
+		if err != nil {
+			t.Fatalf("prod(%d,%d): %v", tc.a, tc.b, err)
+		}
+		if want := ProdExpected(tc.a, tc.b); got != want {
+			t.Errorf("prod(%d,%d) = %d, want %d", tc.a, tc.b, got, want)
+		}
+		if stats.Forks != 0 {
+			t.Errorf("prod(%d,%d) serial run forked %d tasks", tc.a, tc.b, stats.Forks)
+		}
+		if stats.HandlerRuns != 0 {
+			t.Errorf("prod(%d,%d) serial run serviced %d heartbeats", tc.a, tc.b, stats.HandlerRuns)
+		}
+	}
+}
+
+func TestProdHeartbeat(t *testing.T) {
+	for _, hb := range []int64{4, 7, 16, 64, 256} {
+		for _, sched := range []machine.SchedulePolicy{machine.Lockstep, machine.RandomOrder, machine.DepthFirst} {
+			got, stats, err := RunProd(1000, 3, machine.Config{
+				Heartbeat: hb,
+				Schedule:  sched,
+				Seed:      int64(hb),
+			})
+			if err != nil {
+				t.Fatalf("prod heartbeat=%d sched=%d: %v", hb, sched, err)
+			}
+			if want := int64(3000); got != want {
+				t.Errorf("prod heartbeat=%d sched=%d = %d, want %d", hb, sched, got, want)
+			}
+			if hb <= 16 && stats.Forks == 0 {
+				t.Errorf("prod heartbeat=%d sched=%d: expected promotions, got none", hb, sched)
+			}
+		}
+	}
+}
+
+func TestProdPromotionBalance(t *testing.T) {
+	_, stats, err := RunProd(5000, 2, machine.Config{Heartbeat: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Forks == 0 {
+		t.Fatal("expected forks")
+	}
+	// Every fork is eventually matched by a pairwise join resolution:
+	// the joins counter includes first arrivals, resolutions, and
+	// join-continue transitions, so joins > forks.
+	if stats.Joins <= stats.Forks {
+		t.Errorf("joins (%d) should exceed forks (%d)", stats.Joins, stats.Forks)
+	}
+	if stats.JoinRecords == 0 {
+		t.Error("expected at least one join record allocation")
+	}
+	// prod uses one shared join record for the whole parallel loop, plus
+	// possibly none; the loop's first promotion allocates it.
+	if stats.JoinRecords != 1 {
+		t.Errorf("prod should allocate exactly one join record, got %d", stats.JoinRecords)
+	}
+}
+
+func TestProdSpanShrinksWithParallelism(t *testing.T) {
+	_, serialStats, err := RunProd(4000, 5, machine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hbStats, err := RunProd(4000, 5, machine.Config{Heartbeat: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hbStats.Span >= serialStats.Span {
+		t.Errorf("heartbeat span %d should be below serial span %d", hbStats.Span, serialStats.Span)
+	}
+	if hbStats.Span > serialStats.Span/4 {
+		t.Errorf("heartbeat span %d did not shrink appreciably vs serial %d", hbStats.Span, serialStats.Span)
+	}
+}
+
+func TestPowSerial(t *testing.T) {
+	for _, tc := range []struct{ d, e int64 }{
+		{2, 0}, {2, 1}, {2, 10}, {3, 4}, {5, 3}, {1, 50}, {7, 1},
+	} {
+		got, stats, err := RunPow(tc.d, tc.e, machine.Config{})
+		if err != nil {
+			t.Fatalf("pow(%d,%d): %v", tc.d, tc.e, err)
+		}
+		if want := PowExpected(tc.d, tc.e); got != want {
+			t.Errorf("pow(%d,%d) = %d, want %d", tc.d, tc.e, got, want)
+		}
+		if stats.Forks != 0 {
+			t.Errorf("pow(%d,%d) serial run forked %d tasks", tc.d, tc.e, stats.Forks)
+		}
+	}
+}
+
+func TestPowHeartbeat(t *testing.T) {
+	// ♥ must exceed the worst-case handler path length (about 8
+	// instructions for pow's outer-first wrappers); below that the
+	// handler re-fires before the resumed loop can execute its body and
+	// the task livelocks, exactly as an implementation with an
+	// unreasonably small heartbeat would.
+	for _, hb := range []int64{13, 25, 60, 160} {
+		for _, sched := range []machine.SchedulePolicy{machine.Lockstep, machine.RandomOrder, machine.DepthFirst} {
+			got, _, err := RunPow(3, 9, machine.Config{
+				Heartbeat: hb,
+				Schedule:  sched,
+				Seed:      99 + int64(hb),
+				MaxSteps:  50_000_000,
+			})
+			if err != nil {
+				t.Fatalf("pow heartbeat=%d sched=%d: %v", hb, sched, err)
+			}
+			if want := PowExpected(3, 9); got != want {
+				t.Errorf("pow heartbeat=%d sched=%d = %d, want %d", hb, sched, got, want)
+			}
+		}
+	}
+}
+
+func TestPowOuterFirstPromotes(t *testing.T) {
+	// With many outer iterations and a small heartbeat, the outer loop
+	// must promote (pjr allocated => at least one record beyond inner).
+	_, stats, err := RunPow(2, 30, machine.Config{Heartbeat: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Forks == 0 {
+		t.Fatal("expected outer-loop promotions in pow")
+	}
+}
+
+func TestFibSerial(t *testing.T) {
+	for n := int64(0); n <= 15; n++ {
+		got, stats, err := RunFib(n, machine.Config{})
+		if err != nil {
+			t.Fatalf("fib(%d): %v", n, err)
+		}
+		if want := FibExpected(n); got != want {
+			t.Errorf("fib(%d) = %d, want %d", n, got, want)
+		}
+		if stats.Forks != 0 {
+			t.Errorf("fib(%d) serial run forked %d tasks", n, stats.Forks)
+		}
+	}
+}
+
+func TestFibHeartbeat(t *testing.T) {
+	for _, hb := range []int64{8, 21, 50, 200} {
+		for _, sched := range []machine.SchedulePolicy{machine.Lockstep, machine.RandomOrder, machine.DepthFirst} {
+			for n := int64(0); n <= 14; n++ {
+				got, _, err := RunFib(n, machine.Config{
+					Heartbeat: hb,
+					Schedule:  sched,
+					Seed:      n * int64(hb),
+					MaxSteps:  50_000_000,
+				})
+				if err != nil {
+					t.Fatalf("fib(%d) heartbeat=%d sched=%d: %v", n, hb, sched, err)
+				}
+				if want := FibExpected(n); got != want {
+					t.Errorf("fib(%d) heartbeat=%d sched=%d = %d, want %d", n, hb, sched, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFibPromotes(t *testing.T) {
+	_, stats, err := RunFib(18, machine.Config{Heartbeat: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Forks == 0 {
+		t.Fatal("expected promotions in fib(18) at heartbeat 16")
+	}
+	// fib allocates one join record per promotion.
+	if stats.JoinRecords != stats.Forks {
+		t.Errorf("fib should allocate one record per promotion: records=%d forks=%d",
+			stats.JoinRecords, stats.Forks)
+	}
+}
+
+func TestHeartbeatRateControlsPromotions(t *testing.T) {
+	// Larger ♥ must not increase the number of promotions (monotone
+	// amortization): count forks across a sweep.
+	var prev int64 = 1 << 62
+	for _, hb := range []int64{8, 32, 128, 512, 4096} {
+		_, stats, err := RunProd(20000, 1, machine.Config{Heartbeat: hb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Forks > prev {
+			t.Errorf("heartbeat %d created %d tasks, more than a faster heartbeat's %d", hb, stats.Forks, prev)
+		}
+		prev = stats.Forks
+	}
+}
+
+func TestAllProgramsValidate(t *testing.T) {
+	for name, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestSourcesRoundTripAndRunEqually(t *testing.T) {
+	// Printing and reparsing a paper program must not change its
+	// behavior or its instruction stream.
+	for name, p := range All() {
+		p2, err := asm.Parse(p.String())
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", name, err)
+		}
+		if p.String() != p2.String() {
+			t.Fatalf("%s: print/parse not a fixed point", name)
+		}
+	}
+	r1, s1, err := RunProd(321, 7, machine.Config{Heartbeat: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := asm.Parse(Prod().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := machine.Run(reparsed, machine.Config{
+		Heartbeat: 24,
+		Regs:      machine.RegFile{"a": machine.IntV(321), "b": machine.IntV(7)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := res.Regs.Get("c").AsInt()
+	if r1 != r2 || s1.Steps != res.Stats.Steps {
+		t.Fatalf("reparsed prod diverged: %d/%d steps %d/%d", r1, r2, s1.Steps, res.Stats.Steps)
+	}
+}
+
+func TestSignalModeOnPaperPrograms(t *testing.T) {
+	// Rollforward signal delivery on all three paper programs.
+	got, st, err := RunProd(800, 3, machine.Config{SignalPeriod: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2400 {
+		t.Fatalf("prod = %d", got)
+	}
+	if st.SignalsDelivered == 0 || st.HandlerRuns == 0 {
+		t.Fatalf("signals not serviced: %+v", st)
+	}
+	if got, _, err := RunPow(2, 16, machine.Config{SignalPeriod: 90}); err != nil || got != 65536 {
+		t.Fatalf("pow = %d, %v", got, err)
+	}
+	if got, _, err := RunFib(16, machine.Config{SignalPeriod: 70}); err != nil || got != 987 {
+		t.Fatalf("fib = %d, %v", got, err)
+	}
+}

@@ -1,0 +1,66 @@
+package programs
+
+import (
+	"fmt"
+
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/machine"
+)
+
+// RunProd executes the prod program on the abstract machine with the
+// given entry registers and configuration, returning the result register
+// c and execution statistics.
+func RunProd(a, b int64, cfg machine.Config) (int64, machine.Stats, error) {
+	cfg.Regs = machine.RegFile{"a": machine.IntV(a), "b": machine.IntV(b)}
+	return runFor(Prod(), cfg, "c")
+}
+
+// RunPow executes the pow program, returning the result register f.
+func RunPow(d, e int64, cfg machine.Config) (int64, machine.Stats, error) {
+	cfg.Regs = machine.RegFile{"d": machine.IntV(d), "e": machine.IntV(e)}
+	return runFor(Pow(), cfg, "f")
+}
+
+// RunFib executes the fib program, returning the result register f.
+func RunFib(n int64, cfg machine.Config) (int64, machine.Stats, error) {
+	cfg.Regs = machine.RegFile{"n": machine.IntV(n)}
+	return runFor(Fib(), cfg, "f")
+}
+
+func runFor(p *tpal.Program, cfg machine.Config, out tpal.Reg) (int64, machine.Stats, error) {
+	res, err := machine.Run(p, cfg)
+	if err != nil {
+		return 0, machine.Stats{}, err
+	}
+	v := res.Regs.Get(out)
+	n, ok := v.AsInt()
+	if !ok {
+		return 0, res.Stats, fmt.Errorf("programs: %s result register %q holds %s, not an integer", p.Name, out, v)
+	}
+	return n, res.Stats, nil
+}
+
+// ProdExpected is the reference result of prod: a * b.
+func ProdExpected(a, b int64) int64 { return a * b }
+
+// PowExpected is the reference result of pow: d^e by repeated
+// multiplication (int64 wraparound semantics match the machine's).
+func PowExpected(d, e int64) int64 {
+	r := int64(1)
+	for i := int64(0); i < e; i++ {
+		r *= d
+	}
+	return r
+}
+
+// FibExpected is the reference Fibonacci value.
+func FibExpected(n int64) int64 {
+	if n < 2 {
+		return n
+	}
+	a, b := int64(0), int64(1)
+	for i := int64(2); i <= n; i++ {
+		a, b = b, a+b
+	}
+	return b
+}

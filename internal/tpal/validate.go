@@ -1,0 +1,78 @@
+package tpal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate performs static checks on a program:
+//
+//   - every label referenced by a jump, if-jump, fork, prppt handler,
+//     jtppt combining block, or jralloc continuation is defined
+//     (references through registers cannot be checked statically and are
+//     skipped);
+//   - prppt handler blocks and jtppt combining blocks exist;
+//   - jtppt ΔR entries have no duplicate target registers;
+//   - salloc/sfree counts and load/store offsets are non-negative.
+//
+// It returns a joined error describing every violation found.
+func (p *Program) Validate() error {
+	var errs []error
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	checkLabel := func(where string, l Label) {
+		if p.Block(l) == nil {
+			bad("tpal: %s references undefined label %q", where, l)
+		}
+	}
+	checkOperandLabel := func(where string, o Operand) {
+		if o.Kind == OperLabel {
+			checkLabel(where, o.Label)
+		}
+	}
+
+	for _, b := range p.Blocks {
+		where := fmt.Sprintf("block %q", b.Label)
+		switch b.Ann.Kind {
+		case AnnPrppt:
+			checkLabel(where+" prppt annotation", b.Ann.Handler)
+		case AnnJtppt:
+			checkLabel(where+" jtppt annotation", b.Ann.Comb)
+			seen := make(map[Reg]bool)
+			for _, rr := range b.Ann.DeltaR {
+				if seen[rr.To] {
+					bad("tpal: %s jtppt ΔR maps two registers to %q", where, rr.To)
+				}
+				seen[rr.To] = true
+			}
+		}
+		for i, in := range b.Instrs {
+			iw := fmt.Sprintf("%s instruction %d (%s)", where, i, in)
+			switch in.Kind {
+			case IMove, IBinOp, IStore:
+				checkOperandLabel(iw, in.Val)
+			case IIfJump:
+				checkOperandLabel(iw, in.Val)
+			case IJrAlloc:
+				checkLabel(iw, in.Lbl)
+			case IFork:
+				checkOperandLabel(iw, in.Val)
+			case ISAlloc, ISFree:
+				if in.Off < 0 {
+					bad("tpal: %s has negative cell count %d", iw, in.Off)
+				}
+			}
+			switch in.Kind {
+			case ILoad, IStore, IPrmPush, IPrmPop:
+				if in.Off < 0 {
+					bad("tpal: %s has negative offset %d", iw, in.Off)
+				}
+			}
+		}
+		if b.Term.Kind == TJump || b.Term.Kind == TJoin {
+			checkOperandLabel(where+" terminator", b.Term.Val)
+		}
+	}
+	return errors.Join(errs...)
+}

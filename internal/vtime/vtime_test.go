@@ -1,0 +1,189 @@
+package vtime
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// chain builds root -> no children, duration d.
+func singleTask(d int64) *DAG {
+	r := NewRecorder()
+	r.Finish(0, d)
+	dag, err := r.DAG()
+	if err != nil {
+		panic(err)
+	}
+	return dag
+}
+
+func TestSingleTask(t *testing.T) {
+	d := singleTask(1000)
+	if d.Work() != 1000 || d.Span() != 1000 {
+		t.Fatalf("work %d span %d", d.Work(), d.Span())
+	}
+	for _, p := range []int{1, 4, 64} {
+		if got := d.Simulate(p); got != 1000 {
+			t.Fatalf("p=%d makespan %d", p, got)
+		}
+	}
+}
+
+func TestForkAtStart(t *testing.T) {
+	// Root spawns one child at offset 0; both run 1000.
+	r := NewRecorder()
+	c := r.Spawn(0, 0)
+	r.Finish(c, 1000)
+	r.Finish(0, 1000)
+	d, err := r.DAG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Work() != 2000 {
+		t.Fatalf("work %d", d.Work())
+	}
+	if d.Span() != 1000 {
+		t.Fatalf("span %d", d.Span())
+	}
+	if got := d.Simulate(1); got != 2000 {
+		t.Fatalf("1 core makespan %d", got)
+	}
+	if got := d.Simulate(2); got != 1000 {
+		t.Fatalf("2 core makespan %d", got)
+	}
+}
+
+func TestSpawnOffsetDelaysChild(t *testing.T) {
+	// Root runs 1000, spawns at 600 a child of 1000: on many cores the
+	// child finishes at 1600, which is the span.
+	r := NewRecorder()
+	c := r.Spawn(0, 600)
+	r.Finish(c, 1000)
+	r.Finish(0, 1000)
+	d, _ := r.DAG()
+	if d.Span() != 1600 {
+		t.Fatalf("span %d", d.Span())
+	}
+	if got := d.Simulate(8); got != 1600 {
+		t.Fatalf("8-core makespan %d", got)
+	}
+	if got := d.Simulate(1); got != 2000 {
+		t.Fatalf("1-core makespan %d", got)
+	}
+}
+
+func TestBalancedTree(t *testing.T) {
+	// A binary spawn tree of depth 6 with unit-64 leaves: every task
+	// spawns one child at offset 0 per level... build explicitly: each
+	// task of depth k spawns two children? Our recorder is one spawn per
+	// call; build a tree where every internal node spawns 2 children at
+	// offsets 0 and runs 10 itself; leaves run 100.
+	r := NewRecorder()
+	var build func(parent int, depth int)
+	var leaves int
+	build = func(parent int, depth int) {
+		if depth == 0 {
+			return
+		}
+		for k := 0; k < 2; k++ {
+			c := r.Spawn(parent, 0)
+			if depth == 1 {
+				r.Finish(c, 100)
+				leaves++
+			} else {
+				r.Finish(c, 10)
+			}
+			build(c, depth-1)
+		}
+	}
+	r.Finish(0, 10)
+	build(0, 6)
+	d, err := r.DAG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := d.Work()
+	span := d.Span()
+	if span >= work/8 {
+		t.Fatalf("tree span %d vs work %d: not parallel", span, work)
+	}
+	// Simulated makespans decrease monotonically with cores, bounded
+	// below by span and above by work.
+	prev := int64(1 << 62)
+	for _, p := range []int{1, 2, 4, 8, 16, 64} {
+		got := d.Simulate(p)
+		if got > prev {
+			t.Fatalf("p=%d makespan %d grew from %d", p, got, prev)
+		}
+		if got < span || got > work {
+			t.Fatalf("p=%d makespan %d outside [span %d, work %d]", p, got, span, work)
+		}
+		prev = got
+	}
+	if d.Simulate(1) != work {
+		t.Fatalf("1-core makespan %d != work %d", d.Simulate(1), work)
+	}
+}
+
+func TestGreedyBoundHolds(t *testing.T) {
+	// Property: for random DAGs, span <= Simulate(p) <= work/p + span
+	// (the greedy bound), and Simulate(1) == work.
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		r := NewRecorder()
+		n := 2 + rng.Intn(60)
+		durs := make([]int64, n)
+		durs[0] = int64(1 + rng.Intn(1000))
+		for i := 1; i < n; i++ {
+			parent := rng.Intn(i)
+			offset := rng.Int63n(durs[parent] + 1)
+			id := r.Spawn(parent, offset)
+			durs[id] = int64(1 + rng.Intn(1000))
+		}
+		for i := 0; i < n; i++ {
+			r.Finish(i, durs[i])
+		}
+		d, err := r.DAG()
+		if err != nil {
+			t.Fatal(err)
+		}
+		work, span := d.Work(), d.Span()
+		if got := d.Simulate(1); got != work {
+			t.Fatalf("trial %d: 1-core %d != work %d", trial, got, work)
+		}
+		for _, p := range []int{2, 3, 7, 16} {
+			got := d.Simulate(p)
+			if got < span {
+				t.Fatalf("trial %d p=%d: makespan %d below span %d", trial, p, got, span)
+			}
+			bound := work/int64(p) + span
+			if got > bound {
+				t.Fatalf("trial %d p=%d: makespan %d exceeds greedy bound %d", trial, p, got, bound)
+			}
+		}
+	}
+}
+
+func TestUnfinishedTaskErrors(t *testing.T) {
+	r := NewRecorder()
+	r.Spawn(0, 0)
+	r.Finish(0, 10)
+	if _, err := r.DAG(); err == nil {
+		t.Fatal("expected error for unfinished task")
+	}
+}
+
+func TestOffsetClamping(t *testing.T) {
+	// Clock skew can record a spawn offset beyond the parent's final
+	// self time; the DAG clamps it.
+	r := NewRecorder()
+	c := r.Spawn(0, 500)
+	r.Finish(c, 10)
+	r.Finish(0, 300) // parent self ended "before" the recorded spawn
+	d, err := r.DAG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Span() != 310 {
+		t.Fatalf("span %d, want 310 (clamped offset 300 + 10)", d.Span())
+	}
+}

@@ -1,0 +1,129 @@
+package tpal_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tpal"
+	"tpal/internal/tpal/programs"
+)
+
+func TestPublicReduce(t *testing.T) {
+	const n = 100_000
+	var got int64
+	tpal.Run(tpal.Config{
+		Workers:   2,
+		Heartbeat: 10 * time.Microsecond,
+		Mechanism: tpal.NewNautilus(),
+	}, func(c *tpal.Ctx) {
+		got = tpal.Reduce(c, 0, n,
+			func(a, b int64) int64 { return a + b },
+			func(lo, hi int) int64 {
+				var s int64
+				for i := lo; i < hi; i++ {
+					s += int64(i)
+				}
+				return s
+			})
+	})
+	if want := int64(n) * (n - 1) / 2; got != want {
+		t.Fatalf("Reduce = %d, want %d", got, want)
+	}
+}
+
+func TestPublicForAndFork(t *testing.T) {
+	var count atomic.Int64
+	st := tpal.Run(tpal.Config{Workers: 1, Mechanism: tpal.NewPingThread()}, func(c *tpal.Ctx) {
+		c.For(0, 10_000, func(int) { count.Add(1) })
+		c.Fork2(
+			func(*tpal.Ctx) { count.Add(1) },
+			func(*tpal.Ctx) { count.Add(1) },
+		)
+	})
+	if count.Load() != 10_002 {
+		t.Fatalf("count = %d", count.Load())
+	}
+	if st.Elapsed <= 0 {
+		t.Fatal("no elapsed time recorded")
+	}
+}
+
+func TestPublicAccumulate(t *testing.T) {
+	type acc struct{ sum int64 }
+	var got *acc
+	tpal.Run(tpal.Config{Workers: 2, Mechanism: tpal.NewNautilus(), Heartbeat: 20 * time.Microsecond}, func(c *tpal.Ctx) {
+		got = tpal.Accumulate(c, 0, 50_000,
+			func() *acc { return &acc{} },
+			func(into, from *acc) { into.sum += from.sum },
+			func(a *acc, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					a.sum += int64(i)
+				}
+			})
+	})
+	if want := int64(50_000) * 49_999 / 2; got.sum != want {
+		t.Fatalf("Accumulate = %d, want %d", got.sum, want)
+	}
+}
+
+type pubFibArgs struct {
+	n   int
+	out *int64
+}
+
+func pubFib(c *tpal.Ctx, a pubFibArgs) {
+	if a.n < 2 {
+		*a.out = int64(a.n)
+		return
+	}
+	var x, y int64
+	tpal.Fork2Call(c, pubFib, pubFibArgs{a.n - 1, &x}, pubFibArgs{a.n - 2, &y})
+	*a.out = x + y
+}
+
+func TestPublicFork2Call(t *testing.T) {
+	var got int64
+	tpal.Run(tpal.Config{Workers: 2, Mechanism: tpal.NewNautilus(), Heartbeat: 20 * time.Microsecond}, func(c *tpal.Ctx) {
+		pubFib(c, pubFibArgs{22, &got})
+	})
+	if got != 17711 {
+		t.Fatalf("fib(22) = %d", got)
+	}
+}
+
+func TestPublicAssembleExecute(t *testing.T) {
+	prog, err := tpal.Assemble(programs.ProdSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tpal.Execute(prog, tpal.MachineConfig{
+		Heartbeat: 40,
+		Regs:      tpal.IntReg(map[string]int64{"a": 123, "b": 4}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tpal.ResultInt(res, "c")
+	if !ok || got != 492 {
+		t.Fatalf("prod(123,4) = %d (ok=%v), want 492", got, ok)
+	}
+	if res.Stats.Work <= 0 || res.Stats.Span <= 0 || res.Stats.Span > res.Stats.Work {
+		t.Fatalf("cost stats implausible: %+v", res.Stats)
+	}
+}
+
+func TestPublicAssembleError(t *testing.T) {
+	if _, err := tpal.Assemble("not a program"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestPublicRunStatsProjection(t *testing.T) {
+	st := tpal.Run(tpal.Config{Workers: 1, Mechanism: tpal.NewNautilus()}, func(c *tpal.Ctx) {
+		c.For(0, 500_000, func(i int) { _ = i * i })
+	})
+	if st.ProjectedTime(15) > st.ProjectedTime(1) {
+		t.Fatal("projection should not grow with cores")
+	}
+}
