@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race lint ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint runs the static TPAL verifier over the built-in corpus and every
+# checked-in minipar sample; any diagnostic (warnings included) fails.
+lint:
+	$(GO) run ./cmd/tpal-lint -Werror
+	$(GO) run ./cmd/tpal-lint -Werror internal/minipar/testdata/*.mp
+
+ci: vet build race lint

@@ -1,0 +1,131 @@
+// Command tpal-lint runs the static TPAL verifier over programs and
+// reports diagnostics. It checks TPAL assembly files (.tpal), minipar
+// programs (.mp, verified after compilation to TPAL), and — with no
+// file arguments — the built-in corpus (prod, pow, fib).
+//
+// Usage:
+//
+//	tpal-lint                         # lint the built-in corpus
+//	tpal-lint program.tpal            # lint an assembly file
+//	tpal-lint -entry a,b program.tpal # assume a and b initialized at entry
+//	tpal-lint -Werror program.mp      # warnings fail the run too
+//	tpal-lint -v *.tpal               # report clean files as well
+//
+// Exit status: 0 when every program is clean (warnings allowed unless
+// -Werror), 1 when any program has diagnostics that fail the run, 2 on
+// usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"tpal/internal/minipar"
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/analysis"
+	"tpal/internal/tpal/asm"
+	"tpal/internal/tpal/programs"
+)
+
+// corpusEntryRegs mirrors the harness wrappers' initial register files.
+var corpusEntryRegs = map[string][]tpal.Reg{
+	"prod": {"a", "b"},
+	"pow":  {"d", "e"},
+	"fib":  {"n"},
+}
+
+func main() {
+	var (
+		entry   = flag.String("entry", "", "comma-separated registers assumed initialized at entry")
+		werror  = flag.Bool("Werror", false, "treat warnings as errors")
+		verbose = flag.Bool("v", false, "also report programs that verify clean")
+	)
+	flag.Parse()
+
+	var entryRegs []tpal.Reg
+	if *entry != "" {
+		for _, name := range strings.Split(*entry, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				fmt.Fprintln(os.Stderr, "tpal-lint: empty register name in -entry")
+				os.Exit(2)
+			}
+			entryRegs = append(entryRegs, tpal.Reg(name))
+		}
+	}
+
+	failed := false
+	lint := func(name string, p *tpal.Program, regs []tpal.Reg) {
+		diags := analysis.VerifyWith(p, analysis.Options{EntryRegs: regs})
+		for _, d := range diags {
+			fmt.Printf("%s: %s\n", name, d)
+		}
+		if analysis.HasErrors(diags) || (*werror && len(diags) > 0) {
+			failed = true
+		} else if *verbose {
+			fmt.Printf("%s: ok (%d blocks)\n", name, len(p.Blocks))
+		}
+	}
+
+	if flag.NArg() == 0 {
+		names := make([]string, 0, len(programs.All()))
+		for name := range programs.All() {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			regs := entryRegs
+			if regs == nil {
+				regs = corpusEntryRegs[name]
+			}
+			lint(name, programs.All()[name], regs)
+		}
+	} else {
+		for _, path := range flag.Args() {
+			p, params, err := load(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tpal-lint: %s: %v\n", path, err)
+				os.Exit(2)
+			}
+			regs := entryRegs
+			if regs == nil {
+				regs = params
+			}
+			lint(path, p, regs)
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// load reads a program: .mp files go through the minipar compiler
+// (whose parameters become the default entry registers), anything else
+// through the assembler.
+func load(path string) (*tpal.Program, []tpal.Reg, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if strings.HasSuffix(path, ".mp") {
+		mp, err := minipar.Parse(string(src))
+		if err != nil {
+			return nil, nil, err
+		}
+		p, err := minipar.Compile(mp)
+		if err != nil {
+			return nil, nil, err
+		}
+		params := make([]tpal.Reg, len(mp.Params))
+		for i, name := range mp.Params {
+			params[i] = tpal.Reg(name)
+		}
+		return p, params, nil
+	}
+	p, err := asm.Parse(string(src))
+	return p, nil, err
+}

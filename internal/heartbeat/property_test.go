@@ -2,6 +2,7 @@ package heartbeat
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -66,7 +67,10 @@ func evalSeq(t *opTree, out []int64) int64 {
 	case opForWrite:
 		var s int64
 		for i := t.lo; i < t.hi; i++ {
-			out[i%len(out)] = leafVal(i, t.salt)
+			// Atomic: promoted chunks and sibling trees hit the same
+			// indices concurrently (values agree per index within a tree;
+			// nothing reads out, it only models a side-effecting loop).
+			atomic.StoreInt64(&out[i%len(out)], leafVal(i, t.salt))
 			s += leafVal(i, t.salt) % 7
 		}
 		return s
@@ -106,7 +110,7 @@ func evalHB(c *Ctx, t *opTree, out []int64) int64 {
 			func(lo, hi int) int64 {
 				var s int64
 				for i := lo; i < hi; i++ {
-					out[i%len(out)] = leafVal(i, salt)
+					atomic.StoreInt64(&out[i%len(out)], leafVal(i, salt))
 					s += leafVal(i, salt) % 7
 				}
 				return s

@@ -1,9 +1,12 @@
 package minipar
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
 	"tpal/internal/tpal"
+	"tpal/internal/tpal/analysis"
 )
 
 // Compile lowers a checked program to TPAL assembly. Every parfor
@@ -60,8 +63,23 @@ func Compile(p *Program) (*tpal.Program, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, fmt.Errorf("minipar: generated invalid TPAL: %w", err)
 	}
+	entry := make([]tpal.Reg, len(p.Params))
+	for i, name := range p.Params {
+		entry[i] = tpal.Reg(name)
+	}
+	if errs := analysis.Errors(analysis.VerifyWith(prog, analysis.Options{EntryRegs: entry})); len(errs) > 0 {
+		msgs := make([]string, len(errs))
+		for i, d := range errs {
+			msgs[i] = d.String()
+		}
+		return nil, fmt.Errorf("%w:\n  %s", ErrVerify, strings.Join(msgs, "\n  "))
+	}
 	return prog, nil
 }
+
+// ErrVerify reports that compiled output failed the static verifier — a
+// compiler bug, not a user error.
+var ErrVerify = errors.New("minipar: generated TPAL rejected by static verifier")
 
 // resultReg receives the program result; the machine harness reads it
 // after halt.

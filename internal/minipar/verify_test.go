@@ -1,0 +1,44 @@
+package minipar
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/analysis"
+)
+
+// TestCompiledProgramsVerifyClean pins the compiler's output against
+// the static verifier at zero noise: every checked-in sample compiles
+// to TPAL with no diagnostics at all, warnings included.
+func TestCompiledProgramsVerifyClean(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.mp")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs found: %v", err)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mp, err := Parse(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := Compile(mp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			entry := make([]tpal.Reg, len(mp.Params))
+			for i, name := range mp.Params {
+				entry[i] = tpal.Reg(name)
+			}
+			for _, d := range analysis.VerifyWith(prog, analysis.Options{EntryRegs: entry}) {
+				t.Errorf("%s", d)
+			}
+		})
+	}
+}

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"tpal/internal/tpal"
+)
+
+// EdgeKind classifies CFG edges.
+type EdgeKind uint8
+
+// Edge kinds.
+const (
+	// EdgeJump is an unconditional jump to a direct label.
+	EdgeJump EdgeKind = iota
+	// EdgeIf is the taken branch of an if-jump to a direct label.
+	EdgeIf
+	// EdgeFork connects a fork instruction to the forked child's first
+	// block.
+	EdgeFork
+	// EdgeHandler connects a prppt block head to its promotion handler:
+	// the try-promote rule may divert control before the first
+	// instruction runs.
+	EdgeHandler
+	// EdgeJoinCont connects a join terminator to a jtppt continuation
+	// block (the join-continue rule).
+	EdgeJoinCont
+	// EdgeJoinComb connects a join terminator to the combining block of
+	// a jtppt continuation (the join-pair rule).
+	EdgeJoinComb
+	// EdgeIndirect is a jump, if-jump or fork through a register; the
+	// destination is one of the program's address-taken labels.
+	EdgeIndirect
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeJump:
+		return "jump"
+	case EdgeIf:
+		return "if"
+	case EdgeFork:
+		return "fork"
+	case EdgeHandler:
+		return "handler"
+	case EdgeJoinCont:
+		return "join-cont"
+	case EdgeJoinComb:
+		return "join-comb"
+	case EdgeIndirect:
+		return "indirect"
+	}
+	return "?"
+}
+
+// Edge is one control-flow edge. Instr is the instruction index the
+// edge leaves from (the terminator index for jump/join edges,
+// tpal.IssueBlock for handler edges that leave the block head).
+type Edge struct {
+	From  tpal.Label
+	To    tpal.Label
+	Kind  EdgeKind
+	Instr int
+}
+
+// CFG is a conservative control-flow graph over a program's blocks.
+// Register-indirect control transfers are over-approximated by edges to
+// every address-taken label, and join terminators by edges to every
+// jtppt block (and its combiner); the flow analysis later sharpens both
+// with per-register label sets.
+type CFG struct {
+	Prog *tpal.Program
+	// Edges in block order, deduplicated.
+	Edges []Edge
+	// AddrTaken lists the labels that appear as value operands (moves
+	// and stores), in block order: the only labels a register or stack
+	// cell can ever hold.
+	AddrTaken []tpal.Label
+	// Jtppts lists the blocks carrying jtppt annotations, in block
+	// order: the only continuations a join record can name.
+	Jtppts []tpal.Label
+
+	succs map[tpal.Label][]Edge
+}
+
+// BuildCFG constructs the conservative CFG. It tolerates structurally
+// invalid programs (edges to undefined labels are dropped), so it can
+// run on arbitrary inputs.
+func BuildCFG(p *tpal.Program) *CFG {
+	g := &CFG{Prog: p, succs: make(map[tpal.Label][]Edge)}
+
+	taken := make(map[tpal.Label]bool)
+	for _, b := range p.Blocks {
+		for _, in := range b.Instrs {
+			if (in.Kind == tpal.IMove || in.Kind == tpal.IStore) &&
+				in.Val.Kind == tpal.OperLabel && p.Block(in.Val.Label) != nil {
+				taken[in.Val.Label] = true
+			}
+		}
+	}
+	for _, b := range p.Blocks {
+		if taken[b.Label] {
+			g.AddrTaken = append(g.AddrTaken, b.Label)
+		}
+		if b.Ann.Kind == tpal.AnnJtppt {
+			g.Jtppts = append(g.Jtppts, b.Label)
+		}
+	}
+
+	seen := make(map[Edge]bool)
+	add := func(from, to tpal.Label, kind EdgeKind, instr int) {
+		if p.Block(to) == nil {
+			return
+		}
+		e := Edge{From: from, To: to, Kind: kind, Instr: instr}
+		if seen[e] {
+			return
+		}
+		seen[e] = true
+		g.Edges = append(g.Edges, e)
+		g.succs[from] = append(g.succs[from], e)
+	}
+
+	for _, b := range p.Blocks {
+		if b.Ann.Kind == tpal.AnnPrppt {
+			add(b.Label, b.Ann.Handler, EdgeHandler, tpal.IssueBlock)
+		}
+		for i, in := range b.Instrs {
+			switch in.Kind {
+			case tpal.IIfJump:
+				switch in.Val.Kind {
+				case tpal.OperLabel:
+					add(b.Label, in.Val.Label, EdgeIf, i)
+				case tpal.OperReg:
+					for _, l := range g.AddrTaken {
+						add(b.Label, l, EdgeIndirect, i)
+					}
+				}
+			case tpal.IFork:
+				switch in.Val.Kind {
+				case tpal.OperLabel:
+					add(b.Label, in.Val.Label, EdgeFork, i)
+				case tpal.OperReg:
+					for _, l := range g.AddrTaken {
+						add(b.Label, l, EdgeIndirect, i)
+					}
+				}
+			}
+		}
+		ti := len(b.Instrs)
+		switch b.Term.Kind {
+		case tpal.TJump:
+			switch b.Term.Val.Kind {
+			case tpal.OperLabel:
+				add(b.Label, b.Term.Val.Label, EdgeJump, ti)
+			case tpal.OperReg:
+				for _, l := range g.AddrTaken {
+					add(b.Label, l, EdgeIndirect, ti)
+				}
+			}
+		case tpal.TJoin:
+			for _, jt := range g.Jtppts {
+				add(b.Label, jt, EdgeJoinCont, ti)
+				add(b.Label, g.Prog.Block(jt).Ann.Comb, EdgeJoinComb, ti)
+			}
+		}
+	}
+	return g
+}
+
+// Succs returns the edges leaving a block.
+func (g *CFG) Succs(l tpal.Label) []Edge { return g.succs[l] }
+
+// ReachableFrom returns the set of blocks reachable from the given
+// label, including the label itself.
+func (g *CFG) ReachableFrom(start tpal.Label) map[tpal.Label]bool {
+	out := make(map[tpal.Label]bool)
+	if g.Prog.Block(start) == nil {
+		return out
+	}
+	work := []tpal.Label{start}
+	out[start] = true
+	for len(work) > 0 {
+		l := work[0]
+		work = work[1:]
+		for _, e := range g.succs[l] {
+			if !out[e.To] {
+				out[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return out
+}
+
+// Reachable returns the set of blocks reachable from the program entry.
+func (g *CFG) Reachable() map[tpal.Label]bool { return g.ReachableFrom(g.Prog.Entry) }

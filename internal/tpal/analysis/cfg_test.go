@@ -1,0 +1,143 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/analysis"
+	"tpal/internal/tpal/asm"
+	"tpal/internal/tpal/programs"
+)
+
+func buildCFG(t *testing.T, src string) *analysis.CFG {
+	t.Helper()
+	p, err := asm.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return analysis.BuildCFG(p)
+}
+
+func hasEdge(g *analysis.CFG, from, to tpal.Label, kind analysis.EdgeKind) bool {
+	for _, e := range g.Succs(from) {
+		if e.To == to && e.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGEdgeKinds(t *testing.T) {
+	g := buildCFG(t, `
+program p entry m
+block m [.] {
+  c := 1
+  k := w
+  if-jump c, b
+  jr := jralloc j
+  fork jr, w
+  join jr
+}
+block b [prppt h] {
+  jump m
+}
+block h [.] {
+  jump k
+}
+block w [.] {
+  join jr
+}
+block j [jtppt assoc-comm; {x -> x2}; c2] {
+  halt
+}
+block c2 [.] {
+  halt
+}`)
+
+	checks := []struct {
+		from, to tpal.Label
+		kind     analysis.EdgeKind
+	}{
+		{"m", "b", analysis.EdgeIf},
+		{"m", "w", analysis.EdgeFork},
+		{"m", "j", analysis.EdgeJoinCont},
+		{"m", "c2", analysis.EdgeJoinComb},
+		{"b", "m", analysis.EdgeJump},
+		{"b", "h", analysis.EdgeHandler},
+		{"h", "w", analysis.EdgeIndirect}, // jump k; only w is address-taken
+		{"w", "j", analysis.EdgeJoinCont},
+		{"w", "c2", analysis.EdgeJoinComb},
+	}
+	for _, c := range checks {
+		if !hasEdge(g, c.from, c.to, c.kind) {
+			t.Errorf("missing %v edge %s -> %s\nedges: %v", c.kind, c.from, c.to, g.Edges)
+		}
+	}
+
+	if len(g.AddrTaken) != 1 || g.AddrTaken[0] != "w" {
+		t.Errorf("AddrTaken = %v, want [w]", g.AddrTaken)
+	}
+	if len(g.Jtppts) != 1 || g.Jtppts[0] != "j" {
+		t.Errorf("Jtppts = %v, want [j]", g.Jtppts)
+	}
+}
+
+func TestCFGHandlerEdgeLeavesBlockHead(t *testing.T) {
+	g := buildCFG(t, `
+program p entry m
+block m [prppt h] {
+  halt
+}
+block h [.] {
+  halt
+}`)
+	for _, e := range g.Succs("m") {
+		if e.Kind == analysis.EdgeHandler {
+			if e.Instr != tpal.IssueBlock {
+				t.Errorf("handler edge Instr = %d, want %d", e.Instr, tpal.IssueBlock)
+			}
+			return
+		}
+	}
+	t.Fatal("no handler edge from m")
+}
+
+func TestCFGReachability(t *testing.T) {
+	g := buildCFG(t, `
+program p entry m
+block m [.] {
+  jump b
+}
+block b [.] {
+  halt
+}
+block island [.] {
+  jump b
+}`)
+	r := g.Reachable()
+	if !r["m"] || !r["b"] {
+		t.Errorf("Reachable = %v, want m and b", r)
+	}
+	if r["island"] {
+		t.Error("island should be unreachable from entry")
+	}
+	if ri := g.ReachableFrom("island"); !ri["island"] || !ri["b"] || ri["m"] {
+		t.Errorf("ReachableFrom(island) = %v, want {island, b}", ri)
+	}
+}
+
+// TestCFGCoversCorpusBlocks checks that every block of every corpus
+// program is reachable in the conservative CFG: the builder must not
+// lose the indirection-heavy edges (pow's pabort and
+// ploop-promote-cont, fib's memory-held continuations).
+func TestCFGCoversCorpusBlocks(t *testing.T) {
+	for name, p := range programs.All() {
+		g := analysis.BuildCFG(p)
+		r := g.Reachable()
+		for _, b := range p.Blocks {
+			if !r[b.Label] {
+				t.Errorf("%s: block %q unreachable in the CFG", name, b.Label)
+			}
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/analysis"
+	"tpal/internal/tpal/programs"
+)
+
+// corpusEntryRegs names the registers each corpus program expects to be
+// initialized by the harness (see the RunProd/RunPow/RunFib wrappers).
+var corpusEntryRegs = map[string][]tpal.Reg{
+	"prod": {"a", "b"},
+	"pow":  {"d", "e"},
+	"fib":  {"n"},
+}
+
+// TestCorpusVerifiesClean pins the verifier's zero-noise contract: the
+// paper's three programs produce no diagnostics at all, warnings
+// included.
+func TestCorpusVerifiesClean(t *testing.T) {
+	for name, p := range programs.All() {
+		entry, ok := corpusEntryRegs[name]
+		if !ok {
+			t.Fatalf("no entry registers registered for corpus program %q", name)
+		}
+		diags := analysis.VerifyWith(p, analysis.Options{EntryRegs: entry})
+		for _, d := range diags {
+			t.Errorf("%s: %s", name, d)
+		}
+	}
+}

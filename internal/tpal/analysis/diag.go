@@ -1,0 +1,104 @@
+// Package analysis statically verifies TPAL programs. It layers three
+// phases on top of the structural checks of (*tpal.Program).Validate:
+//
+//  1. structural validation (Validate's Issues, reported as errors);
+//  2. control-flow checks over a conservative CFG (every fork must be
+//     able to reach a join);
+//  3. an abstract interpretation running register
+//     definite-initialization, abstract stack-height tracking
+//     (salloc/sfree balance, load/store frame bounds, prmpush/prmpop
+//     balance, guarded prmsplit) and join-record protocol checking
+//     (join targets carry jtppt annotations, ΔR sources are defined at
+//     join edges) in one product domain.
+//
+// Verify is the entry point; cmd/tpal-lint is the CLI; the machine and
+// the minipar compiler run it at load/compile time.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"tpal/internal/tpal"
+)
+
+// Severity grades a diagnostic.
+type Severity uint8
+
+// Severities. An Error marks a state the abstract machine is certain to
+// fault on if control reaches it (or a structural violation); a Warning
+// marks a suspicious state that may execute cleanly — for example a
+// register that is nil on some path, which TPAL arithmetic reads as 0.
+const (
+	Warning Severity = iota
+	Error
+)
+
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diag is one verifier finding. Instr follows the machine's program
+// counter convention: 0..len(Instrs)-1 name instructions,
+// len(Instrs) names the terminator, and -1 (tpal.IssueBlock) names the
+// block header or annotation.
+type Diag struct {
+	Severity Severity
+	Block    tpal.Label
+	Instr    int
+	Msg      string
+}
+
+func (d Diag) String() string {
+	pos := fmt.Sprintf("%s[%d]", d.Block, d.Instr)
+	if d.Instr == tpal.IssueBlock {
+		pos = string(d.Block)
+	}
+	return fmt.Sprintf("%s: %s: %s", pos, d.Severity, d.Msg)
+}
+
+// HasErrors reports whether any diagnostic is an Error.
+func HasErrors(diags []Diag) bool {
+	for _, d := range diags {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returns only the Error-severity diagnostics.
+func Errors(diags []Diag) []Diag {
+	var out []Diag
+	for _, d := range diags {
+		if d.Severity == Error {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// sortDiags orders diagnostics by block position in p, then by
+// instruction index, then severity (errors first), then message.
+func sortDiags(p *tpal.Program, diags []Diag) {
+	order := make(map[tpal.Label]int, len(p.Blocks))
+	for i, b := range p.Blocks {
+		order[b.Label] = i
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if order[a.Block] != order[b.Block] {
+			return order[a.Block] < order[b.Block]
+		}
+		if a.Instr != b.Instr {
+			return a.Instr < b.Instr
+		}
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		return a.Msg < b.Msg
+	})
+}

@@ -1,0 +1,401 @@
+package analysis
+
+import (
+	"tpal/internal/tpal"
+)
+
+// kindSet is a bitset of machine value kinds an abstract value may
+// hold. Nil (never-assigned) is tracked separately via absVal.mayUndef,
+// not as a kind.
+type kindSet uint8
+
+const (
+	kInt kindSet = 1 << iota
+	kLabel
+	kRec
+	kPtr
+	kMark
+
+	kindAll = kInt | kLabel | kRec | kPtr | kMark
+	// kNumeric are the kinds AsInt accepts in arithmetic positions.
+	kNumeric = kInt
+)
+
+func (k kindSet) String() string {
+	names := []struct {
+		bit  kindSet
+		name string
+	}{{kInt, "int"}, {kLabel, "label"}, {kRec, "join record"}, {kPtr, "stack pointer"}, {kMark, "mark"}}
+	out := ""
+	for _, n := range names {
+		if k&n.bit != 0 {
+			if out != "" {
+				out += "|"
+			}
+			out += n.name
+		}
+	}
+	if out == "" {
+		return "nothing"
+	}
+	return out
+}
+
+// lset is a may-set of labels, with an explicit top ("any label").
+// Values are immutable once built; union may share the larger operand.
+type lset struct {
+	top   bool
+	elems map[tpal.Label]bool
+}
+
+func lTop() lset { return lset{top: true} }
+
+func lOf(ls ...tpal.Label) lset {
+	m := make(map[tpal.Label]bool, len(ls))
+	for _, l := range ls {
+		m[l] = true
+	}
+	return lset{elems: m}
+}
+
+func (a lset) union(b lset) lset {
+	if a.top || b.top {
+		return lTop()
+	}
+	if len(b.elems) == 0 {
+		return a
+	}
+	if len(a.elems) == 0 {
+		return b
+	}
+	sub := true
+	for l := range b.elems {
+		if !a.elems[l] {
+			sub = false
+			break
+		}
+	}
+	if sub {
+		return a
+	}
+	m := make(map[tpal.Label]bool, len(a.elems)+len(b.elems))
+	for l := range a.elems {
+		m[l] = true
+	}
+	for l := range b.elems {
+		m[l] = true
+	}
+	return lset{elems: m}
+}
+
+func (a lset) equal(b lset) bool {
+	if a.top != b.top {
+		return false
+	}
+	if a.top {
+		return true
+	}
+	if len(a.elems) != len(b.elems) {
+		return false
+	}
+	for l := range a.elems {
+		if !b.elems[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// stackID names an abstract stack by its snew allocation site.
+type stackID struct {
+	Block tpal.Label
+	Instr int
+}
+
+// sidset is a may-set of stack identities, with top.
+type sidset struct {
+	top   bool
+	elems map[stackID]bool
+}
+
+func sTop() sidset { return sidset{top: true} }
+
+func sOf(ids ...stackID) sidset {
+	m := make(map[stackID]bool, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return sidset{elems: m}
+}
+
+func (a sidset) union(b sidset) sidset {
+	if a.top || b.top {
+		return sTop()
+	}
+	if len(b.elems) == 0 {
+		return a
+	}
+	if len(a.elems) == 0 {
+		return b
+	}
+	sub := true
+	for id := range b.elems {
+		if !a.elems[id] {
+			sub = false
+			break
+		}
+	}
+	if sub {
+		return a
+	}
+	m := make(map[stackID]bool, len(a.elems)+len(b.elems))
+	for id := range a.elems {
+		m[id] = true
+	}
+	for id := range b.elems {
+		m[id] = true
+	}
+	return sidset{elems: m}
+}
+
+func (a sidset) equal(b sidset) bool {
+	if a.top != b.top {
+		return false
+	}
+	if a.top {
+		return true
+	}
+	if len(a.elems) != len(b.elems) {
+		return false
+	}
+	for id := range a.elems {
+		if !b.elems[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// only returns the single member of the set, if it is a known
+// singleton.
+func (a sidset) only() (stackID, bool) {
+	if a.top || len(a.elems) != 1 {
+		return stackID{}, false
+	}
+	for id := range a.elems {
+		return id, true
+	}
+	return stackID{}, false
+}
+
+// absVal abstracts one register's value as a may-description:
+//
+//   - mayUndef: some path reaches here without assigning the register
+//     (it reads as nil, which TPAL arithmetic treats as 0);
+//   - mayDef: some path assigns it; the remaining fields describe the
+//     assigned value and are meaningful only when mayDef holds;
+//   - kinds: the machine value kinds it may hold;
+//   - labels / recs / ptrs: which labels, join-record continuations, or
+//     stacks it may name (valid when the corresponding kind bit is
+//     set);
+//   - delta/deltaOK: for pointers, the known distance below the
+//     stack's top (0 = at the top; positive = toward the base);
+//   - prmOf: when the value is the result of "prmempty r", the stack
+//     register it queried — used to sharpen prmsplit guards.
+type absVal struct {
+	mayUndef bool
+	mayDef   bool
+	kinds    kindSet
+	labels   lset
+	recs     lset
+	ptrs     sidset
+	delta    int64
+	deltaOK  bool
+	prmOf    tpal.Reg
+}
+
+func undefVal() absVal { return absVal{mayUndef: true} }
+
+func topVal() absVal {
+	return absVal{mayDef: true, kinds: kindAll, labels: lTop(), recs: lTop(), ptrs: sTop()}
+}
+
+func intVal() absVal { return absVal{mayDef: true, kinds: kInt} }
+
+func labelVal(l tpal.Label) absVal {
+	return absVal{mayDef: true, kinds: kLabel, labels: lOf(l)}
+}
+
+func recVal(cont tpal.Label) absVal {
+	return absVal{mayDef: true, kinds: kRec, recs: lOf(cont)}
+}
+
+func ptrVal(id stackID) absVal {
+	return absVal{mayDef: true, kinds: kPtr, ptrs: sOf(id), deltaOK: true}
+}
+
+// definitely reports that the value is always assigned and only ever
+// holds kinds inside mask.
+func (v absVal) definitely(mask kindSet) bool {
+	return v.mayDef && !v.mayUndef && v.kinds != 0 && v.kinds&^mask == 0
+}
+
+// never reports that the value is always assigned but can never hold a
+// kind in mask — the premise for definite-fault errors. A value that
+// may be nil is excluded: nil reads as integer 0 and several contexts
+// accept it.
+func (v absVal) never(mask kindSet) bool {
+	return v.mayDef && !v.mayUndef && v.kinds&mask == 0
+}
+
+func (a absVal) equal(b absVal) bool {
+	return a.mayUndef == b.mayUndef && a.mayDef == b.mayDef &&
+		a.kinds == b.kinds && a.labels.equal(b.labels) &&
+		a.recs.equal(b.recs) && a.ptrs.equal(b.ptrs) &&
+		a.delta == b.delta && a.deltaOK == b.deltaOK && a.prmOf == b.prmOf
+}
+
+// mergeVal joins two abstract values.
+func mergeVal(a, b absVal) absVal {
+	if !b.mayDef {
+		a.mayUndef = a.mayUndef || b.mayUndef
+		return a
+	}
+	if !a.mayDef {
+		b.mayUndef = a.mayUndef || b.mayUndef
+		return b
+	}
+	out := absVal{
+		mayUndef: a.mayUndef || b.mayUndef,
+		mayDef:   true,
+		kinds:    a.kinds | b.kinds,
+		labels:   a.labels.union(b.labels),
+		recs:     a.recs.union(b.recs),
+		ptrs:     a.ptrs.union(b.ptrs),
+	}
+	if a.deltaOK && b.deltaOK && a.delta == b.delta {
+		out.delta, out.deltaOK = a.delta, true
+	}
+	if a.prmOf == b.prmOf {
+		out.prmOf = a.prmOf
+	}
+	return out
+}
+
+// state is the product abstract state at a block head:
+//
+//   - regs: per-register abstract values (absent = never assigned);
+//   - heights: per-stack known live cell counts (absent = unknown) —
+//     a must-fact, merged by dropping disagreement;
+//   - marks: per-stack known promotion-mark counts. The count is an
+//     upper bound on the marks actually live (plain stores may
+//     overwrite marks), so it supports "definitely empty" conclusions
+//     (prmsplit/prmpop on a known-0 stack must fault) but not
+//     "definitely non-empty" ones;
+//   - proven: registers whose stack passed a prmempty guard on this
+//     path, licensing an unguarded-looking prmsplit.
+type state struct {
+	regs    map[tpal.Reg]absVal
+	heights map[stackID]int64
+	marks   map[stackID]int64
+	proven  map[tpal.Reg]bool
+}
+
+func newState() *state {
+	return &state{
+		regs:    make(map[tpal.Reg]absVal),
+		heights: make(map[stackID]int64),
+		marks:   make(map[stackID]int64),
+		proven:  make(map[tpal.Reg]bool),
+	}
+}
+
+func (s *state) clone() *state {
+	c := &state{
+		regs:    make(map[tpal.Reg]absVal, len(s.regs)),
+		heights: make(map[stackID]int64, len(s.heights)),
+		marks:   make(map[stackID]int64, len(s.marks)),
+		proven:  make(map[tpal.Reg]bool, len(s.proven)),
+	}
+	for k, v := range s.regs {
+		c.regs[k] = v
+	}
+	for k, v := range s.heights {
+		c.heights[k] = v
+	}
+	for k, v := range s.marks {
+		c.marks[k] = v
+	}
+	for k, v := range s.proven {
+		c.proven[k] = v
+	}
+	return c
+}
+
+// get reads a register; absent registers are never-assigned.
+func (s *state) get(r tpal.Reg) absVal {
+	if v, ok := s.regs[r]; ok {
+		return v
+	}
+	return undefVal()
+}
+
+// set assigns a register, clearing facts predicated on its old value:
+// prmempty provenance pointing at it and its non-empty proof.
+func (s *state) set(r tpal.Reg, v absVal) {
+	delete(s.proven, r)
+	for k, w := range s.regs {
+		if w.prmOf == r {
+			w.prmOf = ""
+			s.regs[k] = w
+		}
+	}
+	s.regs[r] = v
+}
+
+// mergeInto folds src into dst, reporting change. Register facts join
+// pointwise; heights and marks keep only agreeing entries; proofs
+// intersect.
+func (dst *state) mergeInto(src *state) bool {
+	changed := false
+	for r, sv := range src.regs {
+		dv, ok := dst.regs[r]
+		if !ok {
+			dv = undefVal()
+		}
+		nv := mergeVal(dv, sv)
+		if !ok || !nv.equal(dv) {
+			dst.regs[r] = nv
+			changed = true
+		}
+	}
+	for r, dv := range dst.regs {
+		if _, ok := src.regs[r]; !ok && !dv.mayUndef {
+			// src never assigns r: it may be nil there.
+			nv := mergeVal(dv, undefVal())
+			if !nv.equal(dv) {
+				dst.regs[r] = nv
+				changed = true
+			}
+		}
+	}
+	for id, h := range dst.heights {
+		if sh, ok := src.heights[id]; !ok || sh != h {
+			delete(dst.heights, id)
+			changed = true
+		}
+	}
+	for id, n := range dst.marks {
+		if sn, ok := src.marks[id]; !ok || sn != n {
+			delete(dst.marks, id)
+			changed = true
+		}
+	}
+	for r := range dst.proven {
+		if !src.proven[r] {
+			delete(dst.proven, r)
+			changed = true
+		}
+	}
+	return changed
+}

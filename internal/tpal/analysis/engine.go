@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"tpal/internal/tpal"
+)
+
+// Dataflow is a forward dataflow problem over a program's blocks,
+// parameterized by the abstract state S. The transfer function walks one
+// block and emits an out-state along every control-flow edge it
+// discovers; the engine merges emitted states into the target block's
+// in-state and iterates to a fixpoint.
+type Dataflow[S any] struct {
+	// Clone returns an independent copy of a state.
+	Clone func(S) S
+	// Merge folds src into dst and reports whether dst changed. The
+	// engine only revisits a block when its in-state changed.
+	Merge func(dst S, src S) bool
+	// Transfer interprets block b starting from in (which the callee
+	// owns and may mutate) and calls emit once per outgoing edge with
+	// the state flowing along it. Emitted states are cloned by the
+	// engine, so the callee may keep mutating its working state.
+	Transfer func(b *tpal.Block, in S, emit func(to tpal.Label, out S))
+}
+
+// Solve runs the worklist algorithm from the program's entry block with
+// the given initial state, returning the fixpoint in-state of every
+// reached block. Blocks never reached have no entry in the result.
+//
+// Termination relies on the domain being of finite height under Merge;
+// as a defense against non-monotone transfer bugs the engine gives up
+// after a generous visit budget (the result is then a sound
+// under-approximation of the edge set actually explored).
+func Solve[S any](p *tpal.Program, d Dataflow[S], entry S) map[tpal.Label]S {
+	in := map[tpal.Label]S{p.Entry: d.Clone(entry)}
+	queued := map[tpal.Label]bool{p.Entry: true}
+	work := []tpal.Label{p.Entry}
+
+	budget := 2000 * (len(p.Blocks) + 1)
+	for len(work) > 0 && budget > 0 {
+		budget--
+		l := work[0]
+		work = work[1:]
+		queued[l] = false
+		b := p.Block(l)
+		if b == nil {
+			continue
+		}
+		d.Transfer(b, d.Clone(in[l]), func(to tpal.Label, out S) {
+			if p.Block(to) == nil {
+				return
+			}
+			changed := false
+			if cur, ok := in[to]; !ok {
+				in[to] = d.Clone(out)
+				changed = true
+			} else {
+				changed = d.Merge(cur, out)
+			}
+			if changed && !queued[to] {
+				queued[to] = true
+				work = append(work, to)
+			}
+		})
+	}
+	return in
+}

@@ -1,0 +1,124 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/analysis"
+	"tpal/internal/tpal/asm"
+	"tpal/internal/tpal/machine"
+	"tpal/internal/tpal/programs"
+)
+
+// fuzzSeeds pairs each corpus program with harness entry registers.
+var fuzzSeeds = []struct {
+	name string
+	src  string
+	regs map[tpal.Reg]int64
+}{
+	{"prod", programs.ProdSource, map[tpal.Reg]int64{"a": 6, "b": 7}},
+	{"pow", programs.PowSource, map[tpal.Reg]int64{"d": 2, "e": 5}},
+	{"fib", programs.FibSource, map[tpal.Reg]int64{"n": 10}},
+}
+
+// mutate applies one structured mutation to the program, in place.
+// Mutations mimic real compiler bugs: dropped instructions, lost join
+// terminators, retargeted labels, off-by-one stack sizing.
+func mutate(p *tpal.Program, kind, blockIdx, instrIdx uint8) {
+	if len(p.Blocks) == 0 {
+		return
+	}
+	b := p.Blocks[int(blockIdx)%len(p.Blocks)]
+	switch kind % 5 {
+	case 0:
+		// No mutation: the pristine program must stay error-free.
+	case 1:
+		if len(b.Instrs) > 0 {
+			i := int(instrIdx) % len(b.Instrs)
+			b.Instrs = append(b.Instrs[:i:i], b.Instrs[i+1:]...)
+		}
+	case 2:
+		b.Term = tpal.Term{Kind: tpal.THalt}
+	case 3:
+		// Retarget the first direct label in the block to another block.
+		to := p.Blocks[int(instrIdx)%len(p.Blocks)].Label
+		for i := range b.Instrs {
+			if b.Instrs[i].Val.Kind == tpal.OperLabel {
+				b.Instrs[i].Val = tpal.L(to)
+				return
+			}
+		}
+		if b.Term.Val.Kind == tpal.OperLabel {
+			b.Term.Val = tpal.L(to)
+		}
+	case 4:
+		// Unbalance the first salloc/sfree in the block.
+		for i := range b.Instrs {
+			k := b.Instrs[i].Kind
+			if k == tpal.ISAlloc || k == tpal.ISFree {
+				b.Instrs[i].Off++
+				return
+			}
+		}
+	}
+}
+
+// FuzzVerify checks the verifier's soundness contract on mutated corpus
+// programs: an Error-severity diagnostic claims the instruction faults
+// whenever it executes, so a clean run that actually executed a
+// condemned program point disproves the verifier. (A clean run alone
+// does not: the faulting path may simply not have been scheduled.)
+// Verify itself must never panic, whatever the mutation produced.
+func FuzzVerify(f *testing.F) {
+	for pi := range fuzzSeeds {
+		for kind := uint8(0); kind < 5; kind++ {
+			f.Add(uint8(pi), kind, uint8(0), uint8(0))
+			f.Add(uint8(pi), kind, uint8(3), uint8(1))
+			f.Add(uint8(pi), kind, uint8(7), uint8(2))
+		}
+	}
+	f.Fuzz(func(t *testing.T, progIdx, kind, blockIdx, instrIdx uint8) {
+		seed := fuzzSeeds[int(progIdx)%len(fuzzSeeds)]
+		p, err := asm.Parse(seed.src)
+		if err != nil {
+			t.Fatalf("corpus program %s failed to parse: %v", seed.name, err)
+		}
+		mutate(p, kind, blockIdx, instrIdx)
+
+		entry := make([]tpal.Reg, 0, len(seed.regs))
+		regs := make(machine.RegFile)
+		for r, v := range seed.regs {
+			entry = append(entry, r)
+			regs[r] = machine.IntV(v)
+		}
+		diags := analysis.VerifyWith(p, analysis.Options{EntryRegs: entry})
+
+		// Run with verification off and a step bound; exercise promotion.
+		// Record every program point that actually executed.
+		type point struct {
+			block tpal.Label
+			instr int
+		}
+		executed := make(map[point]bool)
+		_, err = machine.Run(p, machine.Config{
+			SkipVerify: true,
+			Heartbeat:  50,
+			MaxSteps:   500_000,
+			Regs:       regs,
+			Trace: func(e machine.TraceEvent) {
+				if e.Kind == machine.TraceInstr || e.Kind == machine.TraceTerm {
+					executed[point{e.Label, e.Offset}] = true
+				}
+			},
+		})
+		if err != nil {
+			return
+		}
+		for _, d := range analysis.Errors(diags) {
+			if executed[point{d.Block, d.Instr}] {
+				t.Fatalf("%s mutated (kind=%d block=%d instr=%d) executed %s[%d] and halted cleanly, but the verifier claims it faults:\n  %s",
+					seed.name, kind%5, blockIdx, instrIdx, d.Block, d.Instr, d)
+			}
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"tpal/internal/tpal"
+)
+
+// Verify statically checks a program and returns its diagnostics,
+// sorted by position with errors first within a position. A program
+// with no Error-severity diagnostics is guaranteed not to trip the
+// faults the analyses model (assignment-free jumps, non-record joins,
+// below-base stack traffic, mark-less prmsplit at guarded sites) on any
+// reachable path the analysis can resolve.
+func Verify(p *tpal.Program) []Diag { return VerifyWith(p, Options{}) }
+
+// VerifyWith is Verify with configuration.
+func VerifyWith(p *tpal.Program, opts Options) []Diag {
+	var diags []Diag
+
+	// Phase 0: structural validation. Flow phases assume structurally
+	// sound programs, so errors here short-circuit.
+	for _, is := range p.Issues() {
+		diags = append(diags, Diag{Severity: Error, Block: is.Block, Instr: is.Instr, Msg: is.Msg})
+	}
+	if len(diags) > 0 {
+		sortDiags(p, diags)
+		return diags
+	}
+
+	g := BuildCFG(p)
+	diags = append(diags, cfgChecks(p, g)...)
+	diags = append(diags, flowChecks(p, g, opts)...)
+	sortDiags(p, diags)
+	return diags
+}
+
+// cfgChecks runs the graph-shape checks: every fork must be able to
+// reach a join on both the parent's and the child's side (a forked task
+// whose control flow can never join leaks the join record and blocks
+// the continuation forever), and promotion handlers must be plain
+// blocks (an annotated handler re-enters the promotion machinery).
+func cfgChecks(p *tpal.Program, g *CFG) []Diag {
+	var diags []Diag
+	reachable := g.Reachable()
+	// Joinable: blocks from which some join terminator is reachable.
+	joinable := make(map[tpal.Label]bool)
+	for _, b := range p.Blocks {
+		if b.Term.Kind == tpal.TJoin {
+			joinable[b.Label] = true
+		}
+	}
+	canJoin := func(from tpal.Label) bool {
+		for l := range g.ReachableFrom(from) {
+			if joinable[l] {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, b := range p.Blocks {
+		if !reachable[b.Label] {
+			continue
+		}
+		if b.Ann.Kind == tpal.AnnPrppt {
+			if h := p.Block(b.Ann.Handler); h != nil && h.Ann.Kind != tpal.AnnNone {
+				diags = append(diags, Diag{Severity: Warning, Block: b.Label, Instr: tpal.IssueBlock,
+					Msg: "promotion handler \"" + string(b.Ann.Handler) + "\" carries its own annotation; handlers are expected to be plain blocks"})
+			}
+		}
+		for i, in := range b.Instrs {
+			if in.Kind != tpal.IFork {
+				continue
+			}
+			if !canJoin(b.Label) {
+				diags = append(diags, Diag{Severity: Warning, Block: b.Label, Instr: i,
+					Msg: "the forking task can never reach a join after this fork; the join record never resolves"})
+			}
+			if in.Val.Kind == tpal.OperLabel && !canJoin(in.Val.Label) {
+				diags = append(diags, Diag{Severity: Warning, Block: b.Label, Instr: i,
+					Msg: "the forked task starting at \"" + string(in.Val.Label) + "\" can never reach a join; the join record never resolves"})
+			}
+		}
+	}
+	return diags
+}
+
+// flowChecks runs the abstract interpretation to a fixpoint, then
+// replays every reached block against its fixpoint in-state to collect
+// diagnostics. Blocks the analysis never reaches are dead code and get
+// no flow diagnostics.
+func flowChecks(p *tpal.Program, g *CFG, opts Options) []Diag {
+	it := newInterp(p, g, opts)
+	states := Solve(p, Dataflow[*state]{
+		Clone: func(s *state) *state { return s.clone() },
+		Merge: func(dst, src *state) bool { return dst.mergeInto(src) },
+		Transfer: func(b *tpal.Block, in *state, emit func(tpal.Label, *state)) {
+			it.transfer(b, in, emit)
+		},
+	}, it.entryState())
+
+	var diags []Diag
+	it.diags = &diags
+	drop := func(tpal.Label, *state) {}
+	for _, b := range p.Blocks {
+		st, ok := states[b.Label]
+		if !ok {
+			continue
+		}
+		it.transfer(b, st.clone(), drop)
+	}
+	it.diags = nil
+	return diags
+}

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"tpal/internal/tpal"
+	"tpal/internal/tpal/analysis"
 )
 
 // SchedulePolicy selects how the machine interleaves runnable tasks.
@@ -50,6 +52,11 @@ type Config struct {
 	Seed     int64
 	// Regs is the initial register file of the root task.
 	Regs RegFile
+	// SkipVerify disables the static verifier New runs over the program
+	// (the entry registers are taken from Regs). Verifier errors mark
+	// definite machine faults, so rejecting them up front is the
+	// default; tests exercising the dynamic fault paths opt out here.
+	SkipVerify bool
 	// Trace, when set, receives one event per machine transition plus
 	// task lifecycle events — the Appendix D execution-trace view. Use
 	// WriteTrace to render to a writer.
@@ -118,10 +125,26 @@ type Machine struct {
 	stats     Stats
 }
 
-// New creates a machine for the program. The program is validated first.
+// New creates a machine for the program. The program is validated
+// first, then — unless cfg.SkipVerify is set — checked by the static
+// verifier with cfg.Regs as the assumed-initialized entry registers;
+// verifier errors reject the program with ErrVerify.
 func New(prog *tpal.Program, cfg Config) (*Machine, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
+	}
+	if !cfg.SkipVerify {
+		entry := make([]tpal.Reg, 0, len(cfg.Regs))
+		for r := range cfg.Regs {
+			entry = append(entry, r)
+		}
+		if errs := analysis.Errors(analysis.VerifyWith(prog, analysis.Options{EntryRegs: entry})); len(errs) > 0 {
+			msgs := make([]string, len(errs))
+			for i, d := range errs {
+				msgs[i] = d.String()
+			}
+			return nil, fmt.Errorf("%w:\n  %s", ErrVerify, strings.Join(msgs, "\n  "))
+		}
 	}
 	if cfg.Tau == 0 {
 		cfg.Tau = 1
@@ -165,6 +188,10 @@ var ErrMachine = errors.New("tpal machine error")
 
 // ErrMaxSteps reports that the step bound was exhausted.
 var ErrMaxSteps = errors.New("tpal machine: maximum step count exceeded")
+
+// ErrVerify reports that the static verifier found a definite fault in
+// the program before execution started.
+var ErrVerify = errors.New("tpal machine: program rejected by static verifier")
 
 func (m *Machine) failf(t *Task, format string, args ...any) error {
 	loc := fmt.Sprintf("task %d at %s[%d]", t.id, t.label, t.off)

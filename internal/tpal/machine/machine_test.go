@@ -276,9 +276,29 @@ block m [.] {
 }`, "lacks a jtppt"},
 	}
 	for _, tc := range cases {
-		err := runErr(t, tc.src, Config{})
+		// SkipVerify: these programs exercise the dynamic fault paths the
+		// static verifier would otherwise reject up front (see
+		// TestVerifierRejectsFaultyPrograms).
+		err := runErr(t, tc.src, Config{SkipVerify: true})
 		if err == nil || !errors.Is(err, ErrMachine) || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: got %v, want ErrMachine containing %q", tc.name, err, tc.want)
+		}
+	}
+
+	// With verification on (the default), the statically detectable
+	// faults never reach execution: New rejects them with ErrVerify.
+	for _, tc := range cases {
+		if tc.name == "div-zero" {
+			// z / z divides by a register, which the verifier does not
+			// fold to a constant; this one still faults dynamically.
+			continue
+		}
+		p, err := asm.Parse(tc.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := New(p, Config{}); !errors.Is(err, ErrVerify) {
+			t.Errorf("%s: New with verification = %v, want ErrVerify", tc.name, err)
 		}
 	}
 }

@@ -5,74 +5,195 @@ import (
 	"fmt"
 )
 
-// Validate performs static checks on a program:
-//
-//   - every label referenced by a jump, if-jump, fork, prppt handler,
-//     jtppt combining block, or jralloc continuation is defined
-//     (references through registers cannot be checked statically and are
-//     skipped);
-//   - prppt handler blocks and jtppt combining blocks exist;
-//   - jtppt ΔR entries have no duplicate target registers;
-//   - salloc/sfree counts and load/store offsets are non-negative.
-//
-// It returns a joined error describing every violation found.
-func (p *Program) Validate() error {
-	var errs []error
-	bad := func(format string, args ...any) {
-		errs = append(errs, fmt.Errorf(format, args...))
-	}
-	checkLabel := func(where string, l Label) {
-		if p.Block(l) == nil {
-			bad("tpal: %s references undefined label %q", where, l)
-		}
-	}
-	checkOperandLabel := func(where string, o Operand) {
-		if o.Kind == OperLabel {
-			checkLabel(where, o.Label)
-		}
-	}
+// Issue is one structural validation finding, positioned inside the
+// program. Instr follows the machine's program-counter convention:
+// indices 0..len(Instrs)-1 name instructions, len(Instrs) names the
+// terminator, and IssueBlock (-1) names the block header/annotation.
+type Issue struct {
+	Block Label
+	Instr int
+	Msg   string
+}
 
+// IssueBlock is the Instr value of an Issue attached to a block header
+// or annotation rather than to a particular instruction.
+const IssueBlock = -1
+
+func (is Issue) String() string {
+	switch {
+	case is.Instr == IssueBlock:
+		return fmt.Sprintf("block %q: %s", is.Block, is.Msg)
+	default:
+		return fmt.Sprintf("block %q instruction %d: %s", is.Block, is.Instr, is.Msg)
+	}
+}
+
+// Issues performs the structural checks of Validate and returns every
+// violation found, positioned by block and instruction:
+//
+//   - every label referenced by a jump, if-jump, fork, store, move,
+//     prppt handler, jtppt combining block, or jralloc continuation is
+//     defined (references through registers cannot be checked
+//     statically and are skipped);
+//   - jtppt ΔR entries name both registers and have no duplicate
+//     targets;
+//   - every instruction kind carries the register operands it requires;
+//   - binary operators and instruction/terminator kinds are in range;
+//   - salloc/sfree counts and load/store offsets are non-negative;
+//   - jump, if-jump and fork targets are not integer literals, and a
+//     join terminator names a register (a label or literal can never
+//     hold a join record).
+//
+// Deeper flow-sensitive properties (definite initialization, stack
+// discipline, join protocol) are checked by the analysis subpackage,
+// which runs Issues as its phase 0.
+func (p *Program) Issues() []Issue {
+	var issues []Issue
 	for _, b := range p.Blocks {
-		where := fmt.Sprintf("block %q", b.Label)
+		at := func(i int, format string, args ...any) {
+			issues = append(issues, Issue{Block: b.Label, Instr: i, Msg: fmt.Sprintf(format, args...)})
+		}
+		checkLabel := func(i int, what string, l Label) {
+			if p.Block(l) == nil {
+				at(i, "%s references undefined label %q", what, l)
+			}
+		}
+		checkReg := func(i int, what string, r Reg) {
+			if r == "" {
+				at(i, "%s names no register", what)
+			}
+		}
+		// Operand in a value position: registers must be named; labels
+		// must be defined; literals are always fine.
+		checkVal := func(i int, what string, o Operand) {
+			switch o.Kind {
+			case OperReg:
+				checkReg(i, what+" register operand", o.Reg)
+			case OperLabel:
+				checkLabel(i, what, o.Label)
+			case OperInt:
+			default:
+				at(i, "%s has unknown operand kind %d", what, o.Kind)
+			}
+		}
+
 		switch b.Ann.Kind {
+		case AnnNone:
 		case AnnPrppt:
-			checkLabel(where+" prppt annotation", b.Ann.Handler)
+			checkLabel(IssueBlock, "prppt annotation", b.Ann.Handler)
 		case AnnJtppt:
-			checkLabel(where+" jtppt annotation", b.Ann.Comb)
+			checkLabel(IssueBlock, "jtppt annotation", b.Ann.Comb)
 			seen := make(map[Reg]bool)
 			for _, rr := range b.Ann.DeltaR {
+				if rr.From == "" || rr.To == "" {
+					at(IssueBlock, "jtppt ΔR entry %q -> %q names an empty register", rr.From, rr.To)
+				}
 				if seen[rr.To] {
-					bad("tpal: %s jtppt ΔR maps two registers to %q", where, rr.To)
+					at(IssueBlock, "jtppt ΔR maps two registers to %q", rr.To)
 				}
 				seen[rr.To] = true
 			}
+		default:
+			at(IssueBlock, "unknown annotation kind %d", b.Ann.Kind)
 		}
+
 		for i, in := range b.Instrs {
-			iw := fmt.Sprintf("%s instruction %d (%s)", where, i, in)
+			what := fmt.Sprintf("(%s)", in)
 			switch in.Kind {
-			case IMove, IBinOp, IStore:
-				checkOperandLabel(iw, in.Val)
+			case IMove:
+				checkReg(i, what+" destination", in.Dst)
+				checkVal(i, what, in.Val)
+			case IBinOp:
+				checkReg(i, what+" destination", in.Dst)
+				checkReg(i, what+" left operand", in.Src)
+				checkVal(i, what, in.Val)
+				if _, ok := opNames[in.Op]; !ok {
+					at(i, "%s uses unknown operator %d", what, uint8(in.Op))
+				}
 			case IIfJump:
-				checkOperandLabel(iw, in.Val)
+				checkReg(i, what+" condition", in.Src)
+				if in.Val.Kind == OperInt {
+					at(i, "%s target is the integer literal %d, which can never name a block", what, in.Val.Int)
+				} else {
+					checkVal(i, what, in.Val)
+				}
 			case IJrAlloc:
-				checkLabel(iw, in.Lbl)
+				checkReg(i, what+" destination", in.Dst)
+				checkLabel(i, what, in.Lbl)
 			case IFork:
-				checkOperandLabel(iw, in.Val)
+				checkReg(i, what+" join register", in.Src)
+				if in.Val.Kind == OperInt {
+					at(i, "%s target is the integer literal %d, which can never name a block", what, in.Val.Int)
+				} else {
+					checkVal(i, what, in.Val)
+				}
+			case ISNew:
+				checkReg(i, what+" destination", in.Dst)
 			case ISAlloc, ISFree:
+				checkReg(i, what+" stack register", in.Src)
 				if in.Off < 0 {
-					bad("tpal: %s has negative cell count %d", iw, in.Off)
+					at(i, "%s has negative cell count %d", what, in.Off)
 				}
-			}
-			switch in.Kind {
-			case ILoad, IStore, IPrmPush, IPrmPop:
+			case ILoad:
+				checkReg(i, what+" destination", in.Dst)
+				checkReg(i, what+" base register", in.Src)
 				if in.Off < 0 {
-					bad("tpal: %s has negative offset %d", iw, in.Off)
+					at(i, "%s has negative offset %d", what, in.Off)
 				}
+			case IStore:
+				checkReg(i, what+" base register", in.Src)
+				checkVal(i, what, in.Val)
+				if in.Off < 0 {
+					at(i, "%s has negative offset %d", what, in.Off)
+				}
+			case IPrmPush, IPrmPop:
+				checkReg(i, what+" base register", in.Src)
+				if in.Off < 0 {
+					at(i, "%s has negative offset %d", what, in.Off)
+				}
+			case IPrmEmpty:
+				checkReg(i, what+" destination", in.Dst)
+				checkReg(i, what+" stack register", in.Src2)
+			case IPrmSplit:
+				checkReg(i, what+" stack register", in.Src)
+				checkReg(i, what+" offset register", in.Src2)
+			default:
+				at(i, "unknown instruction kind %d", in.Kind)
 			}
 		}
-		if b.Term.Kind == TJump || b.Term.Kind == TJoin {
-			checkOperandLabel(where+" terminator", b.Term.Val)
+
+		ti := len(b.Instrs)
+		switch b.Term.Kind {
+		case TJump:
+			if b.Term.Val.Kind == OperInt {
+				at(ti, "jump target is the integer literal %d, which can never name a block", b.Term.Val.Int)
+			} else {
+				checkVal(ti, "jump terminator", b.Term.Val)
+			}
+		case THalt:
+		case TJoin:
+			switch b.Term.Val.Kind {
+			case OperReg:
+				checkReg(ti, "join terminator", b.Term.Val.Reg)
+			case OperLabel:
+				at(ti, "join operand %q is a label; a label can never hold a join record", b.Term.Val.Label)
+			case OperInt:
+				at(ti, "join operand is the integer literal %d; a literal can never hold a join record", b.Term.Val.Int)
+			}
+		default:
+			at(ti, "unknown terminator kind %d", b.Term.Kind)
 		}
+	}
+	return issues
+}
+
+// Validate performs the structural checks of Issues and returns a
+// joined error describing every violation found, or nil when the
+// program is structurally well formed.
+func (p *Program) Validate() error {
+	var errs []error
+	for _, is := range p.Issues() {
+		errs = append(errs, fmt.Errorf("tpal: %s", is))
 	}
 	return errors.Join(errs...)
 }
