@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint ci
+.PHONY: build test vet race lint fuzz ci
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,14 @@ race:
 # checked-in minipar sample; any diagnostic (warnings included) fails.
 lint:
 	$(GO) run ./cmd/tpal-lint -Werror
-	$(GO) run ./cmd/tpal-lint -Werror internal/minipar/testdata/*.mp
+	$(GO) run ./cmd/tpal-lint -Werror internal/minipar/testdata
 
-ci: vet build race lint
+# fuzz is the CI smoke stage: a short run of each analysis fuzzer (go
+# test accepts one -fuzz pattern at a time, so they run back to back).
+# FuzzVerify checks verifier soundness against the machine; FuzzLiveness
+# checks the promotion-liveness invariants on prppt-stripped mutants.
+fuzz:
+	$(GO) test ./internal/tpal/analysis -run='^$$' -fuzz='^FuzzVerify$$' -fuzztime=10s
+	$(GO) test ./internal/tpal/analysis -run='^$$' -fuzz='^FuzzLiveness$$' -fuzztime=10s
+
+ci: vet build race lint fuzz

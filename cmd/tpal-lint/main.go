@@ -1,15 +1,22 @@
-// Command tpal-lint runs the static TPAL verifier over programs and
-// reports diagnostics. It checks TPAL assembly files (.tpal), minipar
-// programs (.mp, verified after compilation to TPAL), and — with no
-// file arguments — the built-in corpus (prod, pow, fib).
+// Command tpal-lint runs the static TPAL analyses over programs and
+// reports diagnostics plus the scheduling facts the verifier proves:
+// the static promotion-latency bound, the loop forest with per-loop
+// latency classes, and symbolic work/span bounds. It checks TPAL
+// assembly files (.tpal), minipar programs (.mp, verified after
+// compilation to TPAL), directories (linted recursively for both
+// extensions), and — with no arguments — the built-in corpus (prod,
+// pow, fib).
 //
 // Usage:
 //
 //	tpal-lint                         # lint the built-in corpus
 //	tpal-lint program.tpal            # lint an assembly file
+//	tpal-lint ./progs ./more          # lint every .tpal/.mp file under the trees
 //	tpal-lint -entry a,b program.tpal # assume a and b initialized at entry
 //	tpal-lint -Werror program.mp      # warnings fail the run too
 //	tpal-lint -v *.tpal               # report clean files as well
+//	tpal-lint -latency program.tpal   # print the promotion-latency report
+//	tpal-lint -json ./progs           # machine-readable report on stdout
 //
 // Exit status: 0 when every program is clean (warnings allowed unless
 // -Werror), 1 when any program has diagnostics that fail the run, 2 on
@@ -17,9 +24,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -37,11 +47,45 @@ var corpusEntryRegs = map[string][]tpal.Reg{
 	"fib":  {"n"},
 }
 
+// jsonDiag is one diagnostic in -json output. The field set is part of
+// the tool contract, like the TP0xx codes themselves.
+type jsonDiag struct {
+	Severity string `json:"severity"`
+	Code     string `json:"code"`
+	Block    string `json:"block"`
+	Instr    int    `json:"instr"`
+	Msg      string `json:"msg"`
+}
+
+// jsonLoop is one loop of the forest in -json output.
+type jsonLoop struct {
+	Header  string   `json:"header"`
+	Depth   int      `json:"depth"`
+	Blocks  []string `json:"blocks"`
+	Latency string   `json:"latency"`
+	Work    string   `json:"work"`
+	Span    string   `json:"span"`
+}
+
+// jsonReport is one linted program in -json output.
+type jsonReport struct {
+	Name         string     `json:"name"`
+	Blocks       int        `json:"blocks"`
+	Diags        []jsonDiag `json:"diags"`
+	LatencyClass string     `json:"latency_class"`
+	LatencyBound int64      `json:"latency_bound"`
+	Loops        []jsonLoop `json:"loops"`
+	Work         string     `json:"work"`
+	Span         string     `json:"span"`
+}
+
 func main() {
 	var (
-		entry   = flag.String("entry", "", "comma-separated registers assumed initialized at entry")
-		werror  = flag.Bool("Werror", false, "treat warnings as errors")
-		verbose = flag.Bool("v", false, "also report programs that verify clean")
+		entry    = flag.String("entry", "", "comma-separated registers assumed initialized at entry")
+		werror   = flag.Bool("Werror", false, "treat warnings as errors")
+		verbose  = flag.Bool("v", false, "also report programs that verify clean")
+		latency  = flag.Bool("latency", false, "print the per-program promotion-latency and cost report")
+		jsonMode = flag.Bool("json", false, "emit one JSON report per program on stdout")
 	)
 	flag.Parse()
 
@@ -58,15 +102,23 @@ func main() {
 	}
 
 	failed := false
+	var reports []jsonReport
 	lint := func(name string, p *tpal.Program, regs []tpal.Reg) {
-		diags := analysis.VerifyWith(p, analysis.Options{EntryRegs: regs})
-		for _, d := range diags {
-			fmt.Printf("%s: %s\n", name, d)
+		r := analysis.Analyze(p, analysis.Options{EntryRegs: regs})
+		if *jsonMode {
+			reports = append(reports, toJSON(name, p, r))
+		} else {
+			for _, d := range r.Diags {
+				fmt.Printf("%s: %s\n", name, d)
+			}
 		}
-		if analysis.HasErrors(diags) || (*werror && len(diags) > 0) {
+		if analysis.HasErrors(r.Diags) || (*werror && len(r.Diags) > 0) {
 			failed = true
-		} else if *verbose {
+		} else if *verbose && !*jsonMode {
 			fmt.Printf("%s: ok (%d blocks)\n", name, len(p.Blocks))
+		}
+		if *latency && !*jsonMode {
+			printLatency(name, r)
 		}
 	}
 
@@ -84,7 +136,12 @@ func main() {
 			lint(name, programs.All()[name], regs)
 		}
 	} else {
-		for _, path := range flag.Args() {
+		paths, err := expandArgs(flag.Args())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tpal-lint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, path := range paths {
 			p, params, err := load(path)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "tpal-lint: %s: %v\n", path, err)
@@ -98,9 +155,98 @@ func main() {
 		}
 	}
 
+	if *jsonMode {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintf(os.Stderr, "tpal-lint: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// printLatency renders the scheduling report for one program.
+func printLatency(name string, r *analysis.Report) {
+	fmt.Printf("%s: latency %s, work %s, span %s\n", name, r.Latency, r.Work, r.Span)
+	for _, l := range r.AllLoops() {
+		fmt.Printf("%s:   %sloop %s: %s, work/pass %s, span/pass %s\n",
+			name, strings.Repeat("  ", l.Depth-1), l.Header, l.Class, l.Work, l.Span)
+	}
+}
+
+func toJSON(name string, p *tpal.Program, r *analysis.Report) jsonReport {
+	out := jsonReport{
+		Name:         name,
+		Blocks:       len(p.Blocks),
+		Diags:        []jsonDiag{},
+		LatencyClass: r.Latency.Class.String(),
+		LatencyBound: r.Latency.Bound,
+		Loops:        []jsonLoop{},
+		Work:         r.Work.String(),
+		Span:         r.Span.String(),
+	}
+	for _, d := range r.Diags {
+		out.Diags = append(out.Diags, jsonDiag{
+			Severity: d.Severity.String(),
+			Code:     string(d.Code),
+			Block:    string(d.Block),
+			Instr:    d.Instr,
+			Msg:      d.Msg,
+		})
+	}
+	for _, l := range r.AllLoops() {
+		blocks := make([]string, len(l.Blocks))
+		for i, b := range l.Blocks {
+			blocks[i] = string(b)
+		}
+		out.Loops = append(out.Loops, jsonLoop{
+			Header:  string(l.Header),
+			Depth:   l.Depth,
+			Blocks:  blocks,
+			Latency: l.Class.String(),
+			Work:    l.Work.String(),
+			Span:    l.Span.String(),
+		})
+	}
+	return out
+}
+
+// expandArgs resolves the argument list: directories expand to every
+// .tpal/.mp file beneath them (sorted), files pass through unchanged.
+func expandArgs(args []string) ([]string, error) {
+	var out []string
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			out = append(out, arg)
+			continue
+		}
+		var found []string
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				return nil
+			}
+			if strings.HasSuffix(path, ".tpal") || strings.HasSuffix(path, ".mp") {
+				found = append(found, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(found)
+		out = append(out, found...)
+	}
+	return out, nil
 }
 
 // load reads a program: .mp files go through the minipar compiler

@@ -16,7 +16,9 @@ import (
 //
 // T is typically a pointer type; newAcc creates an identity view, leaf
 // folds a block into a view, and merge folds a later-range view into an
-// earlier-range one.
+// earlier-range one. Like For, the fold polls the heartbeat once per
+// poll stride of iterations, keeping promotion latency within the
+// PollStride contract even though leaf blocks run back to back.
 func Accumulate[T any](c *Ctx, lo, hi int, newAcc func() T, merge func(into, from T), leaf func(acc T, lo, hi int)) T {
 	acc := newAcc()
 	if hi-lo <= 0 {

@@ -159,10 +159,18 @@ func (c *Ctx) popMark(m mark) {
 	c.marks = c.marks[:n-1]
 }
 
-// Poll is the promotion-ready program point: it checks the worker's
+// Poll is the promotion-ready program point — the runtime analogue of
+// arriving at a TPAL prppt block head. It checks the worker's
 // heartbeat flag (one atomic load on the fast path) and, when a beat is
 // pending, services it — paying the simulated handler cost and
 // promoting the oldest promotable latent parallelism.
+//
+// Every combinator in this package upholds the promotion-latency
+// contract: between consecutive Poll calls a task executes at most one
+// poll stride of loop iterations (forks poll on every call), so no
+// code path can run unboundedly long without offering the scheduler a
+// promotion. The static liveness pass proves the same property for
+// TPAL programs at lint time (TP050 flags the violations).
 func (c *Ctx) Poll() {
 	if !c.w.PollHeartbeat() {
 		return

@@ -14,7 +14,11 @@ import (
 // (the paper's knapsack and fib) where closure allocation would
 // otherwise dominate the nearly-empty frames.
 func Fork2Call[A any](c *Ctx, f func(*Ctx, A), aArg, bArg A) {
-	// A fork is a promotion-ready program point; see Fork2.
+	// A fork is a promotion-ready program point; see Fork2. Polling at
+	// every call keeps recursion within the promotion-latency contract
+	// even with no loop in sight: the gap between polls is one call
+	// body, the analogue of the per-frame (stack-bounded) latency the
+	// static pass assigns TPAL's recursive-function templates.
 	c.Poll()
 	m := getCallT[A](c)
 	m.f, m.arg = f, bArg

@@ -8,9 +8,11 @@ import (
 
 // For executes body(i) for every i in [lo, hi) with latent parallelism:
 // the loop runs serially, polling the heartbeat flag once per poll
-// stride, and a heartbeat splits the remaining iterations in half,
-// promoting the upper half into a task (recursively promotable the same
-// way). For returns once every iteration, promoted or not, has run.
+// stride — the promotion-latency contract: a pending heartbeat is
+// observed within PollStride iterations, never later — and a heartbeat
+// splits the remaining iterations in half, promoting the upper half
+// into a task (recursively promotable the same way). For returns once
+// every iteration, promoted or not, has run.
 //
 // Iterations must be independent or synchronize among themselves; use
 // Reduce for accumulations, and ForNested for bodies that contain

@@ -50,11 +50,18 @@ type Config struct {
 	// heartbeat turned off).
 	Mechanism interrupt.Mechanism
 	// PollStride is the number of loop iterations between polls of the
-	// heartbeat flag inside For/Reduce. Zero selects 128, which keeps
-	// poll costs below a few percent even for single-instruction loop
-	// bodies while bounding promotion latency to one stride of work —
-	// far below ♥ for any realistic stride. Ranges no longer than one
-	// stride run with no loop state at all.
+	// heartbeat flag inside For/Reduce. It sets the runtime's
+	// promotion-latency contract: every loop and fork combinator
+	// checks the flag at least once per stride of iterations (forks
+	// poll at every call), so a delivered heartbeat is serviced within
+	// one stride of work plus one loop body — the dynamic counterpart
+	// of the bound the static liveness pass (internal/tpal/analysis,
+	// DESIGN.md §8) proves for TPAL programs, where every CFG cycle
+	// must cross a promotion-ready program point within a known number
+	// of instructions. Zero selects 128, which keeps poll costs below
+	// a few percent even for single-instruction loop bodies while
+	// holding that latency far below ♥ for any realistic stride.
+	// Ranges no longer than one stride run with no loop state at all.
 	PollStride int
 	// DisablePromotion makes polls consume heartbeats (paying the
 	// receive-side cost) without promoting, isolating interrupt overhead

@@ -278,8 +278,15 @@ func (c *compiler) stmt(s Stmt) error {
 		headL := c.freshLabel("wh-head")
 		bodyL := c.freshLabel("wh-body")
 		afterL := c.freshLabel("wh-after")
+		tryL := c.freshLabel("wh-try")
 		c.jumpTo(headL)
-		c.startBlock(headL, tpal.Annotation{})
+		// The head is a promotion-ready program point: without it, a
+		// while loop would be a closed region the heartbeat can never
+		// interrupt, and the promotion-latency bound of any program
+		// containing one would be unbounded. Its handler attempts the
+		// enclosing parfors outermost-first (a promotable loop may be
+		// waiting on this serial computation) and then resumes the head.
+		c.startBlock(headL, tpal.Annotation{Kind: tpal.AnnPrppt, Handler: tryL})
 		if err := c.cond(st.Cond, bodyL, afterL); err != nil {
 			return err
 		}
@@ -290,6 +297,7 @@ func (c *compiler) stmt(s Stmt) error {
 		if !c.done {
 			c.jumpTo(headL)
 		}
+		c.emitHandlerChain(tryL, tpal.L(headL), append([]*loopInfo{}, c.loops...))
 		c.startBlock(afterL, tpal.Annotation{})
 		return nil
 
@@ -371,9 +379,7 @@ func (c *compiler) parfor(st ParFor) error {
 
 	// Promotion handler chain: outermost enclosing loop first, then
 	// this loop, then resume.
-	if err := c.emitHandler(l); err != nil {
-		return err
-	}
+	c.emitHandlerChain(l.label("try"), tpal.R(l.contRg), append(append([]*loopInfo{}, c.loops...), l))
 	// Promote/alloc/split blocks for this loop.
 	c.emitPromote(l)
 	// Combining block.
@@ -398,16 +404,19 @@ func (c *compiler) parfor(st ParFor) error {
 	return nil
 }
 
-// emitHandler generates the pf<k>-try chain implementing the
-// outer-most-first policy: the handler saves the interrupted head in
-// resume, then attempts each loop from the outermost enclosing parfor
-// inward, promoting the first with at least two remaining iterations.
-func (c *compiler) emitHandler(l *loopInfo) error {
-	candidates := append(append([]*loopInfo{}, c.loops...), l)
-	c.startBlock(l.label("try"), tpal.Annotation{})
-	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: resumeReg, Val: tpal.R(l.contRg)})
+// emitHandlerChain generates a promotion-handler chain starting at try,
+// implementing the outer-most-first policy: the handler saves the
+// resume target in resume, then attempts each candidate loop from the
+// outermost inward, promoting the first with at least two remaining
+// iterations, and falls back to resuming the interrupted head. Parfors
+// pass their enclosing loops plus themselves; while loops pass only
+// their enclosing parfors (the while itself has nothing to promote but
+// must still offer the heartbeat a program point).
+func (c *compiler) emitHandlerChain(try tpal.Label, resume tpal.Operand, candidates []*loopInfo) {
+	c.startBlock(try, tpal.Annotation{})
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: resumeReg, Val: resume})
 	for i, cand := range candidates {
-		next := l.label(fmt.Sprintf("try-%d", i+1))
+		next := tpal.Label(fmt.Sprintf("%s-%d", try, i+1))
 		rem := c.tmp()
 		c.emit(tpal.Instr{Kind: tpal.IBinOp, Dst: rem, Op: tpal.OpSub, Src: cand.hiReg, Val: tpal.R(cand.idxReg)})
 		small := c.tmp()
@@ -420,7 +429,6 @@ func (c *compiler) emitHandler(l *loopInfo) error {
 	}
 	// No candidate: resume the interrupted head.
 	c.finish(tpal.Term{Kind: tpal.TJump, Val: tpal.R(resumeReg)})
-	return nil
 }
 
 // emitPromote generates pf<k>-promote / -alloc / -split: allocate the

@@ -11,7 +11,13 @@ import (
 
 // TestCompiledProgramsVerifyClean pins the compiler's output against
 // the static verifier at zero noise: every checked-in sample compiles
-// to TPAL with no diagnostics at all, warnings included.
+// to TPAL with no diagnostics at all, warnings included — and with a
+// provable promotion-latency bound. Loop-only programs must come out
+// LatencyFinite; programs with recursive functions may fall back to
+// LatencyStackBounded (the unwind chain consumes a frame per pass),
+// but nothing the compiler emits may ever be LatencyUnbounded: that
+// would mean compiled code can starve the heartbeat scheduler, the
+// exact failure mode "uncompromising parallelism" rules out.
 func TestCompiledProgramsVerifyClean(t *testing.T) {
 	files, err := filepath.Glob("testdata/*.mp")
 	if err != nil || len(files) == 0 {
@@ -36,8 +42,25 @@ func TestCompiledProgramsVerifyClean(t *testing.T) {
 			for i, name := range mp.Params {
 				entry[i] = tpal.Reg(name)
 			}
-			for _, d := range analysis.VerifyWith(prog, analysis.Options{EntryRegs: entry}) {
+			r := analysis.Analyze(prog, analysis.Options{EntryRegs: entry})
+			for _, d := range r.Diags {
 				t.Errorf("%s", d)
+			}
+			switch r.Latency.Class {
+			case analysis.LatencyFinite, analysis.LatencyStackBounded:
+				if r.Latency.Bound <= 0 {
+					t.Errorf("latency %s: bound must be positive", r.Latency)
+				}
+			default:
+				t.Errorf("compiled program graded %s; every compiled loop must carry a finite promotion-latency bound", r.Latency)
+			}
+			if len(mp.Funcs) == 0 && r.Latency.Class != analysis.LatencyFinite {
+				t.Errorf("loop-only program graded %s, want finite", r.Latency)
+			}
+			for _, l := range r.AllLoops() {
+				if l.Class == analysis.LatencyUnbounded || l.Class == analysis.LatencyUnknown {
+					t.Errorf("compiled loop %s graded %s", l.Header, l.Class)
+				}
 			}
 		})
 	}

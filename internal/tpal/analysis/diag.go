@@ -1,4 +1,4 @@
-// Package analysis statically verifies TPAL programs. It layers three
+// Package analysis statically verifies TPAL programs. It layers five
 // phases on top of the structural checks of (*tpal.Program).Validate:
 //
 //  1. structural validation (Validate's Issues, reported as errors);
@@ -9,10 +9,19 @@
 //     (salloc/sfree balance, load/store frame bounds, prmpush/prmpop
 //     balance, guarded prmsplit) and join-record protocol checking
 //     (join targets carry jtppt annotations, ΔR sources are defined at
-//     join edges) in one product domain.
+//     join edges) in one product domain;
+//  4. promotion-liveness over the flow-sharpened edge set: a dominator
+//     tree and loop forest locate every cycle, and the pass proves each
+//     one crosses a promotion-ready program point (or consumes a
+//     bounded resource), yielding a static promotion-latency bound and
+//     flagging dead annotations and promotion-starved forking loops;
+//  5. a symbolic work/span estimator folding per-instruction costs
+//     through the loop forest (Figure 28's τ-weighted fork cost;
+//     unknown trip counts stay symbolic).
 //
-// Verify is the entry point; cmd/tpal-lint is the CLI; the machine and
-// the minipar compiler run it at load/compile time.
+// Verify is the diagnostics entry point and Analyze the full-report
+// one; cmd/tpal-lint is the CLI; the machine and the minipar compiler
+// run the verifier at load/compile time.
 package analysis
 
 import (
@@ -41,12 +50,81 @@ func (s Severity) String() string {
 	return "warning"
 }
 
+// Code is a stable diagnostic code. Codes are part of the tool
+// contract: they appear in Diag.String and tpal-lint's -json output and
+// never change meaning between releases, so suppressions and CI greps
+// can key on them.
+type Code string
+
+// Diagnostic codes, grouped by phase: TP001 structural, TP01x CFG
+// shape, TP02x definite initialization and metafunction sorts, TP03x
+// arithmetic, TP04x stack discipline, TP05x promotion liveness.
+const (
+	CodeStructural       Code = "TP001" // program fails structural validation
+	CodeForkNoJoinParent Code = "TP010" // forking task can never reach a join
+	CodeForkNoJoinChild  Code = "TP011" // forked child can never reach a join
+	CodeAnnotatedHandler Code = "TP012" // promotion handler carries an annotation
+	CodeUseNeverAssigned Code = "TP020" // faulting use of a never-assigned register
+	CodeUseBeforeAssign  Code = "TP021" // read of a never-assigned register (reads nil)
+	CodeUseMaybeUnassign Code = "TP022" // register may be unassigned on some path
+	CodeIfTargetKind     Code = "TP023" // if-jump target register can never hold a label
+	CodeJumpTargetKind   Code = "TP024" // jump register can never hold a label
+	CodeForkTargetKind   Code = "TP025" // fork target register can never hold a label
+	CodeForkRecordKind   Code = "TP026" // fork join register can never hold a record
+	CodeJoinRecordKind   Code = "TP027" // join operand can never hold a record
+	CodeJrallocNotJtppt  Code = "TP028" // jralloc continuation lacks a jtppt annotation
+	CodeBinopOperandKind Code = "TP030" // operator operand of a non-arithmetic sort
+	CodeDivByZero        Code = "TP031" // division by the constant zero
+	CodeStackBaseKind    Code = "TP040" // stack op base register can never hold a pointer
+	CodeOutOfFrame       Code = "TP041" // load/store provably below the frame base
+	CodeSfreeBelowBase   Code = "TP042" // sfree reaches below the stack base
+	CodePrmPopEmpty      Code = "TP043" // prmpop with no live promotion-ready marks
+	CodePrmSplitEmpty    Code = "TP044" // prmsplit with no live promotion-ready marks
+	CodePrmSplitUnguard  Code = "TP045" // prmsplit not guarded by a prmempty check
+	CodeNonPromotingLoop Code = "TP050" // cycle crosses no promotion-ready program point
+	CodeLoopForksNoPrppt Code = "TP051" // loop forks but contains no prppt
+	CodeDeadPrppt        Code = "TP052" // prppt on an unreachable block; handler never runs
+	CodeDeadJtppt        Code = "TP053" // jtppt never targeted by any jralloc
+)
+
+// Codes maps every diagnostic code to a one-line description of the
+// check it names. The table is the authoritative code registry; tests
+// pin its completeness against the checks that emit each code.
+var Codes = map[Code]string{
+	CodeStructural:       "program fails structural validation",
+	CodeForkNoJoinParent: "the forking task can never reach a join",
+	CodeForkNoJoinChild:  "the forked child task can never reach a join",
+	CodeAnnotatedHandler: "a promotion handler carries its own annotation",
+	CodeUseNeverAssigned: "a faulting context reads a never-assigned register",
+	CodeUseBeforeAssign:  "a register is read before any assignment (nil reads as 0)",
+	CodeUseMaybeUnassign: "a register may be unassigned on some path",
+	CodeIfTargetKind:     "an if-jump target register can never hold a label",
+	CodeJumpTargetKind:   "a jump register can never hold a label",
+	CodeForkTargetKind:   "a fork target register can never hold a label",
+	CodeForkRecordKind:   "a fork join register can never hold a join record",
+	CodeJoinRecordKind:   "a join operand can never hold a join record",
+	CodeJrallocNotJtppt:  "a jralloc continuation lacks a jtppt annotation",
+	CodeBinopOperandKind: "an operator operand holds a non-arithmetic sort",
+	CodeDivByZero:        "a division or remainder by the constant zero",
+	CodeStackBaseKind:    "a stack operation's base register can never hold a stack pointer",
+	CodeOutOfFrame:       "a load or store provably lands below the frame base",
+	CodeSfreeBelowBase:   "an sfree reaches below the stack base",
+	CodePrmPopEmpty:      "a prmpop on a stack with no live promotion-ready marks",
+	CodePrmSplitEmpty:    "a prmsplit on a stack with no live promotion-ready marks",
+	CodePrmSplitUnguard:  "a prmsplit not guarded by a prmempty check",
+	CodeNonPromotingLoop: "a cycle crosses no promotion-ready program point",
+	CodeLoopForksNoPrppt: "a loop forks but contains no promotion-ready program point",
+	CodeDeadPrppt:        "a prppt annotation on an unreachable block",
+	CodeDeadJtppt:        "a jtppt continuation never targeted by any jralloc",
+}
+
 // Diag is one verifier finding. Instr follows the machine's program
 // counter convention: 0..len(Instrs)-1 name instructions,
 // len(Instrs) names the terminator, and -1 (tpal.IssueBlock) names the
 // block header or annotation.
 type Diag struct {
 	Severity Severity
+	Code     Code
 	Block    tpal.Label
 	Instr    int
 	Msg      string
@@ -57,7 +135,10 @@ func (d Diag) String() string {
 	if d.Instr == tpal.IssueBlock {
 		pos = string(d.Block)
 	}
-	return fmt.Sprintf("%s: %s: %s", pos, d.Severity, d.Msg)
+	if d.Code == "" {
+		return fmt.Sprintf("%s: %s: %s", pos, d.Severity, d.Msg)
+	}
+	return fmt.Sprintf("%s: %s: %s: %s", pos, d.Severity, d.Code, d.Msg)
 }
 
 // HasErrors reports whether any diagnostic is an Error.

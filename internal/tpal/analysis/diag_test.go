@@ -1,0 +1,129 @@
+package analysis_test
+
+import (
+	"regexp"
+	"testing"
+
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/analysis"
+)
+
+// allCodes enumerates every declared diagnostic code. Keeping the list
+// here (rather than ranging over the registry) means adding a code
+// without registering it — or registering one without declaring it —
+// fails the completeness test either way.
+var allCodes = []analysis.Code{
+	analysis.CodeStructural,
+	analysis.CodeForkNoJoinParent,
+	analysis.CodeForkNoJoinChild,
+	analysis.CodeAnnotatedHandler,
+	analysis.CodeUseNeverAssigned,
+	analysis.CodeUseBeforeAssign,
+	analysis.CodeUseMaybeUnassign,
+	analysis.CodeIfTargetKind,
+	analysis.CodeJumpTargetKind,
+	analysis.CodeForkTargetKind,
+	analysis.CodeForkRecordKind,
+	analysis.CodeJoinRecordKind,
+	analysis.CodeJrallocNotJtppt,
+	analysis.CodeBinopOperandKind,
+	analysis.CodeDivByZero,
+	analysis.CodeStackBaseKind,
+	analysis.CodeOutOfFrame,
+	analysis.CodeSfreeBelowBase,
+	analysis.CodePrmPopEmpty,
+	analysis.CodePrmSplitEmpty,
+	analysis.CodePrmSplitUnguard,
+	analysis.CodeNonPromotingLoop,
+	analysis.CodeLoopForksNoPrppt,
+	analysis.CodeDeadPrppt,
+	analysis.CodeDeadJtppt,
+}
+
+func TestCodesRegistryComplete(t *testing.T) {
+	form := regexp.MustCompile(`^TP\d{3}$`)
+	seen := make(map[analysis.Code]bool, len(allCodes))
+	for _, c := range allCodes {
+		if !form.MatchString(string(c)) {
+			t.Errorf("code %q does not match TPnnn", c)
+		}
+		if seen[c] {
+			t.Errorf("code %q declared twice", c)
+		}
+		seen[c] = true
+		if desc, ok := analysis.Codes[c]; !ok || desc == "" {
+			t.Errorf("code %q missing from the Codes registry", c)
+		}
+	}
+	for c := range analysis.Codes {
+		if !seen[c] {
+			t.Errorf("registry entry %q has no declared constant in this test's list", c)
+		}
+	}
+}
+
+// TestDiagStringIncludesCode pins the rendered diagnostic format the
+// lint output and CI greps key on.
+func TestDiagStringIncludesCode(t *testing.T) {
+	d := analysis.Diag{
+		Severity: analysis.Warning,
+		Code:     analysis.CodeNonPromotingLoop,
+		Block:    "loop",
+		Instr:    tpal.IssueBlock,
+		Msg:      "msg",
+	}
+	if got, want := d.String(), "loop: warning: TP050: msg"; got != want {
+		t.Errorf("Diag.String() = %q, want %q", got, want)
+	}
+	d.Instr = 3
+	d.Severity = analysis.Error
+	if got, want := d.String(), "loop[3]: error: TP050: msg"; got != want {
+		t.Errorf("Diag.String() = %q, want %q", got, want)
+	}
+	d.Code = ""
+	if got, want := d.String(), "loop[3]: error: msg"; got != want {
+		t.Errorf("codeless Diag.String() = %q, want %q", got, want)
+	}
+}
+
+// TestEveryDiagCarriesCode feeds the verifier a program tripping many
+// check classes at once and asserts no emitted diagnostic lacks a code.
+func TestEveryDiagCarriesCode(t *testing.T) {
+	diags := verifySrc(t, `
+program p entry m
+block m [.] {
+  s := snew
+  mem[s + 0] := 7
+  y := x
+  z := y / 0
+  jr := jralloc m
+  fork jr, w
+  halt
+}
+block w [.] {
+  halt
+}
+block ghost [prppt h] {
+  halt
+}
+block h [.] {
+  halt
+}
+block j [jtppt assoc-comm; {q -> q2}; c] {
+  halt
+}
+block c [.] {
+  halt
+}`)
+	if len(diags) < 4 {
+		t.Fatalf("expected a pile of diagnostics, got:\n%s", diagDump(diags))
+	}
+	for _, d := range diags {
+		if d.Code == "" {
+			t.Errorf("diagnostic without a code: %s", d)
+		}
+		if _, ok := analysis.Codes[d.Code]; !ok {
+			t.Errorf("diagnostic with unregistered code %q: %s", d.Code, d)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"tpal/internal/tpal"
+)
+
+// graph is a successor/predecessor view over an edge set — typically
+// the flow-sharpened edges the abstract interpreter records at its
+// fixpoint — used by the scheduling phases (dominator tree, loop
+// forest, cost estimation). Nodes are the blocks reachable from the
+// entry along the kept edges; rpo orders them reverse-post-order.
+type graph struct {
+	p     *tpal.Program
+	entry tpal.Label
+	succs map[tpal.Label][]Edge
+	preds map[tpal.Label][]Edge
+	rpo   []tpal.Label
+	rpoIx map[tpal.Label]int
+}
+
+// newGraph builds the view over the kept edges. A nil keep keeps every
+// edge.
+func newGraph(p *tpal.Program, entry tpal.Label, edges []Edge, keep func(Edge) bool) *graph {
+	g := &graph{
+		p:     p,
+		entry: entry,
+		succs: make(map[tpal.Label][]Edge),
+		preds: make(map[tpal.Label][]Edge),
+		rpoIx: make(map[tpal.Label]int),
+	}
+	for _, e := range edges {
+		if keep != nil && !keep(e) {
+			continue
+		}
+		g.succs[e.From] = append(g.succs[e.From], e)
+		g.preds[e.To] = append(g.preds[e.To], e)
+	}
+	if p.Block(entry) == nil {
+		return g
+	}
+
+	// Iterative DFS post-order, reversed. The explicit stack carries a
+	// per-node successor cursor so deep chains cannot overflow the
+	// goroutine stack on fuzzed inputs.
+	type frame struct {
+		l    tpal.Label
+		next int
+	}
+	seen := map[tpal.Label]bool{entry: true}
+	var post []tpal.Label
+	stack := []frame{{l: entry}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(g.succs[f.l]) {
+			to := g.succs[f.l][f.next].To
+			f.next++
+			if !seen[to] {
+				seen[to] = true
+				stack = append(stack, frame{l: to})
+			}
+			continue
+		}
+		post = append(post, f.l)
+		stack = stack[:len(stack)-1]
+	}
+	g.rpo = make([]tpal.Label, len(post))
+	for i, l := range post {
+		g.rpo[len(post)-1-i] = l
+	}
+	for i, l := range g.rpo {
+		g.rpoIx[l] = i
+	}
+	return g
+}
+
+// reachable reports whether the label was reached in the RPO walk.
+func (g *graph) reachable(l tpal.Label) bool {
+	_, ok := g.rpoIx[l]
+	return ok
+}
+
+// dominators computes the immediate-dominator map over the reachable
+// nodes with the Cooper–Harvey–Kennedy iteration. The entry's idom is
+// itself; unreachable nodes are absent.
+func (g *graph) dominators() map[tpal.Label]tpal.Label {
+	idom := map[tpal.Label]tpal.Label{g.entry: g.entry}
+	if len(g.rpo) == 0 {
+		return idom
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.rpo {
+			if b == g.entry {
+				continue
+			}
+			var cand tpal.Label
+			have := false
+			for _, e := range g.preds[b] {
+				p := e.From
+				if _, ok := idom[p]; !ok {
+					continue // unreachable or not yet processed
+				}
+				if !have {
+					cand, have = p, true
+					continue
+				}
+				cand = g.intersect(idom, cand, p)
+			}
+			if !have {
+				continue
+			}
+			if idom[b] != cand {
+				idom[b] = cand
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+func (g *graph) intersect(idom map[tpal.Label]tpal.Label, a, b tpal.Label) tpal.Label {
+	for a != b {
+		for g.rpoIx[a] > g.rpoIx[b] {
+			a = idom[a]
+		}
+		for g.rpoIx[b] > g.rpoIx[a] {
+			b = idom[b]
+		}
+	}
+	return a
+}
+
+// dominates reports whether a dominates b under the idom map (every
+// node dominates itself).
+func dominates(idom map[tpal.Label]tpal.Label, a, b tpal.Label) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next, ok := idom[b]
+		if !ok || next == b {
+			return false
+		}
+		b = next
+	}
+}

@@ -122,3 +122,69 @@ func FuzzVerify(f *testing.F) {
 		}
 	})
 }
+
+// FuzzLiveness checks the liveness pass's internal invariants on
+// prppt-stripped (and otherwise mutated) corpus programs. The seeds
+// remove every combination of promotion-ready points — the mutation
+// class the pass exists to catch.
+//
+// Invariants: Analyze never panics; the latency class and bound agree
+// (finite classes carry a non-negative bound, unbounded carries -1,
+// unknown only appears with structural errors); TP050 is raised exactly
+// when the program both reaches a prppt and is graded unbounded; every
+// diagnostic carries a registered code; every loop is graded.
+func FuzzLiveness(f *testing.F) {
+	for pi := range fuzzSeeds {
+		for mask := uint8(0); mask < 4; mask++ {
+			f.Add(uint8(pi), mask, uint8(0))
+			f.Add(uint8(pi), mask, uint8(1))
+		}
+	}
+	f.Fuzz(func(t *testing.T, progIdx, stripMask, kind uint8) {
+		seed := fuzzSeeds[int(progIdx)%len(fuzzSeeds)]
+		p, err := asm.Parse(seed.src)
+		if err != nil {
+			t.Fatalf("corpus program %s failed to parse: %v", seed.name, err)
+		}
+		for i, l := range p.Prppts() {
+			if stripMask&(1<<(uint(i)%8)) != 0 {
+				p.Block(l).Ann = tpal.Annotation{}
+			}
+		}
+		mutate(p, kind, stripMask, progIdx)
+
+		entry := make([]tpal.Reg, 0, len(seed.regs))
+		for r := range seed.regs {
+			entry = append(entry, r)
+		}
+		r := analysis.Analyze(p, analysis.Options{EntryRegs: entry})
+
+		switch r.Latency.Class {
+		case analysis.LatencyFinite, analysis.LatencyStackBounded:
+			if r.Latency.Bound < 0 {
+				t.Fatalf("class %s with negative bound %d", r.Latency.Class, r.Latency.Bound)
+			}
+		case analysis.LatencyUnbounded:
+			if r.Latency.Bound != -1 {
+				t.Fatalf("unbounded class with bound %d", r.Latency.Bound)
+			}
+		case analysis.LatencyUnknown:
+			if !analysis.HasErrors(r.Diags) {
+				t.Fatal("unknown latency class on a program with no errors")
+			}
+		}
+		for _, d := range r.Diags {
+			if _, ok := analysis.Codes[d.Code]; !ok {
+				t.Fatalf("diagnostic carries unregistered code %q: %s", d.Code, d)
+			}
+			if d.Code == analysis.CodeNonPromotingLoop && r.Latency.Class != analysis.LatencyUnbounded {
+				t.Fatalf("TP050 raised but program graded %s", r.Latency.Class)
+			}
+		}
+		for _, l := range r.AllLoops() {
+			if l.Class == analysis.LatencyUnknown {
+				t.Fatalf("loop %s left ungraded", l.Header)
+			}
+		}
+	})
+}

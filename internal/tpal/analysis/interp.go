@@ -25,6 +25,23 @@ type interp struct {
 	opts     Options
 	universe []tpal.Reg
 	diags    *[]Diag
+
+	// rec, when non-nil, receives every control-flow edge the
+	// interpreter emits. It is set during the report pass, when the
+	// per-register label sets are at their fixpoint, so the recorded
+	// edges form the flow-sharpened CFG: register-indirect transfers
+	// contribute only the labels the register can actually hold (havoc
+	// edges to every address-taken label remain for fully unresolved
+	// targets).
+	rec func(Edge)
+}
+
+// edge reports a sharpened control-flow edge to the recorder.
+func (it *interp) edge(b *tpal.Block, instr int, to tpal.Label, kind EdgeKind) {
+	if it.rec == nil || it.p.Block(to) == nil {
+		return
+	}
+	it.rec(Edge{From: b.Label, To: to, Kind: kind, Instr: instr})
 }
 
 func newInterp(p *tpal.Program, g *CFG, opts Options) *interp {
@@ -85,12 +102,12 @@ func (it *interp) havocState() *state {
 	return st
 }
 
-func (it *interp) report(sev Severity, b *tpal.Block, instr int, format string, args ...any) {
+func (it *interp) report(sev Severity, code Code, b *tpal.Block, instr int, format string, args ...any) {
 	if it.diags == nil {
 		return
 	}
 	*it.diags = append(*it.diags, Diag{
-		Severity: sev, Block: b.Label, Instr: instr, Msg: fmt.Sprintf(format, args...),
+		Severity: sev, Code: code, Block: b.Label, Instr: instr, Msg: fmt.Sprintf(format, args...),
 	})
 }
 
@@ -103,12 +120,12 @@ func (it *interp) checkUse(b *tpal.Block, instr int, r tpal.Reg, v absVal, fault
 	switch {
 	case !v.mayDef:
 		if faulting {
-			it.report(Error, b, instr, "register %q is never assigned on any path to this %s", r, what)
+			it.report(Error, CodeUseNeverAssigned, b, instr, "register %q is never assigned on any path to this %s", r, what)
 		} else {
-			it.report(Warning, b, instr, "register %q is read by this %s before any assignment (nil reads as 0)", r, what)
+			it.report(Warning, CodeUseBeforeAssign, b, instr, "register %q is read by this %s before any assignment (nil reads as 0)", r, what)
 		}
 	case v.mayUndef:
-		it.report(Warning, b, instr, "register %q may be unassigned on some path to this %s", r, what)
+		it.report(Warning, CodeUseMaybeUnassign, b, instr, "register %q may be unassigned on some path to this %s", r, what)
 	}
 }
 
@@ -135,6 +152,7 @@ func (it *interp) transfer(b *tpal.Block, st *state, emit func(tpal.Label, *stat
 	// A prppt block head may divert to the handler before the first
 	// instruction runs (the try-promote rule).
 	if b.Ann.Kind == tpal.AnnPrppt && it.p.Block(b.Ann.Handler) != nil {
+		it.edge(b, tpal.IssueBlock, b.Ann.Handler, EdgeHandler)
 		emit(b.Ann.Handler, st.clone())
 	}
 	for i := range b.Instrs {
@@ -193,7 +211,10 @@ func (it *interp) assumeAssigned(st *state) *state {
 
 // emitIndirect flows control along a register-held target: per-label
 // edges when the label set is known, havoc edges to every address-taken
-// label when it is not.
+// label when it is not. Edges are recorded with the given kind
+// provenance (EdgeFork for indirect forks, EdgeIndirect otherwise), so
+// the sharpened edge set the liveness pass consumes keeps the machine's
+// cycle-counter semantics attached.
 //
 // Both shapes are deliberately optimistic about definite
 // initialization: the flow-insensitive register domain cannot express
@@ -203,15 +224,17 @@ func (it *interp) assumeAssigned(st *state) *state {
 // facts along indirect edges floods real programs with infeasible-path
 // warnings. Value and stack facts still flow on the known-label shape;
 // only the "never/maybe assigned" bits are forgiven.
-func (it *interp) emitIndirect(st *state, v absVal, emit func(tpal.Label, *state)) {
+func (it *interp) emitIndirect(b *tpal.Block, instr int, kind EdgeKind, st *state, v absVal, emit func(tpal.Label, *state)) {
 	labels, top, _ := it.jumpTargets(v)
 	if top {
 		for _, l := range it.g.AddrTaken {
+			it.edge(b, instr, l, kind)
 			emit(l, it.havocState())
 		}
 		return
 	}
 	for _, l := range labels {
+		it.edge(b, instr, l, kind)
 		emit(l, it.assumeAssigned(st.clone()))
 	}
 }
@@ -233,16 +256,17 @@ func (it *interp) step(b *tpal.Block, i int, st *state, emit func(tpal.Label, *s
 		case tpal.OperLabel:
 			taken := st.clone()
 			refinePrmGuard(taken, st, cond)
+			it.edge(b, i, in.Val.Label, EdgeIf)
 			emit(in.Val.Label, taken)
 		case tpal.OperReg:
 			tv := st.get(in.Val.Reg)
 			it.checkUse(b, i, in.Val.Reg, tv, false, "if-jump target")
 			if _, _, never := it.jumpTargets(tv); never {
-				it.report(Warning, b, i, "if-jump target register %q can only hold %s, never a label; the branch faults if taken", in.Val.Reg, tv.kinds)
+				it.report(Warning, CodeIfTargetKind, b, i, "if-jump target register %q can only hold %s, never a label; the branch faults if taken", in.Val.Reg, tv.kinds)
 			}
 			taken := st.clone()
 			refinePrmGuard(taken, st, cond)
-			it.emitIndirect(taken, tv, emit)
+			it.emitIndirect(b, i, EdgeIndirect, taken, tv, emit)
 		}
 		// Fall through: the condition was non-zero; a prmempty result
 		// being non-zero proves the queried stack had a live mark.
@@ -258,7 +282,7 @@ func (it *interp) step(b *tpal.Block, i int, st *state, emit func(tpal.Label, *s
 			break
 		}
 		if cont.Ann.Kind != tpal.AnnJtppt {
-			it.report(Error, b, i, "jralloc continuation %q lacks a jtppt annotation; the machine faults here", in.Lbl)
+			it.report(Error, CodeJrallocNotJtppt, b, i, "jralloc continuation %q lacks a jtppt annotation; the machine faults here", in.Lbl)
 		}
 		st.set(in.Dst, recVal(in.Lbl))
 
@@ -266,20 +290,21 @@ func (it *interp) step(b *tpal.Block, i int, st *state, emit func(tpal.Label, *s
 		jv := st.get(in.Src)
 		it.checkUse(b, i, in.Src, jv, true, "fork (the join register must hold a record)")
 		if jv.never(kRec) {
-			it.report(Error, b, i, "fork through register %q, which only ever holds %s, never a join record", in.Src, jv.kinds)
+			it.report(Error, CodeForkRecordKind, b, i, "fork through register %q, which only ever holds %s, never a join record", in.Src, jv.kinds)
 		}
 		// The child starts with a copy of the parent's register file
 		// and shares its stacks.
 		switch in.Val.Kind {
 		case tpal.OperLabel:
+			it.edge(b, i, in.Val.Label, EdgeFork)
 			emit(in.Val.Label, st.clone())
 		case tpal.OperReg:
 			tv := st.get(in.Val.Reg)
 			it.checkUse(b, i, in.Val.Reg, tv, true, "fork target")
 			if _, _, never := it.jumpTargets(tv); never {
-				it.report(Error, b, i, "fork target register %q can only hold %s, never a label", in.Val.Reg, tv.kinds)
+				it.report(Error, CodeForkTargetKind, b, i, "fork target register %q can only hold %s, never a label", in.Val.Reg, tv.kinds)
 			}
-			it.emitIndirect(st, tv, emit)
+			it.emitIndirect(b, i, EdgeFork, st, tv, emit)
 		}
 
 	case tpal.ISNew:
@@ -326,7 +351,7 @@ func (it *interp) step(b *tpal.Block, i int, st *state, emit func(tpal.Label, *s
 		if id, ok := base.ptrs.only(); ok {
 			if n, known := st.marks[id]; known {
 				if n == 0 {
-					it.report(Error, b, i, "prmpop on a stack with no live promotion-ready marks; the machine faults here")
+					it.report(Error, CodePrmPopEmpty, b, i, "prmpop on a stack with no live promotion-ready marks; the machine faults here")
 				} else {
 					st.marks[id] = n - 1
 				}
@@ -350,11 +375,11 @@ func (it *interp) step(b *tpal.Block, i int, st *state, emit func(tpal.Label, *s
 		}
 		switch {
 		case known == 0:
-			it.report(Error, b, i, "prmsplit on a stack with no live promotion-ready marks; the machine faults here")
+			it.report(Error, CodePrmSplitEmpty, b, i, "prmsplit on a stack with no live promotion-ready marks; the machine faults here")
 		case known > 0 || st.proven[in.Src]:
 			// Provably (or at least plausibly) non-empty: fine.
 		default:
-			it.report(Warning, b, i, "prmsplit is not guarded by a prmempty check on %q; it faults when the mark list is empty", in.Src)
+			it.report(Warning, CodePrmSplitUnguard, b, i, "prmsplit is not guarded by a prmempty check on %q; it faults when the mark list is empty", in.Src)
 		}
 		if id, ok := base.ptrs.only(); ok {
 			if n, k := st.marks[id]; k && n > 0 {
@@ -372,14 +397,15 @@ func (it *interp) term(b *tpal.Block, st *state, emit func(tpal.Label, *state)) 
 	case tpal.TJump:
 		switch b.Term.Val.Kind {
 		case tpal.OperLabel:
+			it.edge(b, ti, b.Term.Val.Label, EdgeJump)
 			emit(b.Term.Val.Label, st)
 		case tpal.OperReg:
 			v := st.get(b.Term.Val.Reg)
 			it.checkUse(b, ti, b.Term.Val.Reg, v, true, "jump")
 			if _, _, never := it.jumpTargets(v); never {
-				it.report(Error, b, ti, "jump through register %q, which only ever holds %s, never a label", b.Term.Val.Reg, v.kinds)
+				it.report(Error, CodeJumpTargetKind, b, ti, "jump through register %q, which only ever holds %s, never a label", b.Term.Val.Reg, v.kinds)
 			}
-			it.emitIndirect(st, v, emit)
+			it.emitIndirect(b, ti, EdgeIndirect, st, v, emit)
 		}
 
 	case tpal.THalt:
@@ -392,7 +418,7 @@ func (it *interp) term(b *tpal.Block, st *state, emit func(tpal.Label, *state)) 
 		v := st.get(r)
 		it.checkUse(b, ti, r, v, true, "join (the operand must hold a record)")
 		if v.never(kRec) {
-			it.report(Error, b, ti, "join through register %q, which only ever holds %s, never a join record", r, v.kinds)
+			it.report(Error, CodeJoinRecordKind, b, ti, "join through register %q, which only ever holds %s, never a join record", r, v.kinds)
 			return
 		}
 		var conts []tpal.Label
@@ -429,8 +455,10 @@ func (it *interp) term(b *tpal.Block, st *state, emit func(tpal.Label, *state)) 
 				cont.set(rr.To, dv)
 				comb.set(rr.To, dv)
 			}
+			it.edge(b, ti, cl, EdgeJoinCont)
 			emit(cl, cont)
 			if it.p.Block(cb.Ann.Comb) != nil {
+				it.edge(b, ti, cb.Ann.Comb, EdgeJoinComb)
 				emit(cb.Ann.Comb, comb)
 			}
 		}

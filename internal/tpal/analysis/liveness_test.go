@@ -1,0 +1,296 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/analysis"
+	"tpal/internal/tpal/asm"
+	"tpal/internal/tpal/programs"
+)
+
+func parseProg(t *testing.T, src string) *tpal.Program {
+	t.Helper()
+	p, err := asm.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func analyzeProg(t *testing.T, src string, entry ...tpal.Reg) *analysis.Report {
+	t.Helper()
+	return analysis.Analyze(parseProg(t, src), analysis.Options{EntryRegs: entry})
+}
+
+// wantCode asserts some diagnostic carries the code; wantNoCode the
+// opposite.
+func wantCode(t *testing.T, diags []analysis.Diag, code analysis.Code) {
+	t.Helper()
+	for _, d := range diags {
+		if d.Code == code {
+			return
+		}
+	}
+	t.Errorf("no %s diagnostic in:\n%s", code, diagDump(diags))
+}
+
+func wantNoCode(t *testing.T, diags []analysis.Diag, code analysis.Code) {
+	t.Helper()
+	for _, d := range diags {
+		if d.Code == code {
+			t.Errorf("unexpected %s diagnostic: %s", code, d)
+		}
+	}
+}
+
+// TestCorpusLatencyBounds pins the scheduling report of the built-in
+// corpus: every program verifies clean with a finite or stack-bounded
+// static promotion-latency bound, and the bounds themselves are part of
+// the contract (EXPERIMENTS.md quotes them).
+func TestCorpusLatencyBounds(t *testing.T) {
+	cases := []struct {
+		name  string
+		src   string
+		entry []tpal.Reg
+		class analysis.LatencyClass
+		bound int64
+	}{
+		{"prod", programs.ProdSource, []tpal.Reg{"a", "b"}, analysis.LatencyFinite, 10},
+		{"pow", programs.PowSource, []tpal.Reg{"d", "e"}, analysis.LatencyFinite, 17},
+		{"fib", programs.FibSource, []tpal.Reg{"n"}, analysis.LatencyStackBounded, 16},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := analyzeProg(t, tc.src, tc.entry...)
+			if len(r.Diags) != 0 {
+				t.Errorf("want no diagnostics, got:\n%s", diagDump(r.Diags))
+			}
+			if r.Latency.Class != tc.class || r.Latency.Bound != tc.bound {
+				t.Errorf("latency = %s, want %s(%d)", r.Latency, tc.class, tc.bound)
+			}
+			if len(r.Loops) == 0 {
+				t.Fatal("no loops found in a corpus program")
+			}
+			for _, l := range r.AllLoops() {
+				if l.Class == analysis.LatencyUnbounded || l.Class == analysis.LatencyUnknown {
+					t.Errorf("loop %s graded %s", l.Header, l.Class)
+				}
+				if l.Work == nil || l.Span == nil {
+					t.Errorf("loop %s missing cost bounds", l.Header)
+				}
+			}
+			if r.Work == nil || r.Span == nil {
+				t.Error("missing program cost bounds")
+			}
+		})
+	}
+}
+
+// TestSeededCounterexampleStrippedPrppt is the acceptance counterexample:
+// removing the prppt annotation from prod's loop-par block leaves a CFG
+// cycle that crosses no promotion event, and the liveness pass must
+// reject it with TP050 and an unbounded latency class.
+func TestSeededCounterexampleStrippedPrppt(t *testing.T) {
+	p := programs.Prod()
+	p.Block("loop-par").Ann = tpal.Annotation{}
+	r := analysis.Analyze(p, analysis.Options{EntryRegs: []tpal.Reg{"a", "b"}})
+
+	wantCode(t, r.Diags, analysis.CodeNonPromotingLoop)
+	wantDiag(t, r.Diags, analysis.Warning, "without crossing any promotion-ready program point")
+	if r.Latency.Class != analysis.LatencyUnbounded || r.Latency.Bound != -1 {
+		t.Errorf("latency = %s, want unbounded", r.Latency)
+	}
+	for _, d := range r.Diags {
+		if d.Code == analysis.CodeNonPromotingLoop && d.Block != "loop-par" {
+			t.Errorf("TP050 anchored at %q, want loop-par", d.Block)
+		}
+	}
+}
+
+// TestStrippedPrpptCascade strips the serial loop's prppt instead. The
+// handler chain behind it becomes unreachable, taking the only other
+// prppt (loop-par) with it: the program no longer uses the promotion
+// machinery anywhere it can reach, so TP050 is gated off, but the dead
+// loop-par annotation is flagged TP052 and the class stays unbounded.
+func TestStrippedPrpptCascade(t *testing.T) {
+	p := programs.Prod()
+	p.Block("loop").Ann = tpal.Annotation{}
+	r := analysis.Analyze(p, analysis.Options{EntryRegs: []tpal.Reg{"a", "b"}})
+
+	wantCode(t, r.Diags, analysis.CodeDeadPrppt)
+	wantNoCode(t, r.Diags, analysis.CodeNonPromotingLoop)
+	if r.Latency.Class != analysis.LatencyUnbounded {
+		t.Errorf("latency = %s, want unbounded", r.Latency)
+	}
+}
+
+// TestLoopForksWithoutPrppt exercises TP051: a loop that forks a task on
+// every pass but never offers the scheduler a promotion-ready point.
+func TestLoopForksWithoutPrppt(t *testing.T) {
+	r := analyzeProg(t, `
+program p entry m
+block m [.] {
+  i := 3
+  x := 0
+  jump loop
+}
+block loop [.] {
+  if-jump i, done
+  i := i - 1
+  jr := jralloc jt
+  fork jr, w
+  x := 1
+  join jr
+}
+block w [.] {
+  x := 2
+  join jr
+}
+block jt [jtppt assoc-comm; {x -> x2}; cb] {
+  jump loop
+}
+block cb [.] {
+  x := x + x2
+  join jr
+}
+block done [.] {
+  halt
+}`)
+	wantCode(t, r.Diags, analysis.CodeLoopForksNoPrppt)
+	wantDiag(t, r.Diags, analysis.Warning, "forks on every pass but contains no promotion-ready program point")
+	for _, d := range r.Diags {
+		if d.Code == analysis.CodeLoopForksNoPrppt && d.Block != "loop" {
+			t.Errorf("TP051 anchored at %q, want the loop header", d.Block)
+		}
+	}
+	// No prppt exists anywhere, so the unbounded-cycle check is gated off.
+	wantNoCode(t, r.Diags, analysis.CodeNonPromotingLoop)
+}
+
+// TestDeadPrpptFlagged exercises TP052: a prppt annotation on a block
+// the flow analysis proves unreachable.
+func TestDeadPrpptFlagged(t *testing.T) {
+	r := analyzeProg(t, `
+program p entry m
+block m [.] {
+  halt
+}
+block ghost [prppt h] {
+  halt
+}
+block h [.] {
+  halt
+}`)
+	wantCode(t, r.Diags, analysis.CodeDeadPrppt)
+	wantDiag(t, r.Diags, analysis.Warning, `handler "h" can never run`)
+}
+
+// TestDeadJtpptFlagged exercises TP053: a jtppt continuation no jralloc
+// ever names, so no join record can reach it.
+func TestDeadJtpptFlagged(t *testing.T) {
+	r := analyzeProg(t, `
+program p entry m
+block m [.] {
+  halt
+}
+block j [jtppt assoc-comm; {x -> x2}; c] {
+  halt
+}
+block c [.] {
+  halt
+}`)
+	wantCode(t, r.Diags, analysis.CodeDeadJtppt)
+	wantDiag(t, r.Diags, analysis.Warning, "never named by any jralloc")
+}
+
+// TestTinyLoopCost pins the symbolic work/span model on a program small
+// enough to compute by hand: a three-block serial countdown loop.
+//
+//	m (2 steps) -> loop (3 steps/pass) -> out (1 step)
+func TestTinyLoopCost(t *testing.T) {
+	r := analyzeProg(t, `
+program p entry m
+block m [.] {
+  i := 3
+  jump loop
+}
+block loop [.] {
+  if-jump i, out
+  i := i - 1
+  jump loop
+}
+block out [.] {
+  halt
+}`, "i")
+	if len(r.Diags) != 0 {
+		t.Fatalf("unexpected diagnostics:\n%s", diagDump(r.Diags))
+	}
+	if got, want := r.Work.String(), "trip(loop)*3 + 3"; got != want {
+		t.Errorf("work = %s, want %s", got, want)
+	}
+	if got, want := r.Span.String(), "trip(loop)*3 + 3"; got != want {
+		t.Errorf("span = %s, want %s", got, want)
+	}
+	if got := r.Work.Trips(); len(got) != 1 || got[0] != "loop" {
+		t.Errorf("work trips = %v, want [loop]", got)
+	}
+	trips := map[tpal.Label]int64{"loop": 4}
+	if got := r.Work.Eval(trips, 1); got != 15 {
+		t.Errorf("work eval = %d, want 15", got)
+	}
+	if got := r.Work.Eval(nil, 1); got != 3 {
+		t.Errorf("work eval with nil trips = %d, want 3", got)
+	}
+	if len(r.Loops) != 1 || r.Loops[0].Header != "loop" || r.Loops[0].Depth != 1 {
+		t.Fatalf("loop forest = %+v, want one depth-1 loop at loop", r.Loops)
+	}
+	if got, want := r.Loops[0].Work.String(), "3"; got != want {
+		t.Errorf("loop per-pass work = %s, want %s", got, want)
+	}
+}
+
+// TestLatencyStrings pins the rendered forms the lint tool and -json
+// output rely on.
+func TestLatencyStrings(t *testing.T) {
+	cases := []struct {
+		lb   analysis.LatencyBound
+		want string
+	}{
+		{analysis.LatencyBound{Class: analysis.LatencyFinite, Bound: 10}, "finite(10)"},
+		{analysis.LatencyBound{Class: analysis.LatencyStackBounded, Bound: 16}, "stack-bounded(16)"},
+		{analysis.LatencyBound{Class: analysis.LatencyUnbounded, Bound: -1}, "unbounded"},
+		{analysis.LatencyBound{}, "unknown"},
+	}
+	for _, tc := range cases {
+		if got := tc.lb.String(); got != tc.want {
+			t.Errorf("LatencyBound%+v.String() = %q, want %q", tc.lb, got, tc.want)
+		}
+	}
+}
+
+// TestExprSaturation checks that Eval saturates instead of overflowing.
+func TestExprSaturation(t *testing.T) {
+	r := analyzeProg(t, `
+program p entry m
+block m [.] {
+  i := 3
+  jump loop
+}
+block loop [.] {
+  if-jump i, out
+  jump loop
+}
+block out [.] {
+  halt
+}`, "i")
+	huge := map[tpal.Label]int64{"loop": 1 << 61}
+	v := r.Work.Eval(huge, 1)
+	if v <= 0 {
+		t.Errorf("saturating eval went non-positive: %d", v)
+	}
+	if !strings.Contains(r.Work.String(), "trip(loop)") {
+		t.Errorf("work %s does not mention trip(loop)", r.Work)
+	}
+}

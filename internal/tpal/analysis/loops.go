@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"sort"
+
+	"tpal/internal/tpal"
+)
+
+// Loop is one cyclic region of the flow-sharpened CFG, discovered by
+// recursive strongly-connected-component decomposition (which, unlike
+// back-edge natural loops, also handles the irreducible regions
+// register-indirect continuations produce). Header is the region's
+// canonical entry: the unique region block dominating every other
+// region block when one exists, otherwise the first region block in
+// reverse post-order. Blocks lists every block of the region, nested
+// regions included, in program order.
+type Loop struct {
+	Header   tpal.Label
+	Blocks   []tpal.Label
+	Children []*Loop
+	Depth    int
+
+	// Class is the promotion-latency class of the cycles through this
+	// region (see LatencyBound).
+	Class LatencyClass
+	// Work and Span are the symbolic cost of one pass over the region
+	// (one entry of the header), nested regions folded in by their own
+	// trip counts.
+	Work *Expr
+	Span *Expr
+}
+
+type lpair struct{ from, to tpal.Label }
+
+// loopForest builds the loop forest of the graph: top-level SCCs become
+// depth-1 loops; removing each header's in-region in-edges and
+// re-decomposing yields the nested levels.
+func loopForest(g *graph, idom map[tpal.Label]tpal.Label) []*Loop {
+	nodes := make(map[tpal.Label]bool, len(g.rpo))
+	for _, l := range g.rpo {
+		nodes[l] = true
+	}
+	return sccLoops(g, idom, nodes, map[lpair]bool{}, 1)
+}
+
+func sccLoops(g *graph, idom map[tpal.Label]tpal.Label, nodes map[tpal.Label]bool, cut map[lpair]bool, depth int) []*Loop {
+	var out []*Loop
+	for _, scc := range tarjanSCC(g, nodes, cut) {
+		if len(scc) == 1 && !hasSelfEdge(g, scc[0], cut) {
+			continue
+		}
+		h := chooseHeader(g, idom, scc)
+		inner := make(map[tpal.Label]bool, len(scc))
+		for _, l := range scc {
+			inner[l] = true
+		}
+		sub := make(map[lpair]bool, len(cut)+len(scc))
+		for k := range cut {
+			sub[k] = true
+		}
+		for _, l := range scc {
+			sub[lpair{l, h}] = true
+		}
+		out = append(out, &Loop{
+			Header:   h,
+			Blocks:   progOrder(g.p, scc),
+			Children: sccLoops(g, idom, inner, sub, depth+1),
+			Depth:    depth,
+		})
+	}
+	order := make(map[tpal.Label]int, len(g.p.Blocks))
+	for i, b := range g.p.Blocks {
+		order[b.Label] = i
+	}
+	sort.Slice(out, func(i, j int) bool { return order[out[i].Header] < order[out[j].Header] })
+	return out
+}
+
+// chooseHeader picks the region block that dominates all region blocks;
+// irreducible regions, which have none, fall back to the earliest
+// region block in reverse post-order.
+func chooseHeader(g *graph, idom map[tpal.Label]tpal.Label, scc []tpal.Label) tpal.Label {
+	best := scc[0]
+	for _, h := range scc {
+		if g.rpoIx[h] < g.rpoIx[best] {
+			best = h
+		}
+	}
+	for _, h := range scc {
+		all := true
+		for _, n := range scc {
+			if !dominates(idom, h, n) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return h
+		}
+	}
+	return best
+}
+
+func hasSelfEdge(g *graph, l tpal.Label, cut map[lpair]bool) bool {
+	if cut[lpair{l, l}] {
+		return false
+	}
+	for _, e := range g.succs[l] {
+		if e.To == l {
+			return true
+		}
+	}
+	return false
+}
+
+func progOrder(p *tpal.Program, ls []tpal.Label) []tpal.Label {
+	order := make(map[tpal.Label]int, len(p.Blocks))
+	for i, b := range p.Blocks {
+		order[b.Label] = i
+	}
+	out := append([]tpal.Label(nil), ls...)
+	sort.Slice(out, func(i, j int) bool { return order[out[i]] < order[out[j]] })
+	return out
+}
+
+// tarjanSCC returns the strongly connected components of the graph
+// restricted to nodes, with cut edges removed, in an arbitrary order.
+// It is iterative for the same stack-depth reason as the RPO walk.
+func tarjanSCC(g *graph, nodes map[tpal.Label]bool, cut map[lpair]bool) [][]tpal.Label {
+	index := make(map[tpal.Label]int, len(nodes))
+	low := make(map[tpal.Label]int, len(nodes))
+	onStack := make(map[tpal.Label]bool, len(nodes))
+	var stack []tpal.Label
+	var sccs [][]tpal.Label
+	next := 0
+
+	type frame struct {
+		l    tpal.Label
+		edge int
+	}
+	var roots []tpal.Label
+	for l := range nodes {
+		roots = append(roots, l)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+
+	for _, root := range roots {
+		if _, ok := index[root]; ok {
+			continue
+		}
+		call := []frame{{l: root}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			advanced := false
+			succs := g.succs[f.l]
+			for f.edge < len(succs) {
+				to := succs[f.edge].To
+				f.edge++
+				if !nodes[to] || cut[lpair{f.l, to}] {
+					continue
+				}
+				if _, ok := index[to]; !ok {
+					index[to], low[to] = next, next
+					next++
+					stack = append(stack, to)
+					onStack[to] = true
+					call = append(call, frame{l: to})
+					advanced = true
+					break
+				}
+				if onStack[to] && index[to] < low[f.l] {
+					low[f.l] = index[to]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[f.l] == index[f.l] {
+				var scc []tpal.Label
+				for {
+					n := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[n] = false
+					scc = append(scc, n)
+					if n == f.l {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := &call[len(call)-1]
+				if low[f.l] < low[p.l] {
+					low[p.l] = low[f.l]
+				}
+			}
+		}
+	}
+	return sccs
+}

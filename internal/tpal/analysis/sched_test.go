@@ -1,0 +1,150 @@
+package analysis_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/analysis"
+	"tpal/internal/tpal/machine"
+	"tpal/internal/tpal/programs"
+)
+
+// schedCases are the corpus programs paired with machine-ready entry
+// register files and the analysis entry assumption.
+var schedCases = []struct {
+	name string
+	prog func() *tpal.Program
+	regs machine.RegFile
+}{
+	{"prod", programs.Prod, machine.RegFile{"a": machine.IntV(9), "b": machine.IntV(4)}},
+	{"pow", programs.Pow, machine.RegFile{"d": machine.IntV(2), "e": machine.IntV(6)}},
+	{"fib", programs.Fib, machine.RegFile{"n": machine.IntV(9)}},
+}
+
+func entryRegs(regs machine.RegFile) []tpal.Reg {
+	out := make([]tpal.Reg, 0, len(regs))
+	for r := range regs {
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestObservedGapWithinStaticBound validates the liveness pass against
+// the machine: for LatencyFinite programs the static bound promises
+// that no task ever executes more steps between promotion events than
+// Bound, on any schedule and at any heartbeat. The machine counts the
+// observed maximum (Stats.MaxPromotionGap); it must never exceed the
+// static promise. (LatencyStackBounded bounds the gap per consumed
+// stack frame, not globally, so fib is checked for class only.)
+func TestObservedGapWithinStaticBound(t *testing.T) {
+	heartbeats := []int64{0, 8, 16, 50}
+	schedules := []machine.SchedulePolicy{machine.Lockstep, machine.RandomOrder, machine.DepthFirst}
+	for _, tc := range schedCases {
+		p := tc.prog()
+		r := analysis.Analyze(p, analysis.Options{EntryRegs: entryRegs(tc.regs)})
+		if len(r.Diags) != 0 {
+			t.Fatalf("%s: unexpected diagnostics:\n%s", tc.name, diagDump(r.Diags))
+		}
+		if r.Latency.Class != analysis.LatencyFinite {
+			if r.Latency.Class != analysis.LatencyStackBounded {
+				t.Errorf("%s: latency %s, want finite or stack-bounded", tc.name, r.Latency)
+			}
+			continue
+		}
+		for _, hb := range heartbeats {
+			for _, sched := range schedules {
+				name := fmt.Sprintf("%s/hb=%d/sched=%d", tc.name, hb, sched)
+				res, err := machine.Run(p, machine.Config{
+					Heartbeat: hb,
+					Schedule:  sched,
+					Seed:      42,
+					MaxSteps:  2_000_000,
+					Regs:      tc.regs,
+				})
+				if err != nil {
+					t.Errorf("%s: %v", name, err)
+					continue
+				}
+				if res.Stats.MaxPromotionGap > r.Latency.Bound {
+					t.Errorf("%s: observed promotion gap %d exceeds static bound %d",
+						name, res.Stats.MaxPromotionGap, r.Latency.Bound)
+				}
+			}
+		}
+	}
+}
+
+// TestStaticWorkCoversDynamic cross-checks the symbolic work bound
+// against the machine's cost-semantics work counter on the serial
+// elaboration (heartbeat off: no forks, no try-promote transitions, so
+// the dynamic work is exactly the instruction count the static model
+// covers). The trip valuation is read off the same run: each loop's
+// trip count is the maximum number of block-head entries over the
+// region's blocks, which over-approximates header entries even for
+// irreducible regions.
+func TestStaticWorkCoversDynamic(t *testing.T) {
+	for _, tc := range schedCases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.prog()
+			r := analysis.Analyze(p, analysis.Options{EntryRegs: entryRegs(tc.regs)})
+			if len(r.Diags) != 0 {
+				t.Fatalf("unexpected diagnostics:\n%s", diagDump(r.Diags))
+			}
+
+			entries := make(map[tpal.Label]int64)
+			res, err := machine.Run(p, machine.Config{
+				Heartbeat: 0, // serial elaboration
+				Regs:      tc.regs,
+				Trace: func(e machine.TraceEvent) {
+					if (e.Kind == machine.TraceInstr || e.Kind == machine.TraceTerm) && e.Offset == 0 {
+						entries[e.Label]++
+					}
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			trips := make(map[tpal.Label]int64)
+			for _, l := range r.AllLoops() {
+				var max int64
+				for _, b := range l.Blocks {
+					if entries[b] > max {
+						max = entries[b]
+					}
+				}
+				trips[l.Header] = max
+			}
+			static := r.Work.Eval(trips, 1)
+			if static < res.Stats.Work {
+				t.Errorf("static work %s = %d under trips %v is below dynamic work %d",
+					r.Work, static, trips, res.Stats.Work)
+			}
+			if spanStatic := r.Span.Eval(trips, 1); spanStatic < res.Stats.Span {
+				t.Errorf("static span %s = %d under trips %v is below dynamic span %d",
+					r.Span, spanStatic, trips, res.Stats.Span)
+			}
+		})
+	}
+}
+
+// TestGapCounterResets sanity-checks the machine-side instrumentation:
+// a promoting run of prod must observe a strictly positive gap no
+// larger than the serial run's, and the serial gap itself must be
+// within the static bound (the serial elaboration still crosses prppt
+// heads even though the heartbeat never fires).
+func TestGapCounterResets(t *testing.T) {
+	p := programs.Prod()
+	r := analysis.Analyze(p, analysis.Options{EntryRegs: []tpal.Reg{"a", "b"}})
+	serial, err := machine.Run(p, machine.Config{Heartbeat: 0, Regs: schedCases[0].regs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Stats.MaxPromotionGap <= 0 {
+		t.Error("serial run observed no promotion gap at all; instrumentation is dead")
+	}
+	if serial.Stats.MaxPromotionGap > r.Latency.Bound {
+		t.Errorf("serial gap %d exceeds static bound %d", serial.Stats.MaxPromotionGap, r.Latency.Bound)
+	}
+}

@@ -11,7 +11,7 @@ func (it *interp) checkBase(b *tpal.Block, i int, r tpal.Reg, st *state, what st
 	v := st.get(r)
 	it.checkUse(b, i, r, v, true, what+" (the base must hold a stack pointer)")
 	if v.never(kPtr) {
-		it.report(Error, b, i, "%s through register %q, which only ever holds %s, never a stack pointer", what, r, v.kinds)
+		it.report(Error, CodeStackBaseKind, b, i, "%s through register %q, which only ever holds %s, never a stack pointer", what, r, v.kinds)
 	}
 	return v
 }
@@ -32,7 +32,7 @@ func (it *interp) checkBounds(b *tpal.Block, i int, base absVal, off int64, st *
 		return
 	}
 	if base.delta+off >= h {
-		it.report(Error, b, i, "%s at offset %d is %d cells below the frame base (pointer %d below top, %d live cells); the machine faults here",
+		it.report(Error, CodeOutOfFrame, b, i, "%s at offset %d is %d cells below the frame base (pointer %d below top, %d live cells); the machine faults here",
 			what, off, base.delta+off-h+1, base.delta, h)
 	}
 }
@@ -134,7 +134,7 @@ func (it *interp) execSFree(b *tpal.Block, i int, st *state) {
 		if known && base.deltaOK {
 			nh := h - base.delta - in.Off
 			if nh < 0 {
-				it.report(Error, b, i, "sfree of %d cells reaches %d cells below the stack base (pointer %d below top, %d live cells); the machine faults here",
+				it.report(Error, CodeSfreeBelowBase, b, i, "sfree of %d cells reaches %d cells below the stack base (pointer %d below top, %d live cells); the machine faults here",
 					in.Off, -nh, base.delta, h)
 				delete(st.heights, id)
 			} else {
@@ -163,13 +163,13 @@ func (it *interp) execBinOp(b *tpal.Block, i int, st *state) {
 	// ± integer / pointer − pointer; a label, record or mark operand
 	// faults unconditionally.
 	if a.never(kInt | kPtr) {
-		it.report(Error, b, i, "left operand %q only ever holds %s; the operator faults on it", in.Src, a.kinds)
+		it.report(Error, CodeBinopOperandKind, b, i, "left operand %q only ever holds %s; the operator faults on it", in.Src, a.kinds)
 	}
 	if bv.never(kInt | kPtr) {
-		it.report(Error, b, i, "right operand only ever holds %s; the operator faults on it", bv.kinds)
+		it.report(Error, CodeBinopOperandKind, b, i, "right operand only ever holds %s; the operator faults on it", bv.kinds)
 	}
 	if (in.Op == tpal.OpDiv || in.Op == tpal.OpMod) && in.Val.Kind == tpal.OperInt && in.Val.Int == 0 {
-		it.report(Error, b, i, "%s by the constant zero; the machine faults here", in.Op)
+		it.report(Error, CodeDivByZero, b, i, "%s by the constant zero; the machine faults here", in.Op)
 	}
 
 	var res absVal

@@ -4,6 +4,38 @@ import (
 	"tpal/internal/tpal"
 )
 
+// Report is the full result of the static analyses: the diagnostics of
+// every phase plus the scheduling facts the later phases compute. The
+// scheduling fields are only populated when phase 0 passes (Latency is
+// LatencyUnknown and Work/Span nil otherwise).
+type Report struct {
+	Diags []Diag
+	// Latency is the program-wide static promotion-latency bound.
+	Latency LatencyBound
+	// Loops is the loop forest of the flow-sharpened CFG, each loop
+	// graded with its latency class and per-pass work/span.
+	Loops []*Loop
+	// Work and Span are symbolic upper bounds on the whole program's
+	// cost-semantics work and span (Figure 28), in machine steps.
+	Work *Expr
+	Span *Expr
+}
+
+// AllLoops returns every loop in the forest, outer before inner,
+// flattened in header program order per level.
+func (r *Report) AllLoops() []*Loop {
+	var out []*Loop
+	var walk func([]*Loop)
+	walk = func(ls []*Loop) {
+		for _, l := range ls {
+			out = append(out, l)
+			walk(l.Children)
+		}
+	}
+	walk(r.Loops)
+	return out
+}
+
 // Verify statically checks a program and returns its diagnostics,
 // sorted by position with errors first within a position. A program
 // with no Error-severity diagnostics is guaranteed not to trip the
@@ -14,23 +46,49 @@ func Verify(p *tpal.Program) []Diag { return VerifyWith(p, Options{}) }
 
 // VerifyWith is Verify with configuration.
 func VerifyWith(p *tpal.Program, opts Options) []Diag {
-	var diags []Diag
+	return Analyze(p, opts).Diags
+}
 
-	// Phase 0: structural validation. Flow phases assume structurally
-	// sound programs, so errors here short-circuit.
+// Analyze runs all five phases and returns the full report: structural
+// validation, CFG-shape checks, the abstract interpretation, the
+// promotion-liveness pass over the flow-sharpened edges, and the
+// symbolic work/span estimator. Structural errors short-circuit — the
+// flow phases assume structurally sound programs.
+func Analyze(p *tpal.Program, opts Options) *Report {
+	r := &Report{}
+
+	// Phase 0: structural validation.
 	for _, is := range p.Issues() {
-		diags = append(diags, Diag{Severity: Error, Block: is.Block, Instr: is.Instr, Msg: is.Msg})
+		r.Diags = append(r.Diags, Diag{Severity: Error, Code: CodeStructural, Block: is.Block, Instr: is.Instr, Msg: is.Msg})
 	}
-	if len(diags) > 0 {
-		sortDiags(p, diags)
-		return diags
+	if len(r.Diags) > 0 {
+		sortDiags(p, r.Diags)
+		return r
 	}
 
 	g := BuildCFG(p)
-	diags = append(diags, cfgChecks(p, g)...)
-	diags = append(diags, flowChecks(p, g, opts)...)
-	sortDiags(p, diags)
-	return diags
+	r.Diags = append(r.Diags, cfgChecks(p, g)...)
+
+	// Phase 3: the abstract interpretation, which also records the
+	// flow-sharpened edge set and the set of blocks it reached.
+	flowDiags, sharp, reached := flowChecks(p, g, opts)
+	r.Diags = append(r.Diags, flowDiags...)
+
+	// Phases 4 and 5 run on the sharpened edges: the cost graph keeps
+	// every edge kind (in heartbeat-compiled code all forks sit behind
+	// promotion handlers, so dropping either handler or fork edges
+	// would hide the parallel structure from the loop forest), while
+	// the liveness pass excludes handler edges itself.
+	cg := newGraph(p, p.Entry, sharp, nil)
+	r.Loops = loopForest(cg, cg.dominators())
+	r.Work, r.Span = costAnalysis(p, cg, r.Loops)
+
+	liveDiags, lb := livenessPass(p, sharp, reached, r.Loops)
+	r.Diags = append(r.Diags, liveDiags...)
+	r.Latency = lb
+
+	sortDiags(p, r.Diags)
+	return r
 }
 
 // cfgChecks runs the graph-shape checks: every fork must be able to
@@ -63,7 +121,7 @@ func cfgChecks(p *tpal.Program, g *CFG) []Diag {
 		}
 		if b.Ann.Kind == tpal.AnnPrppt {
 			if h := p.Block(b.Ann.Handler); h != nil && h.Ann.Kind != tpal.AnnNone {
-				diags = append(diags, Diag{Severity: Warning, Block: b.Label, Instr: tpal.IssueBlock,
+				diags = append(diags, Diag{Severity: Warning, Code: CodeAnnotatedHandler, Block: b.Label, Instr: tpal.IssueBlock,
 					Msg: "promotion handler \"" + string(b.Ann.Handler) + "\" carries its own annotation; handlers are expected to be plain blocks"})
 			}
 		}
@@ -72,11 +130,11 @@ func cfgChecks(p *tpal.Program, g *CFG) []Diag {
 				continue
 			}
 			if !canJoin(b.Label) {
-				diags = append(diags, Diag{Severity: Warning, Block: b.Label, Instr: i,
+				diags = append(diags, Diag{Severity: Warning, Code: CodeForkNoJoinParent, Block: b.Label, Instr: i,
 					Msg: "the forking task can never reach a join after this fork; the join record never resolves"})
 			}
 			if in.Val.Kind == tpal.OperLabel && !canJoin(in.Val.Label) {
-				diags = append(diags, Diag{Severity: Warning, Block: b.Label, Instr: i,
+				diags = append(diags, Diag{Severity: Warning, Code: CodeForkNoJoinChild, Block: b.Label, Instr: i,
 					Msg: "the forked task starting at \"" + string(in.Val.Label) + "\" can never reach a join; the join record never resolves"})
 			}
 		}
@@ -86,9 +144,11 @@ func cfgChecks(p *tpal.Program, g *CFG) []Diag {
 
 // flowChecks runs the abstract interpretation to a fixpoint, then
 // replays every reached block against its fixpoint in-state to collect
-// diagnostics. Blocks the analysis never reaches are dead code and get
-// no flow diagnostics.
-func flowChecks(p *tpal.Program, g *CFG, opts Options) []Diag {
+// diagnostics and record the flow-sharpened control-flow edges —
+// register-indirect transfers contribute only the labels the fixpoint
+// proved the register can hold. Blocks the analysis never reaches are
+// dead code: they get no flow diagnostics and no edges.
+func flowChecks(p *tpal.Program, g *CFG, opts Options) ([]Diag, []Edge, map[tpal.Label]bool) {
 	it := newInterp(p, g, opts)
 	states := Solve(p, Dataflow[*state]{
 		Clone: func(s *state) *state { return s.clone() },
@@ -99,15 +159,26 @@ func flowChecks(p *tpal.Program, g *CFG, opts Options) []Diag {
 	}, it.entryState())
 
 	var diags []Diag
+	var sharp []Edge
+	seen := make(map[Edge]bool)
 	it.diags = &diags
+	it.rec = func(e Edge) {
+		if !seen[e] {
+			seen[e] = true
+			sharp = append(sharp, e)
+		}
+	}
 	drop := func(tpal.Label, *state) {}
+	reached := make(map[tpal.Label]bool, len(states))
 	for _, b := range p.Blocks {
 		st, ok := states[b.Label]
 		if !ok {
 			continue
 		}
+		reached[b.Label] = true
 		it.transfer(b, st.clone(), drop)
 	}
 	it.diags = nil
-	return diags
+	it.rec = nil
+	return diags, sharp, reached
 }

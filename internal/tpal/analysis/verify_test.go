@@ -30,6 +30,17 @@ func wantDiag(t *testing.T, diags []analysis.Diag, sev analysis.Severity, sub st
 	t.Errorf("no %v diagnostic containing %q in:\n%s", sev, sub, diagDump(diags))
 }
 
+// wantCodedDiag additionally pins the stable diagnostic code.
+func wantCodedDiag(t *testing.T, diags []analysis.Diag, sev analysis.Severity, code analysis.Code, sub string) {
+	t.Helper()
+	for _, d := range diags {
+		if d.Severity == sev && d.Code == code && strings.Contains(d.Msg, sub) {
+			return
+		}
+	}
+	t.Errorf("no %v %s diagnostic containing %q in:\n%s", sev, code, sub, diagDump(diags))
+}
+
 func diagDump(diags []analysis.Diag) string {
 	if len(diags) == 0 {
 		return "  (no diagnostics)"
@@ -44,51 +55,52 @@ func diagDump(diags []analysis.Diag) string {
 func TestVerifyDetectsDefiniteFaults(t *testing.T) {
 	cases := []struct {
 		name, src, want string
+		code            analysis.Code
 	}{
 		{"jump-through-unassigned", `
 program p entry m
 block m [.] {
   jump x
-}`, `register "x" is never assigned`},
+}`, `register "x" is never assigned`, analysis.CodeUseNeverAssigned},
 		{"jump-through-int", `
 program p entry m
 block m [.] {
   x := 3
   jump x
-}`, "never a label"},
+}`, "never a label", analysis.CodeJumpTargetKind},
 		{"join-through-int", `
 program p entry m
 block m [.] {
   j := 3
   join j
-}`, "never a join record"},
+}`, "never a join record", analysis.CodeJoinRecordKind},
 		{"fork-through-int", `
 program p entry m
 block m [.] {
   jr := 5
   fork jr, m
   halt
-}`, "never a join record"},
+}`, "never a join record", analysis.CodeForkRecordKind},
 		{"jralloc-without-jtppt", `
 program p entry m
 block m [.] {
   jr := jralloc m
   halt
-}`, "lacks a jtppt annotation"},
+}`, "lacks a jtppt annotation", analysis.CodeJrallocNotJtppt},
 		{"binop-on-label", `
 program p entry m
 block m [.] {
   x := m
   y := x + 1
   halt
-}`, "the operator faults on it"},
+}`, "the operator faults on it", analysis.CodeBinopOperandKind},
 		{"div-by-constant-zero", `
 program p entry m
 block m [.] {
   x := 1
   y := x / 0
   halt
-}`, "by the constant zero"},
+}`, "by the constant zero", analysis.CodeDivByZero},
 		{"sfree-below-base", `
 program p entry m
 block m [.] {
@@ -96,7 +108,7 @@ block m [.] {
   salloc s, 1
   sfree s, 2
   halt
-}`, "below the stack base"},
+}`, "below the stack base", analysis.CodeSfreeBelowBase},
 		{"load-outside-frame", `
 program p entry m
 block m [.] {
@@ -104,14 +116,14 @@ block m [.] {
   salloc s, 1
   x := mem[s + 1]
   halt
-}`, "the machine faults here"},
+}`, "the machine faults here", analysis.CodeOutOfFrame},
 		{"store-outside-empty-frame", `
 program p entry m
 block m [.] {
   s := snew
   mem[s + 0] := 7
   halt
-}`, "the machine faults here"},
+}`, "the machine faults here", analysis.CodeOutOfFrame},
 		{"prmpop-on-empty", `
 program p entry m
 block m [.] {
@@ -119,7 +131,7 @@ block m [.] {
   salloc s, 1
   prmpop mem[s + 0]
   halt
-}`, "no live promotion-ready marks"},
+}`, "no live promotion-ready marks", analysis.CodePrmPopEmpty},
 		{"prmsplit-on-empty", `
 program p entry m
 block m [.] {
@@ -127,25 +139,25 @@ block m [.] {
   salloc s, 1
   prmsplit s, r
   halt
-}`, "no live promotion-ready marks"},
+}`, "no live promotion-ready marks", analysis.CodePrmSplitEmpty},
 		{"load-through-unassigned-base", `
 program p entry m
 block m [.] {
   v := mem[x + 0]
   halt
-}`, "never assigned"},
+}`, "never assigned", analysis.CodeUseNeverAssigned},
 		{"salloc-through-int", `
 program p entry m
 block m [.] {
   s := 5
   salloc s, 1
   halt
-}`, "never a stack pointer"},
+}`, "never a stack pointer", analysis.CodeStackBaseKind},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			diags := verifySrc(t, tc.src)
-			wantDiag(t, diags, analysis.Error, tc.want)
+			wantCodedDiag(t, diags, analysis.Error, tc.code, tc.want)
 		})
 	}
 }
@@ -153,6 +165,7 @@ block m [.] {
 func TestVerifyWarnings(t *testing.T) {
 	cases := []struct {
 		name, src, want string
+		code            analysis.Code
 		entry           []tpal.Reg
 	}{
 		{name: "move-from-unassigned", src: `
@@ -160,7 +173,7 @@ program p entry m
 block m [.] {
   y := x
   halt
-}`, want: "before any assignment"},
+}`, want: "before any assignment", code: analysis.CodeUseBeforeAssign},
 		{name: "maybe-unassigned-on-branch", src: `
 program p entry m
 block m [.] {
@@ -171,7 +184,7 @@ block m [.] {
 block b [.] {
   y := x
   halt
-}`, want: "may be unassigned", entry: []tpal.Reg{"c"}},
+}`, want: "may be unassigned", code: analysis.CodeUseMaybeUnassign, entry: []tpal.Reg{"c"}},
 		{name: "fork-cannot-reach-join-parent", src: `
 program p entry m
 block m [.] {
@@ -187,7 +200,7 @@ block j [jtppt assoc-comm; {x -> x2}; c] {
 }
 block c [.] {
   halt
-}`, want: "can never reach a join"},
+}`, want: "can never reach a join", code: analysis.CodeForkNoJoinParent},
 		{name: "forked-child-cannot-join", src: `
 program p entry m
 block m [.] {
@@ -203,7 +216,7 @@ block j [jtppt assoc-comm; {x -> x2}; c] {
 }
 block c [.] {
   join jr
-}`, want: `task starting at "w" can never reach a join`},
+}`, want: `task starting at "w" can never reach a join`, code: analysis.CodeForkNoJoinChild},
 		{name: "unguarded-prmsplit", src: `
 program p entry m
 block m [.] {
@@ -216,7 +229,7 @@ block m [.] {
 block q [.] {
   prmsplit s, r
   halt
-}`, want: "not guarded by a prmempty check", entry: []tpal.Reg{"c"}},
+}`, want: "not guarded by a prmempty check", code: analysis.CodePrmSplitUnguard, entry: []tpal.Reg{"c"}},
 		{name: "annotated-promotion-handler", src: `
 program p entry m
 block m [prppt h] {
@@ -227,12 +240,12 @@ block h [prppt h2] {
 }
 block h2 [.] {
   halt
-}`, want: "carries its own annotation"},
+}`, want: "carries its own annotation", code: analysis.CodeAnnotatedHandler},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			diags := verifySrc(t, tc.src, tc.entry...)
-			wantDiag(t, diags, analysis.Warning, tc.want)
+			wantCodedDiag(t, diags, analysis.Warning, tc.code, tc.want)
 		})
 	}
 }
@@ -339,7 +352,7 @@ func TestVerifyStructuralShortCircuit(t *testing.T) {
 			t.Errorf("structural diagnostic not an error: %s", d)
 		}
 	}
-	wantDiag(t, diags, analysis.Error, "undefined label")
+	wantCodedDiag(t, diags, analysis.Error, analysis.CodeStructural, "undefined label")
 }
 
 // TestVerifyDeadBlocksSilent checks that unreachable blocks produce no

@@ -1,0 +1,74 @@
+package asm_test
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"tpal/internal/minipar"
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/asm"
+	"tpal/internal/tpal/programs"
+)
+
+// roundtrip asserts the printer/parser fixpoint: printing a program and
+// re-parsing the text reproduces the same printed form. This is the
+// contract that makes printed TPAL a faithful interchange format — any
+// drift (operand misresolution, annotation formatting, lost blocks)
+// shows up as a diff on the second print.
+func roundtrip(t *testing.T, name string, p *tpal.Program) {
+	t.Helper()
+	s1 := p.String()
+	p2, err := asm.Parse(s1)
+	if err != nil {
+		t.Fatalf("%s: printed program does not parse: %v\n%s", name, err, s1)
+	}
+	if s2 := p2.String(); s1 != s2 {
+		t.Errorf("%s: print -> parse -> print is not a fixpoint\nfirst print:\n%s\nsecond print:\n%s", name, s1, s2)
+	}
+	if p2.Name != p.Name || p2.Entry != p.Entry || len(p2.Blocks) != len(p.Blocks) {
+		t.Errorf("%s: reparsed shape (%s, %s, %d blocks) differs from (%s, %s, %d blocks)",
+			name, p2.Name, p2.Entry, len(p2.Blocks), p.Name, p.Entry, len(p.Blocks))
+	}
+}
+
+// TestRoundTripCorpus covers the built-in corpus programs.
+func TestRoundTripCorpus(t *testing.T) {
+	all := programs.All()
+	names := make([]string, 0, len(all))
+	for n := range all {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t.Run(n, func(t *testing.T) { roundtrip(t, n, all[n]) })
+	}
+}
+
+// TestRoundTripCompiledMinipar covers every checked-in minipar sample
+// after compilation to TPAL, so the compiler's label and register
+// naming stays within what the assembler can re-read.
+func TestRoundTripCompiledMinipar(t *testing.T) {
+	files, err := filepath.Glob("../../minipar/testdata/*.mp")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no minipar testdata found: %v", err)
+	}
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mp, err := minipar.Parse(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := minipar.Compile(mp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			roundtrip(t, file, p)
+		})
+	}
+}

@@ -50,6 +50,7 @@ func (m *Machine) execFork(t *Task, in tpal.Instr) error {
 
 	t.edge, t.side = edge, parentSide
 	t.cycles = 0
+	m.noteGap(t)
 	t.span = base
 	t.off++
 	return nil
@@ -68,6 +69,7 @@ func (m *Machine) execTerm(t *Task, term tpal.Term) error {
 	case tpal.THalt:
 		m.halted = true
 		m.finalRegs = t.regs
+		m.noteGap(t)
 		m.stats.Span = t.span
 		return nil
 
@@ -111,6 +113,7 @@ func (m *Machine) execJoin(t *Task, term tpal.Term) error {
 		edge.stashedRegs = t.regs
 		edge.stashedSide = t.side
 		edge.stashedSpan = t.span
+		m.noteGap(t)
 		m.removeTask(t)
 		m.traceTask(t, TraceTaskEnd)
 		return nil
@@ -140,6 +143,7 @@ func (m *Machine) execJoin(t *Task, term tpal.Term) error {
 	t.edge = edge.up
 	t.side = edge.upSide
 	t.cycles = 0
+	m.noteGap(t)
 	if edge.stashedSpan > t.span {
 		t.span = edge.stashedSpan
 	}

@@ -76,6 +76,12 @@ type Stats struct {
 	JoinRecords      int64 // jralloc instructions executed
 	MaxLiveTasks     int   // peak size of the runnable task set
 	TasksCreated     int64 // total tasks ever created (root + forked children + combine continuations)
+	// MaxPromotionGap is the largest number of machine steps any task
+	// executed between consecutive promotion events: arrivals at prppt
+	// heads (heartbeat check points), forks, pair-completing joins, and
+	// task retirement. The static liveness pass proves an upper bound on
+	// this number for LatencyFinite programs.
+	MaxPromotionGap int64
 }
 
 // Result is the outcome of a machine run: the register file of the task
@@ -98,6 +104,10 @@ type Task struct {
 	edge   *joinEdge
 	side   side
 	span   int64 // cost-semantics span accumulated along this task's path
+	// sincePrppt counts machine steps since the task's last promotion
+	// event (prppt-head arrival, fork, pair-completing join, or birth);
+	// it feeds Stats.MaxPromotionGap.
+	sincePrppt int64
 
 	// Signal-delivery (rollforward) state: sinceSignal counts
 	// instructions since the last delivery; pendingSignal records a
@@ -292,11 +302,27 @@ func (m *Machine) promotionReady(t *Task) bool {
 	return t.pendingSignal
 }
 
+// noteGap closes one promotion-latency segment for t: the steps the
+// task executed since its last promotion event are folded into the
+// run's maximum and the counter restarts.
+func (m *Machine) noteGap(t *Task) {
+	if t.sincePrppt > m.stats.MaxPromotionGap {
+		m.stats.MaxPromotionGap = t.sincePrppt
+	}
+	t.sincePrppt = 0
+}
+
 // step executes one machine transition for t: either the try-promote
 // rule (redirecting control to the heartbeat handler) or one instruction
 // or terminator.
 func (m *Machine) step(t *Task) error {
 	m.stats.Steps++
+	if t.off == 0 && t.block.Ann.Kind == tpal.AnnPrppt {
+		// Arrival at a promotion-ready point is a heartbeat check point:
+		// the promotion-latency gap ends here whether or not the
+		// heartbeat fires.
+		m.noteGap(t)
+	}
 	if m.promotionReady(t) {
 		// [try-promote]: control flows to the handler block with a fresh
 		// cycle counter; the handler itself costs the one transition.
@@ -310,6 +336,7 @@ func (m *Machine) step(t *Task) error {
 	}
 	m.traceStep(t)
 	t.cycles++
+	t.sincePrppt++
 	t.span++
 	m.stats.Work++
 	if m.cfg.SignalPeriod > 0 {

@@ -1,0 +1,86 @@
+package tpal
+
+// Annotation and instruction queries used by the static analyses and
+// tooling. They are all purely syntactic: flow-sensitive sharpening
+// (which labels a register can actually hold, which blocks are
+// reachable) lives in the analysis subpackage.
+
+// Prppts returns the labels of every promotion-ready program point
+// (block carrying a prppt annotation), in definition order.
+func (p *Program) Prppts() []Label {
+	var out []Label
+	for _, b := range p.Blocks {
+		if b.Ann.Kind == AnnPrppt {
+			out = append(out, b.Label)
+		}
+	}
+	return out
+}
+
+// Jtppts returns the labels of every join-target program point (block
+// carrying a jtppt annotation), in definition order.
+func (p *Program) Jtppts() []Label {
+	var out []Label
+	for _, b := range p.Blocks {
+		if b.Ann.Kind == AnnJtppt {
+			out = append(out, b.Label)
+		}
+	}
+	return out
+}
+
+// Handlers returns the set of blocks named as the promotion handler of
+// some prppt annotation.
+func (p *Program) Handlers() map[Label]bool {
+	out := make(map[Label]bool)
+	for _, b := range p.Blocks {
+		if b.Ann.Kind == AnnPrppt && p.Block(b.Ann.Handler) != nil {
+			out[b.Ann.Handler] = true
+		}
+	}
+	return out
+}
+
+// JrallocTargets returns the set of labels named as the continuation of
+// some jralloc instruction — the only join-target program points a join
+// record can ever reach at run time.
+func (p *Program) JrallocTargets() map[Label]bool {
+	out := make(map[Label]bool)
+	for _, b := range p.Blocks {
+		for _, in := range b.Instrs {
+			if in.Kind == IJrAlloc {
+				out[in.Lbl] = true
+			}
+		}
+	}
+	return out
+}
+
+// ForkIndices returns the instruction indices of the fork instructions
+// in the block, in order.
+func (b *Block) ForkIndices() []int {
+	var out []int
+	for i, in := range b.Instrs {
+		if in.Kind == IFork {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// StackDelta returns the block's net stack-cell effect: cells pushed by
+// salloc minus cells popped by sfree across the whole instruction
+// sequence. A negative delta marks a frame-consuming block (such as the
+// branch2 unwind step of the recursive-function template).
+func (b *Block) StackDelta() int64 {
+	var d int64
+	for _, in := range b.Instrs {
+		switch in.Kind {
+		case ISAlloc:
+			d += in.Off
+		case ISFree:
+			d -= in.Off
+		}
+	}
+	return d
+}

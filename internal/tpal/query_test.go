@@ -1,0 +1,94 @@
+package tpal
+
+import (
+	"reflect"
+	"testing"
+)
+
+func queryProgram() *Program {
+	return MustProgram("q", "m", []*Block{
+		{
+			Label: "m",
+			Instrs: []Instr{
+				{Kind: IMove, Dst: "x", Val: N(1)},
+				{Kind: IJrAlloc, Dst: "jr", Lbl: "jt"},
+				{Kind: IFork, Src: "jr", Val: L("w")},
+				{Kind: ISAlloc, Dst: "s", Off: 3},
+				{Kind: IFork, Src: "jr", Val: L("w")},
+				{Kind: ISFree, Dst: "s", Off: 1},
+			},
+			Term: Term{Kind: TJoin, Val: R("jr")},
+		},
+		{Label: "w", Term: Term{Kind: TJoin, Val: R("jr")}},
+		{
+			Label: "loop",
+			Ann:   Annotation{Kind: AnnPrppt, Handler: "try"},
+			Term:  Term{Kind: TJump, Val: L("loop")},
+		},
+		{Label: "try", Term: Term{Kind: TJump, Val: L("loop")}},
+		{
+			Label: "jt",
+			Ann:   Annotation{Kind: AnnJtppt, Policy: AssocComm, DeltaR: []RegRename{{From: "x", To: "x2"}}, Comb: "cb"},
+			Term:  Term{Kind: THalt},
+		},
+		{Label: "cb", Term: Term{Kind: TJoin, Val: R("jr")}},
+		{
+			Label: "ghost",
+			Ann:   Annotation{Kind: AnnPrppt, Handler: "missing"},
+			Term:  Term{Kind: THalt},
+		},
+	})
+}
+
+func TestPrppts(t *testing.T) {
+	p := queryProgram()
+	if got, want := p.Prppts(), []Label{"loop", "ghost"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Prppts() = %v, want %v", got, want)
+	}
+}
+
+func TestJtppts(t *testing.T) {
+	p := queryProgram()
+	if got, want := p.Jtppts(), []Label{"jt"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Jtppts() = %v, want %v", got, want)
+	}
+}
+
+func TestHandlers(t *testing.T) {
+	p := queryProgram()
+	got := p.Handlers()
+	// "missing" is named by ghost's annotation but defines no block, so
+	// only "try" qualifies.
+	if len(got) != 1 || !got["try"] {
+		t.Errorf("Handlers() = %v, want {try}", got)
+	}
+}
+
+func TestJrallocTargets(t *testing.T) {
+	p := queryProgram()
+	got := p.JrallocTargets()
+	if len(got) != 1 || !got["jt"] {
+		t.Errorf("JrallocTargets() = %v, want {jt}", got)
+	}
+}
+
+func TestForkIndices(t *testing.T) {
+	p := queryProgram()
+	if got, want := p.Block("m").ForkIndices(), []int{2, 4}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ForkIndices() = %v, want %v", got, want)
+	}
+	if got := p.Block("w").ForkIndices(); len(got) != 0 {
+		t.Errorf("ForkIndices() on a forkless block = %v, want none", got)
+	}
+}
+
+func TestStackDelta(t *testing.T) {
+	p := queryProgram()
+	if got := p.Block("m").StackDelta(); got != 2 {
+		t.Errorf("StackDelta() = %d, want 2 (salloc 3 - sfree 1)", got)
+	}
+	neg := &Block{Instrs: []Instr{{Kind: ISFree, Dst: "s", Off: 2}}}
+	if got := neg.StackDelta(); got != -2 {
+		t.Errorf("StackDelta() of a popping block = %d, want -2", got)
+	}
+}
