@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint fuzz ci
+.PHONY: build test vet race race-test lint fuzz ci
 
 build:
 	$(GO) build ./...
@@ -14,18 +14,28 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# lint runs the static TPAL verifier over the built-in corpus and every
+# race-test runs Go's own race detector over the concurrent runtime
+# packages (the schedulers and the work-stealing deque are the only
+# code with real shared-memory concurrency).
+race-test:
+	$(GO) test -race ./internal/sched ./internal/heartbeat ./internal/cilk
+
+# lint runs the static TPAL verifier — including the interference
+# (determinacy-race) pass — over the built-in corpus and every
 # checked-in minipar sample; any diagnostic (warnings included) fails.
 lint:
-	$(GO) run ./cmd/tpal-lint -Werror
-	$(GO) run ./cmd/tpal-lint -Werror internal/minipar/testdata
+	$(GO) run ./cmd/tpal-lint -Werror -race
+	$(GO) run ./cmd/tpal-lint -Werror -race internal/minipar/testdata
 
 # fuzz is the CI smoke stage: a short run of each analysis fuzzer (go
 # test accepts one -fuzz pattern at a time, so they run back to back).
 # FuzzVerify checks verifier soundness against the machine; FuzzLiveness
-# checks the promotion-liveness invariants on prppt-stripped mutants.
+# checks the promotion-liveness invariants on prppt-stripped mutants;
+# FuzzRaceAgreement checks that every race the dynamic sanitizer finds
+# is also flagged by the static interference pass.
 fuzz:
 	$(GO) test ./internal/tpal/analysis -run='^$$' -fuzz='^FuzzVerify$$' -fuzztime=10s
 	$(GO) test ./internal/tpal/analysis -run='^$$' -fuzz='^FuzzLiveness$$' -fuzztime=10s
+	$(GO) test ./internal/tpal/analysis -run='^$$' -fuzz='^FuzzRaceAgreement$$' -fuzztime=10s
 
-ci: vet build race lint fuzz
+ci: vet build race race-test lint fuzz

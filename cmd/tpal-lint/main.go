@@ -16,17 +16,19 @@
 //	tpal-lint -Werror program.mp      # warnings fail the run too
 //	tpal-lint -v *.tpal               # report clean files as well
 //	tpal-lint -latency program.tpal   # print the promotion-latency report
+//	tpal-lint -race program.tpal      # also run the interference (race) pass
 //	tpal-lint -json ./progs           # machine-readable report on stdout
 //
 // Exit status: 0 when every program is clean (warnings allowed unless
-// -Werror), 1 when any program has diagnostics that fail the run, 2 on
-// usage or load errors.
+// -Werror), 1 when any program has diagnostics that fail the run —
+// including on -json runs — and 2 on usage or load errors.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -80,22 +82,34 @@ type jsonReport struct {
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole tool behind a testable seam: it parses flags from
+// args, writes reports to stdout and failures to stderr, and returns
+// the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tpal-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		entry    = flag.String("entry", "", "comma-separated registers assumed initialized at entry")
-		werror   = flag.Bool("Werror", false, "treat warnings as errors")
-		verbose  = flag.Bool("v", false, "also report programs that verify clean")
-		latency  = flag.Bool("latency", false, "print the per-program promotion-latency and cost report")
-		jsonMode = flag.Bool("json", false, "emit one JSON report per program on stdout")
+		entry    = fs.String("entry", "", "comma-separated registers assumed initialized at entry")
+		werror   = fs.Bool("Werror", false, "treat warnings as errors")
+		verbose  = fs.Bool("v", false, "also report programs that verify clean")
+		latency  = fs.Bool("latency", false, "print the per-program promotion-latency and cost report")
+		races    = fs.Bool("race", false, "run the static interference (determinacy-race) pass")
+		jsonMode = fs.Bool("json", false, "emit one JSON report per program on stdout")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var entryRegs []tpal.Reg
 	if *entry != "" {
 		for _, name := range strings.Split(*entry, ",") {
 			name = strings.TrimSpace(name)
 			if name == "" {
-				fmt.Fprintln(os.Stderr, "tpal-lint: empty register name in -entry")
-				os.Exit(2)
+				fmt.Fprintln(stderr, "tpal-lint: empty register name in -entry")
+				return 2
 			}
 			entryRegs = append(entryRegs, tpal.Reg(name))
 		}
@@ -104,25 +118,25 @@ func main() {
 	failed := false
 	var reports []jsonReport
 	lint := func(name string, p *tpal.Program, regs []tpal.Reg) {
-		r := analysis.Analyze(p, analysis.Options{EntryRegs: regs})
+		r := analysis.Analyze(p, analysis.Options{EntryRegs: regs, Races: *races})
 		if *jsonMode {
 			reports = append(reports, toJSON(name, p, r))
 		} else {
 			for _, d := range r.Diags {
-				fmt.Printf("%s: %s\n", name, d)
+				fmt.Fprintf(stdout, "%s: %s\n", name, d)
 			}
 		}
 		if analysis.HasErrors(r.Diags) || (*werror && len(r.Diags) > 0) {
 			failed = true
 		} else if *verbose && !*jsonMode {
-			fmt.Printf("%s: ok (%d blocks)\n", name, len(p.Blocks))
+			fmt.Fprintf(stdout, "%s: ok (%d blocks)\n", name, len(p.Blocks))
 		}
 		if *latency && !*jsonMode {
-			printLatency(name, r)
+			printLatency(stdout, name, r)
 		}
 	}
 
-	if flag.NArg() == 0 {
+	if fs.NArg() == 0 {
 		names := make([]string, 0, len(programs.All()))
 		for name := range programs.All() {
 			names = append(names, name)
@@ -136,16 +150,16 @@ func main() {
 			lint(name, programs.All()[name], regs)
 		}
 	} else {
-		paths, err := expandArgs(flag.Args())
+		paths, err := expandArgs(fs.Args())
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tpal-lint: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "tpal-lint: %v\n", err)
+			return 2
 		}
 		for _, path := range paths {
 			p, params, err := load(path)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "tpal-lint: %s: %v\n", path, err)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "tpal-lint: %s: %v\n", path, err)
+				return 2
 			}
 			regs := entryRegs
 			if regs == nil {
@@ -156,23 +170,24 @@ func main() {
 	}
 
 	if *jsonMode {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(reports); err != nil {
-			fmt.Fprintf(os.Stderr, "tpal-lint: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "tpal-lint: %v\n", err)
+			return 2
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // printLatency renders the scheduling report for one program.
-func printLatency(name string, r *analysis.Report) {
-	fmt.Printf("%s: latency %s, work %s, span %s\n", name, r.Latency, r.Work, r.Span)
+func printLatency(w io.Writer, name string, r *analysis.Report) {
+	fmt.Fprintf(w, "%s: latency %s, work %s, span %s\n", name, r.Latency, r.Work, r.Span)
 	for _, l := range r.AllLoops() {
-		fmt.Printf("%s:   %sloop %s: %s, work/pass %s, span/pass %s\n",
+		fmt.Fprintf(w, "%s:   %sloop %s: %s, work/pass %s, span/pass %s\n",
 			name, strings.Repeat("  ", l.Depth-1), l.Header, l.Class, l.Work, l.Span)
 	}
 }

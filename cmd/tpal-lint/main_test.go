@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runTool drives the tool through its testable seam and returns the
+// exit code plus captured stdout and stderr.
+func runTool(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestRaceExamplesGolden pins the -race -json contract on the example
+// pair under examples/races: the racy program carries exactly the
+// TP060 write/write diagnostic, its race-free twin is clean, and the
+// run exits non-zero because an Error-severity diagnostic is present.
+func TestRaceExamplesGolden(t *testing.T) {
+	golden, err := os.ReadFile("testdata/races.golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir("../..")
+	code, out, errOut := runTool(t,
+		"-race", "-json",
+		"examples/races/racy.tpal", "examples/races/racefree.tpal")
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1 (racy.tpal carries an Error diag); stderr: %s", code, errOut)
+	}
+	if out != string(golden) {
+		t.Errorf("-race -json output diverged from testdata/races.golden.json:\n--- got ---\n%s\n--- want ---\n%s", out, golden)
+	}
+}
+
+// TestJSONExitCodes is the regression test for the -json exit-code
+// contract: Error diags fail the run even in JSON mode, warnings do
+// not unless -Werror, and clean programs exit zero.
+func TestJSONExitCodes(t *testing.T) {
+	t.Chdir("../..")
+	racy := "examples/races/racy.tpal"
+	clean := "examples/races/racefree.tpal"
+
+	// A warning-only input: the two branches write through pointers the
+	// abstraction cannot separate, which is TP065 (Warning), not TP060.
+	warnSrc := `
+program warn-alias entry main
+
+block main [.] {
+  sp := snew
+  salloc sp, 2
+  t := snew
+  salloc t, 2
+  n := 0
+  if-jump n, meet
+  t := sp
+  jump meet
+}
+
+block meet [.] {
+  jr := jralloc after
+  fork jr, body
+  mem[sp + 0] := 1
+  join jr
+}
+
+block body [.] {
+  mem[t + 0] := 2
+  join jr
+}
+
+block after [jtppt assoc-comm; {}; comb] {
+  halt
+}
+
+block comb [.] {
+  join jr
+}
+`
+	warn := filepath.Join(t.TempDir(), "warn.tpal")
+	if err := os.WriteFile(warn, []byte(warnSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"error diag fails json run", []string{"-race", "-json", racy}, 1},
+		{"error diag fails plain run", []string{"-race", racy}, 1},
+		{"clean json run passes", []string{"-race", "-json", clean}, 0},
+		{"race off hides the race", []string{"-json", racy}, 0},
+		{"warning passes json run", []string{"-race", "-json", warn}, 0},
+		{"warning fails under -Werror", []string{"-race", "-json", "-Werror", warn}, 1},
+		{"missing file is a usage error", []string{"-json", "no-such-file.tpal"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out, errOut := runTool(t, tc.args...)
+			if code != tc.want {
+				t.Errorf("args %v: exit code = %d, want %d\nstdout: %s\nstderr: %s",
+					tc.args, code, tc.want, out, errOut)
+			}
+			if strings.Contains(strings.Join(tc.args, " "), "-json") && tc.want != 2 && !strings.HasPrefix(out, "[") {
+				t.Errorf("args %v: -json run did not emit a JSON array:\n%s", tc.args, out)
+			}
+		})
+	}
+}
+
+// TestCorpusCleanWithRace: the no-argument corpus run stays clean with
+// the interference pass enabled — the tool-level view of the corpus
+// race-freedom claim.
+func TestCorpusCleanWithRace(t *testing.T) {
+	code, out, errOut := runTool(t, "-race", "-Werror")
+	if code != 0 {
+		t.Fatalf("corpus lint with -race -Werror failed (exit %d)\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+}

@@ -10,6 +10,7 @@
 //	tpal-run -reg n=100 -out result -stats program.mp
 //	tpal-run -dump program.mp          # print the compiled TPAL assembly
 //	tpal-run -builtin pow -reg d=3,e=9 -stats
+//	tpal-run -race -reg n=50 program.mp   # determinacy-race sanitizer on
 //	tpal-run -list-builtins
 //
 // Flags must precede the program file.
@@ -47,6 +48,7 @@ func main() {
 		schedule = flag.String("schedule", "lockstep", "task interleaving: lockstep, random, or depth-first")
 		seed     = flag.Int64("seed", 0, "seed for the random schedule")
 		maxSteps = flag.Int64("max-steps", 0, "step bound (0 = default 100M)")
+		race     = flag.Bool("race", false, "enable the determinacy-race sanitizer (halts on the first racing access pair)")
 		stats    = flag.Bool("stats", false, "print execution statistics")
 		list     = flag.Bool("list-builtins", false, "list built-in programs and exit")
 		dump     = flag.Bool("dump", false, "print the assembled program instead of running it")
@@ -81,6 +83,7 @@ func main() {
 		Tau:          *tau,
 		MaxSteps:     *maxSteps,
 		Seed:         *seed,
+		RaceDetect:   *race,
 		Regs:         make(machine.RegFile),
 	}
 	switch *schedule {

@@ -1,0 +1,58 @@
+package minipar
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tpal/internal/tpal/machine"
+)
+
+// TestCompiledProgramsRaceFreeDynamic runs every checked-in sample
+// under the determinacy-race sanitizer across several heartbeat
+// schedules: the compiler's fork-join output must be certified
+// race-free dynamically (the static half is
+// TestCompiledProgramsVerifyClean), with results intact.
+func TestCompiledProgramsRaceFreeDynamic(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.mp")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs found: %v", err)
+	}
+	for _, file := range files {
+		file := file
+		name := filepath.Base(file)
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, ok := testdataArgs[name]
+			if !ok {
+				t.Fatalf("no parameters registered for %s", name)
+			}
+			prog, err := Parse(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			args := make([]int64, len(prog.Params))
+			for i, p := range prog.Params {
+				args[i] = spec.args[p]
+			}
+			want, err := Interpret(prog, args)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cfg := range []machine.Config{
+				{RaceDetect: true},
+				{RaceDetect: true, Heartbeat: 60},
+				{RaceDetect: true, Heartbeat: 60, Schedule: machine.RandomOrder, Seed: 2},
+				{RaceDetect: true, Heartbeat: 60, Schedule: machine.DepthFirst},
+			} {
+				got, _ := runCompiled(t, string(src), spec.args, cfg)
+				if got != want {
+					t.Fatalf("cfg %+v: compiled = %d, interpreted = %d", cfg, got, want)
+				}
+			}
+		})
+	}
+}

@@ -12,7 +12,8 @@ import (
 // TestCompiledProgramsVerifyClean pins the compiler's output against
 // the static verifier at zero noise: every checked-in sample compiles
 // to TPAL with no diagnostics at all, warnings included — and with a
-// provable promotion-latency bound. Loop-only programs must come out
+// provable promotion-latency bound — and, with the interference pass
+// enabled, race-free. Loop-only programs must come out
 // LatencyFinite; programs with recursive functions may fall back to
 // LatencyStackBounded (the unwind chain consumes a frame per pass),
 // but nothing the compiler emits may ever be LatencyUnbounded: that
@@ -42,7 +43,7 @@ func TestCompiledProgramsVerifyClean(t *testing.T) {
 			for i, name := range mp.Params {
 				entry[i] = tpal.Reg(name)
 			}
-			r := analysis.Analyze(prog, analysis.Options{EntryRegs: entry})
+			r := analysis.Analyze(prog, analysis.Options{EntryRegs: entry, Races: true})
 			for _, d := range r.Diags {
 				t.Errorf("%s", d)
 			}

@@ -87,6 +87,22 @@ const (
 	CodeDeadJtppt        Code = "TP053" // jtppt never targeted by any jralloc
 )
 
+// Race-detection codes (TP06x), emitted by the static interference pass
+// (Options.Races). Error-severity race codes mark definite interference:
+// if the fork executes and both branches reach the reported accesses,
+// those accesses touch the same cell of the same stack while logically
+// parallel — exactly the condition the dynamic sanitizer
+// (machine.Config.RaceDetect) halts on. Warning-severity race codes mark
+// overlaps the region abstraction cannot separate.
+const (
+	CodeRaceWriteWrite Code = "TP060" // parallel branches definitely write the same cell
+	CodeRaceReadWrite  Code = "TP061" // one branch reads a cell the other definitely writes
+	CodeRaceMarkList   Code = "TP062" // parallel mark-list traffic interferes with an access
+	CodeRaceEscape     Code = "TP063" // a stack pointer may escape to memory across a fork
+	CodeRaceSameStack  Code = "TP064" // branches share a stack at cells the analysis cannot separate
+	CodeRaceMayAlias   Code = "TP065" // branch regions may alias (same allocation site, instances not separable)
+)
+
 // Codes maps every diagnostic code to a one-line description of the
 // check it names. The table is the authoritative code registry; tests
 // pin its completeness against the checks that emit each code.
@@ -116,6 +132,35 @@ var Codes = map[Code]string{
 	CodeLoopForksNoPrppt: "a loop forks but contains no promotion-ready program point",
 	CodeDeadPrppt:        "a prppt annotation on an unreachable block",
 	CodeDeadJtppt:        "a jtppt continuation never targeted by any jralloc",
+	CodeRaceWriteWrite:   "both branches of a fork write the same stack cell in parallel",
+	CodeRaceReadWrite:    "one branch of a fork reads a stack cell the other writes in parallel",
+	CodeRaceMarkList:     "parallel promotion-mark-list traffic interferes with a stack access",
+	CodeRaceEscape:       "a stack pointer may escape to memory, so forked regions cannot be separated",
+	CodeRaceSameStack:    "fork branches share a stack at cells the analysis cannot separate",
+	CodeRaceMayAlias:     "fork branch regions may alias: same allocation site, instances not separable",
+}
+
+// IsRaceCode reports whether a code belongs to the static interference
+// pass (TP060–TP065).
+func IsRaceCode(c Code) bool {
+	switch c {
+	case CodeRaceWriteWrite, CodeRaceReadWrite, CodeRaceMarkList,
+		CodeRaceEscape, CodeRaceSameStack, CodeRaceMayAlias:
+		return true
+	}
+	return false
+}
+
+// RaceDiags returns only the diagnostics of the static interference
+// pass.
+func RaceDiags(diags []Diag) []Diag {
+	var out []Diag
+	for _, d := range diags {
+		if IsRaceCode(d.Code) {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // Diag is one verifier finding. Instr follows the machine's program

@@ -38,6 +38,12 @@ var allCodes = []analysis.Code{
 	analysis.CodeLoopForksNoPrppt,
 	analysis.CodeDeadPrppt,
 	analysis.CodeDeadJtppt,
+	analysis.CodeRaceWriteWrite,
+	analysis.CodeRaceReadWrite,
+	analysis.CodeRaceMarkList,
+	analysis.CodeRaceEscape,
+	analysis.CodeRaceSameStack,
+	analysis.CodeRaceMayAlias,
 }
 
 func TestCodesRegistryComplete(t *testing.T) {

@@ -1,6 +1,7 @@
 package analysis_test
 
 import (
+	"errors"
 	"testing"
 
 	"tpal/internal/tpal"
@@ -119,6 +120,72 @@ func FuzzVerify(f *testing.F) {
 				t.Fatalf("%s mutated (kind=%d block=%d instr=%d) executed %s[%d] and halted cleanly, but the verifier claims it faults:\n  %s",
 					seed.name, kind%5, blockIdx, instrIdx, d.Block, d.Instr, d)
 			}
+		}
+	})
+}
+
+// FuzzRaceAgreement checks the agreement contract between the two race
+// layers on mutated corpus programs: any determinacy race the machine's
+// sanitizer reports must be flagged by the static interference pass (at
+// least as an inseparable-overlap warning). The machine only runs
+// structurally valid programs, and structural validity is exactly the
+// precondition under which the race pass runs, so a dynamic race with a
+// silent static pass disproves the pass's soundness.
+//
+// The seeded counterexample drops fib's post-fork "sp := tsp" restore
+// (block loop-try-promote, instruction 16), leaving the parent on the
+// child's freshly allocated stack — a real write/write race on every
+// promoting schedule.
+func FuzzRaceAgreement(f *testing.F) {
+	f.Add(uint8(2), uint8(1), uint8(8), uint8(16)) // fib: drop sp := tsp
+	for pi := range fuzzSeeds {
+		for kind := uint8(0); kind < 5; kind++ {
+			f.Add(uint8(pi), kind, uint8(4), uint8(3))
+			f.Add(uint8(pi), kind, uint8(8), uint8(10))
+		}
+	}
+	f.Fuzz(func(t *testing.T, progIdx, kind, blockIdx, instrIdx uint8) {
+		seed := fuzzSeeds[int(progIdx)%len(fuzzSeeds)]
+		p, err := asm.Parse(seed.src)
+		if err != nil {
+			t.Fatalf("corpus program %s failed to parse: %v", seed.name, err)
+		}
+		mutate(p, kind, blockIdx, instrIdx)
+
+		entry := make([]tpal.Reg, 0, len(seed.regs))
+		regs := make(machine.RegFile)
+		for r, v := range seed.regs {
+			entry = append(entry, r)
+			regs[r] = machine.IntV(v)
+		}
+		var raceErr *machine.RaceError
+		for _, cfg := range []machine.Config{
+			{Heartbeat: 25},
+			{Heartbeat: 25, Schedule: machine.DepthFirst},
+			{Heartbeat: 40, Schedule: machine.RandomOrder, Seed: 11},
+		} {
+			cfg.SkipVerify = true
+			cfg.RaceDetect = true
+			// Tight step budget: mutations can spawn unbounded task
+			// trees, and vector-clock maintenance is linear in live
+			// tasks; the seeded races all manifest within a few
+			// thousand steps.
+			cfg.MaxSteps = 60_000
+			cfg.Regs = regs.Clone()
+			_, err := machine.Run(p, cfg)
+			var re *machine.RaceError
+			if errors.As(err, &re) {
+				raceErr = re
+				break
+			}
+		}
+		if raceErr == nil {
+			return
+		}
+		diags := analysis.VerifyWith(p, analysis.Options{EntryRegs: entry, Races: true})
+		if len(analysis.RaceDiags(diags)) == 0 {
+			t.Fatalf("%s mutated (kind=%d block=%d instr=%d): sanitizer reports %v but the static pass is silent:\n%s",
+				seed.name, kind%5, blockIdx, instrIdx, raceErr, p.String())
 		}
 	})
 }

@@ -13,6 +13,12 @@ type Options struct {
 	// the analysis holding an unknown defined value; every other
 	// register starts never-assigned.
 	EntryRegs []tpal.Reg
+	// Races enables the static interference pass (TP060–TP065): for
+	// every fork the analysis summarizes the stack regions each branch
+	// may read and write and reports logically-parallel overlaps. The
+	// pass assumes entry registers hold no stack pointers (the embedder
+	// API passes integers and labels).
+	Races bool
 }
 
 // interp is the product abstract interpreter: one walk of a block both

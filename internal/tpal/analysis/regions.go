@@ -1,0 +1,1033 @@
+package analysis
+
+// Region summaries for the static interference pass (races.go). The
+// pass asks, for each fork, which stack cells each branch may touch and
+// whether any pair of touches can name the same dynamic cell. Three
+// layers of abstraction answer that:
+//
+//   - a program-wide, flow-insensitive pointer-taint analysis
+//     (computePtrFacts) bounding which registers may ever hold stack
+//     pointers, which snew sites each may name, and whether any pointer
+//     is ever stored to memory (once one is, loads are assumed to yield
+//     arbitrary pointers);
+//
+//   - a block-local freshness scan (freshAtFork) identifying stack
+//     instances allocated by the forking block itself before the fork
+//     and still unaliased by memory — the child-private stacks the
+//     fib/minipar promotion template hands to forked tasks;
+//
+//   - a per-branch provenance dataflow (walker) over the flow-sharpened
+//     CFG classifying every pointer by where its stack instance comes
+//     from relative to the fork: a pre-fork fresh instance, a branch-
+//     local allocation, or the fork-time value of a register.
+//
+// Instances from different provenance classes are dynamically distinct
+// (see the disjointness notes on provKind), which is what lets the pass
+// prove the paper's promotion handlers race-free even though every
+// promotion allocates from the same snew site.
+
+import (
+	"tpal/internal/tpal"
+)
+
+// ptrFacts is the result of the flow-insensitive pointer-taint
+// analysis. It over-approximates every dynamic pointer value: a pointer
+// can only originate at an snew and propagate through moves, operator
+// results, ΔR renames, and (once one has been stored) loads, and each
+// of those channels feeds the fixpoint.
+type ptrFacts struct {
+	// sites maps each register to the snew sites whose instances it may
+	// ever hold; a top set means "any site" (the register may be loaded
+	// from memory after a pointer escaped).
+	sites map[tpal.Reg]sidset
+	// escaped reports that some store instruction may store a
+	// pointer-tainted value: after that, memory cells may hold pointers
+	// and loads yield unclassifiable ones.
+	escaped bool
+}
+
+// mayPtr reports whether the register may ever hold a stack pointer.
+func (f *ptrFacts) mayPtr(r tpal.Reg) bool {
+	s, ok := f.sites[r]
+	return ok && (s.top || len(s.elems) > 0)
+}
+
+// computePtrFacts runs the taint fixpoint over every instruction of the
+// program (reachability is irrelevant for a may-analysis; covering dead
+// code only loses precision, never soundness).
+func computePtrFacts(p *tpal.Program) *ptrFacts {
+	f := &ptrFacts{sites: make(map[tpal.Reg]sidset)}
+	add := func(r tpal.Reg, s sidset) bool {
+		if r == "" || (!s.top && len(s.elems) == 0) {
+			return false
+		}
+		cur := f.sites[r]
+		nv := cur.union(s)
+		if nv.equal(cur) {
+			return false
+		}
+		f.sites[r] = nv
+		return true
+	}
+	operand := func(o tpal.Operand) sidset {
+		if o.Kind == tpal.OperReg {
+			return f.sites[o.Reg]
+		}
+		return sidset{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range p.Blocks {
+			for _, rr := range b.Ann.DeltaR {
+				if add(rr.To, f.sites[rr.From]) {
+					changed = true
+				}
+			}
+			for i, in := range b.Instrs {
+				switch in.Kind {
+				case tpal.ISNew:
+					if add(in.Dst, sOf(stackID{Block: b.Label, Instr: i})) {
+						changed = true
+					}
+				case tpal.IMove:
+					if add(in.Dst, operand(in.Val)) {
+						changed = true
+					}
+				case tpal.IBinOp:
+					if add(in.Dst, f.sites[in.Src].union(operand(in.Val))) {
+						changed = true
+					}
+				case tpal.ISAlloc, tpal.ISFree:
+					// The register is rewritten to a pointer into the same
+					// stack; its site set is unchanged.
+				case tpal.ILoad:
+					if f.escaped && add(in.Dst, sTop()) {
+						changed = true
+					}
+				case tpal.IStore:
+					if !f.escaped && in.Val.Kind == tpal.OperReg && f.mayPtr(in.Val.Reg) {
+						f.escaped = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return f
+}
+
+// labset is a may-set of labels, with top.
+type labset struct {
+	top   bool
+	elems map[tpal.Label]bool
+}
+
+func labOf(l tpal.Label) labset {
+	return labset{elems: map[tpal.Label]bool{l: true}}
+}
+
+func labTop() labset { return labset{top: true} }
+
+func (a labset) empty() bool { return !a.top && len(a.elems) == 0 }
+
+func (a labset) union(b labset) labset {
+	if a.top || b.top {
+		return labTop()
+	}
+	if len(b.elems) == 0 {
+		return a
+	}
+	if len(a.elems) == 0 {
+		return b
+	}
+	m := make(map[tpal.Label]bool, len(a.elems)+len(b.elems))
+	for l := range a.elems {
+		m[l] = true
+	}
+	for l := range b.elems {
+		m[l] = true
+	}
+	return labset{elems: m}
+}
+
+func (a labset) equal(b labset) bool {
+	if a.top != b.top || len(a.elems) != len(b.elems) {
+		return false
+	}
+	for l := range a.elems {
+		if !b.elems[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// recFacts is a flow-insensitive over-approximation of which join
+// records each register may hold, identified by their continuation
+// label. Records originate only at jralloc and propagate through
+// moves, ΔR renames, and (once one has been stored) loads, so the
+// branch walker can recompute join-edge targets itself instead of
+// inheriting the main interpretation's merged-and-havocked join edges —
+// the one place where global imprecision would otherwise leak blocks
+// from an unrelated phase of the program into a branch summary.
+type recFacts struct {
+	conts   map[tpal.Reg]labset
+	escaped bool
+	// all is every jralloc continuation in the program — the expansion
+	// of a top record set at a join.
+	all labset
+}
+
+func computeRecFacts(p *tpal.Program) *recFacts {
+	f := &recFacts{conts: make(map[tpal.Reg]labset)}
+	all := labset{elems: make(map[tpal.Label]bool)}
+	add := func(r tpal.Reg, s labset) bool {
+		if r == "" || s.empty() {
+			return false
+		}
+		cur := f.conts[r]
+		nv := cur.union(s)
+		if nv.equal(cur) {
+			return false
+		}
+		f.conts[r] = nv
+		return true
+	}
+	mayRec := func(o tpal.Operand) labset {
+		if o.Kind == tpal.OperReg {
+			return f.conts[o.Reg]
+		}
+		return labset{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range p.Blocks {
+			for _, rr := range b.Ann.DeltaR {
+				if add(rr.To, f.conts[rr.From]) {
+					changed = true
+				}
+			}
+			for _, in := range b.Instrs {
+				switch in.Kind {
+				case tpal.IJrAlloc:
+					all.elems[in.Lbl] = true
+					if add(in.Dst, labOf(in.Lbl)) {
+						changed = true
+					}
+				case tpal.IMove:
+					if add(in.Dst, mayRec(in.Val)) {
+						changed = true
+					}
+				case tpal.ILoad:
+					if f.escaped && add(in.Dst, labTop()) {
+						changed = true
+					}
+				case tpal.IStore:
+					if !f.escaped && in.Val.Kind == tpal.OperReg && !f.conts[in.Val.Reg].empty() {
+						f.escaped = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	f.all = all
+	return f
+}
+
+// labFacts is a flow-insensitive over-approximation of which code
+// labels each register may hold, in the same mold as recFacts: labels
+// originate only as move/store value operands and propagate through
+// moves, operator results, ΔR renames, and (once one has been stored)
+// loads. The branch walker uses it to resolve register-indirect jumps,
+// if-jumps, and forks itself: the main interpretation's indirect edges
+// reflect its global merged state, where one havocked path fans an
+// indirect transfer out to every address-taken label and leaks blocks
+// from an unrelated program phase into a branch summary.
+type labFacts struct {
+	labs    map[tpal.Reg]labset
+	escaped bool
+	// addrTaken is every label that appears as a move or store value
+	// operand and names a block — the only labels a register or stack
+	// cell can ever hold, hence the expansion of a top label set.
+	addrTaken []tpal.Label
+}
+
+func computeLabFacts(p *tpal.Program, entry []tpal.Reg) *labFacts {
+	f := &labFacts{labs: make(map[tpal.Reg]labset)}
+	taken := make(map[tpal.Label]bool)
+	add := func(r tpal.Reg, s labset) bool {
+		if r == "" || s.empty() {
+			return false
+		}
+		cur := f.labs[r]
+		nv := cur.union(s)
+		if nv.equal(cur) {
+			return false
+		}
+		f.labs[r] = nv
+		return true
+	}
+	mayLab := func(o tpal.Operand) labset {
+		switch o.Kind {
+		case tpal.OperLabel:
+			return labOf(o.Label)
+		case tpal.OperReg:
+			return f.labs[o.Reg]
+		}
+		return labset{}
+	}
+	// Entry registers are under the caller's control; assume any label.
+	for _, r := range entry {
+		f.labs[r] = labTop()
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range p.Blocks {
+			for _, rr := range b.Ann.DeltaR {
+				if add(rr.To, f.labs[rr.From]) {
+					changed = true
+				}
+			}
+			for _, in := range b.Instrs {
+				switch in.Kind {
+				case tpal.IMove:
+					if in.Val.Kind == tpal.OperLabel {
+						taken[in.Val.Label] = true
+					}
+					if add(in.Dst, mayLab(in.Val)) {
+						changed = true
+					}
+				case tpal.IBinOp:
+					// Comparisons yield 0/1, never a label.
+					if !in.Op.IsComparison() && add(in.Dst, f.labs[in.Src].union(mayLab(in.Val))) {
+						changed = true
+					}
+				case tpal.ILoad:
+					if f.escaped && add(in.Dst, labTop()) {
+						changed = true
+					}
+				case tpal.IStore:
+					if in.Val.Kind == tpal.OperLabel {
+						taken[in.Val.Label] = true
+					}
+					if !f.escaped && !mayLab(in.Val).empty() {
+						f.escaped = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, b := range p.Blocks {
+		if taken[b.Label] {
+			f.addrTaken = append(f.addrTaken, b.Label)
+		}
+	}
+	return f
+}
+
+// freshInfo describes a register holding a block-fresh stack instance
+// at a fork: the snew site that created it and, when trackable, the
+// absolute index of the cell the register points at (snew yields -1,
+// the empty stack's pre-top).
+type freshInfo struct {
+	id    stackID
+	abs   int64
+	absOK bool
+}
+
+// freshAtFork scans the forking block's instructions before the fork
+// and returns the registers that, at the fork, hold a stack instance
+// the block itself allocated — instances no pre-fork register value and
+// no memory cell can alias. Storing a fresh pointer to memory cancels
+// its freshness (every register holding that instance falls back to
+// fork-time-value provenance, and the global escape bit covers loads).
+func freshAtFork(b *tpal.Block, forkIdx int) map[tpal.Reg]freshInfo {
+	fresh := make(map[tpal.Reg]freshInfo)
+	cancel := func(id stackID) {
+		for r, fi := range fresh {
+			if fi.id == id {
+				delete(fresh, r)
+			}
+		}
+	}
+	for i := 0; i < forkIdx && i < len(b.Instrs); i++ {
+		in := b.Instrs[i]
+		switch in.Kind {
+		case tpal.ISNew:
+			fresh[in.Dst] = freshInfo{id: stackID{Block: b.Label, Instr: i}, abs: -1, absOK: true}
+		case tpal.IMove:
+			if in.Val.Kind == tpal.OperReg {
+				if fi, ok := fresh[in.Val.Reg]; ok {
+					fresh[in.Dst] = fi
+					continue
+				}
+			}
+			delete(fresh, in.Dst)
+		case tpal.IBinOp:
+			fi, ok := fresh[in.Src]
+			if !ok {
+				delete(fresh, in.Dst)
+				continue
+			}
+			// Pointer arithmetic stays within the instance; a constant
+			// offset keeps the absolute cell index trackable (the machine
+			// maps ptr+n to abs-n).
+			switch {
+			case in.Op == tpal.OpAdd && in.Val.Kind == tpal.OperInt:
+				fi.abs -= in.Val.Int
+			case in.Op == tpal.OpSub && in.Val.Kind == tpal.OperInt:
+				fi.abs += in.Val.Int
+			default:
+				fi.absOK = false
+			}
+			if in.Op.IsComparison() {
+				delete(fresh, in.Dst)
+				continue
+			}
+			fresh[in.Dst] = fi
+		case tpal.ISAlloc:
+			if fi, ok := fresh[in.Src]; ok {
+				fi.abs += in.Off // new top = p.Abs + n
+				fresh[in.Src] = fi
+			}
+		case tpal.ISFree:
+			if fi, ok := fresh[in.Src]; ok {
+				fi.abs -= in.Off
+				fresh[in.Src] = fi
+			}
+		case tpal.IStore:
+			if in.Val.Kind == tpal.OperReg {
+				if fi, ok := fresh[in.Val.Reg]; ok {
+					cancel(fi.id)
+				}
+			}
+		case tpal.ILoad, tpal.IPrmEmpty, tpal.IPrmSplit, tpal.IJrAlloc:
+			// Loads and the integer/record results overwrite Dst (prmsplit
+			// writes Src2, prmempty writes Dst).
+			if in.Kind == tpal.IPrmSplit {
+				delete(fresh, in.Src2)
+			} else {
+				delete(fresh, in.Dst)
+			}
+		}
+	}
+	return fresh
+}
+
+// prov classifies the stack instances a pointer value may name,
+// relative to one fork:
+//
+//   - fresh: instances the forking block allocated before the fork
+//     (shared by both branches' initial register files, aliased by
+//     nothing older);
+//   - news: instances allocated by snew inside the branch after the
+//     fork — the two branches' news are always dynamically distinct,
+//     even from the same site;
+//   - olds: the fork-time values of registers — olds[r] in both
+//     branches names the same dynamic value, and an old value can never
+//     equal a fresh or new instance (fresh instances were unaliased at
+//     the fork, new ones did not exist yet);
+//   - top: an unclassifiable pointer (loaded from memory after a
+//     pointer escaped).
+//
+// adj, when adjOK and the value has exactly one origin, tracks the
+// pointer's cell coordinate: for fresh/news origins the absolute cell
+// index, for an olds origin the offset from the fork-time value. The
+// cell touched by mem[p + off] is then adj - off in the origin's
+// coordinate system.
+type prov struct {
+	top   bool
+	fresh map[stackID]bool
+	news  map[stackID]bool
+	olds  map[tpal.Reg]bool
+	adj   int64
+	adjOK bool
+}
+
+func provNone() prov { return prov{} }
+
+func provTop() prov { return prov{top: true} }
+
+func provFresh(fi freshInfo) prov {
+	return prov{fresh: map[stackID]bool{fi.id: true}, adj: fi.abs, adjOK: fi.absOK}
+}
+
+func provNew(id stackID) prov {
+	return prov{news: map[stackID]bool{id: true}, adj: -1, adjOK: true}
+}
+
+func provOld(r tpal.Reg) prov {
+	return prov{olds: map[tpal.Reg]bool{r: true}, adjOK: true}
+}
+
+// hasPtr reports whether the value may be a stack pointer at all.
+func (p prov) hasPtr() bool {
+	return p.top || len(p.fresh) > 0 || len(p.news) > 0 || len(p.olds) > 0
+}
+
+// singleOrigin reports whether the value has exactly one possible
+// instance origin, the precondition for using adj as a cell coordinate.
+func (p prov) singleOrigin() bool {
+	return !p.top && len(p.fresh)+len(p.news)+len(p.olds) == 1
+}
+
+func (p prov) clone() prov {
+	c := prov{top: p.top, adj: p.adj, adjOK: p.adjOK}
+	if len(p.fresh) > 0 {
+		c.fresh = make(map[stackID]bool, len(p.fresh))
+		for k := range p.fresh {
+			c.fresh[k] = true
+		}
+	}
+	if len(p.news) > 0 {
+		c.news = make(map[stackID]bool, len(p.news))
+		for k := range p.news {
+			c.news[k] = true
+		}
+	}
+	if len(p.olds) > 0 {
+		c.olds = make(map[tpal.Reg]bool, len(p.olds))
+		for k := range p.olds {
+			c.olds[k] = true
+		}
+	}
+	return c
+}
+
+// shift moves the pointer by d cells toward the base (the machine's
+// ptr + d), preserving origin sets.
+func (p prov) shift(d int64) prov {
+	c := p.clone()
+	c.adj -= d
+	return c
+}
+
+// widen drops the cell coordinate (pointer arithmetic with an unknown
+// offset).
+func (p prov) widen() prov {
+	c := p.clone()
+	c.adjOK = false
+	return c
+}
+
+// union folds q into p, reporting whether p grew. Coordinates survive
+// only when both sides agree.
+func (p *prov) union(q prov) bool {
+	changed := false
+	if q.top && !p.top {
+		p.top = true
+		changed = true
+	}
+	for k := range q.fresh {
+		if !p.fresh[k] {
+			if p.fresh == nil {
+				p.fresh = make(map[stackID]bool)
+			}
+			p.fresh[k] = true
+			changed = true
+		}
+	}
+	for k := range q.news {
+		if !p.news[k] {
+			if p.news == nil {
+				p.news = make(map[stackID]bool)
+			}
+			p.news[k] = true
+			changed = true
+		}
+	}
+	for k := range q.olds {
+		if !p.olds[k] {
+			if p.olds == nil {
+				p.olds = make(map[tpal.Reg]bool)
+			}
+			p.olds[k] = true
+			changed = true
+		}
+	}
+	if p.adjOK && (!q.adjOK || q.adj != p.adj) && q.hasPtr() {
+		p.adjOK = false
+		changed = true
+	}
+	return changed
+}
+
+// provState is a branch walk's per-register provenance environment.
+// Absent registers hold no pointer (a consequence of the taint
+// analysis: only tainted registers enter the initial state, and
+// non-pointer results clear entries).
+type provState map[tpal.Reg]prov
+
+func (s provState) clone() provState {
+	c := make(provState, len(s))
+	for r, p := range s {
+		c[r] = p.clone()
+	}
+	return c
+}
+
+// mergeInto folds src into dst pointwise, reporting change.
+func (dst provState) mergeInto(src provState) bool {
+	changed := false
+	for r, q := range src {
+		if !q.hasPtr() {
+			continue
+		}
+		p, ok := dst[r]
+		if !ok {
+			dst[r] = q.clone()
+			changed = true
+			continue
+		}
+		if p.union(q) {
+			changed = true
+		}
+		dst[r] = p
+	}
+	return changed
+}
+
+// branchState is a branch walk's per-register environment: pointer
+// provenance, the continuations of the join records each register may
+// hold, and the code labels each register may hold. The latter two let
+// the walker resolve join terminators and register-indirect transfers
+// without consulting the main interpretation's merged edges.
+type branchState struct {
+	prov provState
+	recs map[tpal.Reg]labset
+	labs map[tpal.Reg]labset
+}
+
+func newBranchState() *branchState {
+	return &branchState{
+		prov: make(provState),
+		recs: make(map[tpal.Reg]labset),
+		labs: make(map[tpal.Reg]labset),
+	}
+}
+
+func (s *branchState) clone() *branchState {
+	c := &branchState{
+		prov: s.prov.clone(),
+		recs: make(map[tpal.Reg]labset, len(s.recs)),
+		labs: make(map[tpal.Reg]labset, len(s.labs)),
+	}
+	for r, ls := range s.recs {
+		c.recs[r] = ls
+	}
+	for r, ls := range s.labs {
+		c.labs[r] = ls
+	}
+	return c
+}
+
+// mergeLabs folds one label map into another pointwise, reporting
+// change.
+func mergeLabs(dst, src map[tpal.Reg]labset) bool {
+	changed := false
+	for r, ls := range src {
+		if ls.empty() {
+			continue
+		}
+		cur := dst[r]
+		nv := cur.union(ls)
+		if !nv.equal(cur) {
+			dst[r] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+// mergeInto folds src into dst pointwise, reporting change.
+func (dst *branchState) mergeInto(src *branchState) bool {
+	changed := dst.prov.mergeInto(src.prov)
+	if mergeLabs(dst.recs, src.recs) {
+		changed = true
+	}
+	if mergeLabs(dst.labs, src.labs) {
+		changed = true
+	}
+	return changed
+}
+
+// initState builds the fork-time environment shared by both branches:
+// fresh registers carry their instance, every other possibly-pointer
+// register carries its own fork-time value, and record and label
+// registers carry what the flow-insensitive facts allow.
+func initState(facts *ptrFacts, rf *recFacts, lf *labFacts, fresh map[tpal.Reg]freshInfo) *branchState {
+	st := newBranchState()
+	for r := range facts.sites {
+		if !facts.mayPtr(r) {
+			continue
+		}
+		if fi, ok := fresh[r]; ok {
+			st.prov[r] = provFresh(fi)
+		} else {
+			st.prov[r] = provOld(r)
+		}
+	}
+	for r, ls := range rf.conts {
+		if !ls.empty() {
+			st.recs[r] = ls
+		}
+	}
+	for r, ls := range lf.labs {
+		if !ls.empty() {
+			st.labs[r] = ls
+		}
+	}
+	return st
+}
+
+// accKind classifies one abstract memory access.
+type accKind uint8
+
+const (
+	accRead      accKind = iota // load of one cell
+	accWrite                    // store of one cell (incl. prmpush/prmpop rewriting a cell)
+	accMarkRead                 // prmempty/prmsplit scan of the live region
+	accMarkWrite                // prmsplit consuming a mark somewhere in the live region
+	accStruct                   // salloc/sfree moving the stack top
+)
+
+func (k accKind) String() string {
+	switch k {
+	case accRead:
+		return "read"
+	case accWrite:
+		return "write"
+	case accMarkRead:
+		return "mark-scan"
+	case accMarkWrite:
+		return "mark-split"
+	case accStruct:
+		return "alloc/free"
+	}
+	return "?"
+}
+
+// writes reports whether the access mutates the stack.
+func (k accKind) writes() bool { return k != accRead && k != accMarkRead }
+
+// access is one abstract memory access a branch may perform: a program
+// point, an access kind, the static cell offset (meaningful when offOK;
+// mark scans and structural operations cover an unknown range), and the
+// provenance of the base pointer.
+type access struct {
+	block tpal.Label
+	instr int
+	kind  accKind
+	off   int64
+	offOK bool
+	p     prov
+}
+
+// cell returns the coordinate of the touched cell in the coordinate
+// system of the access's single origin, when determined.
+func (a *access) cell() (int64, bool) {
+	if !a.offOK || !a.p.adjOK || !a.p.singleOrigin() {
+		return 0, false
+	}
+	return a.p.adj - a.off, true
+}
+
+// rangeTop returns the upper cell coordinate of a live-region scan
+// (prmempty/prmsplit cover every cell from the base up to the pointer),
+// when determined.
+func (a *access) rangeTop() (int64, bool) {
+	if (a.kind != accMarkRead && a.kind != accMarkWrite) || !a.p.adjOK || !a.p.singleOrigin() {
+		return 0, false
+	}
+	return a.p.adj, true
+}
+
+type accKey struct {
+	block tpal.Label
+	instr int
+	kind  accKind
+}
+
+// walker runs the provenance dataflow for one branch of one fork,
+// accumulating the branch's access summary. All control flow is
+// resolved from the walk's own state — direct targets from the
+// instruction, register-indirect jumps and forks from the walk's label
+// tracking, join terminators from its record tracking, and handler
+// diversions from the block annotation. The main interpretation's
+// sharpened edges are deliberately not reused inside a branch: they
+// reflect its global merged state, where one havocked path fans an
+// indirect transfer or a join out to every address-taken label or
+// jtppt in the program and leaks blocks from an unrelated program
+// phase into the branch summary.
+type walker struct {
+	p     *tpal.Program
+	facts *ptrFacts
+	rf    *recFacts
+	lf    *labFacts
+
+	states map[tpal.Label]*branchState
+	queue  []tpal.Label
+	queued map[tpal.Label]bool
+
+	accs map[accKey]*access
+}
+
+func newWalker(p *tpal.Program, facts *ptrFacts, rf *recFacts, lf *labFacts) *walker {
+	return &walker{
+		p:      p,
+		facts:  facts,
+		rf:     rf,
+		lf:     lf,
+		states: make(map[tpal.Label]*branchState),
+		queued: make(map[tpal.Label]bool),
+		accs:   make(map[accKey]*access),
+	}
+}
+
+// seed merges a state into a block head and queues the block.
+func (w *walker) seed(l tpal.Label, st *branchState) {
+	if w.p.Block(l) == nil {
+		return
+	}
+	cur, ok := w.states[l]
+	if !ok {
+		w.states[l] = st.clone()
+	} else if !cur.mergeInto(st) {
+		return
+	}
+	if !w.queued[l] {
+		w.queued[l] = true
+		w.queue = append(w.queue, l)
+	}
+}
+
+// run drives the walk to a fixpoint. The budget mirrors Solve's defense
+// against non-monotone transfer bugs.
+func (w *walker) run() {
+	budget := 2000 * (len(w.p.Blocks) + 1)
+	for len(w.queue) > 0 && budget > 0 {
+		budget--
+		l := w.queue[0]
+		w.queue = w.queue[1:]
+		w.queued[l] = false
+		b := w.p.Block(l)
+		if b == nil {
+			continue
+		}
+		w.replay(b, 0, w.states[l].clone())
+	}
+}
+
+// record accumulates one access, merging provenance at repeated visits
+// of the same program point.
+func (w *walker) record(b *tpal.Block, i int, kind accKind, off int64, offOK bool, p prov) {
+	if !p.hasPtr() {
+		return
+	}
+	k := accKey{block: b.Label, instr: i, kind: kind}
+	if a, ok := w.accs[k]; ok {
+		a.p.union(p)
+		if !offOK {
+			a.offOK = false
+		}
+		return
+	}
+	w.accs[k] = &access{block: b.Label, instr: i, kind: kind, off: off, offOK: offOK, p: p.clone()}
+}
+
+// emitTarget flows the working state to a transfer target: a direct
+// label operand goes to that label, a register operand to every label
+// the walk's label tracking allows (every address-taken label when the
+// set is top — the register was loaded after a label escaped).
+func (w *walker) emitTarget(o tpal.Operand, st *branchState) {
+	switch o.Kind {
+	case tpal.OperLabel:
+		w.seed(o.Label, st)
+	case tpal.OperReg:
+		ls := st.labs[o.Reg]
+		if ls.top {
+			for _, l := range w.lf.addrTaken {
+				w.seed(l, st)
+			}
+			return
+		}
+		for l := range ls.elems {
+			w.seed(l, st)
+		}
+	}
+}
+
+// emitJoin flows the working state to a join terminator's possible
+// continuations: for every continuation the joined record may name, the
+// continuation block itself (with its jtppt ΔR renames applied,
+// mirroring the machine's register merge) and its combining block.
+func (w *walker) emitJoin(b *tpal.Block, st *branchState) {
+	if b.Term.Val.Kind != tpal.OperReg {
+		return
+	}
+	conts := st.recs[b.Term.Val.Reg]
+	if conts.top {
+		conts = w.rf.all
+	}
+	for c := range conts.elems {
+		cb := w.p.Block(c)
+		if cb == nil {
+			continue
+		}
+		out := st.clone()
+		applyDeltaR(out, st, cb.Ann.DeltaR)
+		w.seed(c, out)
+		if cb.Ann.Kind == tpal.AnnJtppt {
+			w.seed(cb.Ann.Comb, out)
+		}
+	}
+}
+
+// applyDeltaR copies provenance, record, and label sets across a
+// join's register renames.
+func applyDeltaR(dst *branchState, src *branchState, deltaR []tpal.RegRename) {
+	for _, rr := range deltaR {
+		if p, ok := src.prov[rr.From]; ok {
+			dst.prov[rr.To] = p.clone()
+		} else {
+			delete(dst.prov, rr.To)
+		}
+		if ls, ok := src.recs[rr.From]; ok {
+			dst.recs[rr.To] = ls
+		} else {
+			delete(dst.recs, rr.To)
+		}
+		if ls, ok := src.labs[rr.From]; ok {
+			dst.labs[rr.To] = ls
+		} else {
+			delete(dst.labs, rr.To)
+		}
+	}
+}
+
+// replay walks block b from instruction index start with branch state
+// st, recording accesses and flowing states along edges. start > 0 is
+// used once per fork, for the parent's post-fork tail; control
+// re-enters blocks only at their heads afterwards.
+func (w *walker) replay(b *tpal.Block, start int, st *branchState) {
+	if start == 0 && b.Ann.Kind == tpal.AnnPrppt {
+		// The try-promote rule may divert to the handler before the
+		// first instruction runs.
+		w.seed(b.Ann.Handler, st)
+	}
+	get := func(r tpal.Reg) prov { return st.prov[r] }
+	setPtr := func(r tpal.Reg, p prov) {
+		delete(st.recs, r)
+		delete(st.labs, r)
+		if p.hasPtr() {
+			st.prov[r] = p
+		} else {
+			delete(st.prov, r)
+		}
+	}
+	for i := start; i < len(b.Instrs); i++ {
+		in := b.Instrs[i]
+		switch in.Kind {
+		case tpal.IMove:
+			switch in.Val.Kind {
+			case tpal.OperReg:
+				setPtr(in.Dst, get(in.Val.Reg).clone())
+				if ls, ok := st.recs[in.Val.Reg]; ok {
+					st.recs[in.Dst] = ls
+				}
+				if ls, ok := st.labs[in.Val.Reg]; ok {
+					st.labs[in.Dst] = ls
+				}
+			case tpal.OperLabel:
+				setPtr(in.Dst, provNone())
+				st.labs[in.Dst] = labOf(in.Val.Label)
+			default:
+				setPtr(in.Dst, provNone())
+			}
+
+		case tpal.IBinOp:
+			base := get(in.Src)
+			var res prov
+			switch {
+			case in.Op.IsComparison():
+				res = provNone()
+			case base.hasPtr() && in.Op == tpal.OpAdd && in.Val.Kind == tpal.OperInt:
+				res = base.shift(in.Val.Int)
+			case base.hasPtr() && in.Op == tpal.OpSub && in.Val.Kind == tpal.OperInt:
+				res = base.shift(-in.Val.Int)
+			default:
+				res = base.widen()
+				if in.Val.Kind == tpal.OperReg {
+					res.union(get(in.Val.Reg).widen())
+				}
+			}
+			setPtr(in.Dst, res)
+
+		case tpal.IIfJump, tpal.IFork:
+			// Forked children start from the forking task's register
+			// file: the current state flows to the target unchanged.
+			w.emitTarget(in.Val, st)
+
+		case tpal.IJrAlloc:
+			setPtr(in.Dst, provNone())
+			st.recs[in.Dst] = labOf(in.Lbl)
+
+		case tpal.ISNew:
+			setPtr(in.Dst, provNew(stackID{Block: b.Label, Instr: i}))
+
+		case tpal.ISAlloc:
+			base := get(in.Src)
+			w.record(b, i, accStruct, 0, false, base)
+			if base.hasPtr() {
+				st.prov[in.Src] = base.shift(-in.Off) // new top = p.Abs + n
+			}
+
+		case tpal.ISFree:
+			base := get(in.Src)
+			w.record(b, i, accStruct, 0, false, base)
+			if base.hasPtr() {
+				st.prov[in.Src] = base.shift(in.Off)
+			}
+
+		case tpal.ILoad:
+			w.record(b, i, accRead, in.Off, true, get(in.Src))
+			if w.facts.escaped {
+				setPtr(in.Dst, provTop())
+			} else {
+				setPtr(in.Dst, provNone())
+			}
+			if w.rf.escaped {
+				st.recs[in.Dst] = labTop()
+			}
+			if w.lf.escaped {
+				st.labs[in.Dst] = labTop()
+			}
+
+		case tpal.IStore:
+			w.record(b, i, accWrite, in.Off, true, get(in.Src))
+
+		case tpal.IPrmPush:
+			w.record(b, i, accWrite, in.Off, true, get(in.Src))
+
+		case tpal.IPrmPop:
+			w.record(b, i, accWrite, in.Off, true, get(in.Src))
+
+		case tpal.IPrmEmpty:
+			w.record(b, i, accMarkRead, 0, false, get(in.Src2))
+			setPtr(in.Dst, provNone())
+
+		case tpal.IPrmSplit:
+			w.record(b, i, accMarkRead, 0, false, get(in.Src))
+			w.record(b, i, accMarkWrite, 0, false, get(in.Src))
+			setPtr(in.Src2, provNone())
+		}
+	}
+	switch b.Term.Kind {
+	case tpal.TJoin:
+		w.emitJoin(b, st)
+	case tpal.TJump:
+		w.emitTarget(b.Term.Val, st)
+	}
+}

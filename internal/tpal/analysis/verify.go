@@ -87,6 +87,12 @@ func Analyze(p *tpal.Program, opts Options) *Report {
 	r.Diags = append(r.Diags, liveDiags...)
 	r.Latency = lb
 
+	// Phase 6 (opt-in): the static interference pass, fork-by-fork over
+	// the same sharpened edge set.
+	if opts.Races {
+		r.Diags = append(r.Diags, racePass(p, sharp, reached, opts.EntryRegs)...)
+	}
+
 	sortDiags(p, r.Diags)
 	return r
 }

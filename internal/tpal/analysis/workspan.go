@@ -222,11 +222,7 @@ func (e *Expr) render(prec int) string {
 	case ExprTrip:
 		return fmt.Sprintf("trip(%s)", e.Loop)
 	case ExprAdd:
-		parts := make([]string, len(e.Args))
-		for i, a := range e.Args {
-			parts[i] = a.render(0)
-		}
-		s := strings.Join(parts, " + ")
+		s := strings.Join(e.renderParts(0), " + ")
 		if prec > 0 {
 			return "(" + s + ")"
 		}
@@ -238,13 +234,27 @@ func (e *Expr) render(prec int) string {
 		}
 		return strings.Join(parts, "*")
 	case ExprMax:
-		parts := make([]string, len(e.Args))
-		for i, a := range e.Args {
-			parts[i] = a.render(0)
-		}
-		return "max(" + strings.Join(parts, ", ") + ")"
+		return "max(" + strings.Join(e.renderParts(0), ", ") + ")"
 	}
 	return "?"
+}
+
+// renderParts renders the operands of a commutative node (+ or max)
+// with the non-constant terms in sorted order, so equal expressions
+// always print identically: construction order reflects CFG-map
+// iteration and is not stable across runs. The folded constant (at
+// most one, placed last by eAdd/eMax) stays last.
+func (e *Expr) renderParts(prec int) []string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.render(prec)
+	}
+	n := len(parts)
+	if n > 0 && e.Args[n-1].Kind == ExprConst {
+		n--
+	}
+	sort.Strings(parts[:n])
+	return parts
 }
 
 // costAnalysis runs phase 5: it folds per-block step counts through the

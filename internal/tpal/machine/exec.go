@@ -68,6 +68,12 @@ func (m *Machine) exec(t *Task, in tpal.Instr) error {
 		if err != nil {
 			return m.failf(t, "%v", err)
 		}
+		if m.race != nil {
+			// salloc zeroes the cells it opens.
+			if err := m.raceWriteRange(t, p.Stack, p.Abs+1, np.Abs); err != nil {
+				return err
+			}
+		}
 		t.regs.Set(in.Src, PtrV(np))
 		advance()
 		return nil
@@ -80,6 +86,12 @@ func (m *Machine) exec(t *Task, in tpal.Instr) error {
 		np, err := p.Stack.Free(p, int(in.Off))
 		if err != nil {
 			return m.failf(t, "%v", err)
+		}
+		if m.race != nil {
+			// sfree retires the cells above the new top.
+			if err := m.raceWriteRange(t, p.Stack, np.Abs+1, p.Abs); err != nil {
+				return err
+			}
 		}
 		t.regs.Set(in.Src, PtrV(np))
 		advance()
@@ -94,6 +106,11 @@ func (m *Machine) exec(t *Task, in tpal.Instr) error {
 		if err != nil {
 			return m.failf(t, "%v", err)
 		}
+		if m.race != nil {
+			if err := m.raceRead(t, p.Stack, p.Abs-int(in.Off)); err != nil {
+				return err
+			}
+		}
 		t.regs.Set(in.Dst, v)
 		advance()
 		return nil
@@ -106,6 +123,11 @@ func (m *Machine) exec(t *Task, in tpal.Instr) error {
 		if err := p.Stack.Store(p, in.Off, Resolve(t.regs, in.Val)); err != nil {
 			return m.failf(t, "%v", err)
 		}
+		if m.race != nil {
+			if err := m.raceWrite(t, p.Stack, p.Abs-int(in.Off)); err != nil {
+				return err
+			}
+		}
 		advance()
 		return nil
 
@@ -116,6 +138,11 @@ func (m *Machine) exec(t *Task, in tpal.Instr) error {
 		}
 		if err := p.Stack.PushMark(p, in.Off); err != nil {
 			return m.failf(t, "%v", err)
+		}
+		if m.race != nil {
+			if err := m.raceWrite(t, p.Stack, p.Abs-int(in.Off)); err != nil {
+				return err
+			}
 		}
 		advance()
 		return nil
@@ -128,6 +155,11 @@ func (m *Machine) exec(t *Task, in tpal.Instr) error {
 		if err := p.Stack.PopMark(p, in.Off); err != nil {
 			return m.failf(t, "%v", err)
 		}
+		if m.race != nil {
+			if err := m.raceWrite(t, p.Stack, p.Abs-int(in.Off)); err != nil {
+				return err
+			}
+		}
 		advance()
 		return nil
 
@@ -139,6 +171,12 @@ func (m *Machine) exec(t *Task, in tpal.Instr) error {
 		// TPAL truth: 0 when the mark list is empty, 1 otherwise, so the
 		// idiomatic handler prologue "t := prmempty sp; if-jump t, abort"
 		// aborts the promotion attempt when there is nothing to promote.
+		if m.race != nil {
+			// The scan reads every live cell from the base up to p.
+			if err := m.raceReadRange(t, p.Stack, 0, p.Abs); err != nil {
+				return err
+			}
+		}
 		if p.Stack.MarksEmpty(p) {
 			t.regs.Set(in.Dst, IntV(0))
 		} else {
@@ -155,6 +193,16 @@ func (m *Machine) exec(t *Task, in tpal.Instr) error {
 		off, err := p.Stack.SplitOldestMark(p)
 		if err != nil {
 			return m.failf(t, "%v", err)
+		}
+		if m.race != nil {
+			// The scan reads the live region and consumes (writes) the
+			// oldest mark.
+			if err := m.raceReadRange(t, p.Stack, 0, p.Abs); err != nil {
+				return err
+			}
+			if err := m.raceWrite(t, p.Stack, p.Abs-int(off)); err != nil {
+				return err
+			}
 		}
 		t.regs.Set(in.Src2, IntV(off))
 		advance()

@@ -25,7 +25,7 @@ func (m *Machine) execFork(t *Task, in tpal.Instr) error {
 	}
 
 	rec := jv.Join
-	edge := &joinEdge{rec: rec, up: t.edge, upSide: t.side}
+	edge := &joinEdge{rec: rec, up: t.edge, upSide: t.side, forkBlock: t.label, forkInstr: t.off}
 	rec.edges++
 
 	// Cost semantics (Figure 28): each fork-join pair is weighted τ; both
@@ -45,6 +45,9 @@ func (m *Machine) execFork(t *Task, in tpal.Instr) error {
 	m.stats.TasksCreated++
 	m.stats.Forks++
 	child.label, child.block = block.Label, block
+	if m.race != nil {
+		m.raceFork(t, child)
+	}
 	m.addTask(child)
 	m.traceTask(child, TraceTaskStart)
 
@@ -113,6 +116,7 @@ func (m *Machine) execJoin(t *Task, term tpal.Term) error {
 		edge.stashedRegs = t.regs
 		edge.stashedSide = t.side
 		edge.stashedSpan = t.span
+		edge.stashedClock = t.clock
 		m.noteGap(t)
 		m.removeTask(t)
 		m.traceTask(t, TraceTaskEnd)
@@ -142,6 +146,9 @@ func (m *Machine) execJoin(t *Task, term tpal.Term) error {
 	t.regs = merged
 	t.edge = edge.up
 	t.side = edge.upSide
+	if m.race != nil {
+		m.raceJoinMerge(t, edge.stashedClock)
+	}
 	t.cycles = 0
 	m.noteGap(t)
 	if edge.stashedSpan > t.span {

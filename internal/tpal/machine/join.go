@@ -39,10 +39,18 @@ type joinEdge struct {
 	up     *joinEdge
 	upSide side
 
+	// forkBlock/forkInstr locate the fork instruction that created the
+	// edge — the parallel composition the race sanitizer names when the
+	// edge's two sides conflict.
+	forkBlock tpal.Label
+	forkInstr int
+
 	arrived     bool
 	stashedRegs RegFile
 	stashedSide side
 	stashedSpan int64
+	// stashedClock is the first arriver's vector clock (RaceDetect only).
+	stashedClock vclock
 }
 
 // side is a task's role on a join edge.

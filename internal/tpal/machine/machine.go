@@ -52,6 +52,13 @@ type Config struct {
 	Seed     int64
 	// Regs is the initial register file of the root task.
 	Regs RegFile
+	// RaceDetect enables the determinacy-race sanitizer (race.go): every
+	// stack access is checked against shadow memory under the
+	// happens-before relation induced by fork and join, and the first
+	// logically-parallel conflicting pair aborts the run with a
+	// RaceError. For strictly nested fork-join programs the verdict is
+	// schedule-independent.
+	RaceDetect bool
 	// SkipVerify disables the static verifier New runs over the program
 	// (the entry registers are taken from Regs). Verifier errors mark
 	// definite machine faults, so rejecting them up front is the
@@ -115,6 +122,10 @@ type Task struct {
 	// promotion-ready program point.
 	sinceSignal   int64
 	pendingSignal bool
+
+	// clock is the task's vector clock, maintained only under
+	// Config.RaceDetect (nil otherwise).
+	clock vclock
 }
 
 // ID returns the task's creation sequence number.
@@ -129,6 +140,7 @@ type Machine struct {
 	nextTask int
 	nextJoin int
 	rng      *rand.Rand
+	race     *raceState
 
 	halted    bool
 	finalRegs RegFile
@@ -174,6 +186,10 @@ func New(prog *tpal.Program, cfg Config) (*Machine, error) {
 		regs = regs.Clone()
 	}
 	root := &Task{id: m.nextTask, regs: regs}
+	if cfg.RaceDetect {
+		m.race = newRaceState()
+		root.clock = vclock{root.id: 1}
+	}
 	m.nextTask++
 	m.stats.TasksCreated++
 	entry := prog.Block(prog.Entry)

@@ -1,0 +1,280 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"tpal/internal/tpal"
+)
+
+// Determinacy-race sanitizer (Config.RaceDetect).
+//
+// The classical SP-bags algorithm for Cilk maintains, per procedure
+// frame, bags of serial and parallel descendants under a depth-first
+// execution order. TPAL's machine interleaves tasks under arbitrary
+// schedules, so the sanitizer substitutes the equivalent happens-before
+// formulation over the same series-parallel structure: each task
+// carries a vector clock, fork makes the child and the parent's
+// continuation mutually concurrent, and resolving a join edge merges
+// the two branch clocks into the combining task, so everything after a
+// join happens-after both branches — exactly the SP relation of the
+// cost semantics' series-parallel graph (Figure 28). Two accesses to
+// the same stack cell race iff neither happens-before the other and at
+// least one writes; for a strictly nested fork-join program this is
+// schedule-independent (the determinacy-race property), which is what
+// lets one instrumented run certify or refute a program.
+//
+// Shadow state is one cell array per dynamic stack, each cell holding
+// the last write and the reads since then that are still concurrent
+// with something. Structural operations (salloc zeroing cells, sfree
+// retiring them) count as writes to the affected range; mark-list
+// scans (prmempty, prmsplit) count as reads of the live region they
+// walk, and prmsplit additionally as a write to the mark it consumes.
+
+// ErrRace is the class of determinacy-race errors; RaceError unwraps
+// to it.
+var ErrRace = errors.New("tpal machine: determinacy race")
+
+// AccessPos locates one racing access.
+type AccessPos struct {
+	Task  int
+	Block tpal.Label
+	Instr int
+	Write bool
+}
+
+func (a AccessPos) String() string {
+	op := "read"
+	if a.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("%s by task %d at %s[%d]", op, a.Task, a.Block, a.Instr)
+}
+
+// RaceError reports the first determinacy race observed: the two
+// logically-parallel accesses and the fork that made them parallel.
+type RaceError struct {
+	First  AccessPos // the earlier access (already in shadow memory)
+	Second AccessPos // the access that completed the race
+	// Fork is the position of the fork instruction whose two branches
+	// contain the accesses; ForkKnown is false when the fork tree no
+	// longer exposes it (it always does for strictly nested programs).
+	Fork      AccessPos
+	ForkKnown bool
+}
+
+func (e *RaceError) Error() string {
+	msg := fmt.Sprintf("%v: %s conflicts with %s", ErrRace, e.Second, e.First)
+	if e.ForkKnown {
+		msg += fmt.Sprintf(" (branches of the fork at %s[%d])", e.Fork.Block, e.Fork.Instr)
+	}
+	return msg
+}
+
+func (e *RaceError) Unwrap() error { return ErrRace }
+
+// vclock is a vector clock keyed by task id.
+type vclock map[int]int64
+
+func (c vclock) clone() vclock {
+	n := make(vclock, len(c)+1)
+	for k, v := range c {
+		n[k] = v
+	}
+	return n
+}
+
+// merge folds other into c pointwise.
+func (c vclock) merge(other vclock) {
+	for k, v := range other {
+		if v > c[k] {
+			c[k] = v
+		}
+	}
+}
+
+// accessRec is one recorded access: the epoch (task, its clock entry at
+// access time), the program position, and the task's position in the
+// fork tree when it accessed (for naming the separating fork).
+type accessRec struct {
+	task  int
+	time  int64
+	block tpal.Label
+	instr int
+	write bool
+	edge  *joinEdge
+	side  side
+}
+
+func (r accessRec) pos() AccessPos {
+	return AccessPos{Task: r.task, Block: r.block, Instr: r.instr, Write: r.write}
+}
+
+// happensBefore reports whether the recorded access happens-before the
+// given task's current point.
+func (r accessRec) happensBefore(t *Task) bool {
+	return t.clock[r.task] >= r.time
+}
+
+// shadowCell is the sanitizer's view of one stack cell.
+type shadowCell struct {
+	hasWrite bool
+	write    accessRec
+	reads    []accessRec
+}
+
+// raceState is the machine-wide sanitizer state.
+type raceState struct {
+	shadows map[*Stack]*shadow
+}
+
+type shadow struct {
+	cells []shadowCell
+}
+
+func newRaceState() *raceState {
+	return &raceState{shadows: make(map[*Stack]*shadow)}
+}
+
+func (rs *raceState) cell(s *Stack, abs int) *shadowCell {
+	sh := rs.shadows[s]
+	if sh == nil {
+		sh = &shadow{}
+		rs.shadows[s] = sh
+	}
+	for len(sh.cells) <= abs {
+		sh.cells = append(sh.cells, shadowCell{})
+	}
+	return &sh.cells[abs]
+}
+
+// rec builds the access record for t's current position.
+func (m *Machine) raceRec(t *Task, write bool) accessRec {
+	return accessRec{
+		task:  t.id,
+		time:  t.clock[t.id],
+		block: t.label,
+		instr: t.off,
+		write: write,
+		edge:  t.edge,
+		side:  t.side,
+	}
+}
+
+// raceErr assembles the RaceError for a conflicting pair.
+func raceErr(prev accessRec, cur accessRec) error {
+	e := &RaceError{First: prev.pos(), Second: cur.pos()}
+	if f, ok := separatingFork(prev, cur); ok {
+		e.Fork = f
+		e.ForkKnown = true
+	}
+	return e
+}
+
+// separatingFork walks the two accesses' fork-tree chains to the
+// deepest common join edge; when the accesses sit on opposite sides of
+// it, the fork that created that edge is the parallel composition that
+// made them logically parallel.
+func separatingFork(a, b accessRec) (AccessPos, bool) {
+	sides := make(map[*joinEdge]side)
+	for e, s := a.edge, a.side; e != nil; s, e = e.upSide, e.up {
+		sides[e] = s
+	}
+	for e, s := b.edge, b.side; e != nil; s, e = e.upSide, e.up {
+		if sa, ok := sides[e]; ok {
+			if sa != s {
+				return AccessPos{Block: e.forkBlock, Instr: e.forkInstr}, true
+			}
+			return AccessPos{}, false
+		}
+	}
+	return AccessPos{}, false
+}
+
+// raceRead records a read of mem[cell abs] of stack s by t, reporting a
+// race against any concurrent write.
+func (m *Machine) raceRead(t *Task, s *Stack, abs int) error {
+	if abs < 0 {
+		return nil
+	}
+	c := m.race.cell(s, abs)
+	cur := m.raceRec(t, false)
+	if c.hasWrite && !c.write.happensBefore(t) {
+		return raceErr(c.write, cur)
+	}
+	// Keep the read set small: drop reads that happen-before this one
+	// (they are covered by it for every future write check).
+	kept := c.reads[:0]
+	for _, r := range c.reads {
+		if !r.happensBefore(t) {
+			kept = append(kept, r)
+		}
+	}
+	c.reads = append(kept, cur)
+	return nil
+}
+
+// raceWrite records a write of mem[cell abs] of stack s by t, reporting
+// a race against any concurrent read or write.
+func (m *Machine) raceWrite(t *Task, s *Stack, abs int) error {
+	if abs < 0 {
+		return nil
+	}
+	c := m.race.cell(s, abs)
+	cur := m.raceRec(t, true)
+	if c.hasWrite && !c.write.happensBefore(t) {
+		return raceErr(c.write, cur)
+	}
+	for _, r := range c.reads {
+		if !r.happensBefore(t) {
+			return raceErr(r, cur)
+		}
+	}
+	c.hasWrite = true
+	c.write = cur
+	c.reads = c.reads[:0]
+	return nil
+}
+
+// raceWriteRange records writes to every cell in [lo, hi].
+func (m *Machine) raceWriteRange(t *Task, s *Stack, lo, hi int) error {
+	if lo < 0 {
+		lo = 0
+	}
+	for i := lo; i <= hi; i++ {
+		if err := m.raceWrite(t, s, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// raceReadRange records reads of every cell in [lo, hi].
+func (m *Machine) raceReadRange(t *Task, s *Stack, lo, hi int) error {
+	if lo < 0 {
+		lo = 0
+	}
+	for i := lo; i <= hi; i++ {
+		if err := m.raceRead(t, s, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// raceFork updates the clocks at a fork: the child starts from a copy
+// of the parent's knowledge plus its own fresh entry, and the parent
+// advances its own entry, making the two branches mutually concurrent
+// while everything pre-fork happens-before both.
+func (m *Machine) raceFork(parent, child *Task) {
+	child.clock = parent.clock.clone()
+	child.clock[child.id] = 1
+	parent.clock[parent.id]++
+}
+
+// raceJoinMerge updates the surviving task's clock when a join edge
+// resolves: the combining task happens-after both branches.
+func (m *Machine) raceJoinMerge(t *Task, stashed vclock) {
+	t.clock.merge(stashed)
+	t.clock[t.id]++
+}

@@ -1,0 +1,278 @@
+package machine_test
+
+import (
+	"errors"
+	"testing"
+
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/analysis"
+	"tpal/internal/tpal/asm"
+	"tpal/internal/tpal/machine"
+	"tpal/internal/tpal/programs"
+)
+
+// raceSchedules is the schedule matrix every sanitizer verdict is
+// checked under: determinacy races are schedule-independent, so a
+// program must be certified (or refuted) identically by all of them.
+var raceSchedules = []machine.Config{
+	{},
+	{Heartbeat: 20},
+	{Heartbeat: 20, Schedule: machine.RandomOrder, Seed: 7},
+	{Heartbeat: 20, Schedule: machine.DepthFirst},
+	{Heartbeat: 35, SignalPeriod: 50},
+}
+
+// TestCorpusRaceFreeDynamic certifies the paper's three programs
+// race-free under the sanitizer across the whole schedule matrix, with
+// results intact — the dynamic half of the corpus race-freedom claim
+// (the static half is TestCorpusRaceFree in the analysis package).
+func TestCorpusRaceFreeDynamic(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		regs   machine.RegFile
+		result tpal.Reg
+		want   int64
+	}{
+		{"prod", programs.ProdSource, machine.RegFile{"a": machine.IntV(6), "b": machine.IntV(7)}, "c", 42},
+		{"pow", programs.PowSource, machine.RegFile{"d": machine.IntV(2), "e": machine.IntV(5)}, "f", 32},
+		{"fib", programs.FibSource, machine.RegFile{"n": machine.IntV(10)}, "f", 55},
+	}
+	for _, tc := range cases {
+		p, err := asm.Parse(tc.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, cfg := range raceSchedules {
+			cfg.RaceDetect = true
+			cfg.Regs = tc.regs
+			res, err := machine.Run(p, cfg)
+			if err != nil {
+				t.Fatalf("%s schedule %d: %v", tc.name, i, err)
+			}
+			if got := res.Regs.Get(tc.result); got.Int != tc.want {
+				t.Errorf("%s schedule %d: %s = %v, want %d", tc.name, i, tc.result, got, tc.want)
+			}
+		}
+	}
+}
+
+// racyWWSrc makes both branches of one fork write cell 0 of the shared
+// pre-fork stack. The fork sits at main[3].
+const racyWWSrc = `
+program racy-ww entry main
+
+block main [.] {
+  sp := snew
+  salloc sp, 2
+  jr := jralloc after
+  fork jr, body
+  mem[sp + 0] := 1
+  join jr
+}
+
+block body [.] {
+  mem[sp + 0] := 2
+  join jr
+}
+
+block after [jtppt assoc-comm; {}; comb] {
+  halt
+}
+
+block comb [.] {
+  join jr
+}
+`
+
+// racyRWSrc: the child writes a cell the parent reads.
+const racyRWSrc = `
+program racy-rw entry main
+
+block main [.] {
+  sp := snew
+  salloc sp, 2
+  jr := jralloc after
+  fork jr, body
+  x := mem[sp + 0]
+  join jr
+}
+
+block body [.] {
+  mem[sp + 0] := 2
+  join jr
+}
+
+block after [jtppt assoc-comm; {}; comb] {
+  halt
+}
+
+block comb [.] {
+  join jr
+}
+`
+
+// racyMarkSrc: the parent's mark-list traffic overlaps a cell the child
+// writes.
+const racyMarkSrc = `
+program racy-marks entry main
+
+block main [.] {
+  sp := snew
+  salloc sp, 2
+  prmpush mem[sp + 1]
+  jr := jralloc after
+  fork jr, body
+  e := prmempty sp
+  if-jump e, done
+  prmsplit sp, top
+  join jr
+}
+
+block done [.] {
+  join jr
+}
+
+block body [.] {
+  mem[sp + 1] := 2
+  join jr
+}
+
+block after [jtppt assoc-comm; {}; comb] {
+  halt
+}
+
+block comb [.] {
+  join jr
+}
+`
+
+// raceFreeSrc: the branches write provably distinct cells — the
+// sanitizer must stay silent.
+const raceFreeSrc = `
+program racefree entry main
+
+block main [.] {
+  sp := snew
+  salloc sp, 2
+  jr := jralloc after
+  fork jr, body
+  mem[sp + 0] := 1
+  join jr
+}
+
+block body [.] {
+  mem[sp + 1] := 2
+  join jr
+}
+
+block after [jtppt assoc-comm; {}; comb] {
+  halt
+}
+
+block comb [.] {
+  join jr
+}
+`
+
+// TestSanitizerReportsSeededRace pins the RaceError surface on the
+// write/write counterexample: both access positions and the fork that
+// made them parallel, under every schedule.
+func TestSanitizerReportsSeededRace(t *testing.T) {
+	p, err := asm.Parse(racyWWSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range raceSchedules {
+		cfg.RaceDetect = true
+		_, err := machine.Run(p, cfg)
+		if !errors.Is(err, machine.ErrRace) {
+			t.Fatalf("schedule %d: want machine.ErrRace, got %v", i, err)
+		}
+		var re *machine.RaceError
+		if !errors.As(err, &re) {
+			t.Fatalf("schedule %d: error is not a *machine.RaceError: %v", i, err)
+		}
+		if !re.First.Write || !re.Second.Write {
+			t.Errorf("schedule %d: want write/write, got %s vs %s", i, re.First, re.Second)
+		}
+		pos := map[tpal.Label]int{re.First.Block: re.First.Instr, re.Second.Block: re.Second.Instr}
+		if pos["main"] != 4 || pos["body"] != 0 {
+			t.Errorf("schedule %d: access positions %s / %s, want main[4] and body[0]", i, re.First, re.Second)
+		}
+		if !re.ForkKnown || re.Fork.Block != "main" || re.Fork.Instr != 3 {
+			t.Errorf("schedule %d: separating fork = %+v, want main[3]", i, re.Fork)
+		}
+		if re.First.Task == re.Second.Task {
+			t.Errorf("schedule %d: both accesses attributed to task %d", i, re.First.Task)
+		}
+	}
+}
+
+// TestSanitizerVerdictsScheduleIndependent drives the remaining seeded
+// programs across the schedule matrix: racy programs report a race
+// under every schedule, race-free ones under none, and without
+// RaceDetect nothing is reported at all.
+func TestSanitizerVerdictsScheduleIndependent(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		racy bool
+		// benign: the race does not corrupt control flow, so the
+		// program completes when the sanitizer is off. (The mark-list
+		// race is not benign: the child can clobber the mark the parent
+		// is about to split, faulting the machine.)
+		benign bool
+	}{
+		{"read-write", racyRWSrc, true, true},
+		{"mark-list", racyMarkSrc, true, false},
+		{"race-free", raceFreeSrc, false, true},
+	}
+	for _, tc := range cases {
+		p, err := asm.Parse(tc.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, cfg := range raceSchedules {
+			cfg.RaceDetect = true
+			_, err := machine.Run(p, cfg)
+			if tc.racy && !errors.Is(err, machine.ErrRace) {
+				t.Errorf("%s schedule %d: want machine.ErrRace, got %v", tc.name, i, err)
+			}
+			if !tc.racy && err != nil {
+				t.Errorf("%s schedule %d: race-free program failed: %v", tc.name, i, err)
+			}
+		}
+		if tc.benign {
+			// Off by default: the program runs to completion.
+			if _, err := machine.Run(p, machine.Config{}); err != nil {
+				t.Errorf("%s: failed without RaceDetect: %v", tc.name, err)
+			}
+		}
+	}
+}
+
+// TestDynamicRaceImpliesStaticFlag pins the agreement contract between
+// the two layers on the seeded programs: every program the sanitizer
+// refutes is also flagged by the static interference pass (at least as
+// an inseparable-overlap warning), and the race-free program is clean
+// under both.
+func TestDynamicRaceImpliesStaticFlag(t *testing.T) {
+	for _, src := range []string{racyWWSrc, racyRWSrc, racyMarkSrc, raceFreeSrc} {
+		p, err := asm.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, dynErr := machine.Run(p, machine.Config{RaceDetect: true})
+		static := analysis.RaceDiags(analysis.VerifyWith(p, analysis.Options{Races: true}))
+		if errors.Is(dynErr, machine.ErrRace) && len(static) == 0 {
+			t.Errorf("%s: sanitizer found a race the static pass missed", p.Name)
+		}
+		if dynErr == nil && len(static) > 0 {
+			// Not a contract violation (the static pass may over-
+			// approximate), but the seeded programs are chosen to agree
+			// exactly.
+			t.Errorf("%s: static pass flags %v but the sanitizer found nothing", p.Name, static)
+		}
+	}
+}

@@ -56,6 +56,35 @@ func (p *Program) JrallocTargets() map[Label]bool {
 	return out
 }
 
+// ForkSite locates one fork instruction.
+type ForkSite struct {
+	Block Label
+	Instr int
+	// Target is the forked child's entry label for direct forks; it is
+	// empty for register-indirect forks, whose candidate targets only
+	// the flow analysis can resolve.
+	Target Label
+}
+
+// Forks returns every fork instruction in the program, in definition
+// order.
+func (p *Program) Forks() []ForkSite {
+	var out []ForkSite
+	for _, b := range p.Blocks {
+		for i, in := range b.Instrs {
+			if in.Kind != IFork {
+				continue
+			}
+			fs := ForkSite{Block: b.Label, Instr: i}
+			if in.Val.Kind == OperLabel {
+				fs.Target = in.Val.Label
+			}
+			out = append(out, fs)
+		}
+	}
+	return out
+}
+
 // ForkIndices returns the instruction indices of the fork instructions
 // in the block, in order.
 func (b *Block) ForkIndices() []int {

@@ -1,0 +1,201 @@
+package tpal_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tpal/internal/minipar"
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/programs"
+)
+
+// realPrograms collects the corpus plus every compiled minipar sample —
+// the query helpers' whole production input space. (This lives in an
+// external test package: programs and minipar both import tpal.)
+func realPrograms(t *testing.T) map[string]*tpal.Program {
+	t.Helper()
+	out := make(map[string]*tpal.Program)
+	for name, p := range programs.All() {
+		out["corpus/"+name] = p
+	}
+	files, err := filepath.Glob("../minipar/testdata/*.mp")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no minipar testdata found: %v", err)
+	}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp, err := minipar.Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		p, err := minipar.Compile(mp)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		out["minipar/"+filepath.Base(file)] = p
+	}
+	return out
+}
+
+// TestQueriesConsistentOnRealPrograms checks the helpers against each
+// other on every corpus and compiled minipar program: Forks and
+// per-block ForkIndices enumerate the same sites in the same order,
+// direct fork targets and prppt handlers name defined blocks, jralloc
+// continuations are exactly blocks with jtppt annotations, and each
+// block's StackDelta matches a direct fold over its instructions.
+func TestQueriesConsistentOnRealPrograms(t *testing.T) {
+	for name, p := range realPrograms(t) {
+		t.Run(name, func(t *testing.T) {
+			var fromBlocks []tpal.ForkSite
+			for _, b := range p.Blocks {
+				for _, i := range b.ForkIndices() {
+					if got := b.Instrs[i].Kind; got != tpal.IFork {
+						t.Fatalf("%s[%d]: ForkIndices points at %v, not a fork", b.Label, i, got)
+					}
+					fs := tpal.ForkSite{Block: b.Label, Instr: i}
+					if v := b.Instrs[i].Val; v.Kind == tpal.OperLabel {
+						fs.Target = v.Label
+					}
+					fromBlocks = append(fromBlocks, fs)
+				}
+
+				var want int64
+				for _, in := range b.Instrs {
+					switch in.Kind {
+					case tpal.ISAlloc:
+						want += in.Off
+					case tpal.ISFree:
+						want -= in.Off
+					}
+				}
+				if got := b.StackDelta(); got != want {
+					t.Errorf("%s: StackDelta() = %d, fold says %d", b.Label, got, want)
+				}
+			}
+			forks := p.Forks()
+			if len(forks) != len(fromBlocks) {
+				t.Fatalf("Forks() found %d sites, ForkIndices %d", len(forks), len(fromBlocks))
+			}
+			for i, fs := range forks {
+				if fs != fromBlocks[i] {
+					t.Errorf("fork site %d: Forks() = %+v, ForkIndices = %+v", i, fs, fromBlocks[i])
+				}
+				if fs.Target != "" && p.Block(fs.Target) == nil {
+					t.Errorf("fork at %s[%d] targets undefined block %q", fs.Block, fs.Instr, fs.Target)
+				}
+			}
+
+			handlers := p.Handlers()
+			for _, l := range p.Prppts() {
+				h := p.Block(l).Ann.Handler
+				if p.Block(h) == nil {
+					t.Errorf("prppt %s names undefined handler %q", l, h)
+				} else if !handlers[h] {
+					t.Errorf("Handlers() misses %q (handler of prppt %s)", h, l)
+				}
+			}
+
+			jtppts := make(map[tpal.Label]bool)
+			for _, l := range p.Jtppts() {
+				jtppts[l] = true
+			}
+			for l := range p.JrallocTargets() {
+				if !jtppts[l] {
+					t.Errorf("jralloc continuation %q lacks a jtppt annotation", l)
+				}
+			}
+		})
+	}
+}
+
+// TestStackDeltaFibFrames pins the frame discipline of the fib
+// template: loop pushes the three-cell frame, branch2 consumes it on
+// the unwind path (negative delta), and fib/exit bracket the one-cell
+// result frame.
+func TestStackDeltaFibFrames(t *testing.T) {
+	p := programs.All()["fib"]
+	for _, tc := range []struct {
+		block tpal.Label
+		want  int64
+	}{
+		{"fib", 1},
+		{"exit", -1},
+		{"loop", 3},
+		{"branch2", -3},
+		{"done", 0},
+	} {
+		if got := p.Block(tc.block).StackDelta(); got != tc.want {
+			t.Errorf("fib %s: StackDelta() = %d, want %d", tc.block, got, tc.want)
+		}
+	}
+}
+
+// TestQueriesOnEmptyProgram: every helper degrades to empty results on
+// a program with no annotations, forks, or stack traffic — no panics,
+// no phantom sites.
+func TestQueriesOnEmptyProgram(t *testing.T) {
+	p := tpal.MustProgram("empty", "main", []*tpal.Block{
+		{Label: "main", Term: tpal.Term{Kind: tpal.THalt}},
+	})
+	if got := p.Prppts(); len(got) != 0 {
+		t.Errorf("Prppts() = %v, want none", got)
+	}
+	if got := p.Jtppts(); len(got) != 0 {
+		t.Errorf("Jtppts() = %v, want none", got)
+	}
+	if got := p.Handlers(); len(got) != 0 {
+		t.Errorf("Handlers() = %v, want none", got)
+	}
+	if got := p.JrallocTargets(); len(got) != 0 {
+		t.Errorf("JrallocTargets() = %v, want none", got)
+	}
+	if got := p.Forks(); len(got) != 0 {
+		t.Errorf("Forks() = %v, want none", got)
+	}
+	b := p.Block("main")
+	if got := b.ForkIndices(); len(got) != 0 {
+		t.Errorf("ForkIndices() = %v, want none", got)
+	}
+	if got := b.StackDelta(); got != 0 {
+		t.Errorf("StackDelta() = %d, want 0", got)
+	}
+}
+
+// TestForkIndicesIndirect: register-indirect forks still count as fork
+// sites (with an empty Target) — the promotion handlers fork through a
+// register in some templates, and the analyses must see those sites.
+func TestForkIndicesIndirect(t *testing.T) {
+	p := tpal.MustProgram("ind", "main", []*tpal.Block{
+		{
+			Label: "main",
+			Instrs: []tpal.Instr{
+				{Kind: tpal.IJrAlloc, Dst: "jr", Lbl: "jt"},
+				{Kind: tpal.IMove, Dst: "tgt", Val: tpal.L("w")},
+				{Kind: tpal.IFork, Src: "jr", Val: tpal.R("tgt")},
+			},
+			Term: tpal.Term{Kind: tpal.TJoin, Val: tpal.R("jr")},
+		},
+		{Label: "w", Term: tpal.Term{Kind: tpal.TJoin, Val: tpal.R("jr")}},
+		{
+			Label: "jt",
+			Ann:   tpal.Annotation{Kind: tpal.AnnJtppt, Policy: tpal.AssocComm, Comb: "cb"},
+			Term:  tpal.Term{Kind: tpal.THalt},
+		},
+		{Label: "cb", Term: tpal.Term{Kind: tpal.TJoin, Val: tpal.R("jr")}},
+	})
+	forks := p.Forks()
+	if len(forks) != 1 {
+		t.Fatalf("Forks() = %v, want one site", forks)
+	}
+	want := tpal.ForkSite{Block: "main", Instr: 2, Target: ""}
+	if forks[0] != want {
+		t.Errorf("Forks()[0] = %+v, want %+v (indirect fork keeps Target empty)", forks[0], want)
+	}
+	if got := p.Block("main").ForkIndices(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("ForkIndices() = %v, want [2]", got)
+	}
+}
