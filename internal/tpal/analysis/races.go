@@ -26,6 +26,15 @@ package analysis
 // child entry it encounters, so the summary covers the branch's whole
 // series-parallel subtree, and join-edge ΔR renames are applied the
 // same way the main abstract interpretation applies them.
+//
+// Extent of a branch: a branch ends at the fork's pairing join — the
+// join that resolves the fork's own edge — and code after it is serial
+// with the other branch, not parallel. The walker tracks which
+// registers may still hold the fork's own record (branchState.pair) and
+// emitJoin stops the walk at a join that is definitely the pairing one,
+// or marks downstream accesses as possibly-post-join (mayPost) when the
+// joined record is only possibly the fork's own; classify never reports
+// a mayPost access as definite interference.
 
 import (
 	"fmt"
@@ -86,21 +95,43 @@ func racePass(p *tpal.Program, sharp []Edge, reached map[tpal.Label]bool, entry 
 			continue // unresolvable fork target; TP025 covers it
 		}
 
-		init := initState(facts, rf, lf, freshAtFork(b, fs.Instr))
+		forkRec := b.Instrs[fs.Instr].Src
+		init := initState(facts, rf, lf, freshAtFork(b, fs.Instr), forkRec)
 
-		parent := newWalker(p, facts, rf, lf)
-		parent.replay(b, fs.Instr+1, init.clone())
-		parent.run()
-
-		child := newWalker(p, facts, rf, lf)
-		for _, tgt := range targets {
-			child.seed(tgt, init)
-		}
-		child.run()
+		parent := runBranch(p, facts, rf, lf, func(w *walker) {
+			w.replay(b, fs.Instr+1, init.clone())
+		})
+		child := runBranch(p, facts, rf, lf, func(w *walker) {
+			for _, tgt := range targets {
+				w.seed(tgt, init)
+			}
+		})
 
 		compareBranches(facts, fs, sortedAccs(parent.accs), sortedAccs(child.accs), emit)
 	}
 	return diags
+}
+
+// runBranch drives one branch walk to a fixpoint over the walker's
+// fork-shape flags: emitJoin's treatment of a join on the analyzed
+// fork's own record depends on whether the branch forks again (on the
+// same record, or on another one), which is only known once the walk
+// has covered the branch. Both flags grow monotonically and assuming
+// them true only adds seeds, so re-running with the observed flags
+// converges within three rounds.
+func runBranch(p *tpal.Program, facts *ptrFacts, rf *recFacts, lf *labFacts, seed func(*walker)) *walker {
+	assumePair, assumeOther := false, false
+	for {
+		w := newWalker(p, facts, rf, lf)
+		w.assumePairFork, w.assumeOtherFork = assumePair, assumeOther
+		seed(w)
+		w.run()
+		if (!w.sawPairFork || assumePair) && (!w.sawOtherFork || assumeOther) {
+			return w
+		}
+		assumePair = assumePair || w.sawPairFork
+		assumeOther = assumeOther || w.sawOtherFork
+	}
 }
 
 // sortedAccs orders a walker's access map deterministically.
@@ -157,6 +188,10 @@ func compareBranches(facts *ptrFacts, fs tpal.ForkSite, parent, child []*access,
 // mark-list scan definitely covers the cell), distinct known cells are
 // no interference, and everything else is an inseparable overlap
 // (TP064).
+//
+// An access marked mayPost may execute after the fork's pairing join,
+// serialized with the whole other branch; a pair involving one is
+// therefore never definite and demotes to a TP064 warning.
 func classify(facts *ptrFacts, fs tpal.ForkSite, pa, ca *access) (Diag, bool) {
 	at := func(sev Severity, code Code, msg string) (Diag, bool) {
 		return Diag{Severity: sev, Code: code, Block: fs.Block, Instr: fs.Instr, Msg: msg}, true
@@ -217,10 +252,15 @@ func classify(facts *ptrFacts, fs tpal.ForkSite, pa, ca *access) (Diag, bool) {
 		cc, cok := ca.cell()
 		pt, ptok := pa.rangeTop()
 		ct, ctok := ca.rangeTop()
+		serializable := pa.mayPost || ca.mayPost
 		switch {
 		case pok && cok:
 			if pc != cc {
 				return Diag{}, false // same instance, provably distinct cells
+			}
+			if serializable {
+				return at(Warning, CodeRaceSameStack,
+					fmt.Sprintf("%s may touch the same stack cell, but an intervening join may serialize them", pair()))
 			}
 			code := CodeRaceReadWrite
 			if pa.kind.writes() && ca.kind.writes() {
@@ -232,11 +272,19 @@ func classify(facts *ptrFacts, fs tpal.ForkSite, pa, ca *access) (Diag, bool) {
 			if cc > pt {
 				return Diag{}, false // the scan cannot reach the cell
 			}
+			if serializable {
+				return at(Warning, CodeRaceSameStack,
+					fmt.Sprintf("%s may overlap on the mark-list scan's range, but an intervening join may serialize them", pair()))
+			}
 			return at(Error, CodeRaceMarkList,
 				fmt.Sprintf("%s overlap: the mark-list scan covers the accessed cell", pair()))
 		case ctok && pok:
 			if pc > ct {
 				return Diag{}, false
+			}
+			if serializable {
+				return at(Warning, CodeRaceSameStack,
+					fmt.Sprintf("%s may overlap on the mark-list scan's range, but an intervening join may serialize them", pair()))
 			}
 			return at(Error, CodeRaceMarkList,
 				fmt.Sprintf("%s overlap: the mark-list scan covers the accessed cell", pair()))

@@ -298,6 +298,170 @@ block comb [.] {
 }
 `
 
+// Race-free variant: the branches write distinct cells before the join
+// and the continuation touches the stack only after both branches have
+// met — the standard combine-results idiom. The pairing join serializes
+// after[0] and comb with both branches, so the pass must stay silent.
+const raceFreePostJoin = `
+program racefree-postjoin entry main
+
+block main [.] {
+  sp := snew
+  salloc sp, 2
+  jr := jralloc after
+  fork jr, body
+  mem[sp + 0] := 1
+  join jr
+}
+
+block body [.] {
+  mem[sp + 1] := 2
+  join jr
+}
+
+block after [jtppt assoc-comm; {}; comb] {
+  mem[sp + 0] := 3
+  halt
+}
+
+block comb [.] {
+  mem[sp + 1] := 4
+  join jr
+}
+`
+
+// The parent joins a record that may or may not be the fork's own (jo
+// aliases jr on one path), so the write in the continuation may still
+// be parallel with the child: flagged, but only as an inseparable
+// overlap, never as definite interference.
+const racyMayPairJoin = `
+program racy-maypair entry main
+
+block main [.] {
+  sp := snew
+  salloc sp, 2
+  jr := jralloc after
+  jo := jralloc other
+  n := 0
+  if-jump n, pick
+  jo := jr
+  jump pick
+}
+
+block pick [.] {
+  fork jr, body
+  join jo
+}
+
+block body [.] {
+  mem[sp + 0] := 2
+  join jr
+}
+
+block after [jtppt assoc-comm; {}; comb] {
+  halt
+}
+
+block comb [.] {
+  join jr
+}
+
+block other [jtppt assoc-comm; {}; comb2] {
+  mem[sp + 0] := 1
+  join jr
+}
+
+block comb2 [.] {
+  join jo
+}
+`
+
+// The child's racing write sits in the continuation of an inner,
+// branch-local join whose record register is copied onto itself before
+// the join: the summary only covers it if the self-move preserves the
+// register's record tracking.
+const racySelfMoveRecord = `
+program racy-selfmove entry main
+
+block main [.] {
+  sp := snew
+  salloc sp, 2
+  jr := jralloc after
+  fork jr, body
+  mem[sp + 0] := 1
+  join jr
+}
+
+block body [.] {
+  j2 := jralloc bwork
+  j2 := j2
+  fork j2, bchild
+  join j2
+}
+
+block bchild [.] {
+  join j2
+}
+
+block bwork [jtppt assoc-comm; {}; bcomb] {
+  mem[sp + 0] := 2
+  join jr
+}
+
+block bcomb [.] {
+  join j2
+}
+
+block after [jtppt assoc-comm; {}; comb] {
+  halt
+}
+
+block comb [.] {
+  join jr
+}
+`
+
+// TestSelfMoveKeepsRecordTracking: a register self-move must not drop
+// the walker's join-record tracking, or the inner join stops seeding
+// its continuation and the race hiding there escapes the summary.
+func TestSelfMoveKeepsRecordTracking(t *testing.T) {
+	diags := raceDiags(t, racySelfMoveRecord)
+	found := false
+	for _, d := range diags {
+		if d.Code == analysis.CodeRaceWriteWrite {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want %s for the post-inner-join write, got %v", analysis.CodeRaceWriteWrite, diags)
+	}
+}
+
+// TestPostJoinAccessesSerial pins the branch-extent story: accesses
+// after a fork's pairing join are serial with the other branch, so the
+// combine-results idiom produces no diagnostics at all, and a join
+// whose record is only possibly the pairing one demotes a definite
+// conflict to a warning instead of suppressing or mis-reporting it.
+func TestPostJoinAccessesSerial(t *testing.T) {
+	if diags := raceDiags(t, raceFreePostJoin); len(diags) != 0 {
+		t.Errorf("combine-results idiom flagged: %v", diags)
+	}
+
+	diags := raceDiags(t, racyMayPairJoin)
+	sawSameStack := false
+	for _, d := range diags {
+		if d.Severity == analysis.Error {
+			t.Errorf("may-pair join produced a definite race: %s", d)
+		}
+		if d.Code == analysis.CodeRaceSameStack {
+			sawSameStack = true
+		}
+	}
+	if !sawSameStack {
+		t.Errorf("may-pair join conflict not flagged as %s: %v", analysis.CodeRaceSameStack, diags)
+	}
+}
+
 // TestSeededRaces drives each TP06x code with a small counterexample
 // and checks the race-free variants stay clean.
 func TestSeededRaces(t *testing.T) {

@@ -589,6 +589,28 @@ func (dst provState) mergeInto(src provState) bool {
 	return changed
 }
 
+// pairTrit classifies whether a register may hold the analyzed fork's
+// own join record — the fork-time value of the fork instruction's
+// record register. That record is the one whose join pairs with the
+// fork: resolving the fork's edge on it is what serializes the two
+// branches, so emitJoin treats joins on it specially.
+type pairTrit uint8
+
+const (
+	pairNo   pairTrit = iota // definitely a different record (or none)
+	pairMay                  // may or may not be the fork's own record
+	pairMust                 // definitely the fork's own record
+)
+
+// mergeTrit joins two pair classifications: agreement survives, any
+// disagreement widens to pairMay.
+func mergeTrit(a, b pairTrit) pairTrit {
+	if a == b {
+		return a
+	}
+	return pairMay
+}
+
 // branchState is a branch walk's per-register environment: pointer
 // provenance, the continuations of the join records each register may
 // hold, and the code labels each register may hold. The latter two let
@@ -598,6 +620,13 @@ type branchState struct {
 	prov provState
 	recs map[tpal.Reg]labset
 	labs map[tpal.Reg]labset
+	// pair tracks which registers may hold the analyzed fork's own join
+	// record (absent = pairNo). mayPost marks states some of whose
+	// executions may already be past the fork's pairing join, and hence
+	// serialized with the other branch; accesses recorded under it are
+	// never definite interference.
+	pair    map[tpal.Reg]pairTrit
+	mayPost bool
 }
 
 func newBranchState() *branchState {
@@ -605,20 +634,26 @@ func newBranchState() *branchState {
 		prov: make(provState),
 		recs: make(map[tpal.Reg]labset),
 		labs: make(map[tpal.Reg]labset),
+		pair: make(map[tpal.Reg]pairTrit),
 	}
 }
 
 func (s *branchState) clone() *branchState {
 	c := &branchState{
-		prov: s.prov.clone(),
-		recs: make(map[tpal.Reg]labset, len(s.recs)),
-		labs: make(map[tpal.Reg]labset, len(s.labs)),
+		prov:    s.prov.clone(),
+		recs:    make(map[tpal.Reg]labset, len(s.recs)),
+		labs:    make(map[tpal.Reg]labset, len(s.labs)),
+		pair:    make(map[tpal.Reg]pairTrit, len(s.pair)),
+		mayPost: s.mayPost,
 	}
 	for r, ls := range s.recs {
 		c.recs[r] = ls
 	}
 	for r, ls := range s.labs {
 		c.labs[r] = ls
+	}
+	for r, pt := range s.pair {
+		c.pair[r] = pt
 	}
 	return c
 }
@@ -650,14 +685,37 @@ func (dst *branchState) mergeInto(src *branchState) bool {
 	if mergeLabs(dst.labs, src.labs) {
 		changed = true
 	}
+	// pair: pointwise flat-lattice merge over the union of keys (absent
+	// = pairNo, so a key present on one side only widens to pairMay
+	// unless it already is).
+	for r, pt := range src.pair {
+		cur := dst.pair[r]
+		if nv := mergeTrit(cur, pt); nv != cur {
+			dst.pair[r] = nv
+			changed = true
+		}
+	}
+	for r, pt := range dst.pair {
+		if _, ok := src.pair[r]; !ok && pt == pairMust {
+			dst.pair[r] = pairMay
+			changed = true
+		}
+	}
+	if src.mayPost && !dst.mayPost {
+		dst.mayPost = true
+		changed = true
+	}
 	return changed
 }
 
 // initState builds the fork-time environment shared by both branches:
 // fresh registers carry their instance, every other possibly-pointer
 // register carries its own fork-time value, and record and label
-// registers carry what the flow-insensitive facts allow.
-func initState(facts *ptrFacts, rf *recFacts, lf *labFacts, fresh map[tpal.Reg]freshInfo) *branchState {
+// registers carry what the flow-insensitive facts allow. forkRec is the
+// fork instruction's record register: it definitely holds the fork's
+// own record, and any other record register whose may-continuation set
+// intersects its own may hold a copy of that record.
+func initState(facts *ptrFacts, rf *recFacts, lf *labFacts, fresh map[tpal.Reg]freshInfo, forkRec tpal.Reg) *branchState {
 	st := newBranchState()
 	for r := range facts.sites {
 		if !facts.mayPtr(r) {
@@ -679,7 +737,29 @@ func initState(facts *ptrFacts, rf *recFacts, lf *labFacts, fresh map[tpal.Reg]f
 			st.labs[r] = ls
 		}
 	}
+	forkConts := rf.conts[forkRec]
+	for r, ls := range rf.conts {
+		if r == forkRec || ls.empty() {
+			continue
+		}
+		if ls.top || forkConts.top || labsIntersect(ls, forkConts) {
+			st.pair[r] = pairMay
+		}
+	}
+	if forkRec != "" {
+		st.pair[forkRec] = pairMust
+	}
 	return st
+}
+
+// labsIntersect reports whether two non-top label sets share an element.
+func labsIntersect(a, b labset) bool {
+	for l := range a.elems {
+		if b.elems[l] {
+			return true
+		}
+	}
+	return false
 }
 
 // accKind classifies one abstract memory access.
@@ -715,14 +795,19 @@ func (k accKind) writes() bool { return k != accRead && k != accMarkRead }
 // access is one abstract memory access a branch may perform: a program
 // point, an access kind, the static cell offset (meaningful when offOK;
 // mark scans and structural operations cover an unknown range), and the
-// provenance of the base pointer.
+// provenance of the base pointer. mayPost records that some walk path
+// reaching the access may already be past the fork's pairing join; a
+// conflict involving such an access is never definite (the join may
+// serialize it with the whole other branch), so classify demotes it to
+// a warning.
 type access struct {
-	block tpal.Label
-	instr int
-	kind  accKind
-	off   int64
-	offOK bool
-	p     prov
+	block   tpal.Label
+	instr   int
+	kind    accKind
+	off     int64
+	offOK   bool
+	mayPost bool
+	p       prov
 }
 
 // cell returns the coordinate of the touched cell in the coordinate
@@ -772,6 +857,19 @@ type walker struct {
 	queued map[tpal.Label]bool
 
 	accs map[accKey]*access
+
+	// Fork-shape assumptions for emitJoin's treatment of the fork's own
+	// record, and the shape actually observed by the walk. A join on the
+	// pairing record can leave control parallel with the other branch
+	// only through an edge some in-branch fork created: a re-fork on the
+	// same record leaves its pair-completion combining block in the
+	// branch subtree, and a fork on another record makes the
+	// [join-continue] case possible. runBranch re-runs the walk until
+	// the observed flags are covered by the assumed ones.
+	assumePairFork  bool
+	assumeOtherFork bool
+	sawPairFork     bool
+	sawOtherFork    bool
 }
 
 func newWalker(p *tpal.Program, facts *ptrFacts, rf *recFacts, lf *labFacts) *walker {
@@ -822,7 +920,7 @@ func (w *walker) run() {
 
 // record accumulates one access, merging provenance at repeated visits
 // of the same program point.
-func (w *walker) record(b *tpal.Block, i int, kind accKind, off int64, offOK bool, p prov) {
+func (w *walker) record(b *tpal.Block, i int, kind accKind, off int64, offOK bool, mayPost bool, p prov) {
 	if !p.hasPtr() {
 		return
 	}
@@ -832,9 +930,12 @@ func (w *walker) record(b *tpal.Block, i int, kind accKind, off int64, offOK boo
 		if !offOK {
 			a.offOK = false
 		}
+		if mayPost {
+			a.mayPost = true
+		}
 		return
 	}
-	w.accs[k] = &access{block: b.Label, instr: i, kind: kind, off: off, offOK: offOK, p: p.clone()}
+	w.accs[k] = &access{block: b.Label, instr: i, kind: kind, off: off, offOK: offOK, mayPost: mayPost, p: p.clone()}
 }
 
 // emitTarget flows the working state to a transfer target: a direct
@@ -863,14 +964,39 @@ func (w *walker) emitTarget(o tpal.Operand, st *branchState) {
 // continuations: for every continuation the joined record may name, the
 // continuation block itself (with its jtppt ΔR renames applied,
 // mirroring the machine's register merge) and its combining block.
+//
+// The joined record decides how far the branch's logical parallelism
+// with the other branch extends. Joins resolve pairwise along fork
+// edges, so the join that pairs with the analyzed fork is a join on the
+// fork's own record by a task whose current edge is the fork's edge —
+// and everything after that pair completion happens-after both
+// branches. Concretely:
+//
+//   - record definitely the fork's own (pairMust): the combining block
+//     runs on pair completion of an edge on that record. Absent an
+//     in-branch re-fork on the same record, that edge is the fork's own
+//     edge, the continuation is serial with the other branch, and the
+//     walk stops (post-join accesses belong to no branch summary). The
+//     [join-continue] continuation needs the task's edge off the record
+//     entirely, which only an unresolved in-branch fork on another
+//     record provides. Either in-branch fork re-opens the target with
+//     mayPost set: the continuation may or may not still be parallel.
+//   - record possibly the fork's own (pairMay): both targets stay
+//     reachable but carry mayPost — a conflict there is real only if
+//     the joined record was not the pairing one.
+//   - record definitely another one (pairNo): the join leaves the
+//     branch's parallel structure unchanged (a [join-continue], or the
+//     pair completion of some inner fork's edge).
 func (w *walker) emitJoin(b *tpal.Block, st *branchState) {
 	if b.Term.Val.Kind != tpal.OperReg {
 		return
 	}
-	conts := st.recs[b.Term.Val.Reg]
+	r := b.Term.Val.Reg
+	conts := st.recs[r]
 	if conts.top {
 		conts = w.rf.all
 	}
+	pair := st.pair[r]
 	for c := range conts.elems {
 		cb := w.p.Block(c)
 		if cb == nil {
@@ -878,9 +1004,16 @@ func (w *walker) emitJoin(b *tpal.Block, st *branchState) {
 		}
 		out := st.clone()
 		applyDeltaR(out, st, cb.Ann.DeltaR)
-		w.seed(c, out)
+		if pair != pairNo {
+			out.mayPost = true
+		}
+		if pair != pairMust || w.assumeOtherFork {
+			w.seed(c, out)
+		}
 		if cb.Ann.Kind == tpal.AnnJtppt {
-			w.seed(cb.Ann.Comb, out)
+			if pair != pairMust || w.assumePairFork {
+				w.seed(cb.Ann.Comb, out)
+			}
 		}
 	}
 }
@@ -904,6 +1037,11 @@ func applyDeltaR(dst *branchState, src *branchState, deltaR []tpal.RegRename) {
 		} else {
 			delete(dst.labs, rr.To)
 		}
+		if pt, ok := src.pair[rr.From]; ok {
+			dst.pair[rr.To] = pt
+		} else {
+			delete(dst.pair, rr.To)
+		}
 	}
 }
 
@@ -921,6 +1059,7 @@ func (w *walker) replay(b *tpal.Block, start int, st *branchState) {
 	setPtr := func(r tpal.Reg, p prov) {
 		delete(st.recs, r)
 		delete(st.labs, r)
+		delete(st.pair, r)
 		if p.hasPtr() {
 			st.prov[r] = p
 		} else {
@@ -933,12 +1072,21 @@ func (w *walker) replay(b *tpal.Block, start int, st *branchState) {
 		case tpal.IMove:
 			switch in.Val.Kind {
 			case tpal.OperReg:
-				setPtr(in.Dst, get(in.Val.Reg).clone())
-				if ls, ok := st.recs[in.Val.Reg]; ok {
-					st.recs[in.Dst] = ls
+				// Read the source's sets before setPtr: when Dst == Val.Reg
+				// (a self-move) setPtr would otherwise drop them.
+				mv := get(in.Val.Reg).clone()
+				recs, recsOK := st.recs[in.Val.Reg]
+				labs, labsOK := st.labs[in.Val.Reg]
+				pt, ptOK := st.pair[in.Val.Reg]
+				setPtr(in.Dst, mv)
+				if recsOK {
+					st.recs[in.Dst] = recs
 				}
-				if ls, ok := st.labs[in.Val.Reg]; ok {
-					st.labs[in.Dst] = ls
+				if labsOK {
+					st.labs[in.Dst] = labs
+				}
+				if ptOK {
+					st.pair[in.Dst] = pt
 				}
 			case tpal.OperLabel:
 				setPtr(in.Dst, provNone())
@@ -968,6 +1116,17 @@ func (w *walker) replay(b *tpal.Block, start int, st *branchState) {
 		case tpal.IIfJump, tpal.IFork:
 			// Forked children start from the forking task's register
 			// file: the current state flows to the target unchanged.
+			if in.Kind == tpal.IFork {
+				// Note the branch's fork shape for emitJoin: an in-branch
+				// fork creates the edge that can keep control parallel
+				// past a join on the analyzed fork's own record.
+				if st.pair[in.Src] != pairNo {
+					w.sawPairFork = true
+				}
+				if st.pair[in.Src] != pairMust {
+					w.sawOtherFork = true
+				}
+			}
 			w.emitTarget(in.Val, st)
 
 		case tpal.IJrAlloc:
@@ -979,20 +1138,20 @@ func (w *walker) replay(b *tpal.Block, start int, st *branchState) {
 
 		case tpal.ISAlloc:
 			base := get(in.Src)
-			w.record(b, i, accStruct, 0, false, base)
+			w.record(b, i, accStruct, 0, false, st.mayPost, base)
 			if base.hasPtr() {
 				st.prov[in.Src] = base.shift(-in.Off) // new top = p.Abs + n
 			}
 
 		case tpal.ISFree:
 			base := get(in.Src)
-			w.record(b, i, accStruct, 0, false, base)
+			w.record(b, i, accStruct, 0, false, st.mayPost, base)
 			if base.hasPtr() {
 				st.prov[in.Src] = base.shift(in.Off)
 			}
 
 		case tpal.ILoad:
-			w.record(b, i, accRead, in.Off, true, get(in.Src))
+			w.record(b, i, accRead, in.Off, true, st.mayPost, get(in.Src))
 			if w.facts.escaped {
 				setPtr(in.Dst, provTop())
 			} else {
@@ -1000,27 +1159,30 @@ func (w *walker) replay(b *tpal.Block, start int, st *branchState) {
 			}
 			if w.rf.escaped {
 				st.recs[in.Dst] = labTop()
+				// A record loaded after some record escaped may be the
+				// fork's own.
+				st.pair[in.Dst] = pairMay
 			}
 			if w.lf.escaped {
 				st.labs[in.Dst] = labTop()
 			}
 
 		case tpal.IStore:
-			w.record(b, i, accWrite, in.Off, true, get(in.Src))
+			w.record(b, i, accWrite, in.Off, true, st.mayPost, get(in.Src))
 
 		case tpal.IPrmPush:
-			w.record(b, i, accWrite, in.Off, true, get(in.Src))
+			w.record(b, i, accWrite, in.Off, true, st.mayPost, get(in.Src))
 
 		case tpal.IPrmPop:
-			w.record(b, i, accWrite, in.Off, true, get(in.Src))
+			w.record(b, i, accWrite, in.Off, true, st.mayPost, get(in.Src))
 
 		case tpal.IPrmEmpty:
-			w.record(b, i, accMarkRead, 0, false, get(in.Src2))
+			w.record(b, i, accMarkRead, 0, false, st.mayPost, get(in.Src2))
 			setPtr(in.Dst, provNone())
 
 		case tpal.IPrmSplit:
-			w.record(b, i, accMarkRead, 0, false, get(in.Src))
-			w.record(b, i, accMarkWrite, 0, false, get(in.Src))
+			w.record(b, i, accMarkRead, 0, false, st.mayPost, get(in.Src))
+			w.record(b, i, accMarkWrite, 0, false, st.mayPost, get(in.Src))
 			setPtr(in.Src2, provNone())
 		}
 	}

@@ -3,6 +3,9 @@ package machine
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"tpal/internal/tpal"
 )
@@ -123,24 +126,66 @@ type shadowCell struct {
 	reads    []accessRec
 }
 
-// raceState is the machine-wide sanitizer state.
+// raceState is the machine-wide sanitizer state. Shadows are keyed by a
+// sanitizer-assigned stack id rather than the *Stack itself so the map
+// does not pin dead stacks: when the program drops its last reference
+// to a stack (heartbeat runs churn one per promotion), a finalizer
+// queues the id on the dead list and the machine goroutine deletes the
+// entry at the next shadow access, keeping shadow memory proportional
+// to the live stacks instead of every stack ever touched.
 type raceState struct {
-	shadows map[*Stack]*shadow
+	shadows map[int64]*shadow
+
+	mu      sync.Mutex
+	dead    []int64
+	pending atomic.Bool
 }
 
 type shadow struct {
 	cells []shadowCell
 }
 
+// stackSID hands out sanitizer stack ids. The counter is global so ids
+// never collide even when one Stack is observed by several machines.
+var stackSID atomic.Int64
+
 func newRaceState() *raceState {
-	return &raceState{shadows: make(map[*Stack]*shadow)}
+	return &raceState{shadows: make(map[int64]*shadow)}
+}
+
+// retire runs on the GC's finalizer goroutine when a shadowed stack
+// becomes unreachable; reap applies the deletions on the machine
+// goroutine.
+func (rs *raceState) retire(s *Stack) {
+	rs.mu.Lock()
+	rs.dead = append(rs.dead, s.sid)
+	rs.mu.Unlock()
+	rs.pending.Store(true)
+}
+
+func (rs *raceState) reap() {
+	rs.mu.Lock()
+	dead := rs.dead
+	rs.dead = nil
+	rs.pending.Store(false)
+	rs.mu.Unlock()
+	for _, id := range dead {
+		delete(rs.shadows, id)
+	}
 }
 
 func (rs *raceState) cell(s *Stack, abs int) *shadowCell {
-	sh := rs.shadows[s]
+	if rs.pending.Load() {
+		rs.reap()
+	}
+	if s.sid == 0 {
+		s.sid = stackSID.Add(1)
+		runtime.SetFinalizer(s, rs.retire)
+	}
+	sh := rs.shadows[s.sid]
 	if sh == nil {
 		sh = &shadow{}
-		rs.shadows[s] = sh
+		rs.shadows[s.sid] = sh
 	}
 	for len(sh.cells) <= abs {
 		sh.cells = append(sh.cells, shadowCell{})

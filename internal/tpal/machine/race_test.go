@@ -175,6 +175,83 @@ block comb [.] {
 }
 `
 
+// raceFreePostJoinSrc: the combine-results idiom — the continuation and
+// combining blocks touch the stack only after the pairing join has
+// serialized both branches. The sanitizer (and the static pass) must
+// stay silent.
+const raceFreePostJoinSrc = `
+program racefree-postjoin entry main
+
+block main [.] {
+  sp := snew
+  salloc sp, 2
+  jr := jralloc after
+  fork jr, body
+  mem[sp + 0] := 1
+  join jr
+}
+
+block body [.] {
+  mem[sp + 1] := 2
+  join jr
+}
+
+block after [jtppt assoc-comm; {}; comb] {
+  mem[sp + 0] := 3
+  halt
+}
+
+block comb [.] {
+  mem[sp + 1] := 4
+  join jr
+}
+`
+
+// racyMayPairSrc: the parent joins a record aliased to the fork's own
+// on one path; on the executed path the joined record is a different
+// one, so the continuation's write runs parallel with the child.
+const racyMayPairSrc = `
+program racy-maypair entry main
+
+block main [.] {
+  sp := snew
+  salloc sp, 2
+  jr := jralloc after
+  jo := jralloc other
+  n := 0
+  if-jump n, pick
+  jo := jr
+  jump pick
+}
+
+block pick [.] {
+  fork jr, body
+  join jo
+}
+
+block body [.] {
+  mem[sp + 0] := 2
+  join jr
+}
+
+block after [jtppt assoc-comm; {}; comb] {
+  halt
+}
+
+block comb [.] {
+  join jr
+}
+
+block other [jtppt assoc-comm; {}; comb2] {
+  mem[sp + 0] := 1
+  join jr
+}
+
+block comb2 [.] {
+  join jo
+}
+`
+
 // TestSanitizerReportsSeededRace pins the RaceError surface on the
 // write/write counterexample: both access positions and the fork that
 // made them parallel, under every schedule.
@@ -226,7 +303,9 @@ func TestSanitizerVerdictsScheduleIndependent(t *testing.T) {
 	}{
 		{"read-write", racyRWSrc, true, true},
 		{"mark-list", racyMarkSrc, true, false},
+		{"may-pair-join", racyMayPairSrc, true, true},
 		{"race-free", raceFreeSrc, false, true},
+		{"race-free-post-join", raceFreePostJoinSrc, false, true},
 	}
 	for _, tc := range cases {
 		p, err := asm.Parse(tc.src)
@@ -258,7 +337,7 @@ func TestSanitizerVerdictsScheduleIndependent(t *testing.T) {
 // an inseparable-overlap warning), and the race-free program is clean
 // under both.
 func TestDynamicRaceImpliesStaticFlag(t *testing.T) {
-	for _, src := range []string{racyWWSrc, racyRWSrc, racyMarkSrc, raceFreeSrc} {
+	for _, src := range []string{racyWWSrc, racyRWSrc, racyMarkSrc, racyMayPairSrc, raceFreeSrc, raceFreePostJoinSrc} {
 		p, err := asm.Parse(src)
 		if err != nil {
 			t.Fatal(err)

@@ -22,6 +22,9 @@ import (
 type Stack struct {
 	cells []Value
 	top   int // absolute index of the current top cell; -1 when empty
+	// sid is the race sanitizer's shadow-map key, assigned lazily on the
+	// stack's first shadowed access (race.go); 0 means never shadowed.
+	sid int64
 }
 
 // Ptr is a pointer into a stack: the uptr of the grammar. Abs is the
