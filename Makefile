@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-test lint fuzz ci
+.PHONY: build test vet race race-test serve-test lint fuzz ci
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,13 @@ race:
 race-test:
 	$(GO) test -race ./internal/sched ./internal/heartbeat ./internal/cilk
 
+# serve-test runs the job-execution service and daemon suites under
+# the race detector: admission gating, DRR fairness, budget and
+# deadline enforcement, drain, the HTTP E2E batch, and the load smoke
+# (which rewrites BENCH_serve.json with throughput and percentiles).
+serve-test:
+	$(GO) test -race ./internal/serve ./cmd/tpal-serve
+
 # lint runs the static TPAL verifier — including the interference
 # (determinacy-race) pass — over the built-in corpus and every
 # checked-in minipar sample; any diagnostic (warnings included) fails.
@@ -38,4 +45,4 @@ fuzz:
 	$(GO) test ./internal/tpal/analysis -run='^$$' -fuzz='^FuzzLiveness$$' -fuzztime=10s
 	$(GO) test ./internal/tpal/analysis -run='^$$' -fuzz='^FuzzRaceAgreement$$' -fuzztime=10s
 
-ci: vet build race race-test lint fuzz
+ci: vet build race race-test serve-test lint fuzz

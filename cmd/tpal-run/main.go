@@ -11,6 +11,8 @@
 //	tpal-run -dump program.mp          # print the compiled TPAL assembly
 //	tpal-run -builtin pow -reg d=3,e=9 -stats
 //	tpal-run -race -reg n=50 program.mp   # determinacy-race sanitizer on
+//	tpal-run -fuel 100000 program.tpal    # hard step budget
+//	tpal-run -timeout 2s program.tpal     # wall-clock deadline
 //	tpal-run -list-builtins
 //
 // Flags must precede the program file.
@@ -20,11 +22,23 @@
 // latent parallelism at promotion-ready program points. -signal N
 // instead delivers OS-style signals every N instructions with
 // rollforward semantics.
+//
+// Exit status mirrors the tpal-serve job-state machine so scripts can
+// tell outcomes apart:
+//
+//	0  the program halted
+//	1  fault: a machine error, verifier rejection, or determinacy race
+//	2  usage or load error (bad flags, unreadable or unparsable input)
+//	3  budget exceeded (-fuel, or the -max-steps runaway guard)
+//	4  timeout (-timeout wall-clock deadline passed)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -37,24 +51,48 @@ import (
 	"tpal/internal/tpal/programs"
 )
 
+// Exit codes. The fault/budget/timeout split mirrors the job states of
+// internal/serve, so a shell pipeline and the HTTP service agree on
+// what happened to a program.
+const (
+	exitOK      = 0
+	exitFault   = 1
+	exitUsage   = 2
+	exitBudget  = 3
+	exitTimeout = 4
+)
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole tool behind a testable seam: it parses flags from
+// args, writes results to stdout and failures to stderr, and returns
+// the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tpal-run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		builtin  = flag.String("builtin", "", "run a built-in program (prod, pow, fib)")
-		regs     = flag.String("reg", "", "entry registers, e.g. a=1000,b=3")
-		out      = flag.String("out", "", "result register to print (default: all registers)")
-		hb       = flag.Int64("heartbeat", 100, "heartbeat threshold ♥ in instructions (0 = serial)")
-		signal   = flag.Int64("signal", 0, "OS-signal period in instructions, rollforward semantics (0 = off)")
-		tau      = flag.Int64("tau", 1, "fork-join cost τ for the cost semantics")
-		schedule = flag.String("schedule", "lockstep", "task interleaving: lockstep, random, or depth-first")
-		seed     = flag.Int64("seed", 0, "seed for the random schedule")
-		maxSteps = flag.Int64("max-steps", 0, "step bound (0 = default 100M)")
-		race     = flag.Bool("race", false, "enable the determinacy-race sanitizer (halts on the first racing access pair)")
-		stats    = flag.Bool("stats", false, "print execution statistics")
-		list     = flag.Bool("list-builtins", false, "list built-in programs and exit")
-		dump     = flag.Bool("dump", false, "print the assembled program instead of running it")
-		trace    = flag.Bool("trace", false, "print an instruction-level execution trace (Appendix D style)")
+		builtin  = fs.String("builtin", "", "run a built-in program (prod, pow, fib)")
+		regs     = fs.String("reg", "", "entry registers, e.g. a=1000,b=3")
+		out      = fs.String("out", "", "result register to print (default: all registers)")
+		hb       = fs.Int64("heartbeat", 100, "heartbeat threshold ♥ in instructions (0 = serial)")
+		signal   = fs.Int64("signal", 0, "OS-signal period in instructions, rollforward semantics (0 = off)")
+		tau      = fs.Int64("tau", 1, "fork-join cost τ for the cost semantics")
+		schedule = fs.String("schedule", "lockstep", "task interleaving: lockstep, random, or depth-first")
+		seed     = fs.Int64("seed", 0, "seed for the random schedule")
+		maxSteps = fs.Int64("max-steps", 0, "step bound (0 = default 100M)")
+		fuel     = fs.Int64("fuel", 0, "hard execution budget in machine steps; exceeding it exits 3 (0 = off)")
+		timeout  = fs.Duration("timeout", 0, "wall-clock deadline for the run; exceeding it exits 4 (0 = off)")
+		race     = fs.Bool("race", false, "enable the determinacy-race sanitizer (halts on the first racing access pair)")
+		stats    = fs.Bool("stats", false, "print execution statistics")
+		list     = fs.Bool("list-builtins", false, "list built-in programs and exit")
+		dump     = fs.Bool("dump", false, "print the assembled program instead of running it")
+		trace    = fs.Bool("trace", false, "print an instruction-level execution trace (Appendix D style)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
 
 	if *list {
 		names := make([]string, 0, 3)
@@ -63,18 +101,19 @@ func main() {
 		}
 		sort.Strings(names)
 		for _, n := range names {
-			fmt.Println(n)
+			fmt.Fprintln(stdout, n)
 		}
-		return
+		return exitOK
 	}
 
-	prog, err := loadProgram(*builtin, flag.Args())
+	prog, err := loadProgram(*builtin, fs.Args())
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "tpal-run:", err)
+		return exitUsage
 	}
 	if *dump {
-		fmt.Print(prog.String())
-		return
+		fmt.Fprint(stdout, prog.String())
+		return exitOK
 	}
 
 	cfg := machine.Config{
@@ -82,6 +121,7 @@ func main() {
 		SignalPeriod: *signal,
 		Tau:          *tau,
 		MaxSteps:     *maxSteps,
+		Fuel:         *fuel,
 		Seed:         *seed,
 		RaceDetect:   *race,
 		Regs:         make(machine.RegFile),
@@ -94,34 +134,51 @@ func main() {
 	case "depth-first":
 		cfg.Schedule = machine.DepthFirst
 	default:
-		fatal(fmt.Errorf("unknown schedule %q", *schedule))
+		fmt.Fprintf(stderr, "tpal-run: unknown schedule %q\n", *schedule)
+		return exitUsage
 	}
 
 	if *trace {
-		cfg.Trace = machine.WriteTrace(os.Stdout)
+		cfg.Trace = machine.WriteTrace(stdout)
 	}
 
 	if *regs != "" {
 		for _, pair := range strings.Split(*regs, ",") {
 			name, val, ok := strings.Cut(pair, "=")
 			if !ok {
-				fatal(fmt.Errorf("bad register assignment %q (want name=int)", pair))
+				fmt.Fprintf(stderr, "tpal-run: bad register assignment %q (want name=int)\n", pair)
+				return exitUsage
 			}
 			n, err := strconv.ParseInt(val, 10, 64)
 			if err != nil {
-				fatal(fmt.Errorf("bad register value %q: %v", pair, err))
+				fmt.Fprintf(stderr, "tpal-run: bad register value %q: %v\n", pair, err)
+				return exitUsage
 			}
 			cfg.Regs[tpal.Reg(name)] = machine.IntV(n)
 		}
 	}
 
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		cfg.Context = ctx
+	}
+
 	res, err := machine.Run(prog, cfg)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "tpal-run:", err)
+		switch {
+		case errors.Is(err, machine.ErrFuel), errors.Is(err, machine.ErrMaxSteps):
+			return exitBudget
+		case errors.Is(err, machine.ErrInterrupted):
+			return exitTimeout
+		default:
+			return exitFault
+		}
 	}
 
 	if *out != "" {
-		fmt.Printf("%s = %s\n", *out, res.Regs.Get(tpal.Reg(*out)))
+		fmt.Fprintf(stdout, "%s = %s\n", *out, res.Regs.Get(tpal.Reg(*out)))
 	} else {
 		names := make([]string, 0, len(res.Regs))
 		for r := range res.Regs {
@@ -129,16 +186,17 @@ func main() {
 		}
 		sort.Strings(names)
 		for _, r := range names {
-			fmt.Printf("%s = %s\n", r, res.Regs.Get(tpal.Reg(r)))
+			fmt.Fprintf(stdout, "%s = %s\n", r, res.Regs.Get(tpal.Reg(r)))
 		}
 	}
 	if *stats {
 		st := res.Stats
-		fmt.Printf("steps=%d work=%d span=%d parallelism=%.2f forks=%d joins=%d handlers=%d records=%d tasks=%d maxLive=%d\n",
+		fmt.Fprintf(stdout, "steps=%d work=%d span=%d parallelism=%.2f forks=%d joins=%d handlers=%d records=%d tasks=%d maxLive=%d\n",
 			st.Steps, st.Work, st.Span,
 			float64(st.Work)/float64(max64(st.Span, 1)),
 			st.Forks, st.Joins, st.HandlerRuns, st.JoinRecords, st.TasksCreated, st.MaxLiveTasks)
 	}
+	return exitOK
 }
 
 func loadProgram(builtin string, args []string) (*tpal.Program, error) {
@@ -174,9 +232,4 @@ func max64(a, b int64) int64 {
 		return a
 	}
 	return b
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tpal-run:", err)
-	os.Exit(1)
 }

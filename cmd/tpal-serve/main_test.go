@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeLifecycle boots the daemon through the run() seam on an
+// ephemeral port, pushes one job through the HTTP API, then delivers
+// SIGTERM and verifies a clean drain.
+func TestServeLifecycle(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "localhost:0", "-workers", "2"}, &stdout, &stderr, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server never became ready\nstderr: %s", stderr.String())
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d, want 200", resp.StatusCode)
+	}
+
+	body := `{"tenant":"cli","source":"program p entry main\nblock main [.] {\n  c := a * b\n  halt\n}\n","args":{"a":6,"b":7}}`
+	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var sub struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatalf("decode submit: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d, want 202", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err = http.Get(base + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		var v struct {
+			Status string            `json:"status"`
+			Result map[string]string `json:"result"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("decode poll: %v", err)
+		}
+		resp.Body.Close()
+		if v.Status == "done" {
+			if v.Result["c"] != "42" {
+				t.Fatalf("result c = %q, want 42", v.Result["c"])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", v.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// SIGTERM is delivered process-wide; run()'s signal.Notify picks it
+	// up and drains.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case code := <-done:
+		if code != exitOK {
+			t.Fatalf("exit code %d, want 0\nstderr: %s", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not drain after SIGTERM\nstdout: %s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "draining") || !strings.Contains(stdout.String(), "drained, bye") {
+		t.Errorf("drain messages missing from stdout:\n%s", stdout.String())
+	}
+}
+
+// TestServeUsage: bad flags exit 2 without starting anything.
+func TestServeUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr, nil); code != exitUsage {
+		t.Fatalf("exit code %d, want %d", code, exitUsage)
+	}
+	if code := run([]string{"stray"}, &stdout, &stderr, nil); code != exitUsage {
+		t.Fatalf("stray arg: exit code %d, want %d", code, exitUsage)
+	}
+}

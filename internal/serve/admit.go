@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tpal/internal/minipar"
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/analysis"
+	"tpal/internal/tpal/asm"
+)
+
+// loadSource parses a submission into a TPAL program. Lang selects the
+// front end: "tpal" (assembly), "minipar" (compiled to TPAL), or ""
+// (auto-detected — TPAL assembly always opens with the program
+// keyword). For minipar, the declared params join the entry register
+// set. Errors are submission errors (HTTP 400), never faults.
+func loadSource(lang, source string) (*tpal.Program, []tpal.Reg, error) {
+	if lang == "" {
+		lang = detectLang(source)
+	}
+	switch lang {
+	case "tpal":
+		p, err := asm.Parse(source)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parse tpal: %w", err)
+		}
+		return p, nil, nil
+	case "minipar":
+		mp, err := minipar.Parse(source)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parse minipar: %w", err)
+		}
+		p, err := minipar.Compile(mp)
+		if err != nil {
+			return nil, nil, fmt.Errorf("compile minipar: %w", err)
+		}
+		params := make([]tpal.Reg, len(mp.Params))
+		for i, name := range mp.Params {
+			params[i] = tpal.Reg(name)
+		}
+		return p, params, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown lang %q (want tpal or minipar)", lang)
+	}
+}
+
+// detectLang guesses the front end from the first non-comment line:
+// TPAL assembly always opens with the program keyword, minipar never
+// does (its comments start with #, TPAL's with //).
+func detectLang(source string) string {
+	for _, line := range strings.Split(source, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "program ") {
+			return "tpal"
+		}
+		return "minipar"
+	}
+	return "tpal"
+}
+
+// admission is the cached outcome of running the full analysis
+// pipeline over one (program, entry-register-set) pair.
+type admission struct {
+	fingerprint string
+	diags       []Diag
+	rejected    bool
+	reason      string // one-line rejection summary
+	quote       Quote
+	latency     string
+}
+
+// admitKey keys the analysis cache: the program fingerprint plus the
+// entry-register set, which sharpens the definite-initialization facts
+// the verifier proves and therefore changes the diagnostics.
+func admitKey(fp string, entry []tpal.Reg) string {
+	names := make([]string, len(entry))
+	for i, r := range entry {
+		names[i] = string(r)
+	}
+	sort.Strings(names)
+	return fp + "|" + strings.Join(names, ",")
+}
+
+// admit runs the admission gate: the full static pipeline (verify,
+// liveness, work/span, races) with the interference pass on. A program
+// is condemned when the pipeline proves a definite fault or definite
+// interference (any Error-severity diagnostic, which includes
+// TP060–TP062), or when its promotion latency is unbounded (TP050): a
+// task that can starve the shared heartbeat scheduler forever has no
+// place on a multi-tenant pool. Everything else is admitted with a cost
+// quote derived from the symbolic work bound.
+func (s *Service) admit(p *tpal.Program, entry []tpal.Reg) *admission {
+	fp := tpal.Fingerprint(p)
+	key := admitKey(fp, entry)
+
+	s.mu.Lock()
+	if a, ok := s.analysisCache[key]; ok {
+		s.metrics.AnalysisHits++
+		s.mu.Unlock()
+		return a
+	}
+	s.mu.Unlock()
+
+	report := analysis.Analyze(p, analysis.Options{EntryRegs: entry, Races: true})
+	a := &admission{
+		fingerprint: fp,
+		diags:       wireDiags(report.Diags),
+		latency:     report.Latency.String(),
+	}
+	switch {
+	case analysis.HasErrors(report.Diags):
+		a.rejected = true
+		a.reason = "static analysis proved a definite fault or race"
+	case report.Latency.Class == analysis.LatencyUnbounded:
+		a.rejected = true
+		a.reason = "promotion latency is unbounded (TP050): the job could starve the shared worker pool"
+	default:
+		a.quote = s.quote(report)
+	}
+
+	s.mu.Lock()
+	s.analysisCache[key] = a
+	s.mu.Unlock()
+	return a
+}
+
+// quote converts the symbolic work/span estimate into a step budget:
+// the work bound is evaluated with every unknown trip count set to
+// TripAssume, scaled by QuoteMargin to absorb estimator slack, and
+// clamped into [MinBudget, FuelCap]. Heavy jobs can still outrun the
+// quote — that is what the budget_exceeded state is for — but the
+// clamp guarantees no single job holds an executor longer than FuelCap
+// steps.
+func (s *Service) quote(r *analysis.Report) Quote {
+	trips := make(map[tpal.Label]int64)
+	for _, l := range r.Work.Trips() {
+		trips[l] = s.cfg.TripAssume
+	}
+	est := r.Work.Eval(trips, 1)
+	budget := est
+	if budget > s.cfg.FuelCap/s.cfg.QuoteMargin {
+		budget = s.cfg.FuelCap
+	} else {
+		budget *= s.cfg.QuoteMargin
+	}
+	if budget < s.cfg.MinBudget {
+		budget = s.cfg.MinBudget
+	}
+	if budget > s.cfg.FuelCap {
+		budget = s.cfg.FuelCap
+	}
+	return Quote{
+		Work:     r.Work.String(),
+		Span:     r.Span.String(),
+		EstSteps: est,
+		Budget:   budget,
+	}
+}
+
+func wireDiags(ds []analysis.Diag) []Diag {
+	out := make([]Diag, len(ds))
+	for i, d := range ds {
+		out[i] = Diag{
+			Severity: d.Severity.String(),
+			Code:     string(d.Code),
+			Block:    string(d.Block),
+			Instr:    d.Instr,
+			Msg:      d.Msg,
+		}
+	}
+	return out
+}
+
+// resultKey keys the result cache: program identity plus everything
+// that determines the outcome — the argument values and the scheduling
+// parameters (the lockstep executor is deterministic given those).
+func resultKey(fp string, args map[string]int64, heartbeat, signal int64) string {
+	names := make([]string, 0, len(args))
+	for k := range args {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	sb.WriteString(fp)
+	for _, k := range names {
+		fmt.Fprintf(&sb, "|%s=%d", k, args[k])
+	}
+	fmt.Fprintf(&sb, "|hb=%d|sig=%d", heartbeat, signal)
+	return sb.String()
+}

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"tpal/internal/tpal/programs"
+)
+
+// waitGoroutines asserts the goroutine count returns to (at most) the
+// pre-test level, retrying because exiting goroutines unwind
+// asynchronously.
+func waitGoroutines(t *testing.T, before int) {
+	t.Helper()
+	var now int
+	for i := 0; i < 100; i++ {
+		now = runtime.NumGoroutine()
+		if now <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after drain", before, now)
+}
+
+// TestGracefulDrain pins the drain contract: in-flight jobs run to
+// completion, queued jobs are rejected as canceled, later submissions
+// bounce with ErrDraining, and every worker goroutine exits.
+func TestGracefulDrain(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	release := make(chan struct{})
+	started := make(chan *Job, 1)
+	s := New(Config{Workers: 1, QueueCap: 16})
+	s.setRunningHook(func(j *Job) {
+		select {
+		case started <- j:
+		default:
+		}
+		<-release
+	})
+
+	submit := func(a int64) *Job {
+		t.Helper()
+		j, err := s.Submit(SubmitRequest{
+			Tenant: "drain",
+			Source: programs.ProdSource,
+			Args:   map[string]int64{"a": a, "b": 2},
+		})
+		if err != nil {
+			t.Fatalf("Submit(a=%d): %v", a, err)
+		}
+		return j
+	}
+
+	inflight := submit(3)
+	<-started // the lone worker now holds the in-flight job captive
+
+	queued := []*Job{submit(4), submit(5), submit(6)}
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+
+	// Queued jobs must be rejected promptly, while the in-flight job is
+	// still captive.
+	for _, j := range queued {
+		select {
+		case <-j.Done():
+		case <-time.After(5 * time.Second):
+			t.Fatalf("queued job %s not canceled during drain", j.ID)
+		}
+		if v := j.view(); v.Status != StatusCanceled {
+			t.Errorf("queued job %s: status %s, want canceled", j.ID, v.Status)
+		}
+	}
+
+	// New submissions bounce.
+	if _, err := s.Submit(SubmitRequest{Source: programs.ProdSource, Args: map[string]int64{"a": 1, "b": 1}}); !errors.Is(err, ErrDraining) {
+		t.Errorf("submit during drain: err = %v, want ErrDraining", err)
+	}
+
+	// Release the captive job: it must complete, not be canceled.
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	v := await(t, inflight)
+	if v.Status != StatusDone {
+		t.Errorf("in-flight job: status %s (%s), want done", v.Status, v.Error)
+	}
+	if v.Result["c"] != "6" {
+		t.Errorf("in-flight job result c = %q, want 6", v.Result["c"])
+	}
+
+	waitGoroutines(t, before)
+}
+
+// TestForcedDrain: when the drain context expires, in-flight jobs are
+// interrupted through their run contexts instead of being awaited
+// forever, and the workers still exit cleanly.
+func TestForcedDrain(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	s := New(Config{
+		Workers:   1,
+		FuelCap:   1 << 40,
+		MinBudget: 1 << 40,
+		// The job itself would run for minutes; only cancellation stops it.
+		DefaultTimeout: 10 * time.Minute,
+		MaxTimeout:     10 * time.Minute,
+	})
+	started := make(chan struct{}, 1)
+	s.setRunningHook(func(*Job) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+	})
+	j, err := s.Submit(SubmitRequest{
+		Tenant: "hog",
+		Source: programs.ProdSource,
+		Args:   map[string]int64{"a": 1 << 40, "b": 1},
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-started // ensure the worker is inside machine.Run before draining
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain err = %v, want DeadlineExceeded (forced drain)", err)
+	}
+	v := await(t, j)
+	if v.Status != StatusCanceled {
+		t.Errorf("interrupted job: status %s (%s), want canceled", v.Status, v.Error)
+	}
+
+	waitGoroutines(t, before)
+}
+
+// TestDrainIdempotent: a second drain returns immediately without
+// disturbing anything.
+func TestDrainIdempotent(t *testing.T) {
+	s := New(Config{Workers: 2})
+	ctx := context.Background()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("first Drain: %v", err)
+	}
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("second Drain: %v", err)
+	}
+	if !s.Draining() {
+		t.Error("service not marked draining")
+	}
+}

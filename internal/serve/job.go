@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"time"
+
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/machine"
+)
+
+// Status is a job's position in the service state machine:
+//
+//	queued ───────► running ───► done
+//	   │               │     ├──► failed           (machine fault / race)
+//	   │               │     ├──► budget_exceeded  (fuel spent)
+//	   │               │     └──► timeout          (deadline passed)
+//	   └──► canceled (drain)
+//
+// plus rejected, the terminal state of a submission that never passed
+// the admission gate. done can also be reached straight from submission
+// when the result cache already holds the answer.
+type Status string
+
+// Job statuses.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusRejected Status = "rejected"
+	StatusFailed   Status = "failed"
+	StatusBudget   Status = "budget_exceeded"
+	StatusTimeout  Status = "timeout"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s != StatusQueued && s != StatusRunning
+}
+
+// Quote is the admission-time cost estimate attached to every admitted
+// job: the symbolic work/span bounds from the static estimator (§8 of
+// DESIGN.md), the work bound evaluated under the service's assumed trip
+// counts, and the step budget the estimate was converted into. The
+// budget is the fuel the executor grants the run; exceeding it moves
+// the job to budget_exceeded.
+type Quote struct {
+	Work     string `json:"work"`      // symbolic work bound
+	Span     string `json:"span"`      // symbolic span bound
+	EstSteps int64  `json:"est_steps"` // work evaluated at the assumed trip counts
+	Budget   int64  `json:"budget"`    // granted fuel, in machine steps
+}
+
+// JobStats mirrors machine.Stats in the wire format, the per-job
+// execution statistics reported by GET /v1/jobs/{id}.
+type JobStats struct {
+	Steps           int64 `json:"steps"`
+	Work            int64 `json:"work"`
+	Span            int64 `json:"span"`
+	Forks           int64 `json:"forks"`
+	Joins           int64 `json:"joins"`
+	Promotions      int64 `json:"promotions"` // heartbeat handler entries
+	Signals         int64 `json:"signals"`
+	JoinRecords     int64 `json:"join_records"`
+	TasksCreated    int64 `json:"tasks_created"`
+	MaxLiveTasks    int   `json:"max_live_tasks"`
+	MaxPromotionGap int64 `json:"max_promotion_gap"`
+}
+
+func statsOf(st machine.Stats) *JobStats {
+	return &JobStats{
+		Steps:           st.Steps,
+		Work:            st.Work,
+		Span:            st.Span,
+		Forks:           st.Forks,
+		Joins:           st.Joins,
+		Promotions:      st.HandlerRuns,
+		Signals:         st.SignalsDelivered,
+		JoinRecords:     st.JoinRecords,
+		TasksCreated:    st.TasksCreated,
+		MaxLiveTasks:    st.MaxLiveTasks,
+		MaxPromotionGap: st.MaxPromotionGap,
+	}
+}
+
+// Diag is one admission diagnostic in the wire format, the same shape
+// tpal-lint -json emits.
+type Diag struct {
+	Severity string `json:"severity"`
+	Code     string `json:"code"`
+	Block    string `json:"block"`
+	Instr    int    `json:"instr"`
+	Msg      string `json:"msg"`
+}
+
+// Job is one submission's record. All fields are guarded by the
+// owning Service's mutex; View snapshots them for serialization.
+type Job struct {
+	ID          string
+	Tenant      string
+	Fingerprint string
+	Status      Status
+	Quote       Quote
+	Diags       []Diag            // admission diagnostics (rejections)
+	Result      map[string]string // final register file, rendered
+	Stats       *JobStats
+	Error       string
+	Cached      bool // result served from the fingerprint cache
+
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+
+	// Execution inputs, fixed at admission.
+	prog      *tpal.Program
+	regs      machine.RegFile
+	heartbeat int64
+	signal    int64
+	timeout   time.Duration
+	cost      int64 // DRR accounting weight (= Quote.Budget)
+	cacheKey  string
+
+	cancel func()        // set while running; force-drain cancels through it
+	done   chan struct{} // closed when the job reaches a terminal state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// JobView is the wire representation of a job.
+type JobView struct {
+	ID          string            `json:"id"`
+	Tenant      string            `json:"tenant"`
+	Fingerprint string            `json:"fingerprint"`
+	Status      Status            `json:"status"`
+	Quote       *Quote            `json:"quote,omitempty"` // nil for rejections: nothing was quoted
+	Diags       []Diag            `json:"diags,omitempty"`
+	Result      map[string]string `json:"result,omitempty"`
+	Stats       *JobStats         `json:"stats,omitempty"`
+	Error       string            `json:"error,omitempty"`
+	Cached      bool              `json:"cached,omitempty"`
+	QueueWaitMS float64           `json:"queue_wait_ms,omitempty"`
+	ExecMS      float64           `json:"exec_ms,omitempty"`
+}
+
+func (j *Job) view() JobView {
+	v := JobView{
+		ID:          j.ID,
+		Tenant:      j.Tenant,
+		Fingerprint: j.Fingerprint,
+		Status:      j.Status,
+		Diags:       j.Diags,
+		Result:      j.Result,
+		Stats:       j.Stats,
+		Error:       j.Error,
+		Cached:      j.Cached,
+	}
+	if j.Status != StatusRejected {
+		q := j.Quote
+		v.Quote = &q
+	}
+	if !j.Started.IsZero() {
+		v.QueueWaitMS = float64(j.Started.Sub(j.Submitted)) / float64(time.Millisecond)
+	}
+	if !j.Finished.IsZero() && !j.Started.IsZero() {
+		v.ExecMS = float64(j.Finished.Sub(j.Started)) / float64(time.Millisecond)
+	}
+	return v
+}

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"tpal/internal/stats"
+)
+
+// metricSamples keeps a bounded ring of recent latency samples (in
+// milliseconds) for percentile reporting.
+type metricSamples struct {
+	buf  []float64
+	next int
+	full bool
+}
+
+func newSamples(capacity int) *metricSamples {
+	return &metricSamples{buf: make([]float64, capacity)}
+}
+
+func (m *metricSamples) add(v float64) {
+	m.buf[m.next] = v
+	m.next++
+	if m.next == len(m.buf) {
+		m.next = 0
+		m.full = true
+	}
+}
+
+func (m *metricSamples) values() []float64 {
+	if m.full {
+		return append([]float64(nil), m.buf...)
+	}
+	return append([]float64(nil), m.buf[:m.next]...)
+}
+
+// Metrics is the service's counter set. All fields are guarded by the
+// Service mutex; Snapshot copies them out.
+type Metrics struct {
+	Submitted      int64
+	Admitted       int64
+	Rejected       int64
+	Completed      int64
+	Failed         int64
+	BudgetExceeded int64
+	Timeouts       int64
+	Canceled       int64
+	Throttled      int64 // 429s: submissions bounced off the full queue
+	AnalysisHits   int64
+	ResultHits     int64
+
+	queueWait *metricSamples // submission → first execution step
+	exec      *metricSamples // execution duration
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		queueWait: newSamples(4096),
+		exec:      newSamples(4096),
+	}
+}
+
+// MetricsSnapshot is the wire form of GET /metrics.
+type MetricsSnapshot struct {
+	Submitted      int64 `json:"submitted"`
+	Admitted       int64 `json:"admitted"`
+	Rejected       int64 `json:"rejected"`
+	Completed      int64 `json:"completed"`
+	Failed         int64 `json:"failed"`
+	BudgetExceeded int64 `json:"budget_exceeded"`
+	Timeouts       int64 `json:"timeouts"`
+	Canceled       int64 `json:"canceled"`
+	Throttled      int64 `json:"throttled_429"`
+	AnalysisHits   int64 `json:"analysis_cache_hits"`
+	ResultHits     int64 `json:"result_cache_hits"`
+
+	QueueDepth int `json:"queue_depth"`
+	InFlight   int `json:"in_flight"`
+	Workers    int `json:"workers"`
+	Draining   bool `json:"draining"`
+
+	QueueWaitP50MS float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP99MS float64 `json:"queue_wait_p99_ms"`
+	ExecP50MS      float64 `json:"exec_p50_ms"`
+	ExecP99MS      float64 `json:"exec_p99_ms"`
+}
+
+// Snapshot returns a consistent copy of the metrics. Callers must not
+// hold the service mutex; the service takes it.
+func (s *Service) Snapshot() MetricsSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.metrics
+	wait := m.queueWait.values()
+	exec := m.exec.values()
+	return MetricsSnapshot{
+		Submitted:      m.Submitted,
+		Admitted:       m.Admitted,
+		Rejected:       m.Rejected,
+		Completed:      m.Completed,
+		Failed:         m.Failed,
+		BudgetExceeded: m.BudgetExceeded,
+		Timeouts:       m.Timeouts,
+		Canceled:       m.Canceled,
+		Throttled:      m.Throttled,
+		AnalysisHits:   m.AnalysisHits,
+		ResultHits:     m.ResultHits,
+		QueueDepth:     s.queue.len(),
+		InFlight:       len(s.inflight),
+		Workers:        s.cfg.Workers,
+		Draining:       s.draining,
+		QueueWaitP50MS: stats.Percentile(wait, 50),
+		QueueWaitP99MS: stats.Percentile(wait, 99),
+		ExecP50MS:      stats.Percentile(exec, 50),
+		ExecP99MS:      stats.Percentile(exec, 99),
+	}
+}

@@ -1,0 +1,91 @@
+package serve
+
+// drrQueue is a deficit-round-robin fair queue over tenant keys: each
+// tenant holds a FIFO of queued jobs and a deficit counter; pop visits
+// tenants in ring order, crediting quantum per visit, and dispatches a
+// tenant's head job once its deficit covers the job's cost (the quoted
+// step budget). A tenant streaming expensive jobs therefore yields the
+// pool to cheap-job tenants in proportion to cost, while a lone tenant
+// still gets every slot. The queue is not goroutine-safe; the Service
+// mutex guards it.
+type drrQueue struct {
+	quantum int64
+	tenants map[string]*tenantQueue
+	ring    []*tenantQueue // tenants with queued jobs, round-robin order
+	cursor  int
+	size    int
+}
+
+type tenantQueue struct {
+	key     string
+	jobs    []*Job
+	deficit int64
+}
+
+func newDRRQueue(quantum int64) *drrQueue {
+	return &drrQueue{quantum: quantum, tenants: make(map[string]*tenantQueue)}
+}
+
+func (q *drrQueue) len() int { return q.size }
+
+// push appends a job to its tenant's FIFO, entering the tenant into
+// the ring if it was idle.
+func (q *drrQueue) push(j *Job) {
+	tq := q.tenants[j.Tenant]
+	if tq == nil {
+		tq = &tenantQueue{key: j.Tenant}
+		q.tenants[j.Tenant] = tq
+	}
+	if len(tq.jobs) == 0 {
+		q.ring = append(q.ring, tq)
+	}
+	tq.jobs = append(tq.jobs, j)
+	q.size++
+}
+
+// pop removes and returns the next job under DRR, or nil when empty.
+// Each full ring pass credits every backlogged tenant one quantum, and
+// job costs are bounded by the service's fuel cap, so the scan always
+// terminates with a dispatch while jobs are queued.
+func (q *drrQueue) pop() *Job {
+	if q.size == 0 {
+		return nil
+	}
+	for {
+		if q.cursor >= len(q.ring) {
+			q.cursor = 0
+		}
+		tq := q.ring[q.cursor]
+		tq.deficit += q.quantum
+		if head := tq.jobs[0]; tq.deficit >= head.cost {
+			tq.deficit -= head.cost
+			tq.jobs = tq.jobs[1:]
+			q.size--
+			if len(tq.jobs) == 0 {
+				// An idle tenant keeps no credit: deficits only meter
+				// backlogged tenants against each other.
+				tq.deficit = 0
+				q.ring = append(q.ring[:q.cursor], q.ring[q.cursor+1:]...)
+			} else {
+				q.cursor++
+			}
+			return head
+		}
+		q.cursor++
+	}
+}
+
+// drainAll empties the queue and returns every job that was waiting,
+// in tenant-ring order.
+func (q *drrQueue) drainAll() []*Job {
+	var out []*Job
+	for _, tq := range q.ring {
+		out = append(out, tq.jobs...)
+		tq.jobs = nil
+		tq.deficit = 0
+	}
+	q.ring = q.ring[:0]
+	q.cursor = 0
+	q.size = 0
+	return out
+}

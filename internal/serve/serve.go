@@ -1,0 +1,491 @@
+// Package serve is the multi-tenant TPAL execution service: jobs —
+// TPAL assembly or minipar programs plus entry arguments — are
+// canonicalized and fingerprinted, pushed through the full static
+// analysis pipeline as an admission gate, quoted a step budget derived
+// from the symbolic work bound, queued under per-tenant deficit
+// round-robin, and executed on a fixed pool of worker goroutines
+// running the abstract machine under the service's shared heartbeat
+// configuration with per-job fuel and deadlines. The HTTP surface lives
+// in http.go; cmd/tpal-serve is the daemon.
+//
+// The subsystem exists because heartbeat scheduling is exactly the
+// substrate a shared service needs: every admitted job is
+// serial-by-default and only promotes parallelism at analysis-certified
+// promotion points, so a fixed worker pool can run many mutually
+// untrusted jobs without oversubscription, and the same analyses that
+// prove a program safe also price it.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/machine"
+)
+
+// Submission errors. The HTTP layer maps these to status codes; direct
+// callers can errors.Is against them.
+var (
+	// ErrQueueFull is backpressure: the bounded queue is at capacity
+	// (HTTP 429).
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrDraining means the service has stopped admitting (HTTP 503).
+	ErrDraining = errors.New("serve: draining, not accepting jobs")
+	// ErrBadRequest wraps submission parse/validation failures (HTTP 400).
+	ErrBadRequest = errors.New("serve: bad request")
+)
+
+// Config parameterizes a Service. Zero values take the documented
+// defaults.
+type Config struct {
+	// Workers is the executor pool size (default GOMAXPROCS). The pool
+	// is fixed: admission control, not spawning, absorbs load.
+	Workers int
+	// QueueCap bounds the number of queued jobs across all tenants;
+	// submissions beyond it fail with ErrQueueFull (default 256).
+	QueueCap int
+	// Heartbeat is the shared promotion threshold ♥ applied to every
+	// job (default 100 instructions). A submission may set its own
+	// smaller-grained value, but the default keeps the whole pool under
+	// one interrupt policy, the paper's single-♥ regime.
+	Heartbeat int64
+	// SignalPeriod optionally layers OS-signal rollforward delivery on
+	// every job (default 0 = off).
+	SignalPeriod int64
+	// FuelCap is the hard per-job budget ceiling in machine steps
+	// (default 20M): no quote, however large the symbolic estimate, may
+	// exceed it.
+	FuelCap int64
+	// MinBudget is the budget floor (default 10k steps), so tiny
+	// estimates still leave room for estimator slack.
+	MinBudget int64
+	// TripAssume is the trip count assumed for every unknown loop
+	// variable when the symbolic work bound is evaluated into a quote
+	// (default 1024).
+	TripAssume int64
+	// QuoteMargin scales the evaluated estimate into the granted budget
+	// (default 4).
+	QuoteMargin int64
+	// DefaultTimeout is the per-job wall-clock deadline when the
+	// submission names none (default 10s); MaxTimeout caps requested
+	// deadlines (default 60s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Quantum is the DRR credit per scheduling visit, in budget steps
+	// (default 100k).
+	Quantum int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+	if c.Heartbeat == 0 {
+		c.Heartbeat = 100
+	}
+	if c.FuelCap <= 0 {
+		c.FuelCap = 20_000_000
+	}
+	if c.MinBudget <= 0 {
+		c.MinBudget = 10_000
+	}
+	if c.MinBudget > c.FuelCap {
+		c.MinBudget = c.FuelCap
+	}
+	if c.TripAssume <= 0 {
+		c.TripAssume = 1024
+	}
+	if c.QuoteMargin <= 0 {
+		c.QuoteMargin = 4
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 100_000
+	}
+	return c
+}
+
+// SubmitRequest is one job submission.
+type SubmitRequest struct {
+	// Tenant is the fairness key; empty maps to "anonymous".
+	Tenant string `json:"tenant"`
+	// Lang is "tpal", "minipar", or "" (auto-detect).
+	Lang string `json:"lang"`
+	// Source is the program text.
+	Source string `json:"source"`
+	// Args are the entry register values.
+	Args map[string]int64 `json:"args"`
+	// Entry optionally names extra registers to assume initialized at
+	// entry (beyond the keys of Args and, for minipar, the params).
+	Entry []string `json:"entry"`
+	// Heartbeat overrides the service ♥ for this job when positive.
+	Heartbeat int64 `json:"heartbeat"`
+	// Fuel lowers the granted budget below the quote when positive (it
+	// can never raise it past the service cap).
+	Fuel int64 `json:"fuel"`
+	// TimeoutMS overrides the default deadline, capped by MaxTimeout.
+	TimeoutMS int64 `json:"timeout_ms"`
+}
+
+// cachedResult is a completed run memoized by resultKey.
+type cachedResult struct {
+	result map[string]string
+	stats  *JobStats
+}
+
+// Service is the job-execution subsystem.
+type Service struct {
+	cfg Config
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	queue    *drrQueue
+	jobs     map[string]*Job
+	inflight map[string]*Job
+	seq      int64
+	draining bool
+
+	analysisCache map[string]*admission
+	resultCache   map[string]*cachedResult
+	metrics       *Metrics
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	// hookRunning, when set by tests, observes each job as its
+	// execution begins.
+	hookRunning func(*Job)
+}
+
+// setRunningHook installs the test observation hook under the lock.
+func (s *Service) setRunningHook(f func(*Job)) {
+	s.mu.Lock()
+	s.hookRunning = f
+	s.mu.Unlock()
+}
+
+// New starts a service with Workers executor goroutines.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:           cfg,
+		queue:         newDRRQueue(cfg.Quantum),
+		jobs:          make(map[string]*Job),
+		inflight:      make(map[string]*Job),
+		analysisCache: make(map[string]*admission),
+		resultCache:   make(map[string]*cachedResult),
+		metrics:       newMetrics(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Job returns the job record by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// JobView returns the wire snapshot of a job.
+func (s *Service) JobView(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view(), true
+}
+
+// Submit admits one job. The returned Job is terminal immediately for
+// rejections (StatusRejected, with the gate's diagnostics attached) and
+// cache hits (StatusDone, Cached); otherwise it is queued. ErrQueueFull
+// and ErrDraining report backpressure without creating a job record;
+// parse failures wrap ErrBadRequest.
+func (s *Service) Submit(req SubmitRequest) (*Job, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	s.metrics.Submitted++
+	s.mu.Unlock()
+
+	prog, params, err := loadSource(req.Lang, req.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
+	}
+
+	// Entry registers: declared params, argument keys, and any extras.
+	entrySet := make(map[tpal.Reg]bool)
+	for _, r := range params {
+		entrySet[r] = true
+	}
+	for k := range req.Args {
+		entrySet[tpal.Reg(k)] = true
+	}
+	for _, k := range req.Entry {
+		entrySet[tpal.Reg(k)] = true
+	}
+	entry := make([]tpal.Reg, 0, len(entrySet))
+	for r := range entrySet {
+		entry = append(entry, r)
+	}
+
+	adm := s.admit(prog, entry)
+
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+	heartbeat := s.cfg.Heartbeat
+	if req.Heartbeat > 0 {
+		heartbeat = req.Heartbeat
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	regs := make(machine.RegFile, len(req.Args))
+	for k, v := range req.Args {
+		regs[tpal.Reg(k)] = machine.IntV(v)
+	}
+
+	now := time.Now()
+	j := &Job{
+		Tenant:      tenant,
+		Fingerprint: adm.fingerprint,
+		Quote:       adm.quote,
+		Submitted:   now,
+		prog:        prog,
+		regs:        regs,
+		heartbeat:   heartbeat,
+		signal:      s.cfg.SignalPeriod,
+		timeout:     timeout,
+		done:        make(chan struct{}),
+	}
+	if req.Fuel > 0 && req.Fuel < j.Quote.Budget {
+		j.Quote.Budget = req.Fuel
+	}
+	j.cost = j.Quote.Budget
+	if j.cost <= 0 {
+		j.cost = 1
+	}
+	j.cacheKey = resultKey(adm.fingerprint, req.Args, heartbeat, s.cfg.SignalPeriod)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	s.seq++
+	j.ID = fmt.Sprintf("j%06d", s.seq)
+
+	if adm.rejected {
+		j.Status = StatusRejected
+		j.Diags = adm.diags
+		j.Error = adm.reason
+		j.Finished = now
+		close(j.done)
+		s.jobs[j.ID] = j
+		s.metrics.Rejected++
+		return j, nil
+	}
+
+	if cached, ok := s.resultCache[j.cacheKey]; ok {
+		j.Status = StatusDone
+		j.Result = cached.result
+		j.Stats = cached.stats
+		j.Cached = true
+		j.Started = now
+		j.Finished = now
+		close(j.done)
+		s.jobs[j.ID] = j
+		s.metrics.ResultHits++
+		s.metrics.Admitted++
+		s.metrics.Completed++
+		return j, nil
+	}
+
+	if s.queue.len() >= s.cfg.QueueCap {
+		s.metrics.Throttled++
+		return nil, ErrQueueFull
+	}
+
+	j.Status = StatusQueued
+	s.jobs[j.ID] = j
+	s.queue.push(j)
+	s.metrics.Admitted++
+	s.cond.Signal()
+	return j, nil
+}
+
+// worker is one executor goroutine: it pulls jobs off the fair queue
+// and runs them until drain empties the queue.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for s.queue.len() == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		j := s.queue.pop()
+		if j == nil { // draining and nothing queued
+			s.mu.Unlock()
+			return
+		}
+		j.Status = StatusRunning
+		j.Started = time.Now()
+		s.inflight[j.ID] = j
+		s.metrics.queueWait.add(float64(j.Started.Sub(j.Submitted)) / float64(time.Millisecond))
+		hook := s.hookRunning
+		s.mu.Unlock()
+
+		if hook != nil {
+			hook(j)
+		}
+		s.execute(j)
+	}
+}
+
+// execute runs one admitted job on the abstract machine under the
+// job's fuel budget and deadline, then classifies the outcome.
+func (s *Service) execute(j *Job) {
+	ctx, cancel := context.WithTimeout(s.baseCtx, j.timeout)
+	s.mu.Lock()
+	j.cancel = cancel
+	s.mu.Unlock()
+	defer cancel()
+
+	// Admission already ran the full pipeline (and cached it), so the
+	// machine's own load-time verification pass is skipped.
+	res, err := machine.Run(j.prog, machine.Config{
+		Heartbeat:    j.heartbeat,
+		SignalPeriod: j.signal,
+		Fuel:         j.Quote.Budget,
+		MaxSteps:     1 << 60, // the fuel budget, not the runaway default, bounds the run
+		Context:      ctx,
+		Regs:         j.regs,
+		SkipVerify:   true,
+	})
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.Finished = time.Now()
+	s.metrics.exec.add(float64(j.Finished.Sub(j.Started)) / float64(time.Millisecond))
+	delete(s.inflight, j.ID)
+	j.cancel = nil
+
+	switch {
+	case err == nil:
+		j.Status = StatusDone
+		j.Result = renderRegs(res.Regs)
+		j.Stats = statsOf(res.Stats)
+		s.resultCache[j.cacheKey] = &cachedResult{result: j.Result, stats: j.Stats}
+		s.metrics.Completed++
+	case errors.Is(err, machine.ErrFuel), errors.Is(err, machine.ErrMaxSteps):
+		j.Status = StatusBudget
+		j.Error = fmt.Sprintf("budget of %d steps exceeded", j.Quote.Budget)
+		s.metrics.BudgetExceeded++
+	case errors.Is(err, machine.ErrInterrupted):
+		if errors.Is(err, context.DeadlineExceeded) {
+			j.Status = StatusTimeout
+			j.Error = fmt.Sprintf("deadline of %s exceeded", j.timeout)
+			s.metrics.Timeouts++
+		} else {
+			j.Status = StatusCanceled
+			j.Error = "canceled during drain"
+			s.metrics.Canceled++
+		}
+	default:
+		j.Status = StatusFailed
+		j.Error = err.Error()
+		s.metrics.Failed++
+	}
+	close(j.done)
+}
+
+func renderRegs(regs machine.RegFile) map[string]string {
+	out := make(map[string]string, len(regs))
+	for r, v := range regs {
+		out[string(r)] = v.String()
+	}
+	return out
+}
+
+// Drain gracefully shuts the service down: admission stops (new
+// submissions fail with ErrDraining), every queued-but-unstarted job is
+// canceled, and in-flight jobs run to completion. If ctx expires first,
+// in-flight jobs are interrupted through their run contexts and the
+// drain still completes. Drain is idempotent; it returns once every
+// worker goroutine has exited.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		now := time.Now()
+		for _, j := range s.queue.drainAll() {
+			j.Status = StatusCanceled
+			j.Error = "server draining"
+			j.Finished = now
+			s.metrics.Canceled++
+			close(j.done)
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		// Forced drain: interrupt whatever is still running, then wait
+		// for the workers to observe the cancellation.
+		s.baseCancel()
+		<-done
+	}
+	if !already {
+		s.baseCancel()
+	}
+	return err
+}
+
+// Draining reports whether the service has stopped admitting.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}

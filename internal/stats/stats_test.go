@@ -54,6 +54,41 @@ func TestMedian(t *testing.T) {
 	}
 }
 
+func TestPercentile(t *testing.T) {
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile")
+	}
+	xs := []float64{4, 1, 3, 2, 5}
+	if !approx(Percentile(xs, 0), 1) || !approx(Percentile(xs, 100), 5) {
+		t.Error("percentile endpoints")
+	}
+	if !approx(Percentile(xs, 50), 3) {
+		t.Errorf("p50 = %v, want 3", Percentile(xs, 50))
+	}
+	// Linear interpolation between closest ranks: p25 of 1..5 sits a
+	// quarter of the way from rank 1 to rank 2.
+	if !approx(Percentile(xs, 25), 2) {
+		t.Errorf("p25 = %v, want 2", Percentile(xs, 25))
+	}
+	if !approx(Percentile([]float64{10, 20}, 75), 17.5) {
+		t.Errorf("p75 of {10,20} = %v, want 17.5", Percentile([]float64{10, 20}, 75))
+	}
+	// Out-of-range p clamps rather than panics.
+	if !approx(Percentile(xs, -5), 1) || !approx(Percentile(xs, 250), 5) {
+		t.Error("percentile clamping")
+	}
+	// Input must not be mutated.
+	in := []float64{3, 1, 2}
+	Percentile(in, 99)
+	if !reflect.DeepEqual(in, []float64{3, 1, 2}) {
+		t.Error("percentile mutated input")
+	}
+	// p50 agrees with Median on odd-length input.
+	if !approx(Percentile([]float64{9, 7, 8}, 50), Median([]float64{9, 7, 8})) {
+		t.Error("p50 != median")
+	}
+}
+
 func TestStddev(t *testing.T) {
 	if Stddev([]float64{5}) != 0 {
 		t.Error("single sample stddev")

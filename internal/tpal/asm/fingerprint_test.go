@@ -1,0 +1,46 @@
+package asm_test
+
+import (
+	"sort"
+	"testing"
+
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/asm"
+	"tpal/internal/tpal/programs"
+)
+
+// TestFingerprintRoundTripStable pins the stability contract behind
+// tpal.Fingerprint: because print→parse is a fixpoint, a program's
+// fingerprint survives any number of print→parse round trips, and the
+// corpus programs all hash to distinct values.
+func TestFingerprintRoundTripStable(t *testing.T) {
+	all := programs.All()
+	names := make([]string, 0, len(all))
+	for n := range all {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	seen := make(map[string]string) // fingerprint -> program name
+	for _, n := range names {
+		p := all[n]
+		fp := tpal.Fingerprint(p)
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s and %s share fingerprint %s", prev, n, fp)
+		}
+		seen[fp] = n
+
+		// Two consecutive round trips: every hop must preserve the hash.
+		cur := p
+		for hop := 1; hop <= 2; hop++ {
+			reparsed, err := asm.Parse(cur.String())
+			if err != nil {
+				t.Fatalf("%s: hop %d: printed program does not parse: %v", n, hop, err)
+			}
+			if got := tpal.Fingerprint(reparsed); got != fp {
+				t.Errorf("%s: fingerprint drifted on round trip %d: %s -> %s", n, hop, fp, got)
+			}
+			cur = reparsed
+		}
+	}
+}

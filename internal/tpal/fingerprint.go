@@ -1,0 +1,25 @@
+package tpal
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Fingerprint returns a stable content hash of the program: the SHA-256
+// of its canonical textual rendering (String), hex-encoded.
+//
+// Because String renders in the assembler's syntax and Parse(String(p))
+// reproduces p, the fingerprint is invariant under print→parse round
+// trips: syntactically identical programs hash identically regardless
+// of how they were constructed (hand-built blocks, assembled source, or
+// compiled minipar). The program name participates in the canonical
+// print, so renaming a program changes its fingerprint; everything else
+// semantic — block order, annotations, instruction operands — does too.
+//
+// The service layer (internal/serve) keys its analysis and result
+// caches on this value, so the stability contract is pinned by tests in
+// this package and in asm's round-trip suite.
+func Fingerprint(p *Program) string {
+	sum := sha256.Sum256([]byte(p.String()))
+	return hex.EncodeToString(sum[:])
+}

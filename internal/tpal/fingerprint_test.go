@@ -1,0 +1,61 @@
+package tpal
+
+import (
+	"encoding/hex"
+	"testing"
+)
+
+func fpProgram(name string, entry Label) *Program {
+	return MustProgram(name, entry, []*Block{
+		block(entry, Annotation{}, Term{Kind: THalt},
+			Instr{Kind: IMove, Dst: "x", Val: N(1)},
+		),
+	})
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a := fpProgram("p", "main")
+	b := fpProgram("p", "main")
+	fa, fb := Fingerprint(a), Fingerprint(b)
+	if fa != fb {
+		t.Errorf("identical programs hash differently: %s vs %s", fa, fb)
+	}
+	if fa != Fingerprint(a) {
+		t.Errorf("fingerprint of the same program changed between calls")
+	}
+	raw, err := hex.DecodeString(fa)
+	if err != nil || len(raw) != 32 {
+		t.Errorf("fingerprint %q is not hex-encoded SHA-256 (err %v, %d bytes)", fa, err, len(raw))
+	}
+}
+
+func TestFingerprintDistinguishesPrograms(t *testing.T) {
+	base := fpProgram("p", "main")
+	fp := Fingerprint(base)
+
+	// Different program name.
+	if got := Fingerprint(fpProgram("q", "main")); got == fp {
+		t.Errorf("renamed program shares fingerprint %s", got)
+	}
+	// Different instruction operand.
+	mut := fpProgram("p", "main")
+	mut.Blocks[0].Instrs[0].Val = N(2)
+	if got := Fingerprint(mut); got == fp {
+		t.Errorf("mutated operand shares fingerprint %s", got)
+	}
+	// Extra block.
+	grown := MustProgram("p", "main", []*Block{
+		block("main", Annotation{}, Term{Kind: THalt},
+			Instr{Kind: IMove, Dst: "x", Val: N(1)}),
+		block("extra", Annotation{}, Term{Kind: THalt}),
+	})
+	if got := Fingerprint(grown); got == fp {
+		t.Errorf("program with an extra block shares fingerprint %s", got)
+	}
+	// Different annotation.
+	ann := fpProgram("p", "main")
+	ann.Blocks[0].Ann = Annotation{Kind: AnnPrppt, Handler: "h"}
+	if got := Fingerprint(ann); got == fp {
+		t.Errorf("re-annotated program shares fingerprint %s", got)
+	}
+}

@@ -1,0 +1,101 @@
+package machine_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/machine"
+	"tpal/internal/tpal/programs"
+)
+
+// spinProgram builds a counted loop: n is decremented to zero and then
+// the program halts, executing roughly 4n transitions. It is serial (no
+// prppt), so runs are deterministic under every schedule.
+func spinProgram() *tpal.Program {
+	return tpal.MustProgram("spin", "main", []*tpal.Block{
+		{Label: "main", Term: tpal.Term{Kind: tpal.TJump, Val: tpal.L("loop")}},
+		{Label: "loop", Instrs: []tpal.Instr{
+			{Kind: tpal.IBinOp, Dst: "done", Op: tpal.OpLe, Src: "n", Val: tpal.N(0)},
+			{Kind: tpal.IIfJump, Src: "done", Val: tpal.L("exit")},
+			{Kind: tpal.IBinOp, Dst: "n", Op: tpal.OpSub, Src: "n", Val: tpal.N(1)},
+		}, Term: tpal.Term{Kind: tpal.TJump, Val: tpal.L("loop")}},
+		{Label: "exit", Term: tpal.Term{Kind: tpal.THalt}},
+	})
+}
+
+func TestFuelExceeded(t *testing.T) {
+	_, err := machine.Run(spinProgram(), machine.Config{
+		Regs: machine.RegFile{"n": machine.IntV(1_000_000)},
+		Fuel: 1000,
+	})
+	if !errors.Is(err, machine.ErrFuel) {
+		t.Fatalf("err = %v, want ErrFuel", err)
+	}
+}
+
+func TestFuelSufficient(t *testing.T) {
+	res, err := machine.Run(spinProgram(), machine.Config{
+		Regs: machine.RegFile{"n": machine.IntV(100)},
+		Fuel: 100_000,
+	})
+	if err != nil {
+		t.Fatalf("run failed under ample fuel: %v", err)
+	}
+	if got, _ := res.Regs.Get("n").AsInt(); got != 0 {
+		t.Errorf("n = %d after run, want 0", got)
+	}
+	if res.Stats.Steps > 100_000 {
+		t.Errorf("run consumed %d steps, more than its fuel", res.Stats.Steps)
+	}
+}
+
+// TestFuelEnforcedInsideLockstepRound pins that the budget binds within
+// a lockstep round, not just between rounds: fib under a tiny heartbeat
+// forks aggressively, so a single round executes one transition per
+// live task, and the run must still stop within one round of the
+// budget rather than drifting by the full round width each time.
+func TestFuelEnforcedInsideLockstepRound(t *testing.T) {
+	const fuel = 5000
+	_, err := machine.Run(programs.All()["fib"], machine.Config{
+		Regs:      machine.RegFile{"n": machine.IntV(20)},
+		Heartbeat: 2,
+		Fuel:      fuel,
+	})
+	if !errors.Is(err, machine.ErrFuel) {
+		t.Fatalf("err = %v, want ErrFuel", err)
+	}
+}
+
+func TestContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := machine.Run(spinProgram(), machine.Config{
+		Regs:    machine.RegFile{"n": machine.IntV(1_000_000)},
+		Context: ctx,
+	})
+	if !errors.Is(err, machine.ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want chain to match context.Canceled", err)
+	}
+}
+
+func TestContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := machine.Run(spinProgram(), machine.Config{
+		Regs:     machine.RegFile{"n": machine.IntV(1 << 40)},
+		MaxSteps: 1 << 60,
+		Context:  ctx,
+	})
+	if !errors.Is(err, machine.ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want chain to match context.DeadlineExceeded", err)
+	}
+}

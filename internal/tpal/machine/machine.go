@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -47,6 +48,19 @@ type Config struct {
 	// MaxSteps bounds total executed instructions as a runaway guard.
 	// Defaults to 100 million when zero.
 	MaxSteps int64
+	// Fuel, when positive, is a hard execution budget in machine
+	// transitions: once the run has consumed Fuel steps it stops with
+	// ErrFuel. Unlike MaxSteps (a runaway guard with a large default),
+	// Fuel models an externally imposed budget — the serve layer derives
+	// it from the static work estimate — and is reported distinctly so
+	// callers can tell "the program is a hog" from "the machine looped".
+	Fuel int64
+	// Context, when non-nil, cancels the run: the machine polls
+	// Context.Done() periodically (every fuelCheckMask+1 steps) and
+	// returns the context's error wrapped in ErrInterrupted, so callers
+	// can errors.Is against context.Canceled or context.DeadlineExceeded
+	// to distinguish cancellation from timeout.
+	Context context.Context
 	// Schedule selects the interleaving policy; Seed seeds RandomOrder.
 	Schedule SchedulePolicy
 	Seed     int64
@@ -215,6 +229,15 @@ var ErrMachine = errors.New("tpal machine error")
 // ErrMaxSteps reports that the step bound was exhausted.
 var ErrMaxSteps = errors.New("tpal machine: maximum step count exceeded")
 
+// ErrFuel reports that the run consumed its Config.Fuel budget before
+// halting.
+var ErrFuel = errors.New("tpal machine: fuel budget exceeded")
+
+// ErrInterrupted reports that Config.Context ended the run; the wrapped
+// chain also matches the context's own error (context.Canceled or
+// context.DeadlineExceeded).
+var ErrInterrupted = errors.New("tpal machine: run interrupted")
+
 // ErrVerify reports that the static verifier found a definite fault in
 // the program before execution started.
 var ErrVerify = errors.New("tpal machine: program rejected by static verifier")
@@ -224,12 +247,38 @@ func (m *Machine) failf(t *Task, format string, args ...any) error {
 	return fmt.Errorf("%w: %s: %s", ErrMachine, loc, fmt.Sprintf(format, args...))
 }
 
+// ctxCheckMask gates how often Run polls Config.Context: every
+// ctxCheckMask+1 machine transitions. Polling a channel is ~100ns, two
+// orders of magnitude more than a machine step, so the poll is
+// amortized; the mask bounds cancellation latency at 256 steps.
+const ctxCheckMask = 255
+
+// checkBudget enforces the per-run resource bounds: the MaxSteps
+// runaway guard, the externally imposed Fuel budget, and Context
+// cancellation. It is called before every machine transition.
+func (m *Machine) checkBudget() error {
+	if m.stats.Steps >= m.cfg.MaxSteps {
+		return ErrMaxSteps
+	}
+	if m.cfg.Fuel > 0 && m.stats.Steps >= m.cfg.Fuel {
+		return ErrFuel
+	}
+	if m.cfg.Context != nil && m.stats.Steps&ctxCheckMask == 0 {
+		select {
+		case <-m.cfg.Context.Done():
+			return fmt.Errorf("%w: %w", ErrInterrupted, context.Cause(m.cfg.Context))
+		default:
+		}
+	}
+	return nil
+}
+
 // Run drives the machine until halt, deadlock-free completion of all
 // tasks, or an error.
 func (m *Machine) Run() (Result, error) {
 	for !m.halted && len(m.tasks) > 0 {
-		if m.stats.Steps >= m.cfg.MaxSteps {
-			return Result{}, ErrMaxSteps
+		if err := m.checkBudget(); err != nil {
+			return Result{}, err
 		}
 		var err error
 		switch m.cfg.Schedule {
@@ -239,12 +288,19 @@ func (m *Machine) Run() (Result, error) {
 			// the alive check inside step.
 			round := make([]*Task, len(m.tasks))
 			copy(round, m.tasks)
-			for _, t := range round {
+			for i, t := range round {
 				if m.halted {
 					break
 				}
 				if !m.alive(t) {
 					continue
+				}
+				// The round itself can span many transitions, so the
+				// budgets are re-checked per step, not just per round.
+				if i > 0 {
+					if err = m.checkBudget(); err != nil {
+						return Result{}, err
+					}
 				}
 				if err = m.step(t); err != nil {
 					return Result{}, err
