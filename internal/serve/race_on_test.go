@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceDetectorOn reports whether this test binary was built with the
+// race detector — the canonical mode for `make serve-test`, and the
+// only mode allowed to rewrite BENCH_serve.json (see loadsmoke_test.go).
+const raceDetectorOn = true
