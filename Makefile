@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-test serve-test lint fuzz ci
+.PHONY: build test vet race race-test serve-test lint fuzz bench-rt ci
 
 build:
 	$(GO) build ./...
@@ -45,4 +45,13 @@ fuzz:
 	$(GO) test ./internal/tpal/analysis -run='^$$' -fuzz='^FuzzLiveness$$' -fuzztime=10s
 	$(GO) test ./internal/tpal/analysis -run='^$$' -fuzz='^FuzzRaceAgreement$$' -fuzztime=10s
 
-ci: vet build race race-test serve-test lint fuzz
+# bench-rt rewrites BENCH_rt.json, the committed runtime perf baseline:
+# plus-reduce-array and mergesort-uniform walls with the tracer disabled
+# and enabled, plus the corpus promotion-gap check against the static
+# liveness bounds. It fails if the tracer delta on plus-reduce-array
+# exceeds the 5% overhead contract (DESIGN.md §11) or an observed gap
+# exceeds its static bound.
+bench-rt:
+	$(GO) run ./cmd/tpal-trace -bench-rt -reps 5 -out BENCH_rt.json
+
+ci: vet build race race-test serve-test lint fuzz bench-rt

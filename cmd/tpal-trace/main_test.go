@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestProgModePassesOnCorpus(t *testing.T) {
+	for _, name := range []string{"prod", "pow", "fib"} {
+		var buf bytes.Buffer
+		if code := run([]string{"-prog", name}, &buf); code != 0 {
+			t.Fatalf("-prog %s exited %d:\n%s", name, code, buf.String())
+		}
+		if !strings.Contains(buf.String(), "PASS") {
+			t.Fatalf("-prog %s output missing PASS:\n%s", name, buf.String())
+		}
+	}
+}
+
+func TestBenchModeWritesChrome(t *testing.T) {
+	chrome := filepath.Join(t.TempDir(), "trace.json")
+	var buf bytes.Buffer
+	if code := run([]string{"-bench", "plus-reduce-array", "-scale", "0.02", "-chrome", chrome}, &buf); code != 0 {
+		t.Fatalf("-bench exited %d:\n%s", code, buf.String())
+	}
+	data, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome export has no events")
+	}
+}
+
+func TestBenchRTWritesBaseline(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_rt.json")
+	var buf bytes.Buffer
+	code := run([]string{"-bench-rt", "-scale", "0.02", "-reps", "1", "-out", out}, &buf)
+	// At toy scale the walls are microseconds and the delta is pure
+	// noise, so the overhead gate may legitimately trip; only a real
+	// failure to produce the baseline is an error here.
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("exit %d and no baseline written:\n%s", code, buf.String())
+	}
+	var doc benchRTDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v", err)
+	}
+	if len(doc.Benchmarks) != 2 || doc.Benchmarks[0].Name != "plus-reduce-array" {
+		t.Fatalf("unexpected benchmark rows: %+v", doc.Benchmarks)
+	}
+	if len(doc.CorpusGaps) != 3 {
+		t.Fatalf("corpus gap rows = %d, want 3", len(doc.CorpusGaps))
+	}
+	for _, g := range doc.CorpusGaps {
+		if !g.WithinBound {
+			t.Errorf("%s: observed gap %d exceeds static bound %d", g.Program, g.MaxObserved, g.StaticBound)
+		}
+	}
+	if doc.OverheadGate.Benchmark != "plus-reduce-array" || doc.OverheadGate.Limit != overheadLimit {
+		t.Fatalf("overhead gate misconfigured: %+v", doc.OverheadGate)
+	}
+}
+
+func TestNoModeIsUsageError(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run(nil, &buf); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

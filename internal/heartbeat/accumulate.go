@@ -62,7 +62,7 @@ type accState[T any] struct {
 	merge      func(T, T)
 	leaf       func(T, int, int)
 
-	children []*reduceChild[T]
+	children []*accTask[T]
 	pending  atomic.Int64
 	spanMax  atomic.Int64
 }
@@ -76,18 +76,39 @@ func (as *accState[T]) promote(c *Ctx) bool {
 	childLo, childHi := mid, as.stop
 	as.stop = mid
 
-	node := &reduceChild[T]{}
-	as.children = append(as.children, node)
+	t := &accTask[T]{
+		lo: childLo, hi: childHi,
+		newAcc: as.newAcc, merge: as.merge, leaf: as.leaf,
+		pending: &as.pending, spanMax: &as.spanMax,
+		rt: c.rt, base: c.SpanNow(), recID: c.recordSpawn(),
+	}
+	as.children = append(as.children, t)
 	as.pending.Add(1)
-	newAcc, merge, leaf, rt := as.newAcc, as.merge, as.leaf, c.rt
-	pending, spanMax := &as.pending, &as.spanMax
-	base := c.SpanNow()
-	recID := c.recordSpawn()
-	c.spawn(sched.TaskFunc(func(w *sched.Worker) {
-		cc := newChildCtx(w, rt, base, recID)
-		node.value = Accumulate(cc, childLo, childHi, newAcc, merge, leaf)
-		maxInto(spanMax, cc.finish())
-		pending.Add(-1)
-	}))
+	t.box.Bind(t)
+	c.spawnBox(&t.box)
 	return true
+}
+
+// accTask is a promoted Accumulate range: like reduceTask, the task, its
+// deque box, and its result view live in one allocation.
+type accTask[T any] struct {
+	box     sched.Box
+	value   T
+	lo, hi  int
+	newAcc  func() T
+	merge   func(T, T)
+	leaf    func(T, int, int)
+	pending *atomic.Int64
+	spanMax *atomic.Int64
+	rt      *RT
+	base    int64
+	recID   int
+}
+
+// Run implements sched.Task.
+func (t *accTask[T]) Run(w *sched.Worker) {
+	cc := newChildCtx(w, t.rt, t.base, t.recID)
+	t.value = Accumulate(cc, t.lo, t.hi, t.newAcc, t.merge, t.leaf)
+	maxInto(t.spanMax, cc.finish())
+	t.pending.Add(-1)
 }

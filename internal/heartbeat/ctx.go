@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"tpal/internal/sched"
+	"tpal/internal/trace"
 )
 
 // Ctx is a task's execution context: the worker it runs on plus its
@@ -187,6 +188,7 @@ func (c *Ctx) promoteOne() bool {
 	if c.rt.cfg.Policy == InnerFirst {
 		for i := len(c.marks) - 1; i >= 0; i-- {
 			if c.marks[i].promote(c) {
+				c.w.Trace(trace.EvPromotion, int64(InnerFirst), int64(i))
 				return true
 			}
 		}
@@ -194,17 +196,20 @@ func (c *Ctx) promoteOne() bool {
 	}
 	for i := 0; i < len(c.marks); i++ {
 		if c.marks[i].promote(c) {
+			c.w.Trace(trace.EvPromotion, int64(OuterFirst), int64(i))
 			return true
 		}
 	}
 	return false
 }
 
-// spawn pushes a task created by a promotion onto the current worker's
-// deque, where idle workers can steal it, and counts it.
-func (c *Ctx) spawn(t sched.Task) {
+// spawnBox pushes a promoted task's embedded box onto the current
+// worker's deque, where idle workers can steal it, and counts it. Every
+// promotion path allocates one task struct with an embedded sched.Box
+// and spawns through here, so a promotion is exactly one allocation.
+func (c *Ctx) spawnBox(b *sched.Box) {
 	c.w.Pool().CountTaskCreated()
-	c.w.Deque().PushBottom(t)
+	c.w.Deque().PushBottomBox(b)
 }
 
 // join is a completion counter for promoted tasks, carrying the maximum
@@ -266,17 +271,31 @@ func (m *callMark) promote(c *Ctx) bool {
 		return false
 	}
 	m.state = callPromoted
-	m.join = &join{}
-	m.join.pending.Store(1)
-	fn, rt := m.fn, c.rt
-	jp := m.join
-	base := c.SpanNow()
-	recID := c.recordSpawn()
-	c.spawn(sched.TaskFunc(func(w *sched.Worker) {
-		cc := newChildCtx(w, rt, base, recID)
-		fn(cc)
-		maxInto(&jp.spanMax, cc.finish())
-		jp.pending.Add(-1)
-	}))
+	t := &forkTask{fn: m.fn, rt: c.rt, base: c.SpanNow(), recID: c.recordSpawn()}
+	t.j.pending.Store(1)
+	m.join = &t.j
+	t.box.Bind(t)
+	c.spawnBox(&t.box)
 	return true
+}
+
+// forkTask is a promoted Fork2 branch: the deque box, the join, and the
+// captured state in one allocation. The join outlives the task (the
+// parent waits on it through the mark's join pointer), which is fine:
+// the whole struct stays reachable until both sides are done.
+type forkTask struct {
+	box   sched.Box
+	j     join
+	fn    func(*Ctx)
+	rt    *RT
+	base  int64
+	recID int
+}
+
+// Run implements sched.Task.
+func (t *forkTask) Run(w *sched.Worker) {
+	cc := newChildCtx(w, t.rt, t.base, t.recID)
+	t.fn(cc)
+	maxInto(&t.j.spanMax, cc.finish())
+	t.j.pending.Add(-1)
 }

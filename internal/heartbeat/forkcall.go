@@ -50,19 +50,32 @@ func (m *callMarkT[A]) promote(c *Ctx) bool {
 		return false
 	}
 	m.state = callPromoted
-	m.join = &join{}
-	m.join.pending.Store(1)
-	f, arg, rt := m.f, m.arg, c.rt
-	jp := m.join
-	base := c.SpanNow()
-	recID := c.recordSpawn()
-	c.spawn(sched.TaskFunc(func(w *sched.Worker) {
-		cc := newChildCtx(w, rt, base, recID)
-		f(cc, arg)
-		maxInto(&jp.spanMax, cc.finish())
-		jp.pending.Add(-1)
-	}))
+	t := &forkCallTask[A]{f: m.f, arg: m.arg, rt: c.rt, base: c.SpanNow(), recID: c.recordSpawn()}
+	t.j.pending.Store(1)
+	m.join = &t.j
+	t.box.Bind(t)
+	c.spawnBox(&t.box)
 	return true
+}
+
+// forkCallTask is a promoted Fork2Call branch: box, join, function, and
+// argument in one allocation (the typed counterpart of forkTask).
+type forkCallTask[A any] struct {
+	box   sched.Box
+	j     join
+	f     func(*Ctx, A)
+	arg   A
+	rt    *RT
+	base  int64
+	recID int
+}
+
+// Run implements sched.Task.
+func (t *forkCallTask[A]) Run(w *sched.Worker) {
+	cc := newChildCtx(w, t.rt, t.base, t.recID)
+	t.f(cc, t.arg)
+	maxInto(&t.j.spanMax, cc.finish())
+	t.j.pending.Add(-1)
 }
 
 // getCallT pops a typed call mark from the context's untyped pool when

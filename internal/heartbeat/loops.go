@@ -140,19 +140,40 @@ func (ls *loopState) promote(c *Ctx) bool {
 	ls.stop = mid
 
 	j.pending.Add(1)
-	flat, body, rt := ls.flat, ls.body, c.rt
-	base := c.SpanNow()
-	recID := c.recordSpawn()
-	c.spawn(sched.TaskFunc(func(w *sched.Worker) {
-		cc := newChildCtx(w, rt, base, recID)
-		child := cc.getLoopState()
-		child.next, child.stop, child.flat, child.body, child.join = childLo, childHi, flat, body, j
-		cc.runLoop(child)
-		cc.putLoopState(child)
-		maxInto(&j.spanMax, cc.finish())
-		j.pending.Add(-1)
-	}))
+	t := &loopTask{
+		next: childLo, stop: childHi,
+		flat: ls.flat, body: ls.body, j: j,
+		rt: c.rt, base: c.SpanNow(), recID: c.recordSpawn(),
+	}
+	t.box.Bind(t)
+	c.spawnBox(&t.box)
 	return true
+}
+
+// loopTask is a promoted loop half: box plus the child range in one
+// allocation. The join is the loop tree's shared one (allocated once,
+// at the tree's first promotion), so a steady-state loop promotion is a
+// single allocation.
+type loopTask struct {
+	box        sched.Box
+	next, stop int
+	flat       func(int)
+	body       func(*Ctx, int)
+	j          *join
+	rt         *RT
+	base       int64
+	recID      int
+}
+
+// Run implements sched.Task.
+func (t *loopTask) Run(w *sched.Worker) {
+	cc := newChildCtx(w, t.rt, t.base, t.recID)
+	child := cc.getLoopState()
+	child.next, child.stop, child.flat, child.body, child.join = t.next, t.stop, t.flat, t.body, t.j
+	cc.runLoop(child)
+	cc.putLoopState(child)
+	maxInto(&t.j.spanMax, cc.finish())
+	t.j.pending.Add(-1)
 }
 
 // Reduce folds leaf results over [lo, hi) with latent parallelism.
@@ -198,13 +219,33 @@ type reduceState[T any] struct {
 	acc        T
 	started    bool // acc holds a value (avoid combining with uninitialized zero when T's zero is not an identity)
 
-	children []*reduceChild[T]
+	children []*reduceTask[T]
 	pending  atomic.Int64
 	spanMax  atomic.Int64
 }
 
-type reduceChild[T any] struct {
-	value T
+// reduceTask is a promoted Reduce range: the task, its deque box, and
+// the slot its partial result lands in are one allocation. The parent's
+// reduceState carries the join counters, so nothing else is allocated.
+type reduceTask[T any] struct {
+	box     sched.Box
+	value   T
+	lo, hi  int
+	combine func(T, T) T
+	leaf    func(int, int) T
+	pending *atomic.Int64
+	spanMax *atomic.Int64
+	rt      *RT
+	base    int64
+	recID   int
+}
+
+// Run implements sched.Task.
+func (t *reduceTask[T]) Run(w *sched.Worker) {
+	cc := newChildCtx(w, t.rt, t.base, t.recID)
+	t.value = Reduce(cc, t.lo, t.hi, t.combine, t.leaf)
+	maxInto(t.spanMax, cc.finish())
+	t.pending.Add(-1)
 }
 
 func runReduce[T any](c *Ctx, rs *reduceState[T]) {
@@ -237,18 +278,15 @@ func (rs *reduceState[T]) promote(c *Ctx) bool {
 	childLo, childHi := mid, rs.stop
 	rs.stop = mid
 
-	node := &reduceChild[T]{}
-	rs.children = append(rs.children, node)
+	t := &reduceTask[T]{
+		lo: childLo, hi: childHi,
+		combine: rs.combine, leaf: rs.leaf,
+		pending: &rs.pending, spanMax: &rs.spanMax,
+		rt: c.rt, base: c.SpanNow(), recID: c.recordSpawn(),
+	}
+	rs.children = append(rs.children, t)
 	rs.pending.Add(1)
-	combine, leaf, rt := rs.combine, rs.leaf, c.rt
-	pending, spanMax := &rs.pending, &rs.spanMax
-	base := c.SpanNow()
-	recID := c.recordSpawn()
-	c.spawn(sched.TaskFunc(func(w *sched.Worker) {
-		cc := newChildCtx(w, rt, base, recID)
-		node.value = Reduce(cc, childLo, childHi, combine, leaf)
-		maxInto(spanMax, cc.finish())
-		pending.Add(-1)
-	}))
+	t.box.Bind(t)
+	c.spawnBox(&t.box)
 	return true
 }

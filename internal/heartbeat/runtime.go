@@ -19,6 +19,7 @@ import (
 
 	"tpal/internal/interrupt"
 	"tpal/internal/sched"
+	"tpal/internal/trace"
 	"tpal/internal/vtime"
 )
 
@@ -73,6 +74,12 @@ type Config struct {
 	// spawn point within its parent and its self-execution time — for
 	// replay on virtual cores with the vtime simulator.
 	Recorder *vtime.Recorder
+	// Tracer, when set, records typed scheduling events (task
+	// executions, steals, beat observations, promotions, join waits)
+	// into per-worker ring buffers; drain it after Run. Nil — the
+	// default — disables tracing at the cost of one nil check per
+	// event site. The tracer must have at least Workers lanes.
+	Tracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -133,6 +140,7 @@ func (s Stats) ProjectedTime(p int) time.Duration {
 // picks it up.
 func (rt *RT) Run(root func(*Ctx)) Stats {
 	pool := sched.NewPool(rt.cfg.Workers)
+	pool.SetTracer(rt.cfg.Tracer)
 	rt.cfg.Mechanism.Start(pool.Workers(), rt.cfg.Heartbeat)
 	var rootSpan int64
 	pool.Run(func(w *sched.Worker) {

@@ -54,14 +54,15 @@ func (m *CountingPoll) Start(workers []*sched.Worker, _ time.Duration) {
 	}
 }
 
-// Poll implements sched.BeatSource.
-func (s *pollState) Poll(*sched.Worker) bool {
+// Poll implements sched.BeatSource. Software polling has no interrupt
+// handler, so the penalty is always zero.
+func (s *pollState) Poll(*sched.Worker) (bool, int64) {
 	if s.countdown--; s.countdown > 0 {
-		return false
+		return false, 0
 	}
 	s.countdown = s.period
 	s.delivered++
-	return true
+	return true, 0
 }
 
 // Stop implements Mechanism.

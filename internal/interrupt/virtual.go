@@ -118,11 +118,14 @@ const (
 	sparsePollGap = 2000 // ns between reads above which skipping stops
 )
 
-// Poll implements sched.BeatSource.
-func (s *vstate) Poll(w *sched.Worker) bool {
+// Poll implements sched.BeatSource. The receive-side handler cost is
+// returned, not paid here: the worker pays it through its single
+// consume-and-pay path, so the accounting matches thread-driven
+// mechanisms exactly.
+func (s *vstate) Poll(w *sched.Worker) (bool, int64) {
 	if s.skip > 0 {
 		s.skip--
-		return false
+		return false, 0
 	}
 	now := time.Since(s.mech.started).Nanoseconds()
 	if now-s.lastRead < sparsePollGap*clockSkip {
@@ -130,17 +133,13 @@ func (s *vstate) Poll(w *sched.Worker) bool {
 	}
 	s.lastRead = now
 	if now < s.next {
-		return false
+		return false, 0
 	}
 	s.delivered++
-	if rc := s.mech.profile.RecvCost; rc > 0 {
-		w.AddPenalty(rc.Nanoseconds())
-		spinDelay(rc)
-	}
 	// Schedule the next beat from now: beats missed while the task was
 	// between polls are skipped, not bursted.
 	s.next = now + s.effPeriod + s.sampleSlop()
-	return true
+	return true, s.mech.profile.RecvCost.Nanoseconds()
 }
 
 // sampleSlop draws the per-beat extra delay: Exp(SlopMean) plus an

@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// idTask is a task carrying only its identity, for exactly-once checks.
+type idTask int
+
+func (idTask) Run(*Worker) {}
+
+// TestDequeGrowthUnderActiveStealing drives the ring through several
+// growth episodes (64 → 4096+) while thieves steal continuously, and
+// checks that every pushed task is taken exactly once — by the owner or
+// by exactly one thief — across the grow/steal races. Run under -race
+// (make race-test) this also checks the ring-swap publication.
+func TestDequeGrowthUnderActiveStealing(t *testing.T) {
+	const (
+		total   = 200_000
+		thieves = 4
+		burst   = 512 // pushes per owner burst, > initial capacity 64
+	)
+
+	d := NewDeque()
+	seen := make([]atomic.Int32, total)
+	var taken atomic.Int64
+
+	count := func(task Task) {
+		id := int(task.(idTask))
+		if n := seen[id].Add(1); n != 1 {
+			t.Errorf("task %d taken %d times", id, n)
+		}
+		taken.Add(1)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if task := d.Steal(); task != nil {
+					count(task)
+				} else {
+					runtime.Gosched()
+				}
+			}
+			// Final sweep: nothing may be left behind.
+			for {
+				task := d.Steal()
+				if task == nil {
+					return
+				}
+				count(task)
+			}
+		}()
+	}
+
+	// Owner: push bursts large enough to outgrow the ring repeatedly,
+	// then pop some back, interleaving the three bottom operations the
+	// Chase-Lev proof cares about.
+	next := 0
+	for next < total {
+		for i := 0; i < burst && next < total; i++ {
+			d.PushBottom(idTask(next))
+			next++
+		}
+		for i := 0; i < burst/4; i++ {
+			if task := d.PopBottom(); task != nil {
+				count(task)
+			}
+		}
+	}
+	for {
+		task := d.PopBottom()
+		if task == nil {
+			break
+		}
+		count(task)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// The owner can observe an empty deque while the last steal is still
+	// in flight; after wg.Wait everything is settled.
+	if got := taken.Load(); got != total {
+		missing := 0
+		for i := range seen {
+			if seen[i].Load() == 0 {
+				missing++
+			}
+		}
+		t.Fatalf("taken %d of %d tasks (%d never seen)", got, total, missing)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tpal/internal/trace"
 )
 
 // Pool is a set of workers executing tasks cooperatively through
@@ -46,6 +48,15 @@ func NewPool(n int) *Pool {
 // Workers returns the pool's workers, for interrupt mechanisms and
 // accounting.
 func (p *Pool) Workers() []*Worker { return p.workers }
+
+// SetTracer installs an event tracer on every worker (nil disables
+// tracing). Call before Run; the tracer must have at least as many
+// worker lanes as the pool has workers.
+func (p *Pool) SetTracer(t *trace.Tracer) {
+	for _, w := range p.workers {
+		w.tracer = t
+	}
+}
 
 // NumWorkers returns the worker count.
 func (p *Pool) NumWorkers() int { return len(p.workers) }
@@ -133,6 +144,7 @@ type Stats struct {
 	TasksCreated   int64
 	TasksExecuted  int64
 	Steals         int64
+	FailedSteals   int64
 	HeartbeatsSeen int64
 	PenaltyNanos   int64
 	BusyNanos      int64
@@ -150,6 +162,7 @@ func (p *Pool) Stats() Stats {
 	for _, w := range p.workers {
 		s.TasksExecuted += w.TasksExecuted
 		s.Steals += w.Steals
+		s.FailedSteals += w.FailedSteals
 		s.HeartbeatsSeen += w.HeartbeatsSeen
 		s.PenaltyNanos += w.PenaltyNanos
 		s.BusyNanos += w.BusyNanos

@@ -3,6 +3,8 @@ package sched
 import (
 	"sync/atomic"
 	"time"
+
+	"tpal/internal/trace"
 )
 
 // Worker is one scheduling thread of a Pool. Workers own a deque, a
@@ -39,6 +41,13 @@ type Worker struct {
 
 	execDepth int // nesting of execute (helping in joins re-enters)
 	busyStart time.Time
+
+	// tracer records typed events for this worker's lane; nil (the
+	// default) disables tracing — every hook below is a branch-on-nil.
+	tracer *trace.Tracer
+	// stealIdle marks that the previous steal sweep failed, so further
+	// failures of the same idle stretch are not re-recorded.
+	stealIdle bool
 }
 
 // ID returns the worker's index within its pool.
@@ -50,12 +59,24 @@ func (w *Worker) Pool() *Pool { return w.pool }
 // Deque returns the worker's deque.
 func (w *Worker) Deque() *Deque { return w.deque }
 
+// Tracer returns the worker's event tracer (nil when tracing is off).
+func (w *Worker) Tracer() *trace.Tracer { return w.tracer }
+
+// Trace records an event on this worker's trace lane. A no-op when no
+// tracer is installed. Owner-goroutine only.
+func (w *Worker) Trace(k trace.Kind, a, b int64) {
+	w.tracer.Record(w.id, k, a, b)
+}
+
 // BeatSource is a poll-driven heartbeat delivery model: the worker asks
-// it at every promotion-ready program point whether a beat fires. Only
-// the owning worker calls Poll, so implementations need no internal
-// synchronization for per-worker state.
+// it at every promotion-ready program point whether a beat fires and
+// what the beat's receive-side handler cost is. Only the owning worker
+// calls Poll, so implementations need no internal synchronization for
+// per-worker state. The worker — not the source — pays the returned
+// penalty, through the same consume-and-pay path as mailbox-delivered
+// beats, so PenaltyNanos accounting is uniform across mechanisms.
 type BeatSource interface {
-	Poll(w *Worker) bool
+	Poll(w *Worker) (fired bool, penaltyNanos int64)
 }
 
 // SetBeatSource installs (or, with nil, removes) a poll-driven delivery
@@ -74,14 +95,17 @@ func (w *Worker) AddSelfWork(nanos int64) { w.SelfWorkNanos += nanos }
 // PollHeartbeat is the promotion-ready program point's check: it
 // consults the installed beat source if any, else the heartbeat flag
 // raised by a thread-driven mechanism. It returns whether a beat fired,
-// having already paid the receive-side cost.
+// having already paid the receive-side cost: both delivery paths route
+// through the same consume-and-pay helper, so HeartbeatsSeen and
+// PenaltyNanos stay consistent whichever mechanism delivered the beat.
 func (w *Worker) PollHeartbeat() bool {
-	if w.beatSource != nil {
-		if w.beatSource.Poll(w) {
-			w.HeartbeatsSeen++
-			return true
+	if s := w.beatSource; s != nil {
+		fired, penalty := s.Poll(w)
+		if !fired {
+			return false
 		}
-		return false
+		w.consumeBeat(penalty)
+		return true
 	}
 	if w.hbFlag.Load() == 0 {
 		return false
@@ -96,6 +120,7 @@ func (w *Worker) PollHeartbeat() bool {
 func (w *Worker) RaiseHeartbeat(penaltyNanos int64) {
 	w.hbPenalty.Store(penaltyNanos)
 	w.hbFlag.Store(1)
+	w.tracer.RecordExternal(trace.EvBeatRaise, int64(w.id), penaltyNanos)
 }
 
 // HeartbeatPending reports whether a heartbeat is waiting, without
@@ -104,19 +129,42 @@ func (w *Worker) HeartbeatPending() bool {
 	return w.hbFlag.Load() != 0
 }
 
+// takeSeam, when non-nil, runs between the flag consume and the penalty
+// read inside TakeHeartbeat. Tests use it to pin the exact interleaving
+// of a concurrent RaiseHeartbeat against an in-flight take; it is nil
+// outside tests.
+var takeSeam func(*Worker)
+
 // TakeHeartbeat consumes a pending heartbeat, paying the simulated
-// handler cost, and reports whether one was pending.
+// handler cost, and reports whether one was pending. Both the flag and
+// the penalty are consumed with Swap so that a RaiseHeartbeat racing
+// with an in-flight take can never have its penalty paid twice: whoever
+// swaps the penalty out pays it, exactly once, and a later take of the
+// re-raised flag finds zero.
 func (w *Worker) TakeHeartbeat() bool {
-	if w.hbFlag.Load() == 0 {
+	if w.hbFlag.Swap(0) == 0 {
 		return false
 	}
-	w.hbFlag.Store(0)
-	w.HeartbeatsSeen++
-	if p := w.hbPenalty.Load(); p > 0 {
-		w.PenaltyNanos += p
-		spinFor(p)
+	if takeSeam != nil {
+		takeSeam(w)
 	}
+	w.consumeBeat(w.hbPenalty.Swap(0))
 	return true
+}
+
+// consumeBeat is the single consume-and-pay path for an observed
+// heartbeat, whatever mechanism delivered it: it counts the beat, pays
+// the receive-side handler cost (accounted and busy-waited, as a signal
+// handler's time would be), and records the trace events.
+// Owner-goroutine only.
+func (w *Worker) consumeBeat(penaltyNanos int64) {
+	w.HeartbeatsSeen++
+	w.Trace(trace.EvBeatObserve, penaltyNanos, 0)
+	if penaltyNanos > 0 {
+		w.PenaltyNanos += penaltyNanos
+		spinFor(penaltyNanos)
+		w.Trace(trace.EvBeatPenalty, penaltyNanos, 0)
+	}
 }
 
 // spinFor busy-waits for approximately d nanoseconds, simulating work
@@ -145,7 +193,9 @@ func (w *Worker) Execute(t Task) {
 	}
 	w.execDepth++
 	w.TasksExecuted++
+	w.Trace(trace.EvTaskStart, int64(w.execDepth), 0)
 	t.Run(w)
+	w.Trace(trace.EvTaskEnd, int64(w.execDepth), 0)
 	w.execDepth--
 	if w.execDepth == 0 {
 		w.BusyNanos += time.Since(w.busyStart).Nanoseconds()
@@ -156,6 +206,7 @@ func (w *Worker) Execute(t Task) {
 // victims. Returns nil when nothing was found in one sweep.
 func (w *Worker) PopOrSteal() Task {
 	if t := w.deque.PopBottom(); t != nil {
+		w.stealIdle = false
 		return t
 	}
 	return w.trySteal()
@@ -175,10 +226,18 @@ func (w *Worker) trySteal() Task {
 		}
 		if t := v.deque.Steal(); t != nil {
 			w.Steals++
+			w.stealIdle = false
+			w.Trace(trace.EvSteal, int64(v.id), 0)
 			return t
 		}
 	}
 	w.FailedSteals++
+	if !w.stealIdle {
+		// First failed sweep of an idle stretch: record once, not per
+		// spin, so an idle worker cannot flood its own ring.
+		w.stealIdle = true
+		w.Trace(trace.EvStealFail, int64(n-1), 0)
+	}
 	return nil
 }
 
@@ -188,6 +247,7 @@ func (w *Worker) trySteal() Task {
 func (w *Worker) WaitJoin(pending *atomic.Int64) {
 	var idleStart time.Time
 	idling := false
+	w.Trace(trace.EvJoinBegin, 0, 0)
 	for pending.Load() > 0 {
 		if t := w.PopOrSteal(); t != nil {
 			if idling {
@@ -206,4 +266,5 @@ func (w *Worker) WaitJoin(pending *atomic.Int64) {
 	if idling {
 		w.JoinIdleNanos += time.Since(idleStart).Nanoseconds()
 	}
+	w.Trace(trace.EvJoinEnd, 0, 0)
 }

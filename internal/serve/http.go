@@ -69,6 +69,11 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
 		return
 	}
+	// ?trace=1 is the query-parameter form of the body's "trace" field;
+	// either turns on per-job event tracing.
+	if v := r.URL.Query().Get("trace"); v == "1" || v == "true" {
+		req.Trace = true
+	}
 	j, err := s.Submit(req)
 	switch {
 	case errors.Is(err, ErrDraining):

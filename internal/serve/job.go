@@ -5,6 +5,7 @@ import (
 
 	"tpal/internal/tpal"
 	"tpal/internal/tpal/machine"
+	"tpal/internal/trace"
 )
 
 // Status is a job's position in the service state machine:
@@ -82,6 +83,43 @@ func statsOf(st machine.Stats) *JobStats {
 	}
 }
 
+// JobTrace is the wire summary of a traced execution: the tail of the
+// event stream (rendered, capped at jobTraceEventCap entries) plus the
+// exact aggregates, which cover overwritten events too. MaxGap is the
+// dynamic counterpart of the quote's static promotion-latency bound —
+// for latency-finite programs it must not exceed it.
+type JobTrace struct {
+	Events   []string         `json:"events,omitempty"`
+	Retained int              `json:"retained"` // ring events at drain, pre-cap
+	Dropped  int64            `json:"dropped"`  // overwritten by ring wrap
+	Counts   map[string]int64 `json:"counts"`
+	MaxGap   int64            `json:"max_promotion_gap"`
+	GapHist  map[string]int64 `json:"gap_hist,omitempty"`
+}
+
+// jobTraceEventCap bounds the rendered event list in job views; the
+// aggregate counters remain exact beyond it.
+const jobTraceEventCap = 64
+
+func jobTraceOf(tr *trace.Trace) *JobTrace {
+	jt := &JobTrace{
+		Retained: len(tr.Events),
+		Dropped:  tr.Dropped,
+		Counts:   tr.CountMap(),
+		MaxGap:   tr.MaxGap,
+		GapHist:  tr.GapHistMap(),
+	}
+	ev := tr.Events
+	if len(ev) > jobTraceEventCap {
+		ev = ev[len(ev)-jobTraceEventCap:]
+	}
+	jt.Events = make([]string, len(ev))
+	for i, e := range ev {
+		jt.Events[i] = e.String()
+	}
+	return jt
+}
+
 // Diag is one admission diagnostic in the wire format, the same shape
 // tpal-lint -json emits.
 type Diag struct {
@@ -103,6 +141,7 @@ type Job struct {
 	Diags       []Diag            // admission diagnostics (rejections)
 	Result      map[string]string // final register file, rendered
 	Stats       *JobStats
+	Trace       *JobTrace // drained trace summary (traced submissions only)
 	Error       string
 	Cached      bool // result served from the fingerprint cache
 
@@ -116,6 +155,7 @@ type Job struct {
 	heartbeat int64
 	signal    int64
 	timeout   time.Duration
+	traced    bool  // execute with a per-job tracer attached
 	cost      int64 // DRR accounting weight (= Quote.Budget)
 	cacheKey  string
 
@@ -136,6 +176,7 @@ type JobView struct {
 	Diags       []Diag            `json:"diags,omitempty"`
 	Result      map[string]string `json:"result,omitempty"`
 	Stats       *JobStats         `json:"stats,omitempty"`
+	Trace       *JobTrace         `json:"trace,omitempty"`
 	Error       string            `json:"error,omitempty"`
 	Cached      bool              `json:"cached,omitempty"`
 	QueueWaitMS float64           `json:"queue_wait_ms,omitempty"`
@@ -151,6 +192,7 @@ func (j *Job) view() JobView {
 		Diags:       j.Diags,
 		Result:      j.Result,
 		Stats:       j.Stats,
+		Trace:       j.Trace,
 		Error:       j.Error,
 		Cached:      j.Cached,
 	}

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"time"
+
 	"tpal/internal/stats"
 )
 
@@ -46,15 +48,25 @@ type Metrics struct {
 	Throttled      int64 // 429s: submissions bounced off the full queue
 	AnalysisHits   int64
 	ResultHits     int64
+	TracedJobs     int64 // executions run with a per-job tracer
 
-	queueWait *metricSamples // submission → first execution step
-	exec      *metricSamples // execution duration
+	// ExecNanos accumulates executor-busy wall time across finished
+	// runs; Promotions accumulates heartbeat handler entries across
+	// successful runs. Together they derive the busy-fraction and
+	// promotion-rate gauges of /metrics.
+	ExecNanos  int64
+	Promotions int64
+
+	queueWait   *metricSamples   // submission → first execution step
+	exec        *metricSamples   // execution duration
+	traceCounts map[string]int64 // per-kind event totals over traced jobs
 }
 
 func newMetrics() *Metrics {
 	return &Metrics{
-		queueWait: newSamples(4096),
-		exec:      newSamples(4096),
+		queueWait:   newSamples(4096),
+		exec:        newSamples(4096),
+		traceCounts: make(map[string]int64),
 	}
 }
 
@@ -72,10 +84,25 @@ type MetricsSnapshot struct {
 	AnalysisHits   int64 `json:"analysis_cache_hits"`
 	ResultHits     int64 `json:"result_cache_hits"`
 
-	QueueDepth int `json:"queue_depth"`
-	InFlight   int `json:"in_flight"`
-	Workers    int `json:"workers"`
+	QueueDepth int  `json:"queue_depth"`
+	InFlight   int  `json:"in_flight"`
+	Workers    int  `json:"workers"`
 	Draining   bool `json:"draining"`
+
+	// TenantDeficits exposes the DRR fairness state: the current credit
+	// of every backlogged tenant (absent tenants are idle and hold no
+	// credit by construction).
+	TenantDeficits map[string]int64 `json:"tenant_deficits,omitempty"`
+	// BusyFraction is accumulated execution time over uptime × workers:
+	// how much of the executor pool's capacity has gone to running jobs.
+	BusyFraction float64 `json:"executor_busy_fraction"`
+	// PromotionRate is heartbeat promotions per executor-busy second
+	// across completed runs — the service-level promotion intensity.
+	PromotionRate float64 `json:"promotion_rate_per_sec"`
+	TracedJobs    int64   `json:"traced_jobs"`
+	// TraceEventCounts totals drained per-kind event counts over all
+	// traced jobs.
+	TraceEventCounts map[string]int64 `json:"trace_event_counts,omitempty"`
 
 	QueueWaitP50MS float64 `json:"queue_wait_p50_ms"`
 	QueueWaitP99MS float64 `json:"queue_wait_p99_ms"`
@@ -91,25 +118,48 @@ func (s *Service) Snapshot() MetricsSnapshot {
 	m := s.metrics
 	wait := m.queueWait.values()
 	exec := m.exec.values()
+	busy := 0.0
+	if up := time.Since(s.started).Nanoseconds() * int64(s.cfg.Workers); up > 0 {
+		busy = float64(m.ExecNanos) / float64(up)
+		if busy > 1 {
+			busy = 1
+		}
+	}
+	rate := 0.0
+	if m.ExecNanos > 0 {
+		rate = float64(m.Promotions) / (float64(m.ExecNanos) / float64(time.Second))
+	}
+	var counts map[string]int64
+	if len(m.traceCounts) > 0 {
+		counts = make(map[string]int64, len(m.traceCounts))
+		for k, n := range m.traceCounts {
+			counts[k] = n
+		}
+	}
 	return MetricsSnapshot{
-		Submitted:      m.Submitted,
-		Admitted:       m.Admitted,
-		Rejected:       m.Rejected,
-		Completed:      m.Completed,
-		Failed:         m.Failed,
-		BudgetExceeded: m.BudgetExceeded,
-		Timeouts:       m.Timeouts,
-		Canceled:       m.Canceled,
-		Throttled:      m.Throttled,
-		AnalysisHits:   m.AnalysisHits,
-		ResultHits:     m.ResultHits,
-		QueueDepth:     s.queue.len(),
-		InFlight:       len(s.inflight),
-		Workers:        s.cfg.Workers,
-		Draining:       s.draining,
-		QueueWaitP50MS: stats.Percentile(wait, 50),
-		QueueWaitP99MS: stats.Percentile(wait, 99),
-		ExecP50MS:      stats.Percentile(exec, 50),
-		ExecP99MS:      stats.Percentile(exec, 99),
+		Submitted:        m.Submitted,
+		Admitted:         m.Admitted,
+		Rejected:         m.Rejected,
+		Completed:        m.Completed,
+		Failed:           m.Failed,
+		BudgetExceeded:   m.BudgetExceeded,
+		Timeouts:         m.Timeouts,
+		Canceled:         m.Canceled,
+		Throttled:        m.Throttled,
+		AnalysisHits:     m.AnalysisHits,
+		ResultHits:       m.ResultHits,
+		QueueDepth:       s.queue.len(),
+		InFlight:         len(s.inflight),
+		Workers:          s.cfg.Workers,
+		Draining:         s.draining,
+		TenantDeficits:   s.queue.deficits(),
+		BusyFraction:     busy,
+		PromotionRate:    rate,
+		TracedJobs:       m.TracedJobs,
+		TraceEventCounts: counts,
+		QueueWaitP50MS:   stats.Percentile(wait, 50),
+		QueueWaitP99MS:   stats.Percentile(wait, 99),
+		ExecP50MS:        stats.Percentile(exec, 50),
+		ExecP99MS:        stats.Percentile(exec, 99),
 	}
 }

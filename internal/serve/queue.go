@@ -75,6 +75,20 @@ func (q *drrQueue) pop() *Job {
 	}
 }
 
+// deficits snapshots the DRR credit of every backlogged tenant, for
+// the /metrics fairness gauge. Idle tenants hold no credit (pop clears
+// it), so only the ring is reported. Returns nil when nothing is queued.
+func (q *drrQueue) deficits() map[string]int64 {
+	if len(q.ring) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(q.ring))
+	for _, tq := range q.ring {
+		out[tq.key] = tq.deficit
+	}
+	return out
+}
+
 // drainAll empties the queue and returns every job that was waiting,
 // in tenant-ring order.
 func (q *drrQueue) drainAll() []*Job {

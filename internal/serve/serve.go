@@ -26,7 +26,12 @@ import (
 
 	"tpal/internal/tpal"
 	"tpal/internal/tpal/machine"
+	"tpal/internal/trace"
 )
+
+// jobTraceCapacity is the per-job ring size: 1<<14 events bounds a
+// traced job's memory at ~650 KB while keeping whole small runs.
+const jobTraceCapacity = 1 << 14
 
 // Submission errors. The HTTP layer maps these to status codes; direct
 // callers can errors.Is against them.
@@ -138,6 +143,13 @@ type SubmitRequest struct {
 	Fuel int64 `json:"fuel"`
 	// TimeoutMS overrides the default deadline, capped by MaxTimeout.
 	TimeoutMS int64 `json:"timeout_ms"`
+	// Trace requests per-job event tracing: the run executes with a
+	// ring-buffer tracer attached and the job record carries the drained
+	// trace summary (GET /v1/jobs/{id} returns it under "trace"). The
+	// HTTP layer also accepts it as the ?trace=1 query parameter on
+	// POST /v1/jobs. Traced submissions bypass the result cache so the
+	// trace always reflects a real execution.
+	Trace bool `json:"trace"`
 }
 
 // cachedResult is a completed run memoized by resultKey.
@@ -166,6 +178,7 @@ type Service struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
+	started    time.Time
 
 	// hookRunning, when set by tests, observes each job as its
 	// execution begins.
@@ -190,6 +203,7 @@ func New(cfg Config) *Service {
 		analysisCache: make(map[string]*admission),
 		resultCache:   make(map[string]*cachedResult),
 		metrics:       newMetrics(),
+		started:       time.Now(),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
@@ -288,6 +302,7 @@ func (s *Service) Submit(req SubmitRequest) (*Job, error) {
 		heartbeat:   heartbeat,
 		signal:      s.cfg.SignalPeriod,
 		timeout:     timeout,
+		traced:      req.Trace,
 		done:        make(chan struct{}),
 	}
 	if req.Fuel > 0 && req.Fuel < j.Quote.Budget {
@@ -318,7 +333,7 @@ func (s *Service) Submit(req SubmitRequest) (*Job, error) {
 		return j, nil
 	}
 
-	if cached, ok := s.resultCache[j.cacheKey]; ok {
+	if cached, ok := s.resultCache[j.cacheKey]; ok && !j.traced {
 		j.Status = StatusDone
 		j.Result = cached.result
 		j.Stats = cached.stats
@@ -383,6 +398,11 @@ func (s *Service) execute(j *Job) {
 	s.mu.Unlock()
 	defer cancel()
 
+	var tracer *trace.Tracer
+	if j.traced {
+		tracer = trace.New(1, jobTraceCapacity)
+	}
+
 	// Admission already ran the full pipeline (and cached it), so the
 	// machine's own load-time verification pass is skipped.
 	res, err := machine.Run(j.prog, machine.Config{
@@ -393,20 +413,31 @@ func (s *Service) execute(j *Job) {
 		Context:      ctx,
 		Regs:         j.regs,
 		SkipVerify:   true,
+		Tracer:       tracer,
 	})
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j.Finished = time.Now()
-	s.metrics.exec.add(float64(j.Finished.Sub(j.Started)) / float64(time.Millisecond))
+	execNanos := j.Finished.Sub(j.Started).Nanoseconds()
+	s.metrics.exec.add(float64(execNanos) / float64(time.Millisecond))
+	s.metrics.ExecNanos += execNanos
 	delete(s.inflight, j.ID)
 	j.cancel = nil
+	if tracer != nil {
+		j.Trace = jobTraceOf(tracer.Drain())
+		s.metrics.TracedJobs++
+		for k, n := range j.Trace.Counts {
+			s.metrics.traceCounts[k] += n
+		}
+	}
 
 	switch {
 	case err == nil:
 		j.Status = StatusDone
 		j.Result = renderRegs(res.Regs)
 		j.Stats = statsOf(res.Stats)
+		s.metrics.Promotions += res.Stats.HandlerRuns
 		s.resultCache[j.cacheKey] = &cachedResult{result: j.Result, stats: j.Stats}
 		s.metrics.Completed++
 	case errors.Is(err, machine.ErrFuel), errors.Is(err, machine.ErrMaxSteps):

@@ -73,6 +73,7 @@ func (m *Machine) execTerm(t *Task, term tpal.Term) error {
 		m.halted = true
 		m.finalRegs = t.regs
 		m.noteGap(t)
+		m.traceTask(t, TraceTaskEnd)
 		m.stats.Span = t.span
 		return nil
 

@@ -9,6 +9,7 @@ import (
 
 	"tpal/internal/tpal"
 	"tpal/internal/tpal/analysis"
+	"tpal/internal/trace"
 )
 
 // SchedulePolicy selects how the machine interleaves runnable tasks.
@@ -82,6 +83,13 @@ type Config struct {
 	// task lifecycle events — the Appendix D execution-trace view. Use
 	// WriteTrace to render to a writer.
 	Trace func(TraceEvent)
+	// Tracer, when set, records the run's coarse-grained events — task
+	// lifecycle, promotions, fuel checkpoints, promotion-latency gap
+	// closures — into the shared runtime tracer (lane 0; the machine is
+	// single-threaded). Unlike Trace it is not per-instruction, so it
+	// stays cheap on long runs, and its gap events feed the histogram
+	// that the trace tools compare against the static TP050 bound.
+	Tracer *trace.Tracer
 }
 
 // Stats aggregates execution statistics, including the cost-semantics
@@ -210,6 +218,7 @@ func New(prog *tpal.Program, cfg Config) (*Machine, error) {
 	root.label, root.block = entry.Label, entry
 	m.tasks = []*Task{root}
 	m.stats.MaxLiveTasks = 1
+	m.traceTask(root, TraceTaskStart)
 	return m, nil
 }
 
@@ -269,6 +278,13 @@ func (m *Machine) checkBudget() error {
 			return fmt.Errorf("%w: %w", ErrInterrupted, context.Cause(m.cfg.Context))
 		default:
 		}
+	}
+	if m.cfg.Tracer != nil && m.stats.Steps&ctxCheckMask == 0 {
+		remaining := int64(-1)
+		if m.cfg.Fuel > 0 {
+			remaining = m.cfg.Fuel - m.stats.Steps
+		}
+		m.cfg.Tracer.Record(0, trace.EvFuelCheck, m.stats.Steps, remaining)
 	}
 	return nil
 }
@@ -381,6 +397,7 @@ func (m *Machine) noteGap(t *Task) {
 	if t.sincePrppt > m.stats.MaxPromotionGap {
 		m.stats.MaxPromotionGap = t.sincePrppt
 	}
+	m.cfg.Tracer.Record(0, trace.EvGap, t.sincePrppt, int64(t.id))
 	t.sincePrppt = 0
 }
 

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"tpal/internal/tpal"
+	"tpal/internal/trace"
 )
 
 // TraceEvent describes one machine transition, in the style of the
@@ -72,6 +73,9 @@ func (m *Machine) traceStep(t *Task) {
 }
 
 func (m *Machine) tracePromotion(t *Task) {
+	// The runtime tracer and the per-instruction Trace hook are
+	// independent: either may be set without the other.
+	m.cfg.Tracer.Record(0, trace.EvPromotion, int64(t.id), t.cycles)
 	if m.cfg.Trace == nil {
 		return
 	}
@@ -82,6 +86,11 @@ func (m *Machine) tracePromotion(t *Task) {
 }
 
 func (m *Machine) traceTask(t *Task, kind TraceKind) {
+	if kind == TraceTaskStart {
+		m.cfg.Tracer.Record(0, trace.EvTaskStart, int64(t.id), 0)
+	} else if kind == TraceTaskEnd {
+		m.cfg.Tracer.Record(0, trace.EvTaskEnd, int64(t.id), 0)
+	}
 	if m.cfg.Trace == nil {
 		return
 	}
