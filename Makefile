@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-test serve-test lint fuzz bench-rt ci
+.PHONY: build test vet race race-test serve-test autopar-test lint fuzz bench-rt ci
 
 build:
 	$(GO) build ./...
@@ -27,23 +27,38 @@ race-test:
 serve-test:
 	$(GO) test -race ./internal/serve ./cmd/tpal-serve
 
+# autopar-test runs the auto-parallelizer's certification contract
+# under the Go race detector: the pass's own suite (every rewrite
+# re-verified and compared against sequential interpretation across
+# the schedule matrix), the differential oracle over the minipar
+# corpus, the golden CLI verdict tables, and the serve admission path.
+autopar-test:
+	$(GO) test -race ./internal/minipar ./internal/minipar/autopar ./cmd/minipar
+	$(GO) test -race ./internal/serve -run AutoParallelize
+	$(GO) test -race ./cmd/tpal-lint -run Autopar
+
 # lint runs the static TPAL verifier — including the interference
 # (determinacy-race) pass — over the built-in corpus and every
 # checked-in minipar sample; any diagnostic (warnings included) fails.
 lint:
 	$(GO) run ./cmd/tpal-lint -Werror -race
 	$(GO) run ./cmd/tpal-lint -Werror -race internal/minipar/testdata
+	$(GO) run ./cmd/tpal-lint -Werror -race -autopar examples/autopar
 
 # fuzz is the CI smoke stage: a short run of each analysis fuzzer (go
 # test accepts one -fuzz pattern at a time, so they run back to back).
 # FuzzVerify checks verifier soundness against the machine; FuzzLiveness
 # checks the promotion-liveness invariants on prppt-stripped mutants;
 # FuzzRaceAgreement checks that every race the dynamic sanitizer finds
-# is also flagged by the static interference pass.
+# is also flagged by the static interference pass. FuzzAutoPar throws
+# generated sequential minipar programs at the auto-parallelizer and
+# holds it to the certification contract: clean re-verification,
+# silent sanitizer, results identical to sequential interpretation.
 fuzz:
 	$(GO) test ./internal/tpal/analysis -run='^$$' -fuzz='^FuzzVerify$$' -fuzztime=10s
 	$(GO) test ./internal/tpal/analysis -run='^$$' -fuzz='^FuzzLiveness$$' -fuzztime=10s
 	$(GO) test ./internal/tpal/analysis -run='^$$' -fuzz='^FuzzRaceAgreement$$' -fuzztime=10s
+	$(GO) test ./internal/minipar/autopar -run='^$$' -fuzz='^FuzzAutoPar$$' -fuzztime=10s
 
 # bench-rt rewrites BENCH_rt.json, the committed runtime perf baseline:
 # plus-reduce-array and mergesort-uniform walls with the tracer disabled
@@ -54,4 +69,4 @@ fuzz:
 bench-rt:
 	$(GO) run ./cmd/tpal-trace -bench-rt -reps 5 -out BENCH_rt.json
 
-ci: vet build race race-test serve-test lint fuzz bench-rt
+ci: vet build race race-test serve-test autopar-test lint fuzz bench-rt

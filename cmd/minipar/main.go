@@ -1,0 +1,163 @@
+// Command minipar is the minipar front end. It compiles programs to
+// TPAL assembly, and with -auto runs the auto-parallelizing dependence
+// pass first: sequential loops in counted induction form become parfor
+// (with a reduction clause where the accumulate idiom holds), adjacent
+// independent loop-bearing statements become par, and every rewrite is
+// certified — the rewritten program must pass the full verification
+// pipeline, interference pass included, with zero diagnostics, or the
+// site is blocked and reported with its TP07x reason.
+//
+// Usage:
+//
+//	minipar program.mp                 # compile; print TPAL assembly
+//	minipar -auto program.mp           # auto-parallelize; print the verdict table
+//	minipar -auto -v program.mp        # verbose verdicts + certified bounds
+//	minipar -auto -src program.mp      # also print the transformed source
+//	minipar -auto -o out.mp program.mp # write the transformed source to out.mp
+//	minipar -run 8,3 program.mp        # interpret with arguments 8 and 3
+//	minipar -auto -run 8 program.mp    # sequential vs auto-parallel run + stats
+//	minipar -auto -threshold 128 ...   # raise the spawn-cost threshold
+//
+// Exit status: 0 on success, 1 when compilation or the transform fails
+// (or an -auto -run disagrees with the sequential result, which would
+// mean a certification bug), 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"tpal/internal/minipar"
+	"tpal/internal/minipar/autopar"
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/machine"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole tool behind a testable seam.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("minipar", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		auto      = fs.Bool("auto", false, "run the auto-parallelizing pass and print the per-site verdict table")
+		verbose   = fs.Bool("v", false, "verbose verdicts: candidate descriptions and certified bounds")
+		showSrc   = fs.Bool("src", false, "print the transformed source (with -auto)")
+		outPath   = fs.String("o", "", "write the transformed source to this file (with -auto)")
+		runArgs   = fs.String("run", "", "comma-separated integer arguments: run the program")
+		heartbeat = fs.Int64("heartbeat", 40, "heartbeat period for -auto -run machine execution")
+		threshold = fs.Int64("threshold", autopar.DefaultSpawnThreshold, "spawn-cost threshold: minimum estimated work per site")
+		trips     = fs.Int64("trips", autopar.DefaultTripAssume, "assumed trip count for loops with unknown bounds")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "minipar: exactly one program file expected")
+		fs.Usage()
+		return 2
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "minipar: %v\n", err)
+		return 2
+	}
+	prog, err := minipar.Parse(string(src))
+	if err != nil {
+		fmt.Fprintf(stderr, "minipar: %v\n", err)
+		return 1
+	}
+
+	var argv []int64
+	if *runArgs != "" {
+		for _, f := range strings.Split(*runArgs, ",") {
+			n, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				fmt.Fprintf(stderr, "minipar: bad -run argument %q: %v\n", f, err)
+				return 2
+			}
+			argv = append(argv, n)
+		}
+	}
+	if *runArgs != "" && len(argv) != len(prog.Params) {
+		fmt.Fprintf(stderr, "minipar: program takes %d parameter(s), -run gave %d\n", len(prog.Params), len(argv))
+		return 2
+	}
+
+	if !*auto {
+		if *runArgs != "" {
+			got, err := minipar.Interpret(prog, argv)
+			if err != nil {
+				fmt.Fprintf(stderr, "minipar: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "result: %d\n", got)
+			return 0
+		}
+		asm, err := minipar.Compile(prog)
+		if err != nil {
+			fmt.Fprintf(stderr, "minipar: %v\n", err)
+			return 1
+		}
+		fmt.Fprint(stdout, asm.String())
+		return 0
+	}
+
+	res, err := autopar.Transform(prog, autopar.Options{SpawnThreshold: *threshold, TripAssume: *trips})
+	if err != nil {
+		fmt.Fprintf(stderr, "minipar: %v\n", err)
+		return 1
+	}
+	fmt.Fprint(stdout, res.Table(*verbose))
+	if *showSrc {
+		fmt.Fprintf(stdout, "\n%s", res.Source)
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(res.Source), 0o644); err != nil {
+			fmt.Fprintf(stderr, "minipar: %v\n", err)
+			return 1
+		}
+	}
+	if *runArgs == "" {
+		return 0
+	}
+
+	// -auto -run: the certification contract, live. The sequential
+	// interpretation of the original program and a traced heartbeat run
+	// of the auto-parallelized machine code must agree exactly.
+	want, err := minipar.Interpret(prog, argv)
+	if err != nil {
+		fmt.Fprintf(stderr, "minipar: sequential run: %v\n", err)
+		return 1
+	}
+	regs := make(machine.RegFile, len(argv))
+	for i, name := range res.Program.Params {
+		regs[tpal.Reg(name)] = machine.IntV(argv[i])
+	}
+	mres, err := machine.Run(res.Compiled, machine.Config{Heartbeat: *heartbeat, RaceDetect: true, Regs: regs})
+	if err != nil {
+		fmt.Fprintf(stderr, "minipar: machine run: %v\n", err)
+		return 1
+	}
+	got, ok := mres.Regs.Get("result").AsInt()
+	if !ok {
+		fmt.Fprintf(stderr, "minipar: result register holds %s\n", mres.Regs.Get("result"))
+		return 1
+	}
+	fmt.Fprintf(stdout, "\nsequential result:    %d\n", want)
+	fmt.Fprintf(stdout, "parallel result:      %d (heartbeat %d, race detector on)\n", got, *heartbeat)
+	fmt.Fprintf(stdout, "machine stats:        %d steps, %d forks, %d joins, %d promotions handled\n",
+		mres.Stats.Steps, mres.Stats.Forks, mres.Stats.Joins, mres.Stats.HandlerRuns)
+	if got != want {
+		fmt.Fprintln(stderr, "minipar: MISMATCH between sequential and parallel results — certification bug")
+		return 1
+	}
+	fmt.Fprintln(stdout, "results agree")
+	return 0
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runTool drives the tool through its testable seam and returns the
+// exit code plus captured stdout and stderr.
+func runTool(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestAutoExamplesGolden pins the -auto -v verdict tables for the
+// before/after pairs under examples/autopar: the map loop and the
+// reduction parallelize, the loop-carried dependence is blocked with
+// its TP071 reason, and in every case the transformed source matches
+// the checked-in .auto.mp twin byte for byte.
+func TestAutoExamplesGolden(t *testing.T) {
+	t.Chdir("../..")
+	for _, name := range []string{"map", "reduce", "carried"} {
+		t.Run(name, func(t *testing.T) {
+			golden, err := os.ReadFile(filepath.Join("cmd", "minipar", "testdata", name+".golden"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			code, out, errOut := runTool(t, "-auto", "-v", "examples/autopar/"+name+".mp")
+			if code != 0 {
+				t.Fatalf("exit code = %d, stderr: %s", code, errOut)
+			}
+			if out != string(golden) {
+				t.Errorf("-auto -v output diverged from %s.golden:\n--- got ---\n%s\n--- want ---\n%s", name, out, golden)
+			}
+
+			after, err := os.ReadFile("examples/autopar/" + name + ".auto.mp")
+			if err != nil {
+				t.Fatal(err)
+			}
+			code, src, errOut := runTool(t, "-auto", "-src", "examples/autopar/"+name+".mp")
+			if code != 0 {
+				t.Fatalf("-src exit code = %d, stderr: %s", code, errOut)
+			}
+			// -src appends the transformed source after the table and a
+			// blank line.
+			if !strings.HasSuffix(src, "\n"+string(after)) {
+				t.Errorf("transformed source diverged from %s.auto.mp:\n--- got ---\n%s\n--- want ---\n%s", name, src, after)
+			}
+		})
+	}
+}
+
+// TestAutoRunAgreement is the certification contract at the CLI: the
+// auto-parallelized machine run (race detector on) must agree with the
+// sequential interpretation, and on the reduction kernel the heartbeat
+// must cause real promotions — the loop actually runs in parallel.
+func TestAutoRunAgreement(t *testing.T) {
+	t.Chdir("../..")
+	code, out, errOut := runTool(t, "-auto", "-run", "400", "-heartbeat", "30", "examples/autopar/reduce.mp")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "results agree") {
+		t.Errorf("missing agreement line in:\n%s", out)
+	}
+	want := "21253400" // sum of i*i for i in [0,400) = 399*400*799/6
+	if !strings.Contains(out, "sequential result:    "+want) {
+		t.Errorf("missing sequential result %s in:\n%s", want, out)
+	}
+	// The stats line is "machine stats: N steps, N forks, ..." — forks
+	// must be nonzero for the run to have exercised the parallelism.
+	if strings.Contains(out, " 0 forks") {
+		t.Errorf("auto-parallelized run never forked:\n%s", out)
+	}
+}
+
+// TestCompileAndInterpret covers the non-auto paths: plain compilation
+// prints TPAL assembly, -run interprets sequentially.
+func TestCompileAndInterpret(t *testing.T) {
+	t.Chdir("../..")
+	code, out, errOut := runTool(t, "examples/autopar/reduce.mp")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "program ") {
+		t.Errorf("compile output is not TPAL assembly:\n%s", out)
+	}
+	code, out, _ = runTool(t, "-run", "10", "examples/autopar/reduce.mp")
+	if code != 0 || !strings.Contains(out, "result: 285") {
+		t.Errorf("interpret: code=%d out=%q, want result: 285", code, out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runTool(t); code != 2 {
+		t.Errorf("no-args exit code = %d, want 2", code)
+	}
+	if code, _, _ := runTool(t, "-run", "1,2,3", "../../examples/autopar/reduce.mp"); code != 2 {
+		t.Errorf("arity-mismatch exit code = %d, want 2", code)
+	}
+}

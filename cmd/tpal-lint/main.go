@@ -18,6 +18,7 @@
 //	tpal-lint -latency program.tpal   # print the promotion-latency report
 //	tpal-lint -race program.tpal      # also run the interference (race) pass
 //	tpal-lint -json ./progs           # machine-readable report on stdout
+//	tpal-lint -autopar ./progs        # what would the autopar pass do (read-only)
 //
 // Exit status: 0 when every program is clean (warnings allowed unless
 // -Werror), 1 when any program has diagnostics that fail the run —
@@ -36,6 +37,7 @@ import (
 	"strings"
 
 	"tpal/internal/minipar"
+	"tpal/internal/minipar/autopar"
 	"tpal/internal/tpal"
 	"tpal/internal/tpal/analysis"
 	"tpal/internal/tpal/asm"
@@ -98,8 +100,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		latency  = fs.Bool("latency", false, "print the per-program promotion-latency and cost report")
 		races    = fs.Bool("race", false, "run the static interference (determinacy-race) pass")
 		jsonMode = fs.Bool("json", false, "emit one JSON report per program on stdout")
+		autoPar  = fs.Bool("autopar", false, "report what the auto-parallelizing pass would do to each minipar program (read-only)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *autoPar && *jsonMode {
+		fmt.Fprintln(stderr, "tpal-lint: -autopar and -json cannot be combined")
 		return 2
 	}
 
@@ -166,6 +173,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 				regs = params
 			}
 			lint(path, p, regs)
+			if *autoPar && strings.HasSuffix(path, ".mp") {
+				if !reportAutopar(stdout, path) {
+					failed = true
+				}
+			}
 		}
 	}
 
@@ -181,6 +193,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// reportAutopar prints what the auto-parallelizing pass would do to one
+// minipar file: the per-site verdict table, without writing anything.
+// Returns false when the program cannot even enter the pass (it is not
+// certification-clean), which fails the run.
+func reportAutopar(w io.Writer, path string) bool {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(w, "%s: autopar: %v\n", path, err)
+		return false
+	}
+	res, err := autopar.TransformSource(string(src), autopar.Options{})
+	if err != nil {
+		fmt.Fprintf(w, "%s: autopar: %v\n", path, err)
+		return false
+	}
+	if len(res.Sites) == 0 {
+		fmt.Fprintf(w, "%s: autopar: no candidate sites\n", path)
+		return true
+	}
+	for _, line := range strings.Split(strings.TrimRight(res.Table(false), "\n"), "\n") {
+		fmt.Fprintf(w, "%s: autopar: %s\n", path, line)
+	}
+	return true
 }
 
 // printLatency renders the scheduling report for one program.

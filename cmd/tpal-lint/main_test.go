@@ -123,3 +123,27 @@ func TestCorpusCleanWithRace(t *testing.T) {
 		t.Fatalf("corpus lint with -race -Werror failed (exit %d)\nstdout: %s\nstderr: %s", code, out, errOut)
 	}
 }
+
+// TestAutoparReport covers the -autopar read-only mode: minipar files
+// get a per-site verdict table prefixed with the path, .tpal files are
+// silently skipped by the reporter, and -autopar -json is rejected as
+// a usage error.
+func TestAutoparReport(t *testing.T) {
+	t.Chdir("../..")
+	code, out, errOut := runTool(t, "-autopar", "examples/autopar")
+	if code != 0 {
+		t.Fatalf("exit code = %d\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+	for _, want := range []string{
+		"examples/autopar/reduce.mp: autopar:",
+		"parallelized",
+		"blocked TP071",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in -autopar report:\n%s", want, out)
+		}
+	}
+	if code, _, _ := runTool(t, "-autopar", "-json", "examples/autopar"); code != 2 {
+		t.Errorf("-autopar -json exit code = %d, want 2", code)
+	}
+}

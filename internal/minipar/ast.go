@@ -95,6 +95,19 @@ type ReduceClause struct {
 	Op  BinOp // OpAdd or OpMul
 }
 
+// Par runs two independent statement sequences with latent parallelism:
+// serially A then B by default, with a promotion-ready point that lets a
+// heartbeat fork B into its own task. The checker enforces independence
+// (disjoint write/write and read/write sets across the branches, no
+// call or return inside either), which makes the serial and promoted
+// elaborations agree. Par is the statement-pair counterpart of parfor;
+// the autopar pass inserts it for provably independent adjacent
+// statements.
+type Par struct {
+	A, B []Stmt
+	Pos  Pos
+}
+
 // Return delivers the program result.
 type Return struct {
 	Expr Expr
@@ -106,6 +119,7 @@ func (Assign) stmt()  {}
 func (If) stmt()      {}
 func (While) stmt()   {}
 func (ParFor) stmt()  {}
+func (Par) stmt()     {}
 func (Return) stmt()  {}
 
 // Expr is an expression node.

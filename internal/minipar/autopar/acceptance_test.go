@@ -1,0 +1,115 @@
+// Wall-clock comparisons are meaningless under the Go race detector's
+// instrumentation, so the acceptance demo is gated out of -race runs
+// (the functional half is covered there by the rest of the suite).
+//go:build !race
+
+package autopar
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"tpal/internal/heartbeat"
+	"tpal/internal/interrupt"
+	"tpal/internal/tpal/machine"
+)
+
+// plusReduceSrc is the acceptance kernel: a plus-reduce written
+// sequentially, exactly as a programmer who has never heard of parfor
+// would write it.
+const plusReduceSrc = `
+params n
+var s = 0
+var i = 0
+while i < n {
+    s = s + i
+    i = i + 1
+}
+return s
+`
+
+// TestAcceptancePlusReduce is the PR's acceptance demo: the
+// sequentially-written plus-reduce kernel goes through the pass, its
+// loop gets forked with a reduction clause and a predicted speedup, a
+// heartbeat machine run shows real promotions with the sequential
+// answer, and the same reduction on the heartbeat runtime at 4 workers
+// beats the sequential loop in measured wall-clock time.
+func TestAcceptancePlusReduce(t *testing.T) {
+	res, err := TransformSource(plusReduceSrc, Options{})
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	if res.Parallelized != 1 || len(res.Sites) != 1 {
+		t.Fatalf("expected exactly one parallelized site, got %+v", res.Sites)
+	}
+	site := res.Sites[0]
+	if site.Reduce != "reduce(s, +)" {
+		t.Errorf("site reduce = %q, want reduce(s, +)", site.Reduce)
+	}
+	if site.Speedup <= 1 {
+		t.Errorf("predicted speedup = %v, want > 1", site.Speedup)
+	}
+
+	// The simulated heartbeat run: real promotions, sequential answer,
+	// race sanitizer on.
+	const n = 2000
+	got, stats := runMachine(t, res.Compiled, res.Program.Params, []int64{n},
+		machine.Config{Heartbeat: 30, RaceDetect: true})
+	if want := int64(n) * (n - 1) / 2; got != want {
+		t.Fatalf("machine = %d, want %d", got, want)
+	}
+	if stats.HandlerRuns == 0 || stats.Forks == 0 {
+		t.Fatalf("heartbeat run promoted nothing: %+v", stats)
+	}
+	t.Logf("machine: %d steps, %d forks, %d promotions, predicted speedup %.1fx",
+		stats.Steps, stats.Forks, stats.HandlerRuns, site.Speedup)
+
+	// The wall-clock half: the same reduction on the heartbeat runtime.
+	if runtime.NumCPU() < 4 {
+		t.Skipf("wall-clock comparison needs 4 cores, have %d", runtime.NumCPU())
+	}
+	const big = 1 << 23
+	leaf := func(lo, hi int) int64 {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += int64(i)
+		}
+		return s
+	}
+	wantBig := leaf(0, big)
+
+	minOver := func(reps int, f func() int64) (time.Duration, int64) {
+		best := time.Duration(1<<62 - 1)
+		var out int64
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			out = f()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best, out
+	}
+
+	seqWall, seqGot := minOver(5, func() int64 { return leaf(0, big) })
+	parWall, parGot := minOver(5, func() int64 {
+		var s int64
+		heartbeat.Run(heartbeat.Config{
+			Workers:   4,
+			Mechanism: interrupt.NewPingThread(),
+		}, func(c *heartbeat.Ctx) {
+			s = heartbeat.Reduce(c, 0, big,
+				func(a, b int64) int64 { return a + b }, leaf)
+		})
+		return s
+	})
+	if seqGot != wantBig || parGot != wantBig {
+		t.Fatalf("results diverged: seq %d, par %d, want %d", seqGot, parGot, wantBig)
+	}
+	t.Logf("wall-clock at 4 workers: sequential %v, parallel %v (%.2fx)",
+		seqWall, parWall, float64(seqWall)/float64(parWall))
+	if parWall >= seqWall {
+		t.Errorf("4-worker heartbeat run (%v) did not beat the sequential loop (%v)", parWall, seqWall)
+	}
+}

@@ -1,0 +1,270 @@
+// Package autopar is the auto-parallelizing pass over minipar: a
+// source-level dependence analysis that finds sequential loops in
+// counted induction form and adjacent independent statements, rewrites
+// them to the language's latent-parallel constructs (parfor with a
+// reduction clause where the accumulate idiom holds, par for statement
+// pairs), and certifies every rewrite end to end before keeping it.
+//
+// Certification is the point. A rewrite is accepted only if the whole
+// rewritten program compiles and passes the full assembly-level
+// verification pipeline — structural checks, latency bounds, and the
+// static interference pass (the TP06x region-disjointness analysis of
+// the would-be branches) — with zero diagnostics. The contract tests
+// and fuzzer extend this with the dynamic half: every accepted program
+// is run under the vector-clock sanitizer across the schedule matrix
+// and must produce results identical to sequential interpretation.
+//
+// Every candidate site gets a verdict: parallelized (with the predicted
+// speedup from the profitability model) or blocked with an
+// informational TP07x code saying exactly which part of the dependence
+// argument failed.
+package autopar
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"tpal/internal/minipar"
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/analysis"
+)
+
+// Defaults for Options.
+const (
+	DefaultSpawnThreshold = 64
+	DefaultTripAssume     = 1024
+	DefaultTau            = 64
+)
+
+// Options tunes the pass.
+type Options struct {
+	// SpawnThreshold is the minimum estimated work (in cost-model
+	// steps) a site must carry before forking it can pay for itself;
+	// below it the site is blocked with TP073.
+	SpawnThreshold int64
+	// TripAssume is the trip count assumed for loops whose bounds are
+	// not literal, matching the admission quote's convention.
+	TripAssume int64
+	// Tau is the per-spawn charge in the speedup prediction, standing
+	// in for the heartbeat spacing.
+	Tau int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SpawnThreshold <= 0 {
+		o.SpawnThreshold = DefaultSpawnThreshold
+	}
+	if o.TripAssume <= 0 {
+		o.TripAssume = DefaultTripAssume
+	}
+	if o.Tau <= 0 {
+		o.Tau = DefaultTau
+	}
+	return o
+}
+
+// Verdict is the per-site outcome of the pass.
+type Verdict struct {
+	Pos          minipar.Pos   `json:"pos"`
+	Kind         string        `json:"kind"` // "loop" or "pair"
+	Desc         string        `json:"desc"`
+	Parallelized bool          `json:"parallelized"`
+	Reduce       string        `json:"reduce,omitempty"` // accumulate idiom, e.g. "reduce(s, +)"
+	Code         analysis.Code `json:"code,omitempty"`   // blocking TP07x code when not parallelized
+	Reason       string        `json:"reason,omitempty"`
+	Trips        int64         `json:"trips,omitempty"`
+	EstWork      int64         `json:"est_work,omitempty"`
+	Speedup      float64       `json:"speedup,omitempty"`
+}
+
+// Decision is the short decision column: "parallelized" or
+// "blocked TPnnn".
+func (v Verdict) Decision() string {
+	if v.Parallelized {
+		return "parallelized"
+	}
+	return "blocked " + string(v.Code)
+}
+
+// Detail is the long column: what was inserted and the predicted
+// payoff, or why the site was blocked.
+func (v Verdict) Detail() string {
+	if !v.Parallelized {
+		return v.Reason
+	}
+	ins := "parfor"
+	if v.Kind == "pair" {
+		ins = "par"
+	}
+	if v.Reduce != "" {
+		ins += " " + v.Reduce
+	}
+	return fmt.Sprintf("%s; est work %d, predicted speedup %.1fx", ins, v.EstWork, v.Speedup)
+}
+
+func (v Verdict) String() string {
+	return fmt.Sprintf("%s %s %s: %s", v.Pos, v.Kind, v.Decision(), v.Detail())
+}
+
+// Result is the outcome of Transform.
+type Result struct {
+	// Program is the rewritten AST (a deep copy; the input program is
+	// never mutated) and Source its minipar rendering.
+	Program *minipar.Program
+	Source  string
+	// Compiled is the certified TPAL assembly of the rewritten program.
+	Compiled *tpal.Program
+	// Sites are the per-candidate verdicts in source order.
+	Sites        []Verdict
+	Parallelized int
+	Blocked      int
+	// WorkBound and SpanBound are the assembly-level estimator's
+	// symbolic bounds for the rewritten program.
+	WorkBound string
+	SpanBound string
+	// SeqWork and ParSpan are the source cost model's sequential work
+	// and parallel critical path, and Speedup their ratio — the
+	// program-level predicted payoff.
+	SeqWork int64
+	ParSpan int64
+	Speedup float64
+}
+
+// Transform runs the pass. The input must be a checked program; it is
+// cloned, never mutated. An error means the input itself was rejected
+// (it fails checking or is not certification-clean before any rewrite);
+// per-site failures are verdicts, not errors.
+func Transform(p *minipar.Program, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := minipar.Check(p); err != nil {
+		return nil, err
+	}
+	work := cloneProgram(p)
+	if reason, ok := certify(work); !ok {
+		return nil, fmt.Errorf("autopar: input program is not certification-clean before any rewrite: %s", reason)
+	}
+	w := &walker{opts: opts, names: collectNames(work)}
+	work.Body = w.processList(work.Body, func(l []minipar.Stmt) *minipar.Program {
+		return &minipar.Program{Params: work.Params, Funcs: work.Funcs, Body: l}
+	})
+
+	asm, err := minipar.Compile(work)
+	if err != nil {
+		// Every accepted rewrite certified the whole program, so the
+		// final state must compile.
+		return nil, fmt.Errorf("autopar: internal error: certified program failed to compile: %w", err)
+	}
+	rep := analysis.Analyze(asm, analysis.Options{EntryRegs: entryRegs(work.Params), Races: true})
+
+	sort.SliceStable(w.verdicts, func(a, b int) bool {
+		va, vb := w.verdicts[a], w.verdicts[b]
+		if va.Pos.Line != vb.Pos.Line {
+			return va.Pos.Line < vb.Pos.Line
+		}
+		if va.Pos.Col != vb.Pos.Col {
+			return va.Pos.Col < vb.Pos.Col
+		}
+		return va.Kind < vb.Kind
+	})
+
+	res := &Result{
+		Program:  work,
+		Source:   minipar.Format(work),
+		Compiled: asm,
+		Sites:    w.verdicts,
+		SeqWork:  costStmts(p.Body, opts.TripAssume),
+		ParSpan:  spanStmts(work.Body, opts.TripAssume, opts.Tau),
+	}
+	for _, v := range res.Sites {
+		if v.Parallelized {
+			res.Parallelized++
+		} else {
+			res.Blocked++
+		}
+	}
+	if res.ParSpan > 0 {
+		res.Speedup = float64(res.SeqWork) / float64(res.ParSpan)
+	}
+	if res.Speedup < 1 {
+		res.Speedup = 1
+	}
+	if rep.Work != nil {
+		res.WorkBound = rep.Work.String()
+	}
+	if rep.Span != nil {
+		res.SpanBound = rep.Span.String()
+	}
+	return res, nil
+}
+
+// TransformSource parses, checks, and transforms minipar source.
+func TransformSource(src string, opts Options) (*Result, error) {
+	p, err := minipar.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Transform(p, opts)
+}
+
+// Table renders the per-site verdict table. Verbose adds the candidate
+// description column and the certified symbolic bounds.
+func (r *Result) Table(verbose bool) string {
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	if verbose {
+		fmt.Fprintln(tw, "SITE\tKIND\tCANDIDATE\tDECISION\tDETAIL")
+	} else {
+		fmt.Fprintln(tw, "SITE\tKIND\tDECISION\tDETAIL")
+	}
+	for _, v := range r.Sites {
+		if verbose {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n", v.Pos, v.Kind, v.Desc, v.Decision(), v.Detail())
+		} else {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", v.Pos, v.Kind, v.Decision(), v.Detail())
+		}
+	}
+	tw.Flush()
+	fmt.Fprintf(&b, "\n%d site(s): %d parallelized, %d blocked\n", len(r.Sites), r.Parallelized, r.Blocked)
+	if r.Parallelized > 0 {
+		fmt.Fprintf(&b, "predicted program speedup %.1fx (est work %d, est span %d)\n", r.Speedup, r.SeqWork, r.ParSpan)
+	}
+	if verbose && r.WorkBound != "" {
+		fmt.Fprintf(&b, "certified work bound: %s\ncertified span bound: %s\n",
+			truncate(r.WorkBound, 100), truncate(r.SpanBound, 100))
+	}
+	return b.String()
+}
+
+// truncate keeps table output readable: the symbolic bounds of a deeply
+// nested program run to kilobytes (Result carries them in full).
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+func entryRegs(params []string) []tpal.Reg {
+	regs := make([]tpal.Reg, len(params))
+	for i, name := range params {
+		regs[i] = tpal.Reg(name)
+	}
+	return regs
+}
+
+// certify compiles the whole program and runs the full verification
+// pipeline with the interference pass on; the certification contract is
+// zero diagnostics, warnings included.
+func certify(p *minipar.Program) (string, bool) {
+	asm, err := minipar.Compile(p)
+	if err != nil {
+		return err.Error(), false
+	}
+	diags := analysis.VerifyWith(asm, analysis.Options{EntryRegs: entryRegs(p.Params), Races: true})
+	if len(diags) > 0 {
+		return diags[0].String(), false
+	}
+	return "", true
+}

@@ -1,0 +1,572 @@
+package autopar
+
+import (
+	"strings"
+	"testing"
+
+	"tpal/internal/minipar"
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/analysis"
+	"tpal/internal/tpal/machine"
+)
+
+// interpret runs a program through the reference interpreter.
+func interpret(t *testing.T, p *minipar.Program, args []int64) int64 {
+	t.Helper()
+	got, err := minipar.Interpret(p, args)
+	if err != nil {
+		t.Fatalf("interpret: %v", err)
+	}
+	return got
+}
+
+// runMachine executes a compiled program on the simulator.
+func runMachine(t *testing.T, asm *tpal.Program, params []string, args []int64, cfg machine.Config) (int64, machine.Stats) {
+	t.Helper()
+	regs := make(machine.RegFile, len(args))
+	for i, name := range params {
+		regs[tpal.Reg(name)] = machine.IntV(args[i])
+	}
+	cfg.Regs = regs
+	res, err := machine.Run(asm, cfg)
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	v, ok := res.Regs.Get("result").AsInt()
+	if !ok {
+		t.Fatalf("result register holds %s", res.Regs.Get("result"))
+	}
+	return v, res.Stats
+}
+
+// scheduleMatrix is the config set the certification contract runs the
+// transformed program under: serial, small heartbeats under each
+// scheduling order, all with the dynamic race sanitizer on.
+var scheduleMatrix = []machine.Config{
+	{RaceDetect: true},
+	{RaceDetect: true, Heartbeat: 30},
+	{RaceDetect: true, Heartbeat: 30, Schedule: machine.RandomOrder, Seed: 7},
+	{RaceDetect: true, Heartbeat: 30, Schedule: machine.DepthFirst},
+	{RaceDetect: true, Heartbeat: 300},
+}
+
+// certifyEquivalent asserts the full certification contract for one
+// transformed program and one argument vector: sequential interpretation
+// of the original equals interpretation of the transformed program
+// equals every machine run across the schedule matrix, race detector on.
+func certifyEquivalent(t *testing.T, src string, res *Result, args []int64) {
+	t.Helper()
+	orig := minipar.MustParse(src)
+	want := interpret(t, orig, args)
+	if got := interpret(t, res.Program, args); got != want {
+		t.Fatalf("transformed program interprets to %d, sequential original to %d\n%s", got, want, res.Source)
+	}
+	for _, cfg := range scheduleMatrix {
+		got, _ := runMachine(t, res.Compiled, res.Program.Params, args, cfg)
+		if got != want {
+			t.Fatalf("heartbeat=%d sched=%d: machine = %d, sequential = %d\n%s",
+				cfg.Heartbeat, cfg.Schedule, got, want, res.Source)
+		}
+	}
+}
+
+func TestTransformReductionAndPair(t *testing.T) {
+	src := `
+params n
+var s = 0
+var p = 1
+var i = 0
+while i < n {
+    s = s + i * i
+    i = i + 1
+}
+var j = 0
+while j < n {
+    p = p * 2
+    j = j + 1
+}
+var k = 0
+while k < 4 {
+    s = s + k
+    k = k + 1
+}
+return s + p`
+	res, err := TransformSource(src, Options{})
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	if res.Parallelized != 3 || res.Blocked != 1 {
+		t.Fatalf("got %d parallelized, %d blocked; want 3/1\n%s", res.Parallelized, res.Blocked, res.Table(true))
+	}
+	if !strings.Contains(res.Source, "par {") {
+		t.Fatalf("the two independent loops did not pair into a par:\n%s", res.Source)
+	}
+	if !strings.Contains(res.Source, "reduce(s, +)") || !strings.Contains(res.Source, "reduce(p, *)") {
+		t.Fatalf("reduction clauses missing:\n%s", res.Source)
+	}
+	var blocked *Verdict
+	for i := range res.Sites {
+		if !res.Sites[i].Parallelized {
+			blocked = &res.Sites[i]
+		} else if res.Sites[i].Speedup < 1 {
+			t.Fatalf("parallelized site %v predicts speedup %v < 1", res.Sites[i], res.Sites[i].Speedup)
+		}
+	}
+	if blocked == nil || blocked.Code != analysis.CodeAutoUnprofitable {
+		t.Fatalf("small loop should be blocked TP073, got %+v", blocked)
+	}
+	for _, n := range []int64{0, 1, 17, 64} {
+		certifyEquivalent(t, src, res, []int64{n})
+	}
+}
+
+// TestTransformPromotes pins that the auto-parallelized output really
+// forks under a small heartbeat — auto-parallelism must be promotable,
+// not just certified.
+func TestTransformPromotes(t *testing.T) {
+	src := `
+params n
+var s = 0
+var i = 0
+while i < n {
+    s = s + i
+    i = i + 1
+}
+return s`
+	res, err := TransformSource(src, Options{})
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	if res.Parallelized != 1 {
+		t.Fatalf("loop not parallelized:\n%s", res.Table(true))
+	}
+	got, stats := runMachine(t, res.Compiled, res.Program.Params, []int64{400}, machine.Config{Heartbeat: 30})
+	if got != 400*399/2 {
+		t.Fatalf("result = %d, want %d", got, 400*399/2)
+	}
+	if stats.Forks == 0 {
+		t.Fatalf("auto-parallelized loop never promoted; stats: %+v", stats)
+	}
+}
+
+// TestTransformFixup: when the induction variable is live after the
+// loop, the rewrite must preserve its exit value.
+func TestTransformFixup(t *testing.T) {
+	src := `
+params n
+var s = 0
+var i = 0
+while i < n {
+    s = s + i
+    i = i + 1
+}
+return s + i * 100`
+	res, err := TransformSource(src, Options{})
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	if res.Parallelized != 1 {
+		t.Fatalf("loop not parallelized:\n%s", res.Table(true))
+	}
+	if !strings.Contains(res.Source, "if i < n {") {
+		t.Fatalf("exit-value fixup missing for live index:\n%s", res.Source)
+	}
+	for _, n := range []int64{0, 1, 9, 40} {
+		certifyEquivalent(t, src, res, []int64{n})
+	}
+}
+
+// TestTransformInclusiveBound: while i <= n rewrites to [i, n+1).
+func TestTransformInclusiveBound(t *testing.T) {
+	src := `
+params n
+var s = 0
+var i = 0
+while i <= n {
+    s = s + i
+    i = i + 1
+}
+return s + i`
+	res, err := TransformSource(src, Options{})
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	if res.Parallelized != 1 {
+		t.Fatalf("inclusive-bound loop not parallelized:\n%s", res.Table(true))
+	}
+	for _, n := range []int64{0, 1, 13, 33} {
+		certifyEquivalent(t, src, res, []int64{n})
+	}
+}
+
+// TestTransformFlippedBound: n > i spells the same iteration space.
+func TestTransformFlippedBound(t *testing.T) {
+	src := `
+params n
+var s = 0
+var i = 0
+while n > i {
+    s = s + 2 * i
+    i = i + 1
+}
+return s`
+	res, err := TransformSource(src, Options{})
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	if res.Parallelized != 1 {
+		t.Fatalf("flipped-bound loop not parallelized:\n%s", res.Table(true))
+	}
+	for _, n := range []int64{0, 21} {
+		certifyEquivalent(t, src, res, []int64{n})
+	}
+}
+
+// TestTransformNestedLoops: an outer counted loop whose body is itself
+// parallelized becomes a nested parfor reduction.
+func TestTransformNestedLoops(t *testing.T) {
+	src := `
+params n, m
+var s = 0
+var i = 0
+while i < n {
+    var j = 0
+    while j < m {
+        s = s + i + j
+        j = j + 1
+    }
+    i = i + 1
+}
+return s`
+	res, err := TransformSource(src, Options{})
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	if res.Parallelized != 2 {
+		t.Fatalf("want both nest levels parallelized, got:\n%s", res.Table(true))
+	}
+	if strings.Contains(res.Source, "while") {
+		t.Fatalf("a while survived in a fully parallelizable nest:\n%s", res.Source)
+	}
+	for _, args := range [][]int64{{0, 0}, {3, 5}, {8, 8}} {
+		certifyEquivalent(t, src, res, args)
+	}
+}
+
+// TestTransformEnclosingLoop: an inner candidate inside a sequential
+// outer loop must keep its exit-value fixup, because the outer loop
+// re-reads the index on its next iteration.
+func TestTransformEnclosingLoop(t *testing.T) {
+	src := `
+params n
+var s = 0
+var i = 0
+var o = 0
+while o < n {
+    i = 0
+    while i < n {
+        s = s + 1
+        i = i + 1
+    }
+    o = o + 1
+}
+return s + i`
+	res, err := TransformSource(src, Options{})
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	if res.Parallelized < 1 {
+		t.Fatalf("inner loop not parallelized:\n%s", res.Table(true))
+	}
+	for _, n := range []int64{0, 1, 6} {
+		certifyEquivalent(t, src, res, []int64{n})
+	}
+}
+
+// TestTransformVerdicts pins the blocking codes: each source carries
+// one candidate that must be blocked for the stated TP07x reason.
+func TestTransformVerdicts(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		code   analysis.Code
+		reason string // substring of the verdict reason
+	}{
+		{
+			name: "non-unit-step",
+			src: `
+params n
+var s = 0
+var i = 0
+while i < n {
+    s = s + i
+    i = i + 2
+}
+return s`,
+			code:   analysis.CodeAutoNotCounted,
+			reason: "induction step",
+		},
+		{
+			name: "down-counting",
+			src: `
+params n
+var s = 0
+var i = n
+while i > 0 {
+    s = s + i
+    i = i - 1
+}
+return s`,
+			code:   analysis.CodeAutoNotCounted,
+			reason: "induction step",
+		},
+		{
+			name: "non-invariant-bound",
+			src: `
+params n
+var s = 0
+var m = n
+var i = 0
+while i < m {
+    s = s + 1
+    m = m - 1
+    i = i + 1
+}
+return s`,
+			code:   analysis.CodeAutoNotCounted,
+			reason: "not invariant",
+		},
+		{
+			name: "loop-carried-not-reducible",
+			src: `
+params n
+var s = 0
+var i = 0
+while i < n {
+    s = s * 2 + 1
+    i = i + 1
+}
+return s`,
+			code:   analysis.CodeAutoLoopCarried,
+			reason: "accumulator shape",
+		},
+		{
+			name: "two-accumulators",
+			src: `
+params n
+var s = 0
+var q = 0
+var i = 0
+while i < n {
+    s = s + i
+    q = q + i * i
+    i = i + 1
+}
+return s + q`,
+			code:   analysis.CodeAutoLoopCarried,
+			reason: "multiple variables",
+		},
+		{
+			name: "accumulator-observed",
+			src: `
+params n
+var s = 0
+var i = 0
+while i < n {
+    s = s + i
+    if s > 100 {
+        i = i + 1
+    }
+    i = i + 1
+}
+return s`,
+			code:   analysis.CodeAutoNotCounted,
+			reason: "written outside the induction step",
+		},
+		{
+			name: "call-in-body",
+			src: `
+params n
+func fib(m) {
+    if m < 2 { return m }
+    parcall a, b = fib(m - 1), fib(m - 2)
+    return a + b
+}
+var s = 0
+var i = 0
+while i < n {
+    s = call fib(5)
+    i = i + 1
+}
+return s`,
+			code:   analysis.CodeAutoUnsupported,
+			reason: "call",
+		},
+		{
+			name: "return-in-body",
+			src: `
+params n
+var s = 0
+var i = 0
+while i < n {
+    if s > 10 {
+        return s
+    }
+    s = s + i
+    i = i + 1
+}
+return s`,
+			code:   analysis.CodeAutoUnsupported,
+			reason: "return",
+		},
+		{
+			name: "below-threshold",
+			src: `
+params n
+var s = 0
+var i = 0
+while i < 4 {
+    s = s + i
+    i = i + 1
+}
+return s + n`,
+			code:   analysis.CodeAutoUnprofitable,
+			reason: "spawn-cost threshold",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := TransformSource(tc.src, Options{})
+			if err != nil {
+				t.Fatalf("transform: %v", err)
+			}
+			found := false
+			for _, v := range res.Sites {
+				if v.Code == tc.code && strings.Contains(v.Reason, tc.reason) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no verdict with code %s and reason %q; table:\n%s", tc.code, tc.reason, res.Table(true))
+			}
+			// A blocked program must still be intact: interpretation of
+			// the (possibly partially transformed) output matches.
+			certifyEquivalent(t, tc.src, res, []int64{11})
+		})
+	}
+}
+
+// TestTransformPairDependence: two substantial loops that share an
+// accumulator parallelize individually but may not pair.
+func TestTransformPairDependence(t *testing.T) {
+	src := `
+params n
+var s = 0
+var i = 0
+while i < n {
+    s = s + i
+    i = i + 1
+}
+var j = 0
+while j < n {
+    s = s + j * j
+    j = j + 1
+}
+return s`
+	res, err := TransformSource(src, Options{})
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	var pair *Verdict
+	for i := range res.Sites {
+		if res.Sites[i].Kind == "pair" {
+			pair = &res.Sites[i]
+		}
+	}
+	if pair == nil || pair.Parallelized || pair.Code != analysis.CodeAutoDependent {
+		t.Fatalf("pair should be blocked TP075, got %+v; table:\n%s", pair, res.Table(true))
+	}
+	if res.Parallelized != 2 {
+		t.Fatalf("both loops should still parallelize individually:\n%s", res.Table(true))
+	}
+	for _, n := range []int64{0, 19} {
+		certifyEquivalent(t, src, res, []int64{n})
+	}
+}
+
+// TestTransformInputUnchanged: Transform must not mutate its input.
+func TestTransformInputUnchanged(t *testing.T) {
+	src := `
+params n
+var s = 0
+var i = 0
+while i < n {
+    s = s + i
+    i = i + 1
+}
+return s`
+	p := minipar.MustParse(src)
+	before := minipar.Format(p)
+	if _, err := Transform(p, Options{}); err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	if after := minipar.Format(p); after != before {
+		t.Fatalf("Transform mutated its input:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+}
+
+// TestTransformAlreadyParallel: parfor and par in the input survive and
+// produce no loop verdicts of their own.
+func TestTransformAlreadyParallel(t *testing.T) {
+	src := `
+params n
+var s = 0
+parfor i in 0 .. n reduce(s, +) {
+    s = s + i
+}
+var p = 1
+var j = 0
+while j < n {
+    p = p * 2
+    j = j + 1
+}
+return s + p`
+	res, err := TransformSource(src, Options{})
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	if res.Parallelized < 1 {
+		t.Fatalf("while loop next to a parfor not parallelized:\n%s", res.Table(true))
+	}
+	for _, n := range []int64{0, 15} {
+		certifyEquivalent(t, src, res, []int64{n})
+	}
+}
+
+// TestVerdictTableShape pins the verdict table's first line and the
+// decision vocabulary.
+func TestVerdictTableShape(t *testing.T) {
+	src := `
+params n
+var s = 0
+var i = 0
+while i < n {
+    s = s + i
+    i = i + 1
+}
+return s`
+	res, err := TransformSource(src, Options{})
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	table := res.Table(false)
+	if !strings.HasPrefix(table, "SITE") {
+		t.Fatalf("table missing header:\n%s", table)
+	}
+	if !strings.Contains(table, "parallelized") || !strings.Contains(table, "1 site(s): 1 parallelized, 0 blocked") {
+		t.Fatalf("table missing verdict summary:\n%s", table)
+	}
+	if !strings.Contains(table, "predicted program speedup") {
+		t.Fatalf("table missing predicted speedup:\n%s", table)
+	}
+}

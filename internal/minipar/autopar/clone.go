@@ -1,0 +1,261 @@
+package autopar
+
+import "tpal/internal/minipar"
+
+// cloneProgram deep-copies a program so the pass can rewrite freely
+// without mutating the caller's AST. Positions are preserved: verdicts
+// point at the original source.
+func cloneProgram(p *minipar.Program) *minipar.Program {
+	q := &minipar.Program{
+		Params: append([]string{}, p.Params...),
+		Funcs:  append([]minipar.FuncDecl{}, p.Funcs...),
+		Body:   cloneStmts(p.Body, nil),
+	}
+	return q
+}
+
+// cloneStmts deep-copies a statement list, optionally renaming variable
+// *reads* (VarRef nodes) via ren. The loop rewrite uses the rename to
+// substitute a fresh parfor index for the while's induction variable;
+// candidate screening guarantees the variable is never written, shadowed,
+// or used as a reduce accumulator inside the region, so renaming reads is
+// a complete substitution.
+func cloneStmts(ss []minipar.Stmt, ren map[string]string) []minipar.Stmt {
+	out := make([]minipar.Stmt, 0, len(ss))
+	for _, s := range ss {
+		out = append(out, cloneStmt(s, ren))
+	}
+	return out
+}
+
+func cloneStmt(s minipar.Stmt, ren map[string]string) minipar.Stmt {
+	switch st := s.(type) {
+	case minipar.VarDecl:
+		st.Init = cloneExpr(st.Init, ren)
+		return st
+	case minipar.Assign:
+		st.Expr = cloneExpr(st.Expr, ren)
+		return st
+	case minipar.If:
+		st.Cond = cloneExpr(st.Cond, ren)
+		st.Then = cloneStmts(st.Then, ren)
+		st.Else = cloneStmts(st.Else, ren)
+		return st
+	case minipar.While:
+		st.Cond = cloneExpr(st.Cond, ren)
+		st.Body = cloneStmts(st.Body, ren)
+		return st
+	case minipar.ParFor:
+		st.Lo = cloneExpr(st.Lo, ren)
+		st.Hi = cloneExpr(st.Hi, ren)
+		if st.Reduce != nil {
+			rc := *st.Reduce
+			st.Reduce = &rc
+		}
+		st.Body = cloneStmts(st.Body, ren)
+		return st
+	case minipar.Par:
+		st.A = cloneStmts(st.A, ren)
+		st.B = cloneStmts(st.B, ren)
+		return st
+	case minipar.Return:
+		st.Expr = cloneExpr(st.Expr, ren)
+		return st
+	case minipar.Call:
+		st.Arg = cloneExpr(st.Arg, ren)
+		return st
+	}
+	return s
+}
+
+func cloneExpr(e minipar.Expr, ren map[string]string) minipar.Expr {
+	switch ex := e.(type) {
+	case minipar.VarRef:
+		if to, ok := ren[ex.Name]; ok {
+			ex.Name = to
+		}
+		return ex
+	case minipar.Binary:
+		ex.L = cloneExpr(ex.L, ren)
+		ex.R = cloneExpr(ex.R, ren)
+		return ex
+	}
+	return e
+}
+
+// stmtPos extracts a statement's source position.
+func stmtPos(s minipar.Stmt) minipar.Pos {
+	switch st := s.(type) {
+	case minipar.VarDecl:
+		return st.Pos
+	case minipar.Assign:
+		return st.Pos
+	case minipar.If:
+		return st.Pos
+	case minipar.While:
+		return st.Pos
+	case minipar.ParFor:
+		return st.Pos
+	case minipar.Par:
+		return st.Pos
+	case minipar.Return:
+		return st.Pos
+	case minipar.Call:
+		return st.Pos
+	}
+	return minipar.Pos{}
+}
+
+// collectNames gathers every identifier the program mentions, so fresh
+// index variables never collide with anything.
+func collectNames(p *minipar.Program) map[string]bool {
+	names := map[string]bool{}
+	for _, n := range p.Params {
+		names[n] = true
+	}
+	for _, fd := range p.Funcs {
+		names[fd.Name] = true
+		names[fd.Param] = true
+		names[fd.AName] = true
+		names[fd.BName] = true
+	}
+	var exprNames func(minipar.Expr)
+	exprNames = func(e minipar.Expr) {
+		switch ex := e.(type) {
+		case minipar.VarRef:
+			names[ex.Name] = true
+		case minipar.Binary:
+			exprNames(ex.L)
+			exprNames(ex.R)
+		}
+	}
+	var walk func([]minipar.Stmt)
+	walk = func(ss []minipar.Stmt) {
+		for _, s := range ss {
+			switch st := s.(type) {
+			case minipar.VarDecl:
+				names[st.Name] = true
+				exprNames(st.Init)
+			case minipar.Assign:
+				names[st.Name] = true
+				exprNames(st.Expr)
+			case minipar.If:
+				exprNames(st.Cond)
+				walk(st.Then)
+				walk(st.Else)
+			case minipar.While:
+				exprNames(st.Cond)
+				walk(st.Body)
+			case minipar.ParFor:
+				names[st.Var] = true
+				exprNames(st.Lo)
+				exprNames(st.Hi)
+				if st.Reduce != nil {
+					names[st.Reduce.Acc] = true
+				}
+				walk(st.Body)
+			case minipar.Par:
+				walk(st.A)
+				walk(st.B)
+			case minipar.Return:
+				exprNames(st.Expr)
+			case minipar.Call:
+				names[st.Dst] = true
+				names[st.Func] = true
+				exprNames(st.Arg)
+			}
+		}
+	}
+	walk(p.Body)
+	return names
+}
+
+// occursIn reports whether name is mentioned anywhere in the region, in
+// any role (read, write, declaration, index, accumulator). The liveness
+// check that decides whether a loop's exit-value fixup can be dropped
+// uses it conservatively.
+func occursIn(ss []minipar.Stmt, name string) bool {
+	found := false
+	var exprHas func(minipar.Expr)
+	exprHas = func(e minipar.Expr) {
+		switch ex := e.(type) {
+		case minipar.VarRef:
+			if ex.Name == name {
+				found = true
+			}
+		case minipar.Binary:
+			exprHas(ex.L)
+			exprHas(ex.R)
+		}
+	}
+	var walk func([]minipar.Stmt)
+	walk = func(ss []minipar.Stmt) {
+		for _, s := range ss {
+			if found {
+				return
+			}
+			switch st := s.(type) {
+			case minipar.VarDecl:
+				if st.Name == name {
+					found = true
+				}
+				exprHas(st.Init)
+			case minipar.Assign:
+				if st.Name == name {
+					found = true
+				}
+				exprHas(st.Expr)
+			case minipar.If:
+				exprHas(st.Cond)
+				walk(st.Then)
+				walk(st.Else)
+			case minipar.While:
+				exprHas(st.Cond)
+				walk(st.Body)
+			case minipar.ParFor:
+				if st.Var == name {
+					found = true
+				}
+				exprHas(st.Lo)
+				exprHas(st.Hi)
+				if st.Reduce != nil && st.Reduce.Acc == name {
+					found = true
+				}
+				walk(st.Body)
+			case minipar.Par:
+				walk(st.A)
+				walk(st.B)
+			case minipar.Return:
+				exprHas(st.Expr)
+			case minipar.Call:
+				if st.Dst == name {
+					found = true
+				}
+				exprHas(st.Arg)
+			}
+		}
+	}
+	walk(ss)
+	return found
+}
+
+// exprHasDiv reports whether an expression can fault (division or
+// modulus). Prologue folding may delete or move an initializer
+// expression, which is only sound when it cannot fault.
+func exprHasDiv(e minipar.Expr) bool {
+	if b, ok := e.(minipar.Binary); ok {
+		return b.Op == minipar.OpDiv || b.Op == minipar.OpMod || exprHasDiv(b.L) || exprHasDiv(b.R)
+	}
+	return false
+}
+
+// exprVars collects variable names an expression reads.
+func exprVars(e minipar.Expr, into map[string]bool) {
+	switch ex := e.(type) {
+	case minipar.VarRef:
+		into[ex.Name] = true
+	case minipar.Binary:
+		exprVars(ex.L, into)
+		exprVars(ex.R, into)
+	}
+}

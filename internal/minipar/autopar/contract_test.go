@@ -1,0 +1,80 @@
+package autopar
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tpal/internal/tpal/analysis"
+)
+
+// corpusArgs gives every corpus program its oracle argument vectors
+// (declaration order). The keys cover internal/minipar/testdata and
+// examples/autopar, including the checked-in .auto.mp outputs — running
+// those back through the pass doubles as an idempotence check.
+var corpusArgs = map[string][][]int64{
+	"fib.mp":          {{0}, {1}, {10}},
+	"mixed.mp":        {{0}, {7}, {40}},
+	"prod-pow.mp":     {{0, 0}, {3, 2}, {2, 6}},
+	"sumsquares.mp":   {{0}, {1}, {100}},
+	"triple-nest.mp":  {{0}, {1}, {5}},
+	"map.mp":          {{0}, {1}, {150}},
+	"map.auto.mp":     {{0}, {1}, {150}},
+	"reduce.mp":       {{0}, {1}, {150}},
+	"reduce.auto.mp":  {{0}, {1}, {150}},
+	"carried.mp":      {{0}, {1}, {20}},
+	"carried.auto.mp": {{0}, {1}, {20}},
+}
+
+// TestCertificationContractCorpus pushes every corpus program through
+// the pass and asserts the full certification contract: the transform
+// succeeds (every corpus program is certification-clean), the
+// transformed assembly independently re-verifies with zero diagnostics
+// (interference pass included), and results are identical to
+// sequential interpretation across the schedule matrix with the
+// dynamic race sanitizer on.
+func TestCertificationContractCorpus(t *testing.T) {
+	var files []string
+	for _, dir := range []string{"../testdata", "../../../examples/autopar"} {
+		fs, err := filepath.Glob(filepath.Join(dir, "*.mp"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, fs...)
+	}
+	if len(files) < 8 {
+		t.Fatalf("corpus too small: %v", files)
+	}
+	for _, file := range files {
+		name := filepath.Base(file)
+		argvs, ok := corpusArgs[name]
+		if !ok {
+			t.Errorf("%s has no corpus argument vectors; add it to corpusArgs", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			srcBytes, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(srcBytes)
+			res, err := TransformSource(src, Options{})
+			if err != nil {
+				t.Fatalf("transform: %v", err)
+			}
+			// Independent re-verification of the certified artifact: the
+			// transform's internal certify ran on intermediate states,
+			// this is the final program.
+			diags := analysis.VerifyWith(res.Compiled, analysis.Options{
+				EntryRegs: entryRegs(res.Program.Params),
+				Races:     true,
+			})
+			if len(diags) > 0 {
+				t.Fatalf("transformed program has %d diagnostics, first: %s", len(diags), diags[0])
+			}
+			for _, argv := range argvs {
+				certifyEquivalent(t, src, res, argv)
+			}
+		})
+	}
+}

@@ -1,0 +1,183 @@
+package autopar
+
+import "tpal/internal/minipar"
+
+// The profitability rule needs a static work estimate per candidate, and
+// the verdict table reports a predicted speedup per parallelized site.
+// Both come from a small source-level cost model: every arithmetic
+// operation and statement costs one step, unknown trip counts assume
+// opts.TripAssume (matching the admission quote's TripAssume convention),
+// and parallel constructs contribute a heartbeat-style span — a parfor's
+// iterations split to depth ceil(log2 n), paying the per-iteration span
+// plus a spawn charge tau at each level, and a par pays the longer branch
+// plus one spawn charge.
+//
+// This model deliberately differs from the §8 assembly-level estimator:
+// that estimator bounds a *single serial pass* per loop (its span equals
+// its work on loop regions, by design — promotion halving is a dynamic
+// property), so it cannot express the payoff of splitting. The source
+// model here predicts the payoff; the assembly estimator still provides
+// the certified work bound that admission quotes from.
+
+const costCap = int64(1) << 40
+
+func satAdd(a, b int64) int64 {
+	if a > costCap-b {
+		return costCap
+	}
+	return a + b
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > costCap/b {
+		return costCap
+	}
+	return a * b
+}
+
+func ceilLog2(n int64) int64 {
+	if n < 2 {
+		n = 2
+	}
+	var lg int64
+	for p := int64(1); p < n; p *= 2 {
+		lg++
+		if lg > 62 {
+			break
+		}
+	}
+	return lg
+}
+
+func costExpr(e minipar.Expr) int64 {
+	if b, ok := e.(minipar.Binary); ok {
+		return satAdd(1, satAdd(costExpr(b.L), costExpr(b.R)))
+	}
+	return 0
+}
+
+// tripsOf estimates a loop's trip count: exact when both bounds are
+// literals, assume otherwise.
+func tripsOf(lo, hi minipar.Expr, assume int64) int64 {
+	l, lok := lo.(minipar.IntLit)
+	h, hok := hi.(minipar.IntLit)
+	if lok && hok {
+		if h.Value <= l.Value {
+			return 0
+		}
+		return h.Value - l.Value
+	}
+	return assume
+}
+
+// costStmts is the sequential work estimate of a region.
+func costStmts(ss []minipar.Stmt, assume int64) int64 {
+	var total int64
+	for _, s := range ss {
+		total = satAdd(total, costStmt(s, assume))
+	}
+	return total
+}
+
+func costStmt(s minipar.Stmt, assume int64) int64 {
+	switch st := s.(type) {
+	case minipar.VarDecl:
+		return satAdd(1, costExpr(st.Init))
+	case minipar.Assign:
+		return satAdd(1, costExpr(st.Expr))
+	case minipar.If:
+		thenC, elseC := costStmts(st.Then, assume), costStmts(st.Else, assume)
+		if elseC > thenC {
+			thenC = elseC
+		}
+		return satAdd(satAdd(1, costExpr(st.Cond)), thenC)
+	case minipar.While:
+		// Unknown trip count: assume the default.
+		per := satAdd(satAdd(1, costExpr(st.Cond)), costStmts(st.Body, assume))
+		return satMul(assume, per)
+	case minipar.ParFor:
+		trips := tripsOf(st.Lo, st.Hi, assume)
+		per := satAdd(1, costStmts(st.Body, assume))
+		return satAdd(satMul(trips, per), satAdd(costExpr(st.Lo), costExpr(st.Hi)))
+	case minipar.Par:
+		return satAdd(1, satAdd(costStmts(st.A, assume), costStmts(st.B, assume)))
+	case minipar.Return:
+		return satAdd(1, costExpr(st.Expr))
+	case minipar.Call:
+		// Recursive work is not modeled; charge the assumption.
+		return assume
+	}
+	return 1
+}
+
+// spanStmts is the critical-path estimate of a region under full
+// heartbeat splitting.
+func spanStmts(ss []minipar.Stmt, assume, tau int64) int64 {
+	var total int64
+	for _, s := range ss {
+		total = satAdd(total, spanStmt(s, assume, tau))
+	}
+	return total
+}
+
+func spanStmt(s minipar.Stmt, assume, tau int64) int64 {
+	switch st := s.(type) {
+	case minipar.If:
+		thenS, elseS := spanStmts(st.Then, assume, tau), spanStmts(st.Else, assume, tau)
+		if elseS > thenS {
+			thenS = elseS
+		}
+		return satAdd(satAdd(1, costExpr(st.Cond)), thenS)
+	case minipar.While:
+		per := satAdd(satAdd(1, costExpr(st.Cond)), spanStmts(st.Body, assume, tau))
+		return satMul(assume, per)
+	case minipar.ParFor:
+		trips := tripsOf(st.Lo, st.Hi, assume)
+		per := satAdd(1, spanStmts(st.Body, assume, tau))
+		lg := ceilLog2(trips)
+		return satAdd(satMul(lg, satAdd(per, tau)), per)
+	case minipar.Par:
+		a, b := spanStmts(st.A, assume, tau), spanStmts(st.B, assume, tau)
+		if b > a {
+			a = b
+		}
+		return satAdd(a, tau)
+	default:
+		return costStmt(s, assume)
+	}
+}
+
+// loopSpeedup predicts the available speedup of one parallelized loop:
+// sequential work trips*per over the split critical path.
+func loopSpeedup(trips, per, tau int64) float64 {
+	if trips < 1 {
+		return 1
+	}
+	lg := ceilLog2(trips)
+	denom := satAdd(satMul(lg, satAdd(per, tau)), per)
+	spd := float64(satMul(trips, per)) / float64(denom)
+	if spd < 1 {
+		return 1
+	}
+	if spd > float64(trips) {
+		return float64(trips)
+	}
+	return spd
+}
+
+// pairSpeedup predicts the speedup of running two regions in parallel:
+// bounded by 2, reached when the branches balance.
+func pairSpeedup(wa, wb, tau int64) float64 {
+	longer := wa
+	if wb > longer {
+		longer = wb
+	}
+	spd := float64(satAdd(wa, wb)) / float64(satAdd(longer, tau))
+	if spd < 1 {
+		return 1
+	}
+	return spd
+}

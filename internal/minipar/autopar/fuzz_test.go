@@ -1,0 +1,150 @@
+package autopar
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tpal/internal/minipar"
+	"tpal/internal/tpal/analysis"
+)
+
+// progGen turns the fuzzer's byte stream into a random sequential
+// minipar program. Every generated program is well-formed and
+// certification-clean by construction: straight-line arithmetic,
+// counted while loops (some in accumulate shape, some loop-carried,
+// some pure maps), ifs, and nesting up to depth two. Division is
+// excluded so no generated program can fault — the oracle then demands
+// exact result equality, not fault equivalence.
+type progGen struct {
+	data []byte
+	pos  int
+	seq  int // fresh-name counter
+}
+
+func (g *progGen) byte() byte {
+	if g.pos >= len(g.data) {
+		return 0
+	}
+	b := g.data[g.pos]
+	g.pos++
+	return b
+}
+
+func (g *progGen) pick(n int) int { return int(g.byte()) % n }
+
+func (g *progGen) fresh(base string) string {
+	g.seq++
+	return fmt.Sprintf("%s%d", base, g.seq)
+}
+
+// expr builds a side-effect-free expression over the in-scope reads.
+func (g *progGen) expr(reads []string, depth int) string {
+	if depth <= 0 || g.pick(3) == 0 {
+		if len(reads) > 0 && g.pick(2) == 0 {
+			return reads[g.pick(len(reads))]
+		}
+		return fmt.Sprintf("%d", g.pick(7)+1)
+	}
+	ops := []string{"+", "-", "*"}
+	return fmt.Sprintf("(%s %s %s)", g.expr(reads, depth-1), ops[g.pick(3)], g.expr(reads, depth-1))
+}
+
+// loop emits a counted sequential while loop writing into acc; the
+// body shape decides whether autopar can take it (accumulate idiom or
+// pure map) or must block it (loop-carried, multi-accumulator).
+func (g *progGen) loop(b *strings.Builder, indent string, reads []string, accs []string, depth int) {
+	idx := g.fresh("i")
+	bound := "n"
+	if g.pick(2) == 0 {
+		bound = fmt.Sprintf("%d", g.pick(12)+2)
+	}
+	fmt.Fprintf(b, "%svar %s = 0\n", indent, idx)
+	fmt.Fprintf(b, "%swhile %s < %s {\n", indent, idx, bound)
+	inner := indent + "    "
+	bodyReads := append(append([]string{}, reads...), idx)
+	for i, m := 0, g.pick(2)+1; i < m; i++ {
+		acc := accs[g.pick(len(accs))]
+		switch g.pick(5) {
+		case 0: // accumulate over +
+			fmt.Fprintf(b, "%s%s = %s + %s\n", inner, acc, acc, g.expr(bodyReads, 2))
+		case 1: // accumulate over + with the acc mid-chain (reassociation)
+			fmt.Fprintf(b, "%s%s = %s + %s + %s\n", inner, acc, g.expr(bodyReads, 1), acc, g.expr(bodyReads, 1))
+		case 2: // loop-carried: must be blocked, still must stay correct
+			fmt.Fprintf(b, "%s%s = %s * 2 + 1\n", inner, acc, acc)
+		case 3: // pure map body
+			t := g.fresh("t")
+			fmt.Fprintf(b, "%svar %s = %s\n", inner, t, g.expr(bodyReads, 2))
+		case 4: // nested sequential loop
+			if depth > 0 {
+				g.loop(b, inner, bodyReads, accs, depth-1)
+			} else {
+				fmt.Fprintf(b, "%s%s = %s + %s\n", inner, acc, acc, idx)
+			}
+		}
+	}
+	fmt.Fprintf(b, "%s%s = %s + 1\n", inner, idx, idx)
+	fmt.Fprintf(b, "%s}\n", indent)
+}
+
+// generate renders the whole program.
+func (g *progGen) generate() string {
+	var b strings.Builder
+	b.WriteString("params n\nvar a = 0\nvar b = 1\n")
+	accs := []string{"a", "b"}
+	for i, m := 0, g.pick(3)+1; i < m; i++ {
+		switch g.pick(4) {
+		case 0, 1:
+			g.loop(&b, "", []string{"n"}, accs, 1)
+		case 2:
+			fmt.Fprintf(&b, "if %s < %s {\n    a = a + %d\n} else {\n    b = b + %d\n}\n",
+				g.expr([]string{"n"}, 1), g.expr([]string{"n"}, 1), g.pick(5)+1, g.pick(5)+1)
+		case 3:
+			fmt.Fprintf(&b, "a = a + %s\n", g.expr([]string{"n"}, 2))
+		}
+	}
+	b.WriteString("return a + b * 3\n")
+	return b.String()
+}
+
+// FuzzAutoPar is the certification contract under adversarial inputs:
+// generate a random sequential program, push it through the pass with
+// an aggressive spawn threshold, and require (a) the transformed
+// assembly re-verifies with zero diagnostics, races included, (b) the
+// dynamic race sanitizer stays silent across the schedule matrix, and
+// (c) every run agrees exactly with sequential interpretation of the
+// original program.
+func FuzzAutoPar(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(9))
+	f.Add([]byte{0, 0, 4, 1, 0, 2, 3, 200, 17, 4, 4, 4, 0, 1, 2, 3, 4}, uint8(33))
+	f.Add([]byte{5, 1, 4, 4, 4, 1, 1, 0, 3, 2, 9, 250, 8, 7, 6, 5}, uint8(17))
+
+	f.Fuzz(func(t *testing.T, data []byte, nArg uint8) {
+		g := &progGen{data: data}
+		src := g.generate()
+		prog, err := minipar.Parse(src)
+		if err != nil {
+			t.Fatalf("generator produced an unparsable program: %v\n%s", err, src)
+		}
+		// Threshold 1 forces every legal rewrite, maximizing the surface
+		// the certification contract has to defend.
+		res, err := Transform(prog, Options{SpawnThreshold: 1})
+		if err != nil {
+			t.Fatalf("generated program rejected by the pass: %v\n%s", err, src)
+		}
+		diags := analysis.VerifyWith(res.Compiled, analysis.Options{
+			EntryRegs: entryRegs(res.Program.Params),
+			Races:     true,
+		})
+		if len(diags) > 0 {
+			t.Fatalf("transformed program has diagnostics, first: %s\noriginal:\n%s\ntransformed:\n%s",
+				diags[0], src, res.Source)
+		}
+		// Small trip counts keep the machine runs fast; 0 covers the
+		// empty-range edge.
+		for _, n := range []int64{0, 1, int64(nArg % 24)} {
+			certifyEquivalent(t, src, res, []int64{n})
+		}
+	})
+}

@@ -235,6 +235,32 @@ func (c *checker) stmt(s Stmt) error {
 		c.loops = c.loops[:len(c.loops)-1]
 		return err
 
+	case Par:
+		c.pushScope()
+		err := c.stmts(st.A)
+		c.popScope()
+		if err != nil {
+			return err
+		}
+		c.pushScope()
+		err = c.stmts(st.B)
+		c.popScope()
+		if err != nil {
+			return err
+		}
+		// Declarations inside a branch may not shadow a name visible at
+		// the par: the flat register file would leak the branch-local
+		// value on the serial path but drop it on the promoted path,
+		// making the two elaborations disagree.
+		for _, branch := range [][]Stmt{st.A, st.B} {
+			for name := range DeclaredNames(branch) {
+				if _, visible := c.lookup(name); visible {
+					return errf(st.Pos, "par branch redeclares %q, which is visible outside the par", name)
+				}
+			}
+		}
+		return checkParIndependence(st)
+
 	case Return:
 		return c.arith(st.Expr)
 
@@ -251,6 +277,35 @@ func (c *checker) stmt(s Stmt) error {
 		return c.arith(st.Arg)
 	}
 	return errf(Pos{}, "unknown statement %T", s)
+}
+
+// checkParIndependence enforces the par discipline: the two branches
+// must be independent (no variable written by one branch is read or
+// written by the other), and neither may contain a call (calls push
+// frames on the program's one shared stack, which a forked branch would
+// race on) or a return (which branch returns first would depend on the
+// schedule). Under these rules the serial elaboration (A then B) and
+// every promoted interleaving compute the same stores, so par is
+// deterministic by construction — the statement-pair analogue of the
+// parfor reducer discipline.
+func checkParIndependence(st Par) error {
+	ea, eb := RegionEffects(st.A), RegionEffects(st.B)
+	if ea.Calls || eb.Calls {
+		return errf(st.Pos, "call statements may not appear inside par branches")
+	}
+	if ea.Returns || eb.Returns {
+		return errf(st.Pos, "return statements may not appear inside par branches")
+	}
+	if name, ok := intersects(ea.Writes, eb.Writes); ok {
+		return errf(st.Pos, "par branches are not independent: both branches write %q", name)
+	}
+	if name, ok := intersects(ea.Writes, eb.Reads); ok {
+		return errf(st.Pos, "par branches are not independent: the first branch writes %q, which the second reads", name)
+	}
+	if name, ok := intersects(eb.Writes, ea.Reads); ok {
+		return errf(st.Pos, "par branches are not independent: the second branch writes %q, which the first reads", name)
+	}
+	return nil
 }
 
 // isReduceShape recognizes acc = acc OP expr (and for commutative ops

@@ -3,6 +3,7 @@ package minipar
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"tpal/internal/tpal"
@@ -90,7 +91,9 @@ const resultReg tpal.Reg = "result"
 // register suffices, exactly like the paper's pabort.
 const resumeReg tpal.Reg = "resume"
 
-// loopInfo is the compile-time state of one parfor.
+// loopInfo is the compile-time state of one parfor (or one par
+// statement, which compiles through the same machinery as a
+// two-iteration loop whose body dispatches on the index).
 type loopInfo struct {
 	id     int
 	idxReg tpal.Reg // the user's loop variable
@@ -98,6 +101,10 @@ type loopInfo struct {
 	jrReg  tpal.Reg
 	contRg tpal.Reg
 	reduce *ReduceClause
+	// renames carries extra ΔR entries for the jtppt continuation: for a
+	// par statement, the second branch's outer writes, which live in the
+	// forked child's register file and must survive the join merge.
+	renames []tpal.RegRename
 }
 
 func (l *loopInfo) label(part string) tpal.Label {
@@ -304,6 +311,9 @@ func (c *compiler) stmt(s Stmt) error {
 	case ParFor:
 		return c.parfor(st)
 
+	case Par:
+		return c.parStmt(st)
+
 	case Call:
 		return c.compileCall(st)
 	}
@@ -394,12 +404,109 @@ func (c *compiler) parfor(st ParFor) error {
 	// Continuation: the join-target program point. Compilation of the
 	// statements after the loop continues here.
 	ann := tpal.Annotation{Kind: tpal.AnnJtppt, Policy: tpal.AssocComm, Comb: l.label("comb")}
+	ann.DeltaR = append(ann.DeltaR, l.renames...)
 	if l.reduce != nil {
-		ann.DeltaR = []tpal.RegRename{{
+		ann.DeltaR = append(ann.DeltaR, tpal.RegRename{
 			From: tpal.Reg(l.reduce.Acc),
 			To:   tpal.Reg(fmt.Sprintf("rv-%d", l.id)),
-		}}
+		})
 	}
+	c.startBlock(l.label("after"), ann)
+	return nil
+}
+
+// parStmt compiles a par statement through the parfor machinery: a
+// two-iteration loop whose body dispatches iteration 0 to branch A and
+// iteration 1 to branch B. The serial elaboration runs A then B in the
+// one task at zero extra cost; a heartbeat landing on the head (or on
+// any promotion-ready point inside branch A, via the handler chain)
+// while iteration 0 is outstanding splits the iteration space at 1 —
+// forking exactly branch B. The join's ΔR copies B's outer writes out
+// of the child's register file; A's writes survive in the parent's.
+// Branch independence (checked) makes both elaborations agree.
+func (c *compiler) parStmt(st Par) error {
+	l := &loopInfo{id: c.nextID}
+	c.nextID++
+	l.idxReg = tpal.Reg(fmt.Sprintf("par-i-%d", l.id))
+	l.hiReg = tpal.Reg(fmt.Sprintf("hi-%d", l.id))
+	l.jrReg = tpal.Reg(fmt.Sprintf("jr-%d", l.id))
+	l.contRg = tpal.Reg(fmt.Sprintf("cont-%d", l.id))
+
+	effB := RegionEffects(st.B)
+	writes := make([]string, 0, len(effB.Writes))
+	for name := range effB.Writes {
+		writes = append(writes, name)
+	}
+	sort.Strings(writes)
+	for _, name := range writes {
+		l.renames = append(l.renames, tpal.RegRename{From: tpal.Reg(name), To: tpal.Reg(name)})
+	}
+
+	// Prologue.
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: l.idxReg, Val: tpal.N(0)})
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: l.hiReg, Val: tpal.N(2)})
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: l.jrReg, Val: tpal.N(0)})
+	c.emit(tpal.Instr{Kind: tpal.IMove, Dst: l.contRg, Val: tpal.L(l.label("loop"))})
+	c.jumpTo(l.label("loop"))
+
+	prppt := tpal.Annotation{Kind: tpal.AnnPrppt, Handler: l.label("try")}
+
+	// Serial head: exits straight to the continuation.
+	c.startBlock(l.label("loop"), prppt)
+	t := c.tmp()
+	c.emit(tpal.Instr{Kind: tpal.IBinOp, Dst: t, Op: tpal.OpGe, Src: l.idxReg, Val: tpal.R(l.hiReg)})
+	c.emit(tpal.Instr{Kind: tpal.IIfJump, Src: t, Val: tpal.L(l.label("after"))})
+	c.jumpTo(l.label("body"))
+
+	// Parallel head: exits into the join.
+	c.startBlock(l.label("loop-par"), prppt)
+	t2 := c.tmp()
+	c.emit(tpal.Instr{Kind: tpal.IBinOp, Dst: t2, Op: tpal.OpGe, Src: l.idxReg, Val: tpal.R(l.hiReg)})
+	c.emit(tpal.Instr{Kind: tpal.IIfJump, Src: t2, Val: tpal.L(l.label("join"))})
+	c.jumpTo(l.label("body"))
+
+	// Body: dispatch on the iteration index, then rejoin at the step
+	// block for the shared increment and indirect back edge.
+	c.startBlock(l.label("body"), tpal.Annotation{})
+	c.loops = append(c.loops, l)
+	sel := c.tmp()
+	c.emit(tpal.Instr{Kind: tpal.IBinOp, Dst: sel, Op: tpal.OpEq, Src: l.idxReg, Val: tpal.N(0)})
+	c.emit(tpal.Instr{Kind: tpal.IIfJump, Src: sel, Val: tpal.L(l.label("a"))})
+	c.jumpTo(l.label("b"))
+
+	c.startBlock(l.label("a"), tpal.Annotation{})
+	if err := c.stmts(st.A); err != nil {
+		return err
+	}
+	if !c.done {
+		c.jumpTo(l.label("step"))
+	}
+	c.startBlock(l.label("b"), tpal.Annotation{})
+	if err := c.stmts(st.B); err != nil {
+		return err
+	}
+	if !c.done {
+		c.jumpTo(l.label("step"))
+	}
+	c.loops = c.loops[:len(c.loops)-1]
+
+	c.startBlock(l.label("step"), tpal.Annotation{})
+	c.emit(tpal.Instr{Kind: tpal.IBinOp, Dst: l.idxReg, Op: tpal.OpAdd, Src: l.idxReg, Val: tpal.N(1)})
+	c.finish(tpal.Term{Kind: tpal.TJump, Val: tpal.R(l.contRg)})
+
+	// Parallel exit.
+	c.startBlock(l.label("join"), tpal.Annotation{})
+	c.finish(tpal.Term{Kind: tpal.TJoin, Val: tpal.R(l.jrReg)})
+
+	// Handler chain, promote/alloc/split, combining block: exactly the
+	// parfor machinery, with no accumulator to merge.
+	c.emitHandlerChain(l.label("try"), tpal.R(l.contRg), append(append([]*loopInfo{}, c.loops...), l))
+	c.emitPromote(l)
+	c.startBlock(l.label("comb"), tpal.Annotation{})
+	c.finish(tpal.Term{Kind: tpal.TJoin, Val: tpal.R(l.jrReg)})
+
+	ann := tpal.Annotation{Kind: tpal.AnnJtppt, Policy: tpal.AssocComm, Comb: l.label("comb")}
+	ann.DeltaR = append(ann.DeltaR, l.renames...)
 	c.startBlock(l.label("after"), ann)
 	return nil
 }

@@ -125,6 +125,13 @@ func (in *interp) stmt(s Stmt) error {
 			delete(in.env, st.Var)
 		}
 		return nil
+	case Par:
+		// The reference semantics runs the branches in order; the checker's
+		// independence discipline makes every promoted schedule agree.
+		if err := in.stmts(st.A); err != nil {
+			return err
+		}
+		return in.stmts(st.B)
 	case Return:
 		v, err := in.eval(st.Expr)
 		if err != nil {

@@ -1,0 +1,95 @@
+package minipar
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/machine"
+)
+
+// oracleArgs gives each testdata program a few argument vectors, in
+// declaration order, covering the empty, small, and
+// larger-than-heartbeat cases.
+var oracleArgs = map[string][][]int64{
+	"fib.mp":         {{0}, {1}, {10}, {14}},
+	"mixed.mp":       {{0}, {1}, {7}, {40}},
+	"prod-pow.mp":    {{0, 0}, {3, 2}, {2, 6}, {50, 1}},
+	"sumsquares.mp":  {{0}, {1}, {9}, {100}},
+	"triple-nest.mp": {{0}, {1}, {3}, {6}},
+}
+
+// oracleConfigs is the schedule matrix every program runs under: the
+// serial elaboration, several heartbeats, and the non-lockstep
+// schedules — all with the dynamic race detector on.
+var oracleConfigs = []machine.Config{
+	{RaceDetect: true},
+	{Heartbeat: 30, RaceDetect: true},
+	{Heartbeat: 30, Schedule: machine.RandomOrder, Seed: 7, RaceDetect: true},
+	{Heartbeat: 30, Schedule: machine.DepthFirst, RaceDetect: true},
+	{Heartbeat: 300, RaceDetect: true},
+}
+
+// TestDifferentialOracle runs every program under testdata through
+// both semantics — the reference interpreter and the compiled abstract
+// machine — across the schedule matrix, and requires identical results
+// everywhere. This is the compiler's end-to-end correctness oracle:
+// any divergence between the language definition and the generated
+// heartbeat-scheduled assembly fails here first.
+func TestDifferentialOracle(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.mp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata programs found")
+	}
+	for _, file := range files {
+		name := filepath.Base(file)
+		argvs, ok := oracleArgs[name]
+		if !ok {
+			t.Errorf("%s has no oracle argument vectors; add it to oracleArgs", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := Parse(string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			asmProg, err := Compile(prog)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			for _, argv := range argvs {
+				want, err := Interpret(prog, argv)
+				if err != nil {
+					t.Fatalf("interpret %v: %v", argv, err)
+				}
+				for _, cfg := range oracleConfigs {
+					regs := make(machine.RegFile, len(argv))
+					for i, name := range prog.Params {
+						regs[tpal.Reg(name)] = machine.IntV(argv[i])
+					}
+					cfg.Regs = regs
+					res, err := machine.Run(asmProg, cfg)
+					if err != nil {
+						t.Fatalf("args %v hb=%d sched=%d: machine: %v", argv, cfg.Heartbeat, cfg.Schedule, err)
+					}
+					got, ok := res.Regs.Get("result").AsInt()
+					if !ok {
+						t.Fatalf("args %v: result register holds %s", argv, res.Regs.Get("result"))
+					}
+					if got != want {
+						t.Errorf("args %v hb=%d sched=%d: machine = %d, interpreter = %d",
+							argv, cfg.Heartbeat, cfg.Schedule, got, want)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,353 @@
+package minipar
+
+import (
+	"strings"
+	"testing"
+
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/analysis"
+	"tpal/internal/tpal/machine"
+)
+
+// TestParSemantics runs par programs through the interpreter and the
+// compiled machine across the schedule matrix, asserting agreement —
+// including heartbeats small enough that the par promotes and branch B
+// really runs in a forked task.
+func TestParSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		args map[string]int64
+		argv []string
+	}{
+		{
+			name: "two-loops",
+			src: `
+params n
+var a = 0
+var b = 1
+par {
+    var i = 0
+    while i < n {
+        a = a + i
+        i = i + 1
+    }
+} and {
+    var j = 0
+    while j < n {
+        b = b * 2
+        j = j + 1
+    }
+}
+return a + b`,
+			args: map[string]int64{"n": 30},
+			argv: []string{"n"},
+		},
+		{
+			name: "parfors-in-par",
+			src: `
+params n
+var s = 0
+var p = 1
+par {
+    parfor i in 0 .. n reduce(s, +) {
+        s = s + i * i
+    }
+} and {
+    parfor j in 0 .. 5 reduce(p, *) {
+        p = p * 2
+    }
+}
+return s + p`,
+			args: map[string]int64{"n": 40},
+			argv: []string{"n"},
+		},
+		{
+			name: "nested-par",
+			src: `
+params n
+var a = 0
+var b = 0
+var c = 0
+par {
+    par {
+        var i = 0
+        while i < n {
+            a = a + 2
+            i = i + 1
+        }
+    } and {
+        var j = 0
+        while j < n {
+            b = b + 3
+            j = j + 1
+        }
+    }
+} and {
+    var k = 0
+    while k < n {
+        c = c + 5
+        k = k + 1
+    }
+}
+return a + b + c`,
+			args: map[string]int64{"n": 25},
+			argv: []string{"n"},
+		},
+		{
+			name: "par-inside-parfor",
+			src: `
+params n
+var total = 0
+parfor i in 0 .. n reduce(total, +) {
+    var x = 0
+    var y = 0
+    par {
+        x = i * 2
+    } and {
+        y = i * 3
+    }
+    total = total + (x + y)
+}
+return total`,
+			args: map[string]int64{"n": 20},
+			argv: []string{"n"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := both(t, tc.src, tc.args, tc.argv)
+			_ = got
+		})
+	}
+}
+
+// TestParPromotes pins that a small heartbeat actually forks branch B:
+// the serial-by-default lowering must not be unpromotable.
+func TestParPromotes(t *testing.T) {
+	src := `
+params n
+var a = 0
+var b = 0
+par {
+    var i = 0
+    while i < n {
+        a = a + 1
+        i = i + 1
+    }
+} and {
+    var j = 0
+    while j < n {
+        b = b + 1
+        j = j + 1
+    }
+}
+return a + b`
+	got, stats := runCompiled(t, src, map[string]int64{"n": 200}, machine.Config{Heartbeat: 30})
+	if got != 400 {
+		t.Fatalf("result = %d, want 400", got)
+	}
+	if stats.Forks == 0 {
+		t.Fatalf("heartbeat run of a par never forked; stats: %+v", stats)
+	}
+}
+
+// TestParRaceFree runs par programs under the dynamic sanitizer across
+// the schedule matrix.
+func TestParRaceFree(t *testing.T) {
+	src := `
+params n
+var a = 0
+var b = 0
+par {
+    var i = 0
+    while i < n {
+        a = a + i
+        i = i + 1
+    }
+} and {
+    var j = 0
+    while j < n {
+        b = b + j
+        j = j + 1
+    }
+}
+return a + b`
+	for _, cfg := range []machine.Config{
+		{RaceDetect: true},
+		{RaceDetect: true, Heartbeat: 25},
+		{RaceDetect: true, Heartbeat: 25, Schedule: machine.RandomOrder, Seed: 2},
+		{RaceDetect: true, Heartbeat: 25, Schedule: machine.DepthFirst},
+	} {
+		got, _ := runCompiled(t, src, map[string]int64{"n": 60}, cfg)
+		want := int64(2 * 59 * 60 / 2)
+		if got != want {
+			t.Fatalf("result = %d, want %d", got, want)
+		}
+	}
+}
+
+// TestParStaticallyClean pins the lint zero-noise contract for par: the
+// compiled output passes the full pipeline, interference pass included,
+// with no diagnostics at all.
+func TestParStaticallyClean(t *testing.T) {
+	src := `
+params n
+var a = 0
+var b = 0
+par {
+    parfor i in 0 .. n reduce(a, +) { a = a + i }
+} and {
+    var j = 0
+    while j < n {
+        b = b + 1
+        j = j + 1
+    }
+}
+return a + b`
+	prog := MustParse(src)
+	asmProg, err := Compile(prog)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	diags := analysisVerifyRaces(asmProg, prog.Params)
+	if len(diags) > 0 {
+		t.Fatalf("compiled par output is not diagnostics-clean:\n%s", strings.Join(diags, "\n"))
+	}
+}
+
+// TestParCheckErrors pins the independence discipline's rejections.
+func TestParCheckErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{
+			name: "write-write",
+			src:  "var x = 0\npar { x = 1 } and { x = 2 }\nreturn x",
+			want: "both branches write",
+		},
+		{
+			name: "write-read",
+			src:  "var x = 0\nvar y = 0\npar { x = 1 } and { y = x }\nreturn y",
+			want: "which the second reads",
+		},
+		{
+			name: "read-write",
+			src:  "var x = 0\nvar y = 0\npar { y = x } and { x = 1 }\nreturn y",
+			want: "which the first reads",
+		},
+		{
+			name: "return-inside",
+			src:  "par { return 1 } and { }\nreturn 0",
+			want: "return statements may not appear inside par branches",
+		},
+		{
+			name: "call-inside",
+			src:  "func f(m) {\n    if m < 2 { return m }\n    parcall a, b = f(m - 1), f(m - 2)\n    return a + b\n}\nvar x = 0\npar { x = call f(3) } and { }\nreturn x",
+			want: "call statements may not appear inside par branches",
+		},
+		{
+			name: "shadowing-decl",
+			src:  "var x = 1\nvar y = 0\npar { var x = 5\ny = x } and { }\nreturn x",
+			want: "redeclares",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse accepted a dependent par program")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %q, want it to mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestFormatRoundTrip pins Format: printing a parsed program and
+// reparsing yields a program that prints identically and interprets
+// identically.
+func TestFormatRoundTrip(t *testing.T) {
+	srcs := []string{
+		`
+params a, b
+var r = 0
+parfor i in 0 .. a reduce(r, +) {
+    r = r + (b * i - 2)
+}
+if r > 10 {
+    r = r - 10 % (b + 1)
+} else {
+    r = 0 - r
+}
+var k = 3
+while k > 0 {
+    r = r + k * (k - 1)
+    k = k - 1
+}
+return r`,
+		`
+params n
+func fib(m) {
+    if m < 2 { return m }
+    parcall a, b = fib(m - 1), fib(m - 2)
+    return a + b
+}
+var x = 0
+x = call fib(n)
+return x`,
+		`
+params n
+var a = 0
+var b = 0
+par {
+    var i = 0
+    while i < n {
+        a = a + i
+        i = i + 1
+    }
+} and {
+    parfor j in 0 .. n reduce(b, +) { b = b + j }
+}
+return a - b`,
+	}
+	for _, src := range srcs {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		text1 := Format(p1)
+		p2, err := Parse(text1)
+		if err != nil {
+			t.Fatalf("reparse of formatted source failed: %v\n%s", err, text1)
+		}
+		text2 := Format(p2)
+		if text1 != text2 {
+			t.Fatalf("Format not idempotent:\nfirst:\n%s\nsecond:\n%s", text1, text2)
+		}
+		args := make([]int64, len(p1.Params))
+		for i := range args {
+			args[i] = int64(7 + 3*i)
+		}
+		w1, err1 := Interpret(p1, args)
+		w2, err2 := Interpret(p2, args)
+		if (err1 == nil) != (err2 == nil) || w1 != w2 {
+			t.Fatalf("round-tripped program diverges: (%d, %v) vs (%d, %v)", w1, err1, w2, err2)
+		}
+	}
+}
+
+// analysisVerifyRaces runs the full pipeline (races on) and renders any
+// diagnostics, warnings included.
+func analysisVerifyRaces(p *tpal.Program, params []string) []string {
+	entry := make([]tpal.Reg, len(params))
+	for i, name := range params {
+		entry[i] = tpal.Reg(name)
+	}
+	var out []string
+	for _, d := range analysis.VerifyWith(p, analysis.Options{EntryRegs: entry, Races: true}) {
+		out = append(out, d.String())
+	}
+	return out
+}

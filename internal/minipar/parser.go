@@ -411,6 +411,22 @@ func (p *parser) parseStmt() (Stmt, error) {
 		}
 		return ParFor{Var: name.text, Lo: lo, Hi: hi, Reduce: reduce, Body: body, Pos: t.pos}, nil
 
+	case "par":
+		p.next()
+		a, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSeparators()
+		if err := p.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+		b, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return Par{A: a, B: b, Pos: t.pos}, nil
+
 	case "return":
 		p.next()
 		e, err := p.parseExpr()

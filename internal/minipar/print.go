@@ -1,0 +1,121 @@
+package minipar
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a program as minipar source that parses back to an
+// equivalent program: Parse(Format(p)) succeeds for any checked p and
+// interprets identically. The autopar pass uses it to materialize
+// rewritten programs (the golden "after" files of examples/autopar),
+// and Format∘Parse is pinned idempotent by tests.
+func Format(p *Program) string {
+	var sb strings.Builder
+	if len(p.Params) > 0 {
+		sb.WriteString("params ")
+		sb.WriteString(strings.Join(p.Params, ", "))
+		sb.WriteString("\n")
+	}
+	for _, fd := range p.Funcs {
+		formatFunc(&sb, fd)
+	}
+	formatStmts(&sb, p.Body, 0)
+	return sb.String()
+}
+
+func formatFunc(sb *strings.Builder, fd FuncDecl) {
+	fmt.Fprintf(sb, "func %s(%s) {\n", fd.Name, fd.Param)
+	fmt.Fprintf(sb, "    if %s { return %s }\n", formatExpr(fd.BaseCmp), formatExpr(fd.BaseRet))
+	fmt.Fprintf(sb, "    parcall %s, %s = %s(%s), %s(%s)\n",
+		fd.AName, fd.BName, fd.Name, formatExpr(fd.ArgA), fd.Name, formatExpr(fd.ArgB))
+	fmt.Fprintf(sb, "    return %s\n", formatExpr(fd.Combine))
+	sb.WriteString("}\n")
+}
+
+func formatStmts(sb *strings.Builder, ss []Stmt, depth int) {
+	ind := strings.Repeat("    ", depth)
+	for _, s := range ss {
+		switch st := s.(type) {
+		case VarDecl:
+			fmt.Fprintf(sb, "%svar %s = %s\n", ind, st.Name, formatExpr(st.Init))
+		case Assign:
+			fmt.Fprintf(sb, "%s%s = %s\n", ind, st.Name, formatExpr(st.Expr))
+		case If:
+			fmt.Fprintf(sb, "%sif %s {\n", ind, formatExpr(st.Cond))
+			formatStmts(sb, st.Then, depth+1)
+			if len(st.Else) > 0 {
+				fmt.Fprintf(sb, "%s} else {\n", ind)
+				formatStmts(sb, st.Else, depth+1)
+			}
+			fmt.Fprintf(sb, "%s}\n", ind)
+		case While:
+			fmt.Fprintf(sb, "%swhile %s {\n", ind, formatExpr(st.Cond))
+			formatStmts(sb, st.Body, depth+1)
+			fmt.Fprintf(sb, "%s}\n", ind)
+		case ParFor:
+			fmt.Fprintf(sb, "%sparfor %s in %s .. %s", ind, st.Var, formatExpr(st.Lo), formatExpr(st.Hi))
+			if st.Reduce != nil {
+				fmt.Fprintf(sb, " reduce(%s, %s)", st.Reduce.Acc, st.Reduce.Op)
+			}
+			sb.WriteString(" {\n")
+			formatStmts(sb, st.Body, depth+1)
+			fmt.Fprintf(sb, "%s}\n", ind)
+		case Par:
+			fmt.Fprintf(sb, "%spar {\n", ind)
+			formatStmts(sb, st.A, depth+1)
+			fmt.Fprintf(sb, "%s} and {\n", ind)
+			formatStmts(sb, st.B, depth+1)
+			fmt.Fprintf(sb, "%s}\n", ind)
+		case Return:
+			fmt.Fprintf(sb, "%sreturn %s\n", ind, formatExpr(st.Expr))
+		case Call:
+			fmt.Fprintf(sb, "%s%s = call %s(%s)\n", ind, st.Dst, st.Func, formatExpr(st.Arg))
+		}
+	}
+}
+
+// Operator precedence levels matching the parser's grammar: comparisons
+// bind loosest, then additive, then multiplicative; factors are atoms.
+func opPrec(op BinOp) int {
+	switch {
+	case op.IsComparison():
+		return 0
+	case op == OpAdd || op == OpSub:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func formatExpr(e Expr) string { return renderExpr(e, 0) }
+
+// FormatExpr renders one expression the way Format does; the autopar
+// verdict tables use it to describe candidate sites.
+func FormatExpr(e Expr) string { return renderExpr(e, 0) }
+
+// renderExpr prints with minimal parentheses. The grammar is
+// left-associative within a level, so the right operand of a
+// same-precedence binary needs parens to reparse identically
+// (a - (b - c)); comparisons do not nest at all, so operands of a
+// comparison render at the additive level.
+func renderExpr(e Expr, prec int) string {
+	switch ex := e.(type) {
+	case IntLit:
+		if ex.Value < 0 && prec > 0 {
+			return fmt.Sprintf("(%d)", ex.Value)
+		}
+		return fmt.Sprintf("%d", ex.Value)
+	case VarRef:
+		return ex.Name
+	case Binary:
+		p := opPrec(ex.Op)
+		lp, rp := p, p+1
+		s := renderExpr(ex.L, lp) + " " + ex.Op.String() + " " + renderExpr(ex.R, rp)
+		if p < prec {
+			return "(" + s + ")"
+		}
+		return s
+	}
+	return "?"
+}

@@ -1,0 +1,170 @@
+package minipar
+
+// Effects is the outward-visible variable footprint of a statement
+// region: the outer-scope variables it reads and the outer-scope
+// variables it writes. Variables declared inside the region (var
+// declarations, parfor index variables) are local and excluded; a local
+// declaration shadows an outer name for the rest of its scope, exactly
+// as the checker scopes it. The checker uses Effects to enforce par
+// branch independence, and the autopar pass uses it to recognize
+// dependence-free candidate sites.
+type Effects struct {
+	Reads  map[string]bool
+	Writes map[string]bool
+	// Calls and Returns record whether the region contains a call or
+	// return statement: both pin a region to its enclosing task (calls
+	// push frames on the shared stack; a return's identity depends on
+	// execution order), so neither may cross a forked boundary.
+	Calls   bool
+	Returns bool
+	// Pars records whether the region already contains a par statement.
+	Pars bool
+}
+
+// RegionEffects computes the Effects of a statement sequence.
+func RegionEffects(ss []Stmt) Effects {
+	w := &effectsWalker{eff: Effects{Reads: map[string]bool{}, Writes: map[string]bool{}}}
+	w.pushScope()
+	w.stmts(ss)
+	w.popScope()
+	return w.eff
+}
+
+type effectsWalker struct {
+	scopes []map[string]bool // locally declared names, innermost last
+	eff    Effects
+}
+
+func (w *effectsWalker) pushScope() { w.scopes = append(w.scopes, map[string]bool{}) }
+func (w *effectsWalker) popScope()  { w.scopes = w.scopes[:len(w.scopes)-1] }
+
+func (w *effectsWalker) local(name string) bool {
+	for i := len(w.scopes) - 1; i >= 0; i-- {
+		if w.scopes[i][name] {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *effectsWalker) read(name string) {
+	if !w.local(name) {
+		w.eff.Reads[name] = true
+	}
+}
+
+func (w *effectsWalker) write(name string) {
+	if !w.local(name) {
+		w.eff.Writes[name] = true
+	}
+}
+
+func (w *effectsWalker) expr(e Expr) {
+	switch ex := e.(type) {
+	case VarRef:
+		w.read(ex.Name)
+	case Binary:
+		w.expr(ex.L)
+		w.expr(ex.R)
+	}
+}
+
+func (w *effectsWalker) stmts(ss []Stmt) {
+	for _, s := range ss {
+		w.stmt(s)
+	}
+}
+
+func (w *effectsWalker) stmt(s Stmt) {
+	switch st := s.(type) {
+	case VarDecl:
+		w.expr(st.Init)
+		w.scopes[len(w.scopes)-1][st.Name] = true
+	case Assign:
+		w.expr(st.Expr)
+		w.write(st.Name)
+	case If:
+		w.expr(st.Cond)
+		w.pushScope()
+		w.stmts(st.Then)
+		w.popScope()
+		w.pushScope()
+		w.stmts(st.Else)
+		w.popScope()
+	case While:
+		w.expr(st.Cond)
+		w.pushScope()
+		w.stmts(st.Body)
+		w.popScope()
+	case ParFor:
+		w.expr(st.Lo)
+		w.expr(st.Hi)
+		if st.Reduce != nil && !w.local(st.Reduce.Acc) {
+			// The implicit per-task merge both reads and writes the
+			// accumulator.
+			w.eff.Reads[st.Reduce.Acc] = true
+			w.eff.Writes[st.Reduce.Acc] = true
+		}
+		w.pushScope()
+		w.scopes[len(w.scopes)-1][st.Var] = true
+		w.stmts(st.Body)
+		w.popScope()
+	case Par:
+		w.eff.Pars = true
+		w.pushScope()
+		w.stmts(st.A)
+		w.popScope()
+		w.pushScope()
+		w.stmts(st.B)
+		w.popScope()
+	case Return:
+		w.eff.Returns = true
+		w.expr(st.Expr)
+	case Call:
+		w.eff.Calls = true
+		w.expr(st.Arg)
+		w.write(st.Dst)
+	}
+}
+
+// DeclaredNames collects every name a region declares, at any nesting
+// depth (var declarations and parfor index variables).
+func DeclaredNames(ss []Stmt) map[string]bool {
+	out := map[string]bool{}
+	var walk func([]Stmt)
+	walk = func(ss []Stmt) {
+		for _, s := range ss {
+			switch st := s.(type) {
+			case VarDecl:
+				out[st.Name] = true
+			case If:
+				walk(st.Then)
+				walk(st.Else)
+			case While:
+				walk(st.Body)
+			case ParFor:
+				out[st.Var] = true
+				walk(st.Body)
+			case Par:
+				walk(st.A)
+				walk(st.B)
+			}
+		}
+	}
+	walk(ss)
+	return out
+}
+
+// intersects reports whether the two name sets share an element,
+// returning the lexicographically first shared name so messages (and
+// the golden verdict tables built from them) are deterministic.
+func intersects(a, b map[string]bool) (string, bool) {
+	var hit string
+	found := false
+	for k := range a {
+		if b[k] && (!found || k < hit) {
+			hit, found = k, true
+		}
+	}
+	return hit, found
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"tpal/internal/minipar"
+	"tpal/internal/minipar/autopar"
 	"tpal/internal/tpal"
 	"tpal/internal/tpal/analysis"
 	"tpal/internal/tpal/asm"
@@ -44,6 +45,36 @@ func loadSource(lang, source string) (*tpal.Program, []tpal.Reg, error) {
 	default:
 		return nil, nil, fmt.Errorf("unknown lang %q (want tpal or minipar)", lang)
 	}
+}
+
+// loadSubmission resolves one submission into the program that will
+// face the admission gate. Without auto_parallelize it is loadSource;
+// with it, the autopar dependence pass transforms the (minipar-only)
+// source first and the transformed, certified program is what gets
+// admitted, along with the per-site verdict report for the job record.
+// Errors are submission errors (HTTP 400), including a transform that
+// cannot even start because the input is not certification-clean.
+func (s *Service) loadSubmission(req SubmitRequest) (*tpal.Program, []tpal.Reg, *AutoparReport, error) {
+	if !req.AutoParallelize {
+		prog, params, err := loadSource(req.Lang, req.Source)
+		return prog, params, nil, err
+	}
+	lang := req.Lang
+	if lang == "" {
+		lang = detectLang(req.Source)
+	}
+	if lang != "minipar" {
+		return nil, nil, nil, fmt.Errorf("auto_parallelize requires a minipar source (got lang %q)", lang)
+	}
+	res, err := autopar.TransformSource(req.Source, autopar.Options{TripAssume: s.cfg.TripAssume})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("auto_parallelize: %w", err)
+	}
+	params := make([]tpal.Reg, len(res.Program.Params))
+	for i, name := range res.Program.Params {
+		params[i] = tpal.Reg(name)
+	}
+	return res.Compiled, params, autoparReportOf(res), nil
 }
 
 // detectLang guesses the front end from the first non-comment line:

@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tpal/internal/tpal/programs"
+)
+
+// seqReduceSrc is a sequentially-written plus-reduce kernel: the
+// autopar pass should fold the prologue, rewrite the loop to
+// parfor reduce(s, +), and the admitted job should execute the
+// transformed program with real forks.
+const seqReduceSrc = `
+params n
+var s = 0
+var i = 0
+while i < n {
+    s = s + i
+    i = i + 1
+}
+return s
+`
+
+// loopCarriedSrc has a genuine loop-carried dependence (s = s * 2 + 1
+// is not in accumulate shape), so the site must be blocked with a
+// TP07x verdict while the job still runs — sequentially.
+const loopCarriedSrc = `
+params n
+var s = 0
+var i = 0
+while i < n {
+    s = s * 2 + 1
+    i = i + 1
+}
+return s
+`
+
+func TestAutoParallelizeSubmission(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2})
+	j, err := s.Submit(SubmitRequest{
+		Tenant:          "alice",
+		Lang:            "minipar",
+		Source:          seqReduceSrc,
+		Args:            map[string]int64{"n": 400},
+		Heartbeat:       30,
+		AutoParallelize: true,
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	v := await(t, j)
+	if v.Status != StatusDone {
+		t.Fatalf("status = %s (%s), want done", v.Status, v.Error)
+	}
+	if got, want := v.Result["result"], "79800"; got != want { // 400*399/2
+		t.Errorf("result = %q, want %q", got, want)
+	}
+	if v.Autopar == nil {
+		t.Fatal("job view carries no autopar report")
+	}
+	rep := v.Autopar
+	if rep.Parallelized < 1 {
+		t.Errorf("parallelized = %d, want >= 1; sites: %+v", rep.Parallelized, rep.Sites)
+	}
+	if rep.PredictedSpeedup <= 1 {
+		t.Errorf("predicted speedup = %v, want > 1", rep.PredictedSpeedup)
+	}
+	if !strings.Contains(rep.Source, "parfor") || !strings.Contains(rep.Source, "reduce(s, +)") {
+		t.Errorf("transformed source lost the reduction parfor:\n%s", rep.Source)
+	}
+	var sawLoop bool
+	for _, site := range rep.Sites {
+		if site.Kind == "loop" && site.Parallelized {
+			sawLoop = true
+			if site.Decision != "parallelized" {
+				t.Errorf("parallelized site decision = %q", site.Decision)
+			}
+			if site.Speedup <= 1 {
+				t.Errorf("site speedup = %v, want > 1", site.Speedup)
+			}
+		}
+	}
+	if !sawLoop {
+		t.Errorf("no parallelized loop site in %+v", rep.Sites)
+	}
+	// The machine must have executed the transformed (forking) program.
+	if v.Stats == nil || v.Stats.Forks == 0 {
+		t.Errorf("execution shows no forks: %+v", v.Stats)
+	}
+
+	m := s.Snapshot()
+	if m.AutoparAdmissions != 1 {
+		t.Errorf("autopar_admissions = %d, want 1", m.AutoparAdmissions)
+	}
+	if m.AutoparSitesParallelized < 1 {
+		t.Errorf("autopar_sites_parallelized = %d, want >= 1", m.AutoparSitesParallelized)
+	}
+	if len(m.AutoparSpeedupHist) == 0 {
+		t.Error("autopar_speedup_hist is empty after an autopar admission")
+	}
+	total := int64(0)
+	for _, n := range m.AutoparSpeedupHist {
+		total += n
+	}
+	if total != m.AutoparAdmissions {
+		t.Errorf("speedup histogram sums to %d, want %d", total, m.AutoparAdmissions)
+	}
+}
+
+func TestAutoParallelizeBlockedSiteStillRuns(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	j, err := s.Submit(SubmitRequest{
+		Source:          loopCarriedSrc,
+		Args:            map[string]int64{"n": 5},
+		AutoParallelize: true,
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	v := await(t, j)
+	if v.Status != StatusDone {
+		t.Fatalf("status = %s (%s), want done", v.Status, v.Error)
+	}
+	if got, want := v.Result["result"], "31"; got != want { // 2^5 - 1
+		t.Errorf("result = %q, want %q", got, want)
+	}
+	if v.Autopar == nil {
+		t.Fatal("job view carries no autopar report")
+	}
+	var blocked bool
+	for _, site := range v.Autopar.Sites {
+		if !site.Parallelized && strings.HasPrefix(site.Decision, "blocked TP07") {
+			blocked = true
+		}
+	}
+	if !blocked {
+		t.Errorf("no blocked TP07x site in %+v", v.Autopar.Sites)
+	}
+	m := s.Snapshot()
+	if m.AutoparSitesBlocked < 1 {
+		t.Errorf("autopar_sites_blocked = %d, want >= 1", m.AutoparSitesBlocked)
+	}
+}
+
+func TestAutoParallelizeRequiresMinipar(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	_, err := s.Submit(SubmitRequest{
+		Source:          programs.ProdSource,
+		Args:            map[string]int64{"a": 2, "b": 3},
+		AutoParallelize: true,
+	})
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("err = %v, want ErrBadRequest", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "minipar") {
+		t.Errorf("error does not explain the lang restriction: %v", err)
+	}
+}
+
+func TestAutoParallelizeCacheHitKeepsReport(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	req := SubmitRequest{
+		Source:          seqReduceSrc,
+		Args:            map[string]int64{"n": 100},
+		AutoParallelize: true,
+	}
+	j1, err := s.Submit(req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	await(t, j1)
+	j2, err := s.Submit(req)
+	if err != nil {
+		t.Fatalf("second Submit: %v", err)
+	}
+	v := await(t, j2)
+	if !v.Cached {
+		t.Fatalf("second identical submission was not a cache hit: %+v", v)
+	}
+	if v.Autopar == nil || v.Autopar.Parallelized < 1 {
+		t.Errorf("cache-hit job lost its autopar report: %+v", v.Autopar)
+	}
+	if m := s.Snapshot(); m.AutoparAdmissions != 2 {
+		t.Errorf("autopar_admissions = %d, want 2", m.AutoparAdmissions)
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"time"
 
+	"tpal/internal/minipar/autopar"
 	"tpal/internal/tpal"
 	"tpal/internal/tpal/machine"
 	"tpal/internal/trace"
@@ -120,6 +121,58 @@ func jobTraceOf(tr *trace.Trace) *JobTrace {
 	return jt
 }
 
+// AutoparSite is one candidate site of the auto-parallelizing pass in
+// the wire format: where it was, what it was, and the verdict —
+// parallelized (with the profitability model's prediction) or blocked
+// with the TP07x code naming the failed dependence argument.
+type AutoparSite struct {
+	Site         string  `json:"site"` // source position, line:col
+	Kind         string  `json:"kind"` // "loop" or "pair"
+	Desc         string  `json:"desc"`
+	Decision     string  `json:"decision"` // "parallelized" or "blocked TPnnn"
+	Detail       string  `json:"detail"`
+	Parallelized bool    `json:"parallelized"`
+	Speedup      float64 `json:"predicted_speedup,omitempty"`
+}
+
+// AutoparReport is the job-level summary of an auto_parallelize
+// submission: the verdict table plus the program-level predicted
+// speedup from the source cost model. Source is the transformed
+// minipar program that was actually admitted and executed.
+type AutoparReport struct {
+	Sites            []AutoparSite `json:"sites"`
+	Parallelized     int           `json:"parallelized"`
+	Blocked          int           `json:"blocked"`
+	PredictedSpeedup float64       `json:"predicted_speedup"`
+	SeqWork          int64         `json:"est_seq_work"`
+	ParSpan          int64         `json:"est_par_span"`
+	Source           string        `json:"source"`
+}
+
+func autoparReportOf(res *autopar.Result) *AutoparReport {
+	rep := &AutoparReport{
+		Sites:            make([]AutoparSite, len(res.Sites)),
+		Parallelized:     res.Parallelized,
+		Blocked:          res.Blocked,
+		PredictedSpeedup: res.Speedup,
+		SeqWork:          res.SeqWork,
+		ParSpan:          res.ParSpan,
+		Source:           res.Source,
+	}
+	for i, v := range res.Sites {
+		rep.Sites[i] = AutoparSite{
+			Site:         v.Pos.String(),
+			Kind:         v.Kind,
+			Desc:         v.Desc,
+			Decision:     v.Decision(),
+			Detail:       v.Detail(),
+			Parallelized: v.Parallelized,
+			Speedup:      v.Speedup,
+		}
+	}
+	return rep
+}
+
 // Diag is one admission diagnostic in the wire format, the same shape
 // tpal-lint -json emits.
 type Diag struct {
@@ -141,7 +194,8 @@ type Job struct {
 	Diags       []Diag            // admission diagnostics (rejections)
 	Result      map[string]string // final register file, rendered
 	Stats       *JobStats
-	Trace       *JobTrace // drained trace summary (traced submissions only)
+	Trace       *JobTrace      // drained trace summary (traced submissions only)
+	Autopar     *AutoparReport // verdict table (auto_parallelize submissions only)
 	Error       string
 	Cached      bool // result served from the fingerprint cache
 
@@ -177,6 +231,7 @@ type JobView struct {
 	Result      map[string]string `json:"result,omitempty"`
 	Stats       *JobStats         `json:"stats,omitempty"`
 	Trace       *JobTrace         `json:"trace,omitempty"`
+	Autopar     *AutoparReport    `json:"autopar,omitempty"`
 	Error       string            `json:"error,omitempty"`
 	Cached      bool              `json:"cached,omitempty"`
 	QueueWaitMS float64           `json:"queue_wait_ms,omitempty"`
@@ -193,6 +248,7 @@ func (j *Job) view() JobView {
 		Result:      j.Result,
 		Stats:       j.Stats,
 		Trace:       j.Trace,
+		Autopar:     j.Autopar,
 		Error:       j.Error,
 		Cached:      j.Cached,
 	}

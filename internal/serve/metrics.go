@@ -57,16 +57,60 @@ type Metrics struct {
 	ExecNanos  int64
 	Promotions int64
 
-	queueWait   *metricSamples   // submission → first execution step
-	exec        *metricSamples   // execution duration
-	traceCounts map[string]int64 // per-kind event totals over traced jobs
+	// Autopar admission counters: jobs admitted with auto_parallelize,
+	// candidate-site outcomes summed across them, and a histogram of
+	// the program-level predicted speedups.
+	AutoparAdmissions        int64
+	AutoparSitesParallelized int64
+	AutoparSitesBlocked      int64
+
+	queueWait      *metricSamples   // submission → first execution step
+	exec           *metricSamples   // execution duration
+	traceCounts    map[string]int64 // per-kind event totals over traced jobs
+	autoparSpeedup map[string]int64 // predicted-speedup histogram buckets
 }
 
 func newMetrics() *Metrics {
 	return &Metrics{
-		queueWait:   newSamples(4096),
-		exec:        newSamples(4096),
-		traceCounts: make(map[string]int64),
+		queueWait:      newSamples(4096),
+		exec:           newSamples(4096),
+		traceCounts:    make(map[string]int64),
+		autoparSpeedup: make(map[string]int64),
+	}
+}
+
+// noteAutopar records one auto-parallelized admission. A nil report
+// (the submission did not ask for the pass) is a no-op, so the call
+// sits unconditionally on both admission paths. Callers hold the
+// service mutex.
+func (m *Metrics) noteAutopar(rep *AutoparReport) {
+	if rep == nil {
+		return
+	}
+	m.AutoparAdmissions++
+	m.AutoparSitesParallelized += int64(rep.Parallelized)
+	m.AutoparSitesBlocked += int64(rep.Blocked)
+	m.autoparSpeedup[speedupBucket(rep.PredictedSpeedup)]++
+}
+
+// speedupBucket maps a predicted speedup onto the fixed histogram
+// buckets of /metrics. The boundaries are powers of two above 2x —
+// the interesting resolution is at the low end, where forking barely
+// pays for itself.
+func speedupBucket(s float64) string {
+	switch {
+	case s < 1.5:
+		return "<1.5"
+	case s < 2:
+		return "1.5-2"
+	case s < 4:
+		return "2-4"
+	case s < 8:
+		return "4-8"
+	case s < 16:
+		return "8-16"
+	default:
+		return ">=16"
 	}
 }
 
@@ -104,6 +148,14 @@ type MetricsSnapshot struct {
 	// traced jobs.
 	TraceEventCounts map[string]int64 `json:"trace_event_counts,omitempty"`
 
+	// Autopar gauges: admissions that ran the auto-parallelizing pass,
+	// candidate-site outcomes across them, and the histogram of
+	// program-level predicted speedups (bucket label → count).
+	AutoparAdmissions        int64            `json:"autopar_admissions"`
+	AutoparSitesParallelized int64            `json:"autopar_sites_parallelized"`
+	AutoparSitesBlocked      int64            `json:"autopar_sites_blocked"`
+	AutoparSpeedupHist       map[string]int64 `json:"autopar_speedup_hist,omitempty"`
+
 	QueueWaitP50MS float64 `json:"queue_wait_p50_ms"`
 	QueueWaitP99MS float64 `json:"queue_wait_p99_ms"`
 	ExecP50MS      float64 `json:"exec_p50_ms"`
@@ -136,6 +188,13 @@ func (s *Service) Snapshot() MetricsSnapshot {
 			counts[k] = n
 		}
 	}
+	var speedups map[string]int64
+	if len(m.autoparSpeedup) > 0 {
+		speedups = make(map[string]int64, len(m.autoparSpeedup))
+		for k, n := range m.autoparSpeedup {
+			speedups[k] = n
+		}
+	}
 	return MetricsSnapshot{
 		Submitted:        m.Submitted,
 		Admitted:         m.Admitted,
@@ -157,9 +216,14 @@ func (s *Service) Snapshot() MetricsSnapshot {
 		PromotionRate:    rate,
 		TracedJobs:       m.TracedJobs,
 		TraceEventCounts: counts,
-		QueueWaitP50MS:   stats.Percentile(wait, 50),
-		QueueWaitP99MS:   stats.Percentile(wait, 99),
-		ExecP50MS:        stats.Percentile(exec, 50),
-		ExecP99MS:        stats.Percentile(exec, 99),
+
+		AutoparAdmissions:        m.AutoparAdmissions,
+		AutoparSitesParallelized: m.AutoparSitesParallelized,
+		AutoparSitesBlocked:      m.AutoparSitesBlocked,
+		AutoparSpeedupHist:       speedups,
+		QueueWaitP50MS:           stats.Percentile(wait, 50),
+		QueueWaitP99MS:           stats.Percentile(wait, 99),
+		ExecP50MS:                stats.Percentile(exec, 50),
+		ExecP99MS:                stats.Percentile(exec, 99),
 	}
 }

@@ -150,6 +150,14 @@ type SubmitRequest struct {
 	// POST /v1/jobs. Traced submissions bypass the result cache so the
 	// trace always reflects a real execution.
 	Trace bool `json:"trace"`
+	// AutoParallelize runs the autopar dependence pass over the
+	// submission before admission: sequential loops and independent
+	// statement pairs in the (minipar-only) source are rewritten to
+	// parfor/par where the rewrite certifies race-free, and the job
+	// record carries the per-site verdict table and predicted speedup
+	// (GET /v1/jobs/{id} returns them under "autopar"). The admission
+	// gate then analyzes the transformed program.
+	AutoParallelize bool `json:"auto_parallelize"`
 }
 
 // cachedResult is a completed run memoized by resultKey.
@@ -247,7 +255,7 @@ func (s *Service) Submit(req SubmitRequest) (*Job, error) {
 	s.metrics.Submitted++
 	s.mu.Unlock()
 
-	prog, params, err := loadSource(req.Lang, req.Source)
+	prog, params, autoRep, err := s.loadSubmission(req)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
 	}
@@ -296,6 +304,7 @@ func (s *Service) Submit(req SubmitRequest) (*Job, error) {
 		Tenant:      tenant,
 		Fingerprint: adm.fingerprint,
 		Quote:       adm.quote,
+		Autopar:     autoRep,
 		Submitted:   now,
 		prog:        prog,
 		regs:        regs,
@@ -345,6 +354,7 @@ func (s *Service) Submit(req SubmitRequest) (*Job, error) {
 		s.metrics.ResultHits++
 		s.metrics.Admitted++
 		s.metrics.Completed++
+		s.metrics.noteAutopar(j.Autopar)
 		return j, nil
 	}
 
@@ -357,6 +367,7 @@ func (s *Service) Submit(req SubmitRequest) (*Job, error) {
 	s.jobs[j.ID] = j
 	s.queue.push(j)
 	s.metrics.Admitted++
+	s.metrics.noteAutopar(j.Autopar)
 	s.cond.Signal()
 	return j, nil
 }

@@ -103,6 +103,22 @@ const (
 	CodeRaceMayAlias   Code = "TP065" // branch regions may alias (same allocation site, instances not separable)
 )
 
+// Auto-parallelization codes (TP07x), emitted by the minipar autopar
+// pass (internal/minipar/autopar) as per-site verdict reasons: why a
+// candidate loop or statement pair was left sequential. They are
+// informational — Warning severity, never produced by Verify itself —
+// but live in this registry so the verdict tables of minipar -auto,
+// tpal-lint -autopar, and the serve job view share the stable-code
+// contract with every other diagnostic surface.
+const (
+	CodeAutoNotCounted   Code = "TP070" // loop is not in counted induction form
+	CodeAutoLoopCarried  Code = "TP071" // loop-carried dependence not in reducible shape
+	CodeAutoUnsupported  Code = "TP072" // candidate region contains call/return/parallel constructs
+	CodeAutoUnprofitable Code = "TP073" // static work bound below the spawn-cost threshold
+	CodeAutoNotDisjoint  Code = "TP074" // would-be branch regions not provably disjoint (TP06x)
+	CodeAutoDependent    Code = "TP075" // statement pair has overlapping read/write sets
+)
+
 // Codes maps every diagnostic code to a one-line description of the
 // check it names. The table is the authoritative code registry; tests
 // pin its completeness against the checks that emit each code.
@@ -138,6 +154,23 @@ var Codes = map[Code]string{
 	CodeRaceEscape:       "a stack pointer may escape to memory, so forked regions cannot be separated",
 	CodeRaceSameStack:    "fork branches share a stack at cells the analysis cannot separate",
 	CodeRaceMayAlias:     "fork branch regions may alias: same allocation site, instances not separable",
+	CodeAutoNotCounted:   "a sequential loop is not in counted induction form, so it has no iteration space to split",
+	CodeAutoLoopCarried:  "a loop-carried dependence: a cross-iteration update is not in reducible accumulator shape",
+	CodeAutoUnsupported:  "a candidate region contains a statement the transform cannot fork (call, return, or parallel construct)",
+	CodeAutoUnprofitable: "a candidate's static work bound is below the spawn-cost threshold; forking would cost more than it saves",
+	CodeAutoNotDisjoint:  "the would-be branch region summaries are not provably disjoint (a TP06x overlap survives)",
+	CodeAutoDependent:    "a statement pair has overlapping read/write sets and cannot run in parallel",
+}
+
+// IsAutoParCode reports whether a code belongs to the
+// auto-parallelization verdict family (TP070–TP075).
+func IsAutoParCode(c Code) bool {
+	switch c {
+	case CodeAutoNotCounted, CodeAutoLoopCarried, CodeAutoUnsupported,
+		CodeAutoUnprofitable, CodeAutoNotDisjoint, CodeAutoDependent:
+		return true
+	}
+	return false
 }
 
 // IsRaceCode reports whether a code belongs to the static interference

@@ -44,6 +44,12 @@ var allCodes = []analysis.Code{
 	analysis.CodeRaceEscape,
 	analysis.CodeRaceSameStack,
 	analysis.CodeRaceMayAlias,
+	analysis.CodeAutoNotCounted,
+	analysis.CodeAutoLoopCarried,
+	analysis.CodeAutoUnsupported,
+	analysis.CodeAutoUnprofitable,
+	analysis.CodeAutoNotDisjoint,
+	analysis.CodeAutoDependent,
 }
 
 func TestCodesRegistryComplete(t *testing.T) {
