@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-test serve-test autopar-test lint fuzz bench-rt ci
+.PHONY: build test vet race race-test serve-test autopar-test lint lint-go fuzz bench-rt ci
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,13 @@ lint:
 	$(GO) run ./cmd/tpal-lint -Werror -race internal/minipar/testdata
 	$(GO) run ./cmd/tpal-lint -Werror -race -autopar examples/autopar
 
+# lint-go runs the Go-side style gates: go vet plus the repository's
+# own go/ast checker (cmd/golint), which needs no network or module
+# cache — it is pure standard library.
+lint-go:
+	$(GO) vet ./...
+	$(GO) run ./cmd/golint ./internal ./cmd
+
 # fuzz is the CI smoke stage: a short run of each analysis fuzzer (go
 # test accepts one -fuzz pattern at a time, so they run back to back).
 # FuzzVerify checks verifier soundness against the machine; FuzzLiveness
@@ -54,11 +61,15 @@ lint:
 # generated sequential minipar programs at the auto-parallelizer and
 # holds it to the certification contract: clean re-verification,
 # silent sanitizer, results identical to sequential interpretation.
+# FuzzOpt drives mutated corpus programs through the certified
+# optimizer: no panics, no new errors, idempotent, and serially
+# equivalent to the input program.
 fuzz:
 	$(GO) test ./internal/tpal/analysis -run='^$$' -fuzz='^FuzzVerify$$' -fuzztime=10s
 	$(GO) test ./internal/tpal/analysis -run='^$$' -fuzz='^FuzzLiveness$$' -fuzztime=10s
 	$(GO) test ./internal/tpal/analysis -run='^$$' -fuzz='^FuzzRaceAgreement$$' -fuzztime=10s
 	$(GO) test ./internal/minipar/autopar -run='^$$' -fuzz='^FuzzAutoPar$$' -fuzztime=10s
+	$(GO) test ./internal/tpal/opt -run='^$$' -fuzz='^FuzzOpt$$' -fuzztime=10s
 
 # bench-rt rewrites BENCH_rt.json, the committed runtime perf baseline:
 # plus-reduce-array and mergesort-uniform walls with the tracer disabled
@@ -69,4 +80,4 @@ fuzz:
 bench-rt:
 	$(GO) run ./cmd/tpal-trace -bench-rt -reps 5 -out BENCH_rt.json
 
-ci: vet build race race-test serve-test autopar-test lint fuzz bench-rt
+ci: vet lint-go build race race-test serve-test autopar-test lint fuzz bench-rt

@@ -1,0 +1,244 @@
+// Command golint is the repository's own Go style checker: a small
+// go/ast pass over the tree that flags patterns gofmt and go vet both
+// accept but this codebase does not want. It uses only the standard
+// library — no module downloads, no type checking — so it runs in the
+// sandboxed CI environment exactly as it runs locally.
+//
+// Checks:
+//
+//	boolcompare   comparison against a bool literal (x == true, y != false)
+//	selfassign    assigning an expression to itself (x = x)
+//	emptybranch   if or else branch with an empty body
+//	sprintfconst  fmt.Sprintf/Errorf/Printf-family call whose format
+//	              string contains no verb — the call is a costlier
+//	              string literal (Errorf is exempt only when it keeps
+//	              an error chain, which needs a verb anyway)
+//	lenzero       len(x) < 0 or len(x) >= 0: always false/true
+//
+// Usage:
+//
+//	golint ./internal ./cmd       # lint the trees, exit 1 on findings
+//
+// Test files are linted too; testdata directories are skipped.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		args = []string{"."}
+	}
+	var files []string
+	for _, arg := range args {
+		err := filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if d.Name() == "testdata" || strings.HasPrefix(d.Name(), ".") && path != arg {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "golint: %v\n", err)
+			return 2
+		}
+	}
+	sort.Strings(files)
+
+	found := 0
+	for _, path := range files {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(stderr, "golint: %v\n", err)
+			return 2
+		}
+		for _, d := range lintFile(fset, f) {
+			fmt.Fprintln(stdout, d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(stdout, "golint: %d finding(s)\n", found)
+		return 1
+	}
+	return 0
+}
+
+// lintFile runs every check over one parsed file and returns rendered
+// findings in position order.
+func lintFile(fset *token.FileSet, f *ast.File) []string {
+	var out []string
+	report := func(pos token.Pos, check, msg string) {
+		out = append(out, fmt.Sprintf("%s: %s: %s", fset.Position(pos), check, msg))
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			checkBoolCompare(fset, n, report)
+			checkLenZero(fset, n, report)
+		case *ast.AssignStmt:
+			checkSelfAssign(fset, n, report)
+		case *ast.IfStmt:
+			checkEmptyBranch(n, report)
+		case *ast.CallExpr:
+			checkSprintfConst(n, report)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func isBoolLit(e ast.Expr) (bool, bool) {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false, false
+	}
+	switch id.Name {
+	case "true":
+		return true, true
+	case "false":
+		return false, true
+	}
+	return false, false
+}
+
+// checkBoolCompare flags x == true / x != false style comparisons: the
+// bool expression already is the condition.
+func checkBoolCompare(fset *token.FileSet, n *ast.BinaryExpr, report func(token.Pos, string, string)) {
+	if n.Op != token.EQL && n.Op != token.NEQ {
+		return
+	}
+	for _, side := range []ast.Expr{n.X, n.Y} {
+		if _, ok := isBoolLit(side); ok {
+			report(n.Pos(), "boolcompare",
+				fmt.Sprintf("comparison with bool literal %s; use the expression (or its negation) directly", render(fset, side)))
+			return
+		}
+	}
+}
+
+// checkLenZero flags len(x) < 0 and len(x) >= 0, which are always
+// false and always true: len never goes negative.
+func checkLenZero(fset *token.FileSet, n *ast.BinaryExpr, report func(token.Pos, string, string)) {
+	if n.Op != token.LSS && n.Op != token.GEQ {
+		return
+	}
+	call, ok := n.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "len" {
+		return
+	}
+	if lit, ok := n.Y.(*ast.BasicLit); ok && lit.Kind == token.INT && lit.Value == "0" {
+		report(n.Pos(), "lenzero",
+			fmt.Sprintf("len(%s) %s 0 is always %v", render(fset, call.Args[0]), n.Op, n.Op == token.GEQ))
+	}
+}
+
+// checkSelfAssign flags x = x (any position in a multi-assign).
+func checkSelfAssign(fset *token.FileSet, n *ast.AssignStmt, report func(token.Pos, string, string)) {
+	if n.Tok != token.ASSIGN || len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i := range n.Lhs {
+		l, r := render(fset, n.Lhs[i]), render(fset, n.Rhs[i])
+		// Only flag plain identifier/selector chains: an index or call
+		// on either side can have effects worth keeping.
+		if l == r && isPure(n.Lhs[i]) {
+			report(n.Pos(), "selfassign", fmt.Sprintf("%s is assigned to itself", l))
+		}
+	}
+}
+
+func isPure(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return isPure(e.X)
+	}
+	return false
+}
+
+// checkEmptyBranch flags if/else branches whose body is empty: either
+// dead scaffolding or an inverted condition waiting to happen.
+func checkEmptyBranch(n *ast.IfStmt, report func(token.Pos, string, string)) {
+	if n.Body != nil && len(n.Body.List) == 0 {
+		report(n.Pos(), "emptybranch", "if branch has an empty body")
+	}
+	if blk, ok := n.Else.(*ast.BlockStmt); ok && len(blk.List) == 0 {
+		report(n.Else.Pos(), "emptybranch", "else branch has an empty body")
+	}
+}
+
+// formatCalls maps fmt functions to the index of their format argument.
+var formatCalls = map[string]int{
+	"Sprintf": 0, "Printf": 0, "Errorf": 0,
+	"Fprintf": 1, "Fscanf": 1, "Sscanf": 1,
+}
+
+// checkSprintfConst flags fmt format calls whose format string is a
+// literal with no verbs and no escapes: the plain-string sibling
+// (Sprint, Print, errors.New, WriteString) says the same thing without
+// a scan of the format string.
+func checkSprintfConst(n *ast.CallExpr, report func(token.Pos, string, string)) {
+	sel, ok := n.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "fmt" {
+		return
+	}
+	argIx, ok := formatCalls[sel.Sel.Name]
+	if !ok || len(n.Args) <= argIx {
+		return
+	}
+	lit, ok := n.Args[argIx].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING || len(n.Args) > argIx+1 {
+		return
+	}
+	val, err := strconv.Unquote(lit.Value)
+	if err != nil || strings.ContainsAny(val, "%") {
+		return
+	}
+	report(n.Pos(), "sprintfconst",
+		fmt.Sprintf("fmt.%s with a constant format and no arguments; use the non-formatting variant", sel.Sel.Name))
+}
+
+// render prints an expression compactly for a finding message.
+func render(fset *token.FileSet, e ast.Expr) string {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, fset, e); err != nil {
+		return "?"
+	}
+	return sb.String()
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func lintSrc(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lintFile(fset, f)
+}
+
+func TestChecks(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of exactly one finding; "" = clean
+	}{
+		{"boolcompare-eq", `package x
+func f(b bool) bool { return b == true }`, "boolcompare"},
+		{"boolcompare-neq", `package x
+func f(b bool) bool { return false != b }`, "boolcompare"},
+		{"boolcompare-clean", `package x
+func f(b, c bool) bool { return b == c }`, ""},
+		{"selfassign", `package x
+func f(a int) { a = a }`, "selfassign"},
+		{"selfassign-field", `package x
+type t struct{ n int }
+func f(v t) { v.n = v.n }`, "selfassign"},
+		{"selfassign-swap-clean", `package x
+func f(a, b int) (int, int) { a, b = b, a; return a, b }`, ""},
+		{"selfassign-index-clean", `package x
+func f(a []int, i func() int) { a[i()] = a[i()] }`, ""},
+		{"emptybranch-if", `package x
+func f(b bool) { if b { } }`, "emptybranch"},
+		{"emptybranch-else", `package x
+func f(b bool) { if b { _ = b } else { } }`, "emptybranch"},
+		{"sprintfconst", `package x
+import "fmt"
+func f() string { return fmt.Sprintf("hello") }`, "sprintfconst"},
+		{"sprintf-verb-clean", `package x
+import "fmt"
+func f(n int) string { return fmt.Sprintf("n=%d", n) }`, ""},
+		{"lenzero", `package x
+func f(a []int) bool { return len(a) >= 0 }`, "lenzero"},
+		{"lenzero-clean", `package x
+func f(a []int) bool { return len(a) > 0 }`, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := lintSrc(t, tc.src)
+			if tc.want == "" {
+				if len(got) != 0 {
+					t.Fatalf("want clean, got %v", got)
+				}
+				return
+			}
+			if len(got) != 1 || !strings.Contains(got[0], tc.want) {
+				t.Fatalf("want one %q finding, got %v", tc.want, got)
+			}
+		})
+	}
+}

@@ -54,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		heartbeat = fs.Int64("heartbeat", 40, "heartbeat period for -auto -run machine execution")
 		threshold = fs.Int64("threshold", autopar.DefaultSpawnThreshold, "spawn-cost threshold: minimum estimated work per site")
 		trips     = fs.Int64("trips", autopar.DefaultTripAssume, "assumed trip count for loops with unknown bounds")
+		noOpt     = fs.Bool("no-opt", false, "compile without the certified TPAL optimizer")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -100,7 +101,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "result: %d\n", got)
 			return 0
 		}
-		asm, err := minipar.Compile(prog)
+		compile := minipar.Compile
+		if *noOpt {
+			compile = minipar.CompileRaw
+		}
+		asm, err := compile(prog)
 		if err != nil {
 			fmt.Fprintf(stderr, "minipar: %v\n", err)
 			return 1

@@ -19,10 +19,14 @@
 //	tpal-lint -race program.tpal      # also run the interference (race) pass
 //	tpal-lint -json ./progs           # machine-readable report on stdout
 //	tpal-lint -autopar ./progs        # what would the autopar pass do (read-only)
+//	tpal-lint -opt program.tpal       # per-pass certified-optimizer report
 //
 // Exit status: 0 when every program is clean (warnings allowed unless
 // -Werror), 1 when any program has diagnostics that fail the run —
-// including on -json runs — and 2 on usage or load errors.
+// including on -json runs — and 2 on usage or load errors. A file that
+// fails to load no longer aborts the run: the failure is reported, the
+// remaining files are still linted, and the exit status is 2 at the
+// end.
 package main
 
 import (
@@ -41,6 +45,7 @@ import (
 	"tpal/internal/tpal"
 	"tpal/internal/tpal/analysis"
 	"tpal/internal/tpal/asm"
+	"tpal/internal/tpal/opt"
 	"tpal/internal/tpal/programs"
 )
 
@@ -101,12 +106,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		races    = fs.Bool("race", false, "run the static interference (determinacy-race) pass")
 		jsonMode = fs.Bool("json", false, "emit one JSON report per program on stdout")
 		autoPar  = fs.Bool("autopar", false, "report what the auto-parallelizing pass would do to each minipar program (read-only)")
+		optMode  = fs.Bool("opt", false, "run the certified optimizer over each program and print the per-pass report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *autoPar && *jsonMode {
 		fmt.Fprintln(stderr, "tpal-lint: -autopar and -json cannot be combined")
+		return 2
+	}
+	if *optMode && *jsonMode {
+		fmt.Fprintln(stderr, "tpal-lint: -opt and -json cannot be combined")
 		return 2
 	}
 
@@ -141,6 +151,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *latency && !*jsonMode {
 			printLatency(stdout, name, r)
 		}
+		if *optMode {
+			reportOpt(stdout, name, p, r, regs)
+		}
 	}
 
 	if fs.NArg() == 0 {
@@ -162,11 +175,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "tpal-lint: %v\n", err)
 			return 2
 		}
+		loadFailed := false
 		for _, path := range paths {
 			p, params, err := load(path)
 			if err != nil {
+				// Report and keep going: one unparsable file must not
+				// hide the diagnostics of every file after it.
 				fmt.Fprintf(stderr, "tpal-lint: %s: %v\n", path, err)
-				return 2
+				loadFailed = true
+				continue
 			}
 			regs := entryRegs
 			if regs == nil {
@@ -178,6 +195,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 					failed = true
 				}
 			}
+		}
+		if loadFailed {
+			// Load failures dominate diagnostic failures: the run did not
+			// even see the whole input, which is the stronger complaint.
+			if *jsonMode {
+				enc := json.NewEncoder(stdout)
+				enc.SetIndent("", "  ")
+				_ = enc.Encode(reports) // partial report; the exit code already says so
+			}
+			return 2
 		}
 	}
 
@@ -193,6 +220,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// reportOpt runs the certified optimizer over one program and prints
+// its per-pass report, each line prefixed with the program name. A
+// program the verifier rejects is skipped — the optimizer only accepts
+// verified inputs — without failing the run beyond the diagnostics the
+// lint pass already charged it with.
+func reportOpt(w io.Writer, name string, p *tpal.Program, r *analysis.Report, regs []tpal.Reg) {
+	if analysis.HasErrors(r.Diags) {
+		fmt.Fprintf(w, "%s: opt: skipped (the verifier rejected the program)\n", name)
+		return
+	}
+	res, err := opt.Optimize(p, opt.Options{EntryRegs: regs})
+	if err != nil {
+		fmt.Fprintf(w, "%s: opt: %v\n", name, err)
+		return
+	}
+	for _, line := range strings.Split(strings.TrimRight(res.Table(), "\n"), "\n") {
+		fmt.Fprintf(w, "%s: opt: %s\n", name, line)
+	}
 }
 
 // reportAutopar prints what the auto-parallelizing pass would do to one

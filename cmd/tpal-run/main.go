@@ -11,6 +11,7 @@
 //	tpal-run -dump program.mp          # print the compiled TPAL assembly
 //	tpal-run -builtin pow -reg d=3,e=9 -stats
 //	tpal-run -race -reg n=50 program.mp   # determinacy-race sanitizer on
+//	tpal-run -O -builtin pow -reg d=3,e=9  # certified optimizer on
 //	tpal-run -fuel 100000 program.tpal    # hard step budget
 //	tpal-run -timeout 2s program.tpal     # wall-clock deadline
 //	tpal-run -list-builtins
@@ -48,6 +49,7 @@ import (
 	"tpal/internal/tpal"
 	"tpal/internal/tpal/asm"
 	"tpal/internal/tpal/machine"
+	"tpal/internal/tpal/opt"
 	"tpal/internal/tpal/programs"
 )
 
@@ -85,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fuel     = fs.Int64("fuel", 0, "hard execution budget in machine steps; exceeding it exits 3 (0 = off)")
 		timeout  = fs.Duration("timeout", 0, "wall-clock deadline for the run; exceeding it exits 4 (0 = off)")
 		race     = fs.Bool("race", false, "enable the determinacy-race sanitizer (halts on the first racing access pair)")
+		optimize = fs.Bool("O", false, "run the certified analysis-directed optimizer before executing")
 		stats    = fs.Bool("stats", false, "print execution statistics")
 		list     = fs.Bool("list-builtins", false, "list built-in programs and exit")
 		dump     = fs.Bool("dump", false, "print the assembled program instead of running it")
@@ -110,6 +113,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "tpal-run:", err)
 		return exitUsage
+	}
+	if *optimize {
+		// The optimizer subsumes verification (it refuses programs the
+		// verifier rejects), and its output is certified equivalent, so
+		// both -dump and the machine run use the optimized form.
+		res, err := opt.Optimize(prog, opt.Options{EntryRegs: entryRegNames(*regs)})
+		if err != nil {
+			fmt.Fprintln(stderr, "tpal-run:", err)
+			return exitFault
+		}
+		prog = res.Program
 	}
 	if *dump {
 		fmt.Fprint(stdout, prog.String())
@@ -223,8 +237,20 @@ func loadProgram(builtin string, args []string) (*tpal.Program, error) {
 	case len(args) > 1:
 		return nil, fmt.Errorf("flags must precede the program file (got extra arguments %v)", args[1:])
 	default:
-		return nil, fmt.Errorf("provide a .tpal or .mp file, or -builtin name")
+		return nil, errors.New("provide a .tpal or .mp file, or -builtin name")
 	}
+}
+
+// entryRegNames extracts the register names of a -reg assignment list;
+// the -dump -O path needs them before the register file is built.
+func entryRegNames(spec string) []tpal.Reg {
+	var out []tpal.Reg
+	for _, pair := range strings.Split(spec, ",") {
+		if name, _, ok := strings.Cut(pair, "="); ok {
+			out = append(out, tpal.Reg(name))
+		}
+	}
+	return out
 }
 
 func max64(a, b int64) int64 {

@@ -63,9 +63,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		timeout      = fs.Duration("timeout", 10*time.Second, "default per-job wall-clock deadline")
 		maxTimeout   = fs.Duration("max-timeout", 60*time.Second, "ceiling on client-requested deadlines")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+		noOpt        = fs.Bool("no-opt", false, "disable the certified optimizer (jobs run and are quoted as submitted)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: tpal-serve [flags]\n\n")
+		fmt.Fprint(stderr, "usage: tpal-serve [flags]\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -88,6 +89,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		QuoteMargin:    *quoteMargin,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+
+		DisableOptimizer: *noOpt,
 	})
 
 	srv := &http.Server{

@@ -42,6 +42,7 @@ import (
 	"tpal/internal/tpal"
 	"tpal/internal/tpal/analysis"
 	"tpal/internal/tpal/machine"
+	"tpal/internal/tpal/opt"
 	"tpal/internal/tpal/programs"
 	"tpal/internal/trace"
 )
@@ -113,7 +114,7 @@ func runBench(out io.Writer, name string, workers int, scale float64, capacity i
 	tl.WriteText(out)
 
 	if lat := trace.ServiceLatencies(d); len(lat) > 0 {
-		fmt.Fprintf(out, "\npromotion service latency (beat observed -> promotion):\n")
+		fmt.Fprint(out, "\npromotion service latency (beat observed -> promotion):\n")
 		buckets, maxLat := trace.HistogramOf(lat)
 		trace.WriteHistogram(out, buckets[:], "ns")
 		fmt.Fprintf(out, "max observed service latency: %v\n", time.Duration(maxLat))
@@ -236,7 +237,7 @@ func runProg(out io.Writer, name string, hb int64, capacity int, chromePath stri
 		fmt.Fprintf(out, "\nFAIL: observed gap %d exceeds the static bound %d\n", g.MaxObserved, g.StaticBound)
 		return 1
 	}
-	fmt.Fprintf(out, "\nPASS: observed gaps respect the static bound\n")
+	fmt.Fprint(out, "\nPASS: observed gaps respect the static bound\n")
 	return 0
 }
 
@@ -281,12 +282,59 @@ type benchRTDoc struct {
 	} `json:"config"`
 	Benchmarks   []rtResult `json:"benchmarks"`
 	CorpusGaps   []gapCheck `json:"corpus_gap_check"`
+	OptDeltas    []optCheck `json:"optimizer_delta"`
 	OverheadGate struct {
 		Benchmark string  `json:"benchmark"`
 		Limit     float64 `json:"limit"`
 		Delta     float64 `json:"delta"`
 		Pass      bool    `json:"pass"`
 	} `json:"overhead_gate"`
+}
+
+// optCheck is one corpus program's certified-optimizer delta: the same
+// heartbeat run (race sanitizer on) executed on the submitted and the
+// optimized form. The certifier guarantees the result registers agree;
+// the step delta is the measured payoff.
+type optCheck struct {
+	Program     string `json:"program"`
+	Rewrites    int    `json:"rewrites"`
+	StepsBefore int64  `json:"steps_before"`
+	StepsAfter  int64  `json:"steps_after"`
+	// Delta is (after-before)/before: negative means the optimized form
+	// runs fewer machine steps.
+	Delta float64 `json:"delta"`
+}
+
+// checkOpt measures one corpus program's optimizer delta under the same
+// heartbeat as the gap check, with the determinacy-race sanitizer on.
+func checkOpt(c corpusEntry, hb int64) (optCheck, error) {
+	entry := make([]tpal.Reg, 0, len(c.regs))
+	for r := range c.regs {
+		entry = append(entry, r)
+	}
+	res, err := opt.Optimize(c.prog, opt.Options{EntryRegs: entry})
+	if err != nil {
+		return optCheck{}, fmt.Errorf("%s: optimize: %w", c.name, err)
+	}
+	cfg := machine.Config{Heartbeat: hb, RaceDetect: true, Regs: c.regs}
+	before, err := machine.Run(c.prog, cfg)
+	if err != nil {
+		return optCheck{}, fmt.Errorf("%s: machine (submitted): %w", c.name, err)
+	}
+	after, err := machine.Run(res.Program, cfg)
+	if err != nil {
+		return optCheck{}, fmt.Errorf("%s: machine (optimized): %w", c.name, err)
+	}
+	o := optCheck{
+		Program:     c.name,
+		Rewrites:    res.Rewrites(),
+		StepsBefore: before.Stats.Steps,
+		StepsAfter:  after.Stats.Steps,
+	}
+	if o.StepsBefore > 0 {
+		o.Delta = float64(o.StepsAfter-o.StepsBefore) / float64(o.StepsBefore)
+	}
+	return o, nil
 }
 
 // overheadLimit is the disabled-vs-enabled tracer delta the bench-rt
@@ -425,6 +473,17 @@ func runBenchRT(out io.Writer, outPath string, workers int, scale float64, reps,
 			gapsOK = false
 		}
 		doc.CorpusGaps = append(doc.CorpusGaps, g)
+	}
+
+	for _, c := range corpus() {
+		o, err := checkOpt(c, 8)
+		if err != nil {
+			fmt.Fprintln(out, err)
+			return 1
+		}
+		fmt.Fprintf(out, "opt delta %s: %d rewrites, steps %d -> %d (%+.2f%%)\n",
+			o.Program, o.Rewrites, o.StepsBefore, o.StepsAfter, o.Delta*100)
+		doc.OptDeltas = append(doc.OptDeltas, o)
 	}
 
 	doc.OverheadGate.Benchmark = rtBenchmarks[0]

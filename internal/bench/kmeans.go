@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -152,7 +153,7 @@ func (b *kmeans) RunHeartbeat(c *heartbeat.Ctx) {
 
 func (b *kmeans) Verify() error {
 	if b.ref == nil {
-		return fmt.Errorf("kmeans: RunSerial must run before Verify")
+		return errors.New("kmeans: RunSerial must run before Verify")
 	}
 	for i := range b.cent {
 		if math.Abs(b.cent[i]-b.ref[i]) > 1e-6 {

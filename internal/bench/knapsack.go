@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
@@ -164,7 +165,7 @@ func (b *knapsack) RunHeartbeat(c *heartbeat.Ctx) {
 
 func (b *knapsack) Verify() error {
 	if b.ref == 0 {
-		return fmt.Errorf("knapsack: RunSerial must run before Verify")
+		return errors.New("knapsack: RunSerial must run before Verify")
 	}
 	if b.out != b.ref {
 		return fmt.Errorf("knapsack: optimal value %d, want %d", b.out, b.ref)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 
 	"tpal/internal/cilk"
@@ -74,7 +75,7 @@ func (b *mandelbrot) RunHeartbeat(c *heartbeat.Ctx) {
 
 func (b *mandelbrot) Verify() error {
 	if b.ref == nil {
-		return fmt.Errorf("mandelbrot: RunSerial must run before Verify")
+		return errors.New("mandelbrot: RunSerial must run before Verify")
 	}
 	for i := range b.img {
 		if b.img[i] != b.ref[i] {

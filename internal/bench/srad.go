@@ -1,7 +1,7 @@
 package bench
 
 import (
-	"fmt"
+	"errors"
 	"math/rand"
 
 	"tpal/internal/cilk"
@@ -170,10 +170,10 @@ func (b *srad) RunHeartbeat(c *heartbeat.Ctx) {
 
 func (b *srad) Verify() error {
 	if b.ref == nil {
-		return fmt.Errorf("srad: RunSerial must run before Verify")
+		return errors.New("srad: RunSerial must run before Verify")
 	}
 	if !matrix.NearlyEqual(b.img, b.ref, 1e-9) {
-		return fmt.Errorf("srad: image differs from serial reference")
+		return errors.New("srad: image differs from serial reference")
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"tpal/internal/tpal"
 	"tpal/internal/tpal/analysis"
+	"tpal/internal/tpal/opt"
 )
 
 // Compile lowers a checked program to TPAL assembly. Every parfor
@@ -32,7 +33,36 @@ import (
 //
 // Generated registers and labels contain '-', which user identifiers
 // cannot, so they never collide with source variables.
+//
+// Compile additionally runs the translation-validated TPAL optimizer
+// (internal/tpal/opt) over the generated code, with the result register
+// as the only observable output; every accepted rewrite is certified
+// against the verifier, the race analysis, and the cost and
+// promotion-latency bounds, so the optimized program carries the same
+// guarantees as the raw lowering. CompileRaw is the escape hatch that
+// skips the optimizer — structure-pinning tests and the -no-opt CLI
+// flag use it.
 func Compile(p *Program) (*tpal.Program, error) {
+	prog, err := CompileRaw(p)
+	if err != nil {
+		return nil, err
+	}
+	entry := make([]tpal.Reg, len(p.Params))
+	for i, name := range p.Params {
+		entry[i] = tpal.Reg(name)
+	}
+	res, err := opt.Optimize(prog, opt.Options{EntryRegs: entry, LiveOut: []tpal.Reg{resultReg}})
+	if err != nil {
+		// The raw program verified clean, so the optimizer cannot refuse
+		// it; treat a refusal as a compiler bug.
+		return nil, fmt.Errorf("minipar: optimizer rejected generated TPAL: %w", err)
+	}
+	return res.Program, nil
+}
+
+// CompileRaw lowers a checked program to TPAL assembly without running
+// the optimizer.
+func CompileRaw(p *Program) (*tpal.Program, error) {
 	if err := Check(p); err != nil {
 		return nil, err
 	}

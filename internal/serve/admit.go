@@ -10,6 +10,7 @@ import (
 	"tpal/internal/tpal"
 	"tpal/internal/tpal/analysis"
 	"tpal/internal/tpal/asm"
+	"tpal/internal/tpal/opt"
 )
 
 // loadSource parses a submission into a TPAL program. Lang selects the
@@ -103,6 +104,12 @@ type admission struct {
 	reason      string // one-line rejection summary
 	quote       Quote
 	latency     string
+	// optimized is the certified-optimized program the executor should
+	// run in place of the submitted one; nil when the optimizer is
+	// disabled, the program was rejected, or no rewrite was accepted.
+	// The quote is derived from the optimized bounds, so the fuel grant
+	// re-prices the program the pool actually executes.
+	optimized *tpal.Program
 }
 
 // admitKey keys the analysis cache: the program fingerprint plus the
@@ -152,6 +159,14 @@ func (s *Service) admit(p *tpal.Program, entry []tpal.Reg) *admission {
 		a.reason = "promotion latency is unbounded (TP050): the job could starve the shared worker pool"
 	default:
 		a.quote = s.quote(report)
+		if !s.cfg.DisableOptimizer {
+			if res, err := opt.Optimize(p, opt.Options{EntryRegs: entry}); err == nil && res.Rewrites() > 0 {
+				a.optimized = res.Program
+				a.quote = s.quoteBounds(res.After.Work, res.After.Span)
+				a.quote.OptRewrites = res.Rewrites()
+				a.latency = res.After.Latency.String()
+			}
+		}
 	}
 
 	s.mu.Lock()
@@ -168,11 +183,18 @@ func (s *Service) admit(p *tpal.Program, entry []tpal.Reg) *admission {
 // clamp guarantees no single job holds an executor longer than FuelCap
 // steps.
 func (s *Service) quote(r *analysis.Report) Quote {
+	return s.quoteBounds(r.Work, r.Span)
+}
+
+// quoteBounds prices a (work, span) bound pair; admit uses it both for
+// the submitted program's report and to re-quote from the optimizer's
+// post-pipeline bounds.
+func (s *Service) quoteBounds(work, span *analysis.Expr) Quote {
 	trips := make(map[tpal.Label]int64)
-	for _, l := range r.Work.Trips() {
+	for _, l := range work.Trips() {
 		trips[l] = s.cfg.TripAssume
 	}
-	est := r.Work.Eval(trips, 1)
+	est := work.Eval(trips, 1)
 	budget := est
 	if budget > s.cfg.FuelCap/s.cfg.QuoteMargin {
 		budget = s.cfg.FuelCap
@@ -186,8 +208,8 @@ func (s *Service) quote(r *analysis.Report) Quote {
 		budget = s.cfg.FuelCap
 	}
 	return Quote{
-		Work:     r.Work.String(),
-		Span:     r.Span.String(),
+		Work:     work.String(),
+		Span:     span.String(),
 		EstSteps: est,
 		Budget:   budget,
 	}

@@ -50,6 +50,9 @@ type Quote struct {
 	Span     string `json:"span"`      // symbolic span bound
 	EstSteps int64  `json:"est_steps"` // work evaluated at the assumed trip counts
 	Budget   int64  `json:"budget"`    // granted fuel, in machine steps
+	// OptRewrites counts the certified optimizer rewrites applied to the
+	// program this quote prices; 0 means the submitted form ran as-is.
+	OptRewrites int `json:"opt_rewrites,omitempty"`
 }
 
 // JobStats mirrors machine.Stats in the wire format, the per-job

@@ -84,6 +84,13 @@ type Config struct {
 	// Quantum is the DRR credit per scheduling visit, in budget steps
 	// (default 100k).
 	Quantum int64
+	// DisableOptimizer skips the certified analysis-directed optimizer
+	// that normally runs over every admitted program. By default the
+	// service executes (and quotes) the optimized form: the optimizer's
+	// translation-validation certifier guarantees the result registers
+	// and every static bound are preserved or improved, so the only
+	// observable differences are smaller quotes and fewer steps.
+	DisableOptimizer bool
 }
 
 func (c Config) withDefaults() Config {
@@ -277,6 +284,9 @@ func (s *Service) Submit(req SubmitRequest) (*Job, error) {
 	}
 
 	adm := s.admit(prog, entry)
+	if adm.optimized != nil {
+		prog = adm.optimized
+	}
 
 	tenant := req.Tenant
 	if tenant == "" {

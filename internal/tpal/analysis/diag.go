@@ -119,6 +119,19 @@ const (
 	CodeAutoDependent    Code = "TP075" // statement pair has overlapping read/write sets
 )
 
+// Optimizer codes (TP08x), emitted by the translation-validated TPAL
+// optimizer (internal/tpal/opt) as per-pass report notes: why a
+// candidate rewrite was rejected by the certifier. They are
+// informational — Warning severity, never produced by Verify itself —
+// but live in this registry so the pass reports of tpal-lint -opt and
+// the serve admission path share the stable-code contract with every
+// other diagnostic surface.
+const (
+	CodeOptPrpptBudget Code = "TP080" // prppt kept: removal would exceed the gap budget
+	CodeOptPrpptGrade  Code = "TP081" // prppt kept: removal would worsen the latency grade or add diagnostics
+	CodeOptReverted    Code = "TP082" // optimizer pass reverted by the translation-validation certifier
+)
+
 // Codes maps every diagnostic code to a one-line description of the
 // check it names. The table is the authoritative code registry; tests
 // pin its completeness against the checks that emit each code.
@@ -160,6 +173,19 @@ var Codes = map[Code]string{
 	CodeAutoUnprofitable: "a candidate's static work bound is below the spawn-cost threshold; forking would cost more than it saves",
 	CodeAutoNotDisjoint:  "the would-be branch region summaries are not provably disjoint (a TP06x overlap survives)",
 	CodeAutoDependent:    "a statement pair has overlapping read/write sets and cannot run in parallel",
+	CodeOptPrpptBudget:   "a redundant-looking prppt was kept: removing it would push the promotion-latency bound past the optimizer's gap budget",
+	CodeOptPrpptGrade:    "a prppt was kept: removing it would worsen the promotion-latency grade or surface new diagnostics",
+	CodeOptReverted:      "an optimizer pass was reverted: the translation-validation certifier found a contract violation in its output",
+}
+
+// IsOptCode reports whether a code belongs to the optimizer report
+// family (TP080–TP082).
+func IsOptCode(c Code) bool {
+	switch c {
+	case CodeOptPrpptBudget, CodeOptPrpptGrade, CodeOptReverted:
+		return true
+	}
+	return false
 }
 
 // IsAutoParCode reports whether a code belongs to the

@@ -1,6 +1,7 @@
 package analysis_test
 
 import (
+	"os"
 	"regexp"
 	"testing"
 
@@ -50,6 +51,9 @@ var allCodes = []analysis.Code{
 	analysis.CodeAutoUnprofitable,
 	analysis.CodeAutoNotDisjoint,
 	analysis.CodeAutoDependent,
+	analysis.CodeOptPrpptBudget,
+	analysis.CodeOptPrpptGrade,
+	analysis.CodeOptReverted,
 }
 
 func TestCodesRegistryComplete(t *testing.T) {
@@ -70,6 +74,50 @@ func TestCodesRegistryComplete(t *testing.T) {
 	for c := range analysis.Codes {
 		if !seen[c] {
 			t.Errorf("registry entry %q has no declared constant in this test's list", c)
+		}
+	}
+}
+
+// TestReadmeCodeTablePinned pins the README diagnostic-registry table
+// against the Codes map: every registered code must have exactly one
+// table row, every table row must name a registered code, and the
+// documented severity class must match the code's family (autopar
+// verdicts are info, optimizer report notes are warnings). Extending
+// the registry without documenting the new code — or the reverse —
+// fails here.
+func TestReadmeCodeTablePinned(t *testing.T) {
+	readme, err := os.ReadFile("../../../README.md")
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	row := regexp.MustCompile(`(?m)^\| (TP\d{3}) \| (error|warning|info)\s*\|`)
+	documented := make(map[analysis.Code]string)
+	for _, m := range row.FindAllStringSubmatch(string(readme), -1) {
+		c := analysis.Code(m[1])
+		if _, dup := documented[c]; dup {
+			t.Errorf("README documents %s twice", c)
+		}
+		documented[c] = m[2]
+	}
+	if len(documented) == 0 {
+		t.Fatal("found no TPnnn table rows in README.md — did the table format change?")
+	}
+	for c := range analysis.Codes {
+		sev, ok := documented[c]
+		if !ok {
+			t.Errorf("registered code %s has no README table row", c)
+			continue
+		}
+		if analysis.IsAutoParCode(c) && sev != "info" {
+			t.Errorf("autopar verdict %s documented as %q, want info", c, sev)
+		}
+		if analysis.IsOptCode(c) && sev != "warning" {
+			t.Errorf("optimizer note %s documented as %q, want warning", c, sev)
+		}
+	}
+	for c := range documented {
+		if _, ok := analysis.Codes[c]; !ok {
+			t.Errorf("README documents %s, which is not in the Codes registry", c)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"sort"
 
 	"tpal/internal/tpal"
 )
@@ -185,6 +186,10 @@ func (it *interp) jumpTargets(v absVal) (labels []tpal.Label, top, never bool) {
 	for l := range v.labels.elems {
 		labels = append(labels, l)
 	}
+	// Sorted so the sharpened edge set — and everything downstream of
+	// its order: the RPO, irreducible-loop header ties, the cost
+	// expressions — is deterministic across runs.
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
 	return labels, false, false
 }
 

@@ -1,0 +1,87 @@
+// Package equiv is the dynamic half of the optimizer's translation
+// validation: it runs the original and optimized programs side by side
+// across a schedule matrix — serial, heartbeat at two rates, random
+// interleaving, depth-first — with the determinacy-race sanitizer on,
+// and requires identical observable results under every schedule.
+//
+// It lives apart from the opt package to keep the import graph acyclic:
+// opt knows only the static analyses, while this package links the
+// machine — so the optimizer's callers above the machine (the minipar
+// compiler, serve admission, the tools) stay cycle-free.
+package equiv
+
+import (
+	"fmt"
+
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/machine"
+)
+
+// Matrix is the schedule matrix every equivalence check runs: the
+// serial elaboration, heartbeat promotion at an aggressive and a lazy
+// rate, a seeded random interleaving, and depth-first scheduling — all
+// with the race sanitizer enabled. It matches the matrix the autopar
+// certifier uses, so "certified equivalent" means the same thing on
+// both sides of the toolchain.
+var Matrix = []machine.Config{
+	{RaceDetect: true},
+	{RaceDetect: true, Heartbeat: 30},
+	{RaceDetect: true, Heartbeat: 30, Schedule: machine.RandomOrder, Seed: 7},
+	{RaceDetect: true, Heartbeat: 30, Schedule: machine.DepthFirst},
+	{RaceDetect: true, Heartbeat: 300},
+}
+
+// Certify runs orig and optimized under every Matrix schedule with the
+// given entry registers and requires both to halt cleanly with equal
+// values in every result register. A nil results slice compares the
+// full final register files — only valid when the optimizer ran with a
+// matching nil LiveOut, since dead-code elimination is licensed to
+// change dead registers.
+func Certify(orig, optimized *tpal.Program, regs machine.RegFile, results []tpal.Reg) error {
+	for i, cfg := range Matrix {
+		a, err := run(orig, cfg, regs)
+		if err != nil {
+			return fmt.Errorf("schedule %d: original program failed: %w", i, err)
+		}
+		b, err := run(optimized, cfg, regs)
+		if err != nil {
+			return fmt.Errorf("schedule %d: optimized program failed: %w", i, err)
+		}
+		if err := compare(a.Regs, b.Regs, results); err != nil {
+			return fmt.Errorf("schedule %d (heartbeat %d, policy %d): %w", i, cfg.Heartbeat, cfg.Schedule, err)
+		}
+	}
+	return nil
+}
+
+func run(p *tpal.Program, cfg machine.Config, regs machine.RegFile) (machine.Result, error) {
+	cfg.Regs = regs.Clone()
+	return machine.Run(p, cfg)
+}
+
+// compare checks the result registers (or, when results is nil, the
+// union of both register files) for equal rendered values. Values are
+// compared by String: integers print as integers, labels as labels, and
+// run-time identities (stacks, join records) print by type — which is
+// the right equivalence, since allocation order is schedule-dependent.
+func compare(a, b machine.RegFile, results []tpal.Reg) error {
+	if results == nil {
+		seen := make(map[tpal.Reg]bool, len(a)+len(b))
+		for r := range a {
+			seen[r] = true
+		}
+		for r := range b {
+			seen[r] = true
+		}
+		results = make([]tpal.Reg, 0, len(seen))
+		for r := range seen {
+			results = append(results, r)
+		}
+	}
+	for _, r := range results {
+		if av, bv := a.Get(r).String(), b.Get(r).String(); av != bv {
+			return fmt.Errorf("register %s diverged: original %s, optimized %s", r, av, bv)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package opt
+
+import (
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/analysis"
+)
+
+// Backward register liveness over the conservative CFG, for dead-code
+// elimination. The lattice per program point is a register set with a
+// distinguished "all registers" top — halting with a nil LiveOut and
+// register-indirect jumps both saturate to it, which keeps the analysis
+// sound without enumerating the register universe.
+
+// regSet is a set of live registers; all short-circuits membership.
+type regSet struct {
+	all bool
+	m   map[tpal.Reg]bool
+}
+
+func newRegSet() *regSet { return &regSet{m: make(map[tpal.Reg]bool)} }
+
+func (s *regSet) add(r tpal.Reg) {
+	if !s.all {
+		s.m[r] = true
+	}
+}
+
+func (s *regSet) saturate() {
+	s.all = true
+	s.m = nil
+}
+
+func (s *regSet) kill(r tpal.Reg) {
+	if !s.all {
+		delete(s.m, r)
+	}
+}
+
+// unionFrom adds src's members to s and reports whether s grew.
+func (s *regSet) unionFrom(src *regSet) bool {
+	if s.all {
+		return false
+	}
+	if src.all {
+		s.saturate()
+		return true
+	}
+	changed := false
+	for r := range src.m {
+		if !s.m[r] {
+			s.m[r] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// liveness solves live-in sets for every block.
+type liveness struct {
+	prog      *tpal.Program
+	addrTaken []tpal.Label
+	jtppts    []tpal.Label
+	liveOut   []tpal.Reg
+	in        map[tpal.Label]*regSet
+}
+
+func newLiveness(p *tpal.Program, liveOut []tpal.Reg) *liveness {
+	g := analysis.BuildCFG(p)
+	lv := &liveness{
+		prog:      p,
+		addrTaken: g.AddrTaken,
+		jtppts:    g.Jtppts,
+		liveOut:   liveOut,
+		in:        make(map[tpal.Label]*regSet, len(p.Blocks)),
+	}
+	for _, b := range p.Blocks {
+		lv.in[b.Label] = newRegSet()
+	}
+	return lv
+}
+
+// solve iterates the blocks (in reverse program order, which tends to
+// be close to reverse topological order) until the live-in sets stop
+// growing. The lattice is finite and unionFrom is monotone, so the
+// loop terminates.
+func (lv *liveness) solve() {
+	for changed := true; changed; {
+		changed = false
+		for i := len(lv.prog.Blocks) - 1; i >= 0; i-- {
+			b := lv.prog.Blocks[i]
+			s := lv.liveAtEnd(b)
+			for j := len(b.Instrs) - 1; j >= 0; j-- {
+				lv.stepBack(s, b.Instrs[j])
+			}
+			// The try-promote rule can divert control to the handler at
+			// the block head, before any instruction runs.
+			if b.Ann.Kind == tpal.AnnPrppt {
+				s.unionFrom(lv.in[b.Ann.Handler])
+			}
+			if lv.in[b.Label].unionFrom(s) {
+				changed = true
+			}
+		}
+	}
+}
+
+// edgeTo adds the liveness contribution of a control edge to operand o:
+// the target's live-in for a direct edge, every address-taken block's
+// live-in (plus the register itself) for an indirect one.
+func (lv *liveness) edgeTo(s *regSet, o tpal.Operand) {
+	switch o.Kind {
+	case tpal.OperLabel:
+		if t, ok := lv.in[o.Label]; ok {
+			s.unionFrom(t)
+		}
+	case tpal.OperReg:
+		s.add(o.Reg)
+		for _, l := range lv.addrTaken {
+			s.unionFrom(lv.in[l])
+		}
+	}
+}
+
+// liveAtEnd is the live set just after a block's last instruction,
+// derived from the terminator. Join is the conservative case: the
+// merged register file resumes at some join target, so every jtppt's
+// live-in, its combiner's live-in, and every ΔR source register count
+// as live.
+func (lv *liveness) liveAtEnd(b *tpal.Block) *regSet {
+	s := newRegSet()
+	switch b.Term.Kind {
+	case tpal.TJump:
+		lv.edgeTo(s, b.Term.Val)
+	case tpal.THalt:
+		if lv.liveOut == nil {
+			s.saturate()
+			break
+		}
+		for _, r := range lv.liveOut {
+			s.add(r)
+		}
+	case tpal.TJoin:
+		if b.Term.Val.Kind == tpal.OperReg {
+			s.add(b.Term.Val.Reg)
+		}
+		for _, jt := range lv.jtppts {
+			s.unionFrom(lv.in[jt])
+			jb := lv.prog.Block(jt)
+			if t, ok := lv.in[jb.Ann.Comb]; ok {
+				s.unionFrom(t)
+			}
+			for _, rr := range jb.Ann.DeltaR {
+				s.add(rr.From)
+			}
+		}
+	}
+	return s
+}
+
+// stepBack transforms the live set across one instruction, in place:
+// live-before = uses ∪ (live-after − defs) ∪ edge-target live-ins. The
+// fork edge is the subtle one — the child copies the parent's register
+// file at the fork point, so the child entry's live-in counts right
+// there, not at block end. The jralloc continuation runs with the
+// join-time register file, not the current one; charging its live-in
+// here anyway is over-approximate, never unsound.
+func (lv *liveness) stepBack(s *regSet, in tpal.Instr) {
+	switch in.Kind {
+	case tpal.IMove, tpal.IBinOp, tpal.IJrAlloc, tpal.ISNew, tpal.ILoad, tpal.IPrmEmpty:
+		s.kill(in.Dst)
+	case tpal.IPrmSplit:
+		s.kill(in.Src2)
+	}
+	switch in.Kind {
+	case tpal.IIfJump, tpal.IFork:
+		lv.edgeTo(s, in.Val)
+	case tpal.IJrAlloc:
+		if t, ok := lv.in[in.Lbl]; ok {
+			s.unionFrom(t)
+		}
+	}
+	switch in.Kind {
+	case tpal.IMove:
+		if in.Val.Kind == tpal.OperReg {
+			s.add(in.Val.Reg)
+		}
+	case tpal.IBinOp, tpal.IStore:
+		s.add(in.Src)
+		if in.Val.Kind == tpal.OperReg {
+			s.add(in.Val.Reg)
+		}
+	case tpal.IIfJump, tpal.IFork:
+		s.add(in.Src)
+	case tpal.ISAlloc, tpal.ISFree, tpal.ILoad, tpal.IPrmPush, tpal.IPrmPop:
+		s.add(in.Src)
+	case tpal.IPrmEmpty:
+		s.add(in.Src2)
+	case tpal.IPrmSplit:
+		s.add(in.Src)
+	}
+}

@@ -1,0 +1,342 @@
+// Package opt is the analysis-directed TPAL optimizer with translation
+// validation. It rewrites a verified program through a fixed pipeline
+// of dataflow-driven passes — constant/copy propagation and folding,
+// jump threading through trivial blocks, unreachable-block
+// elimination, dead-code elimination, and redundant-prppt elimination
+// — and certifies every pass before accepting it: the rewritten
+// program must re-verify with no new diagnostics (race certification
+// included), its promotion-latency grade must not worsen, and its
+// symbolic work/span bounds must not grow. A pass whose output fails
+// the certifier is reverted wholesale and reported with TP082; the
+// program is never left in an uncertified state.
+//
+// Promotion-ready program points are special: removing one changes the
+// scheduling behavior (fewer heartbeat check sites), so the prppt pass
+// additionally consults the §8 promotion-latency bound. A prppt is
+// removed only when the program's latency grade stays finite (or
+// stack-bounded, matching the input) and the new bound stays within a
+// configurable gap budget; rejected removals are reported with
+// TP080/TP081. In minipar-compiled nested loops the outer head's prppt
+// is the classic redundant case — the inner loop's handler chain
+// already attempts the outer promotion first — and the certifier
+// proves its removal safe.
+//
+// The dynamic half of the certification contract — result equivalence
+// across the serial/heartbeat/random/depth-first schedule matrix with
+// the race sanitizer on — lives in the equiv subpackage (it needs the
+// machine, which this analysis-only package must not link).
+package opt
+
+import (
+	"fmt"
+	"strings"
+
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/analysis"
+)
+
+// Options configures one optimization.
+type Options struct {
+	// EntryRegs are the registers assumed initialized at entry; they
+	// sharpen the verifier facts exactly as in analysis.Options.
+	EntryRegs []tpal.Reg
+	// LiveOut names the registers observable in the final register file
+	// at halt. Dead-code elimination may delete a register definition
+	// only when the register is provably dead, and a nil LiveOut means
+	// every register is observable (the machine returns the whole file),
+	// which disables most of the pass. The minipar compiler passes its
+	// single result register here.
+	LiveOut []tpal.Reg
+	// GapBudget is the largest promotion-latency bound (in machine
+	// steps) the prppt-elimination pass may leave behind. Zero selects
+	// the default: four times the input program's own bound, and at
+	// least defaultGapFloor — wide enough to absorb the longer event-free
+	// path left by a removed outer-loop prppt, tight enough that a
+	// load-bearing prppt is never removed.
+	GapBudget int64
+}
+
+// defaultGapFloor is the minimum default gap budget, for inputs whose
+// own bound is tiny.
+const defaultGapFloor = 256
+
+// maxRounds caps the pipeline's round-to-fixpoint loop. Every accepted
+// rewrite strictly shrinks or sharpens the program, so real programs
+// converge in two or three rounds; the cap is a safety net. It is
+// deliberately roomy because idempotence — pinned by the golden corpus
+// and FuzzOpt — requires the loop to end on a full no-op round, not at
+// the cap.
+const maxRounds = 8
+
+// PassReport describes one pipeline pass over one program.
+type PassReport struct {
+	// Name identifies the pass (constfold, thread, unreachable, dce,
+	// prppt, cleanup).
+	Name string
+	// Rewrites counts the rewrites the pass applied and kept:
+	// instructions folded or substituted, jumps threaded, blocks or
+	// instructions removed, prppt annotations removed.
+	Rewrites int
+	// Reverted reports that the certifier rejected the pass's output;
+	// the program was left exactly as the previous pass produced it.
+	Reverted bool
+	// Notes carries the pass's informational diagnostics: TP080/TP081
+	// for prppts the pass decided to keep, TP082 for a reverted pass.
+	Notes []analysis.Diag
+	// Work, Span and Latency are the program's static bounds after this
+	// pass (equal to the previous pass's values when nothing changed).
+	// The expressions render lazily: String them only for display.
+	Work    *analysis.Expr
+	Span    *analysis.Expr
+	Latency analysis.LatencyBound
+}
+
+// Summary is the static shape of a program at one end of the pipeline.
+type Summary struct {
+	Blocks  int
+	Instrs  int
+	Work    *analysis.Expr
+	Span    *analysis.Expr
+	Latency analysis.LatencyBound
+}
+
+// Result is the outcome of one optimization.
+type Result struct {
+	// Program is the optimized program, structurally independent of the
+	// input (which is never mutated).
+	Program *tpal.Program
+	// Passes reports every pipeline pass in execution order.
+	Passes []PassReport
+	// Before and After summarize the whole pipeline's effect.
+	Before, After Summary
+}
+
+// Rewrites is the total number of rewrites accepted across all passes.
+func (r *Result) Rewrites() int {
+	n := 0
+	for _, p := range r.Passes {
+		if !p.Reverted {
+			n += p.Rewrites
+		}
+	}
+	return n
+}
+
+// Notes collects every pass's informational diagnostics, in pass order.
+func (r *Result) Notes() []analysis.Diag {
+	var out []analysis.Diag
+	for _, p := range r.Passes {
+		out = append(out, p.Notes...)
+	}
+	return out
+}
+
+// Table renders the per-pass report as an aligned text table: one row
+// per pass with its rewrite count and the static bounds after it, then
+// one line per informational note.
+func (r *Result) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "before: %d blocks, %d instrs, latency %s, work %s, span %s\n",
+		r.Before.Blocks, r.Before.Instrs, r.Before.Latency, r.Before.Work, r.Before.Span)
+	for _, p := range r.Passes {
+		status := fmt.Sprintf("%d rewrites", p.Rewrites)
+		if p.Reverted {
+			status = "reverted"
+		}
+		fmt.Fprintf(&sb, "pass %-11s %-12s latency %s, work %s, span %s\n",
+			p.Name, status, p.Latency, p.Work, p.Span)
+		for _, d := range p.Notes {
+			fmt.Fprintf(&sb, "  note %s\n", d)
+		}
+	}
+	fmt.Fprintf(&sb, "after:  %d blocks, %d instrs, latency %s, work %s, span %s\n",
+		r.After.Blocks, r.After.Instrs, r.After.Latency, r.After.Work, r.After.Span)
+	return sb.String()
+}
+
+// optCtx threads the optimization state through the passes.
+type optCtx struct {
+	opts Options
+	// report is the full analysis of the current program; passes use
+	// its facts and the certifier compares candidates against it.
+	report *analysis.Report
+	// analyses memoizes full analyses by program fingerprint: the prppt
+	// pass analyzes each removal candidate and the driver re-analyzes
+	// the accepted result, so the final candidate is always analyzed
+	// twice without the memo. Entry registers are fixed per context, so
+	// the fingerprint alone is a sound key.
+	analyses map[string]*analysis.Report
+	// grid memoizes cost-grid valuations for the certifier.
+	grid *gridCache
+}
+
+func (c *optCtx) analyze(p *tpal.Program) *analysis.Report {
+	return c.analyzeWith(p, true)
+}
+
+// analyzeQuick analyzes without the interference pass. The prppt pass
+// screens its removal candidates with it — the probe loop is the
+// optimizer's hot path, and the driver-level certifier re-runs the full
+// race-on analysis over whatever batch the pass accepts, so the race
+// gate stays sound.
+func (c *optCtx) analyzeQuick(p *tpal.Program) *analysis.Report {
+	return c.analyzeWith(p, false)
+}
+
+func (c *optCtx) analyzeWith(p *tpal.Program, races bool) *analysis.Report {
+	key := tpal.Fingerprint(p)
+	if races {
+		key = "r/" + key
+	}
+	if r, ok := c.analyses[key]; ok {
+		return r
+	}
+	r := analysis.Analyze(p, analysis.Options{EntryRegs: c.opts.EntryRegs, Races: races})
+	c.analyses[key] = r
+	return r
+}
+
+// pass is one pipeline stage: it transforms cand (mutating it in place
+// or rebuilding it when blocks are removed) and returns the resulting
+// program, the number of rewrites applied, and informational notes. A
+// pass that reports 0 rewrites is skipped by the certifier (its output
+// is discarded unread).
+type pass struct {
+	name string
+	// latencyAllowance widens the certifier's latency-bound check for
+	// this pass: the output bound may reach max(input bound, allowance).
+	// Zero means the bound must not grow at all.
+	latencyAllowance func(c *optCtx) int64
+	fn               func(cand *tpal.Program, c *optCtx) (*tpal.Program, int, []analysis.Diag)
+}
+
+// pipeline is the fixed pass order. Constant folding first (it creates
+// the trivial blocks and dead definitions the later passes feed on),
+// then jump threading, unreachable-block elimination and dead-code
+// elimination, then prppt elimination — which needs the sharpest
+// program so its latency measurements are tight — and one final
+// unreachable-block sweep to drop handler chains orphaned by removed
+// prppts.
+func pipeline() []pass {
+	zero := func(*optCtx) int64 { return 0 }
+	gap := func(c *optCtx) int64 { return c.gapBudget() }
+	return []pass{
+		{name: "constfold", latencyAllowance: zero, fn: passConstFold},
+		{name: "thread", latencyAllowance: zero, fn: passThread},
+		{name: "unreachable", latencyAllowance: zero, fn: passUnreachable},
+		{name: "dce", latencyAllowance: zero, fn: passDCE},
+		{name: "prppt", latencyAllowance: gap, fn: passPrppt},
+		{name: "cleanup", latencyAllowance: gap, fn: passUnreachable},
+	}
+}
+
+// gapBudget resolves the effective prppt gap budget against the
+// current program's own latency bound.
+func (c *optCtx) gapBudget() int64 {
+	if c.opts.GapBudget > 0 {
+		return c.opts.GapBudget
+	}
+	budget := int64(defaultGapFloor)
+	if b := c.report.Latency.Bound; b > 0 && 4*b > budget {
+		budget = 4 * b
+	}
+	return budget
+}
+
+// Optimize runs the certified pipeline over a program and returns the
+// optimized program plus the per-pass report. The input is never
+// mutated. It returns an error only when the input is not fit to
+// optimize — structurally invalid, or already condemned by the
+// verifier with Error-severity diagnostics; every accepted rewrite is
+// certified, so the worst possible outcome on a verified program is a
+// no-op result.
+func Optimize(p *tpal.Program, opts Options) (*Result, error) {
+	return optimize(p, opts, pipeline())
+}
+
+// optimize is Optimize over an explicit pass list; tests inject
+// deliberately unsound passes here to pin the certifier's behavior.
+func optimize(p *tpal.Program, opts Options, passes []pass) (*Result, error) {
+	c := &optCtx{
+		opts:     opts,
+		analyses: make(map[string]*analysis.Report),
+		grid:     newGridCache(),
+	}
+	c.report = c.analyze(p)
+	if analysis.HasErrors(c.report.Diags) {
+		return nil, fmt.Errorf("opt: program %q has verifier errors; optimize only verified programs:\n  %s",
+			p.Name, analysis.Errors(c.report.Diags)[0])
+	}
+
+	// The pipeline runs in rounds until a whole round accepts nothing:
+	// a removed prppt erases a handler edge, which can sharpen the next
+	// round's constant facts, so a single sweep is not a fixpoint. The
+	// round cap is a safety net; every accepted rewrite strictly shrinks
+	// or sharpens the program, so convergence is fast in practice.
+	cur := cloneProgram(p)
+	res := &Result{Before: summarize(cur, c.report)}
+	for round := 0; round < maxRounds; round++ {
+		accepted := 0
+		for _, ps := range passes {
+			cand, rewrites, notes := ps.fn(cloneProgram(cur), c)
+			pr := PassReport{Name: ps.name, Rewrites: rewrites, Notes: notes}
+			if rewrites > 0 {
+				candReport := c.analyze(cand)
+				if err := certify(c.report, candReport, ps.latencyAllowance(c), c.grid); err != nil {
+					pr.Reverted = true
+					pr.Notes = append(pr.Notes, analysis.Diag{
+						Severity: analysis.Warning,
+						Code:     analysis.CodeOptReverted,
+						Block:    cur.Entry,
+						Instr:    tpal.IssueBlock,
+						Msg:      fmt.Sprintf("pass %s reverted: %v", ps.name, err),
+					})
+				} else {
+					cur, c.report = cand, candReport
+					accepted += rewrites
+				}
+			}
+			pr.Work = c.report.Work
+			pr.Span = c.report.Span
+			pr.Latency = c.report.Latency
+			// Later rounds report only the passes that did something;
+			// repeating every no-op row (and every kept-prppt note) each
+			// round would drown the signal.
+			if round == 0 || rewrites > 0 {
+				res.Passes = append(res.Passes, pr)
+			}
+		}
+		if accepted == 0 {
+			break
+		}
+	}
+	res.Program = cur
+	res.After = summarize(cur, c.report)
+	return res, nil
+}
+
+func summarize(p *tpal.Program, r *analysis.Report) Summary {
+	instrs := 0
+	for _, b := range p.Blocks {
+		instrs += len(b.Instrs)
+	}
+	return Summary{
+		Blocks:  len(p.Blocks),
+		Instrs:  instrs,
+		Work:    r.Work,
+		Span:    r.Span,
+		Latency: r.Latency,
+	}
+}
+
+// cloneProgram deep-copies a program so passes can mutate freely.
+func cloneProgram(p *tpal.Program) *tpal.Program {
+	blocks := make([]*tpal.Block, len(p.Blocks))
+	for i, b := range p.Blocks {
+		nb := &tpal.Block{Label: b.Label, Ann: b.Ann, Term: b.Term}
+		nb.Ann.DeltaR = append([]tpal.RegRename(nil), b.Ann.DeltaR...)
+		nb.Instrs = append([]tpal.Instr(nil), b.Instrs...)
+		blocks[i] = nb
+	}
+	return tpal.MustProgram(p.Name, p.Entry, blocks)
+}
