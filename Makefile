@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-test serve-test autopar-test lint lint-go fuzz bench-rt ci
+.PHONY: build test vet race race-test serve-test autopar-test lint lint-go fuzz cover bench-rt ci
 
 build:
 	$(GO) build ./...
@@ -70,14 +70,31 @@ fuzz:
 	$(GO) test ./internal/tpal/analysis -run='^$$' -fuzz='^FuzzRaceAgreement$$' -fuzztime=10s
 	$(GO) test ./internal/minipar/autopar -run='^$$' -fuzz='^FuzzAutoPar$$' -fuzztime=10s
 	$(GO) test ./internal/tpal/opt -run='^$$' -fuzz='^FuzzOpt$$' -fuzztime=10s
+	$(GO) test ./internal/tpal/machine -run='^$$' -fuzz='^FuzzTrips$$' -fuzztime=10s
+
+# cover enforces a statement-coverage floor on internal/tpal/analysis,
+# the package whose verdicts every other surface trusts (serve
+# admission, the optimizer certifier, autopar, the lint CLI). The
+# profile lands in cover.out (gitignored); the floor is a ratchet —
+# raise it when coverage grows, never lower it to admit a regression.
+COVER_PKG   = ./internal/tpal/analysis
+COVER_FLOOR = 80.0
+
+cover:
+	$(GO) test -coverprofile=cover.out $(COVER_PKG)
+	@$(GO) tool cover -func=cover.out | awk -v floor=$(COVER_FLOOR) \
+		'/^total:/ { pct = $$3; gsub("%", "", pct); \
+		  if (pct + 0 < floor + 0) { printf "coverage %s%% is below the %s%% floor\n", pct, floor; exit 1 } \
+		  else { printf "coverage %s%% meets the %s%% floor\n", pct, floor } }'
 
 # bench-rt rewrites BENCH_rt.json, the committed runtime perf baseline:
-# plus-reduce-array and mergesort-uniform walls with the tracer disabled
-# and enabled, plus the corpus promotion-gap check against the static
-# liveness bounds. It fails if the tracer delta on plus-reduce-array
-# exceeds the 5% overhead contract (DESIGN.md §11) or an observed gap
-# exceeds its static bound.
+# the plus-reduce-array, spmv-random, floyd-warshall-1K, and
+# mergesort-uniform walls with the tracer disabled and enabled, plus
+# the corpus promotion-gap check against the static liveness bounds.
+# It fails if the tracer delta on plus-reduce-array exceeds the 5%
+# overhead contract (DESIGN.md §11) or an observed gap exceeds its
+# static bound.
 bench-rt:
 	$(GO) run ./cmd/tpal-trace -bench-rt -reps 5 -out BENCH_rt.json
 
-ci: vet lint-go build race race-test serve-test autopar-test lint fuzz bench-rt
+ci: vet lint-go build race race-test serve-test autopar-test lint fuzz cover bench-rt

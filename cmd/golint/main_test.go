@@ -52,6 +52,105 @@ func f(n int) string { return fmt.Sprintf("n=%d", n) }`, ""},
 func f(a []int) bool { return len(a) >= 0 }`, "lenzero"},
 		{"lenzero-clean", `package x
 func f(a []int) bool { return len(a) > 0 }`, ""},
+		{"deferloop-for", `package x
+func f(fs []func()) {
+	for i := 0; i < len(fs); i++ {
+		defer fs[i]()
+	}
+}`, "deferloop"},
+		{"deferloop-range", `package x
+func f(fs []func()) {
+	for _, g := range fs {
+		defer g()
+	}
+}`, "deferloop"},
+		{"deferloop-funclit-clean", `package x
+func f(fs []func()) {
+	for _, g := range fs {
+		func() { defer g() }()
+	}
+}`, ""},
+		{"deferloop-outside-clean", `package x
+func f(g func()) {
+	defer g()
+	for range make([]int, 3) {
+	}
+}`, ""},
+		{"shadowerr-stale-read", `package x
+func open() (int, error) { return 0, nil }
+func f() error {
+	v, err := open()
+	if err != nil {
+		return err
+	}
+	if v > 0 {
+		w, err := open()
+		_ = w
+		_ = err
+	}
+	return err
+}`, "shadowerr"},
+		{"shadowerr-naked-return", `package x
+func open() (int, error) { return 0, nil }
+func f() (err error) {
+	if true {
+		v, err := open()
+		_ = v
+		_ = err
+	}
+	return
+}`, "shadowerr"},
+		{"shadowerr-guard-clean", `package x
+func open() (int, error) { return 0, nil }
+func use(int) error { return nil }
+func f() error {
+	v, err := open()
+	if err != nil {
+		return err
+	}
+	if err := use(v); err != nil {
+		return err
+	}
+	return nil
+}`, ""},
+		{"shadowerr-rewrite-clean", `package x
+func open() (int, error) { return 0, nil }
+func use(int) error { return nil }
+func f() error {
+	v, err := open()
+	if err != nil {
+		return err
+	}
+	if v > 0 {
+		w, err := open()
+		_ = w
+		_ = err
+	}
+	err = use(v)
+	return err
+}`, ""},
+		{"shadowerr-sibling-cases-clean", `package x
+func open() (int, error) { return 0, nil }
+func use2(int) error { return nil }
+func f(k int) int {
+	switch k {
+	case 0:
+		v, err := open()
+		if err != nil {
+			return 1
+		}
+		if err := use2(v); err != nil {
+			return 1
+		}
+	case 1:
+		v, err := open()
+		if err != nil {
+			return 2
+		}
+		_ = v
+	}
+	return 0
+}`, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -16,6 +16,7 @@
 //	tpal-lint -Werror program.mp      # warnings fail the run too
 //	tpal-lint -v *.tpal               # report clean files as well
 //	tpal-lint -latency program.tpal   # print the promotion-latency report
+//	tpal-lint -trips program.tpal     # print inferred trip bounds and numeric work/span
 //	tpal-lint -race program.tpal      # also run the interference (race) pass
 //	tpal-lint -json ./progs           # machine-readable report on stdout
 //	tpal-lint -autopar ./progs        # what would the autopar pass do (read-only)
@@ -74,6 +75,10 @@ type jsonLoop struct {
 	Latency string   `json:"latency"`
 	Work    string   `json:"work"`
 	Span    string   `json:"span"`
+	// Trip is the phase-7 inferred bound on the header's entries per
+	// pass of the enclosing region: an exact count, an interval
+	// "[lo,hi]", "divergent", or "unknown".
+	Trip string `json:"trip"`
 }
 
 // jsonReport is one linted program in -json output.
@@ -86,6 +91,10 @@ type jsonReport struct {
 	Loops        []jsonLoop `json:"loops"`
 	Work         string     `json:"work"`
 	Span         string     `json:"span"`
+	// NumWork and NumSpan are the work/span bounds with every inferred
+	// trip count substituted; fully numeric when every loop is bounded.
+	NumWork string `json:"num_work"`
+	NumSpan string `json:"num_span"`
 }
 
 func main() {
@@ -103,6 +112,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		werror   = fs.Bool("Werror", false, "treat warnings as errors")
 		verbose  = fs.Bool("v", false, "also report programs that verify clean")
 		latency  = fs.Bool("latency", false, "print the per-program promotion-latency and cost report")
+		trips    = fs.Bool("trips", false, "print the inferred loop trip bounds and numeric work/span")
 		races    = fs.Bool("race", false, "run the static interference (determinacy-race) pass")
 		jsonMode = fs.Bool("json", false, "emit one JSON report per program on stdout")
 		autoPar  = fs.Bool("autopar", false, "report what the auto-parallelizing pass would do to each minipar program (read-only)")
@@ -150,6 +160,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if *latency && !*jsonMode {
 			printLatency(stdout, name, r)
+		}
+		if *trips && !*jsonMode {
+			printTrips(stdout, name, r)
 		}
 		if *optMode {
 			reportOpt(stdout, name, p, r, regs)
@@ -267,6 +280,18 @@ func reportAutopar(w io.Writer, path string) bool {
 	return true
 }
 
+// printTrips renders the trip report for one program: the numeric
+// work/span bounds (fully numeric when every loop is bounded,
+// otherwise the residual trip() leaves survive) and the loop forest
+// with each header's inferred bound.
+func printTrips(w io.Writer, name string, r *analysis.Report) {
+	fmt.Fprintf(w, "%s: numeric work %s, numeric span %s\n", name, r.NumWork, r.NumSpan)
+	for _, l := range r.AllLoops() {
+		fmt.Fprintf(w, "%s:   %sloop %s: trip %s\n",
+			name, strings.Repeat("  ", l.Depth-1), l.Header, l.Trip)
+	}
+}
+
 // printLatency renders the scheduling report for one program.
 func printLatency(w io.Writer, name string, r *analysis.Report) {
 	fmt.Fprintf(w, "%s: latency %s, work %s, span %s\n", name, r.Latency, r.Work, r.Span)
@@ -286,6 +311,8 @@ func toJSON(name string, p *tpal.Program, r *analysis.Report) jsonReport {
 		Loops:        []jsonLoop{},
 		Work:         r.Work.String(),
 		Span:         r.Span.String(),
+		NumWork:      r.NumWork.String(),
+		NumSpan:      r.NumSpan.String(),
 	}
 	for _, d := range r.Diags {
 		out.Diags = append(out.Diags, jsonDiag{
@@ -308,6 +335,7 @@ func toJSON(name string, p *tpal.Program, r *analysis.Report) jsonReport {
 			Latency: l.Class.String(),
 			Work:    l.Work.String(),
 			Span:    l.Span.String(),
+			Trip:    l.Trip.String(),
 		})
 	}
 	return out

@@ -147,3 +147,24 @@ func TestAutoparReport(t *testing.T) {
 		t.Errorf("-autopar -json exit code = %d, want 2", code)
 	}
 }
+
+// TestTripsExamplesGolden pins the -trips contract on the example pair
+// under examples/trips: the bounded nest gets fully numeric work/span
+// with per-loop bounds, the divergent program carries TP090 (an
+// Error, so the run exits 1) and its trip renders as "divergent".
+func TestTripsExamplesGolden(t *testing.T) {
+	golden, err := os.ReadFile("testdata/trips.golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir("../..")
+	code, out, errOut := runTool(t,
+		"-trips",
+		"examples/trips/bounded.tpal", "examples/trips/divergent.tpal")
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1 (divergent.tpal carries TP090); stderr: %s", code, errOut)
+	}
+	if out != string(golden) {
+		t.Errorf("-trips output diverged from testdata/trips.golden.txt:\n--- got ---\n%s\n--- want ---\n%s", out, golden)
+	}
+}

@@ -343,9 +343,11 @@ func checkOpt(c corpusEntry, hb int64) (optCheck, error) {
 const overheadLimit = 0.05
 
 // rtBenchmarks are the canonical baseline benchmarks: the finest-
-// grained loop (every overhead maximally visible) and the mixed
+// grained loop (every overhead maximally visible), an irregular
+// nested loop (spmv's per-row work varies by structure), a dense
+// phase-barriered loop nest (floyd-warshall), and the mixed
 // recursive/iterative sort.
-var rtBenchmarks = []string{"plus-reduce-array", "mergesort-uniform"}
+var rtBenchmarks = []string{"plus-reduce-array", "spmv-random", "floyd-warshall-1K", "mergesort-uniform"}
 
 // measureRT measures one benchmark: min-of-reps wall with the tracer
 // disabled (nil) and enabled, keeping the enabled run's drained trace

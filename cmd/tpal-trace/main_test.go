@@ -57,8 +57,13 @@ func TestBenchRTWritesBaseline(t *testing.T) {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		t.Fatalf("baseline is not valid JSON: %v", err)
 	}
-	if len(doc.Benchmarks) != 2 || doc.Benchmarks[0].Name != "plus-reduce-array" {
+	if len(doc.Benchmarks) != len(rtBenchmarks) || doc.Benchmarks[0].Name != "plus-reduce-array" {
 		t.Fatalf("unexpected benchmark rows: %+v", doc.Benchmarks)
+	}
+	for i, r := range doc.Benchmarks {
+		if r.Name != rtBenchmarks[i] {
+			t.Errorf("benchmark row %d = %s, want %s", i, r.Name, rtBenchmarks[i])
+		}
 	}
 	if len(doc.CorpusGaps) != 3 {
 		t.Fatalf("corpus gap rows = %d, want 3", len(doc.CorpusGaps))

@@ -75,8 +75,12 @@ type Verdict struct {
 	Code         analysis.Code `json:"code,omitempty"`   // blocking TP07x code when not parallelized
 	Reason       string        `json:"reason,omitempty"`
 	Trips        int64         `json:"trips,omitempty"`
-	EstWork      int64         `json:"est_work,omitempty"`
-	Speedup      float64       `json:"speedup,omitempty"`
+	// TripSource is the provenance of Trips for loop sites: "inferred"
+	// when constant propagation pinned the exact count, "assumed" when
+	// the estimate fell back to Options.TripAssume.
+	TripSource string  `json:"trip_source,omitempty"`
+	EstWork    int64   `json:"est_work,omitempty"`
+	Speedup    float64 `json:"speedup,omitempty"`
 }
 
 // Decision is the short decision column: "parallelized" or

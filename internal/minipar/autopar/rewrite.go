@@ -2,6 +2,7 @@ package autopar
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -526,8 +527,13 @@ func (w *walker) tryLoop(cur []minipar.Stmt, i int, wst minipar.While, rebuild r
 		v.Reduce = fmt.Sprintf("reduce(%s, %s)", clause.Acc, clause.Op)
 	}
 
-	// Trip estimate: exact when the bound is a literal and the adjacent
-	// prologue pins the start value, TripAssume otherwise.
+	// Trip estimate: exact ("inferred") when straight-line constant
+	// propagation over the statements preceding the loop pins both the
+	// induction variable's entry value and the bound — this subsumes the
+	// old adjacent-literal-prologue rule and also catches symbolic
+	// bounds like n in `n = 64; i = 0; while i < n` — and TripAssume
+	// ("assumed") otherwise. The provenance lands in the verdict so a
+	// reader can tell an honest work estimate from a guess.
 	adjDecl, adjAssign := false, false
 	var preInit minipar.Expr
 	if i > 0 {
@@ -542,17 +548,19 @@ func (w *walker) tryLoop(cur []minipar.Stmt, i int, wst minipar.While, rebuild r
 			}
 		}
 	}
+	env := constPrefix(cur[:i])
 	trips := w.opts.TripAssume
-	if hi, ok := m.hi.(minipar.IntLit); ok && (adjDecl || adjAssign) {
-		if lo, ok := preInit.(minipar.IntLit); ok {
-			hv := hi.Value
+	v.TripSource = "assumed"
+	if hv, ok := constEval(m.hi, env); ok {
+		if lo, ok := env[m.v]; ok {
 			if m.plusOne {
 				hv++
 			}
-			trips = hv - lo.Value
+			trips = hv - lo
 			if trips < 0 {
 				trips = 0
 			}
+			v.TripSource = "inferred"
 		}
 	}
 	per := satAdd(1, costStmts(m.body, w.opts.TripAssume))
@@ -723,4 +731,107 @@ func intersectFirst(a, b map[string]bool) (string, bool) {
 		}
 	}
 	return hit, found
+}
+
+// constEnv maps variable names to values proven constant at a program
+// point by straight-line evaluation of the preceding statements.
+type constEnv map[string]int64
+
+// constEval evaluates e under env. ok is false when any leaf is
+// unknown, the arithmetic could overflow, or a divisor is zero — the
+// estimate must never claim precision the interpreter would not
+// reproduce.
+func constEval(e minipar.Expr, env constEnv) (int64, bool) {
+	switch x := e.(type) {
+	case minipar.IntLit:
+		return x.Value, true
+	case minipar.VarRef:
+		v, ok := env[x.Name]
+		return v, ok
+	case minipar.Binary:
+		l, lok := constEval(x.L, env)
+		r, rok := constEval(x.R, env)
+		if !lok || !rok {
+			return 0, false
+		}
+		switch x.Op {
+		case minipar.OpAdd:
+			s := l + r
+			return s, (r >= 0) == (s >= l)
+		case minipar.OpSub:
+			d := l - r
+			return d, (r <= 0) == (d >= l)
+		case minipar.OpMul:
+			p := l * r
+			return p, l == 0 || (p/l == r && !(l == -1 && r == math.MinInt64))
+		case minipar.OpDiv:
+			if r == 0 || (l == math.MinInt64 && r == -1) {
+				return 0, false
+			}
+			return l / r, true
+		case minipar.OpMod:
+			if r == 0 || (l == math.MinInt64 && r == -1) {
+				return 0, false
+			}
+			return l % r, true
+		}
+	}
+	return 0, false
+}
+
+// constPrefix runs straight-line constant propagation over ss in
+// order: a declaration or assignment with a constant-evaluable
+// right-hand side binds its name, any other write kills it. Compound
+// statements kill everything they might assign on any path — this is
+// a may-write approximation, never an execution.
+func constPrefix(ss []minipar.Stmt) constEnv {
+	env := constEnv{}
+	for _, s := range ss {
+		switch st := s.(type) {
+		case minipar.VarDecl:
+			bindOrKill(env, st.Name, st.Init)
+		case minipar.Assign:
+			bindOrKill(env, st.Name, st.Expr)
+		default:
+			killAssigned(env, []minipar.Stmt{s})
+		}
+	}
+	return env
+}
+
+func bindOrKill(env constEnv, name string, e minipar.Expr) {
+	if v, ok := constEval(e, env); ok {
+		env[name] = v
+	} else {
+		delete(env, name)
+	}
+}
+
+// killAssigned removes from env every name a statement list might
+// write, recursing through compound bodies.
+func killAssigned(env constEnv, ss []minipar.Stmt) {
+	for _, s := range ss {
+		switch st := s.(type) {
+		case minipar.VarDecl:
+			delete(env, st.Name)
+		case minipar.Assign:
+			delete(env, st.Name)
+		case minipar.Call:
+			delete(env, st.Dst)
+		case minipar.If:
+			killAssigned(env, st.Then)
+			killAssigned(env, st.Else)
+		case minipar.While:
+			killAssigned(env, st.Body)
+		case minipar.ParFor:
+			delete(env, st.Var)
+			if st.Reduce != nil {
+				delete(env, st.Reduce.Acc)
+			}
+			killAssigned(env, st.Body)
+		case minipar.Par:
+			killAssigned(env, st.A)
+			killAssigned(env, st.B)
+		}
+	}
 }

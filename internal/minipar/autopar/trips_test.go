@@ -1,0 +1,99 @@
+package autopar
+
+import "testing"
+
+// TestTransformInferredTrips: the trip estimate must come from
+// constant propagation over the whole preceding prefix, not just an
+// adjacent literal prologue — here the bound variable is pinned two
+// statements above the loop — and the verdict must say so.
+func TestTransformInferredTrips(t *testing.T) {
+	src := `
+var n = 64
+var s = 0
+var i = 0
+while i < n {
+    s = s + i
+    i = i + 1
+}
+return s`
+	res, err := TransformSource(src, Options{})
+	if err != nil {
+		t.Fatalf("TransformSource: %v", err)
+	}
+	v := loopVerdict(t, res)
+	if v.TripSource != "inferred" || v.Trips != 64 {
+		t.Errorf("verdict trips = %d (%s), want 64 (inferred)", v.Trips, v.TripSource)
+	}
+	if !v.Parallelized {
+		t.Errorf("64-trip loop not parallelized: %s", v.Reason)
+	}
+	certifyEquivalent(t, src, res, nil)
+}
+
+// TestTransformInferredTripsKilledByWrite: a write to the bound
+// variable on a path between its constant definition and the loop must
+// demote the estimate back to assumed.
+func TestTransformInferredTripsKilledByWrite(t *testing.T) {
+	src := `
+params u
+var n = 64
+var s = 0
+if u < 0 {
+    n = u
+}
+var i = 0
+while i < n {
+    s = s + i
+    i = i + 1
+}
+return s`
+	res, err := TransformSource(src, Options{})
+	if err != nil {
+		t.Fatalf("TransformSource: %v", err)
+	}
+	v := loopVerdict(t, res)
+	if v.TripSource != "assumed" {
+		t.Errorf("trip source = %q (trips %d), want assumed: the if can rewrite n", v.TripSource, v.Trips)
+	}
+}
+
+// TestTransformAssumedTrips: a parameter-bounded loop cannot be
+// inferred; the verdict must carry the assumed provenance and the
+// TripAssume count.
+func TestTransformAssumedTrips(t *testing.T) {
+	src := `
+params n
+var s = 0
+var i = 0
+while i < n {
+    s = s + i
+    i = i + 1
+}
+return s`
+	res, err := TransformSource(src, Options{TripAssume: 100})
+	if err != nil {
+		t.Fatalf("TransformSource: %v", err)
+	}
+	v := loopVerdict(t, res)
+	if v.TripSource != "assumed" || v.Trips != 100 {
+		t.Errorf("verdict trips = %d (%s), want 100 (assumed)", v.Trips, v.TripSource)
+	}
+}
+
+// loopVerdict returns the sole loop-kind verdict of a transform.
+func loopVerdict(t *testing.T, res *Result) Verdict {
+	t.Helper()
+	var got *Verdict
+	for i, v := range res.Sites {
+		if v.Kind == "loop" {
+			if got != nil {
+				t.Fatalf("more than one loop verdict: %+v", res.Sites)
+			}
+			got = &res.Sites[i]
+		}
+	}
+	if got == nil {
+		t.Fatalf("no loop verdict in %+v", res.Sites)
+	}
+	return *got
+}

@@ -162,7 +162,7 @@ func (s *Service) admit(p *tpal.Program, entry []tpal.Reg) *admission {
 		if !s.cfg.DisableOptimizer {
 			if res, err := opt.Optimize(p, opt.Options{EntryRegs: entry}); err == nil && res.Rewrites() > 0 {
 				a.optimized = res.Program
-				a.quote = s.quoteBounds(res.After.Work, res.After.Span)
+				a.quote = s.quoteBounds(res.After.Work, res.After.Span, res.After.Trips)
 				a.quote.OptRewrites = res.Rewrites()
 				a.latency = res.After.Latency.String()
 			}
@@ -176,23 +176,31 @@ func (s *Service) admit(p *tpal.Program, entry []tpal.Reg) *admission {
 }
 
 // quote converts the symbolic work/span estimate into a step budget:
-// the work bound is evaluated with every unknown trip count set to
-// TripAssume, scaled by QuoteMargin to absorb estimator slack, and
-// clamped into [MinBudget, FuelCap]. Heavy jobs can still outrun the
-// quote — that is what the budget_exceeded state is for — but the
-// clamp guarantees no single job holds an executor longer than FuelCap
-// steps.
+// every trip count the interval analysis bounded is priced at its
+// proved upper bound ("inferred"), every remaining one at TripAssume
+// ("assumed"); the evaluated estimate is scaled by QuoteMargin to
+// absorb estimator slack and clamped into [MinBudget, FuelCap]. Heavy
+// jobs can still outrun the quote — that is what the budget_exceeded
+// state is for — but the clamp guarantees no single job holds an
+// executor longer than FuelCap steps.
 func (s *Service) quote(r *analysis.Report) Quote {
-	return s.quoteBounds(r.Work, r.Span)
+	return s.quoteBounds(r.Work, r.Span, r.Trips)
 }
 
-// quoteBounds prices a (work, span) bound pair; admit uses it both for
-// the submitted program's report and to re-quote from the optimizer's
-// post-pipeline bounds.
-func (s *Service) quoteBounds(work, span *analysis.Expr) Quote {
+// quoteBounds prices a (work, span) bound pair under the inferred trip
+// bounds; admit uses it both for the submitted program's report and to
+// re-quote from the optimizer's post-pipeline bounds.
+func (s *Service) quoteBounds(work, span *analysis.Expr, inferred map[tpal.Label]analysis.TripBound) Quote {
 	trips := make(map[tpal.Label]int64)
+	prov := make(map[string]TripQuote)
 	for _, l := range work.Trips() {
-		trips[l] = s.cfg.TripAssume
+		if tb, ok := inferred[l]; ok && tb.Bounded() {
+			trips[l] = tb.Hi
+			prov[string(l)] = TripQuote{Count: tb.Hi, Source: "inferred"}
+		} else {
+			trips[l] = s.cfg.TripAssume
+			prov[string(l)] = TripQuote{Count: s.cfg.TripAssume, Source: "assumed"}
+		}
 	}
 	est := work.Eval(trips, 1)
 	budget := est
@@ -212,6 +220,7 @@ func (s *Service) quoteBounds(work, span *analysis.Expr) Quote {
 		Span:     span.String(),
 		EstSteps: est,
 		Budget:   budget,
+		Trips:    prov,
 	}
 }
 

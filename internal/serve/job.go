@@ -53,6 +53,19 @@ type Quote struct {
 	// OptRewrites counts the certified optimizer rewrites applied to the
 	// program this quote prices; 0 means the submitted form ran as-is.
 	OptRewrites int `json:"opt_rewrites,omitempty"`
+	// Trips records, per loop header contributing to the work bound, the
+	// trip count the quote priced it at and where that count came from:
+	// "inferred" counts are upper bounds the interval analysis proved,
+	// "assumed" counts fall back to the service's TripAssume default. An
+	// all-inferred quote is honest — the program cannot do more work than
+	// the estimate — while any assumed entry marks the quote as a guess.
+	Trips map[string]TripQuote `json:"trips,omitempty"`
+}
+
+// TripQuote is one loop header's pricing inside a Quote.
+type TripQuote struct {
+	Count  int64  `json:"count"`  // trip count the quote used
+	Source string `json:"source"` // "inferred" or "assumed"
 }
 
 // JobStats mirrors machine.Stats in the wire format, the per-job
@@ -136,6 +149,11 @@ type AutoparSite struct {
 	Detail       string  `json:"detail"`
 	Parallelized bool    `json:"parallelized"`
 	Speedup      float64 `json:"predicted_speedup,omitempty"`
+	// Trips and TripSource mirror the pass's profitability inputs for
+	// loop sites: the trip count the model used and whether it was
+	// "inferred" by constant propagation or "assumed" from TripAssume.
+	Trips      int64  `json:"trips,omitempty"`
+	TripSource string `json:"trip_source,omitempty"`
 }
 
 // AutoparReport is the job-level summary of an auto_parallelize
@@ -171,6 +189,8 @@ func autoparReportOf(res *autopar.Result) *AutoparReport {
 			Detail:       v.Detail(),
 			Parallelized: v.Parallelized,
 			Speedup:      v.Speedup,
+			Trips:        v.Trips,
+			TripSource:   v.TripSource,
 		}
 	}
 	return rep

@@ -144,6 +144,125 @@ func TestAdmissionRejectsUnboundedLatency(t *testing.T) {
 	}
 }
 
+// divergentSrc is statically divergent: once the loop is entered no
+// exit edge is feasible and the region never halts or joins, so the
+// interval/trip pass condemns it with TP090 (an Error) and the gate
+// rejects it before any fuel is granted.
+const divergentSrc = `
+program div entry main
+
+block main [.] {
+  x := 0
+  jump loop
+}
+
+block loop [.] {
+  x := x + 1
+  jump loop
+}
+`
+
+// boundedSrc is a constant-bounded countdown: the trip pass proves
+// loop runs exactly 6 times, so the quote prices it from the proved
+// bound with provenance "inferred" instead of assuming TripAssume. The
+// loop header is promotion-ready (with a decline-everything handler)
+// so the latency gate stays happy.
+const boundedSrc = `
+program bounded entry main
+
+block main [.] {
+  i := 5
+  jump loop
+}
+
+block loop [prppt hb] {
+  t := i == 0
+  if-jump t, done
+  i := i - 1
+  jump loop
+}
+
+block hb [.] {
+  jump loop
+}
+
+block done [.] {
+  halt
+}
+`
+
+func TestAdmissionRejectsDivergentLoop(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	j, err := s.Submit(SubmitRequest{Tenant: "mallory", Source: divergentSrc})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if j.Status != StatusRejected {
+		t.Fatalf("status = %s, want rejected", j.Status)
+	}
+	if !hasCode(j.Diags, "TP090") {
+		t.Errorf("rejection diags %+v carry no TP090", j.Diags)
+	}
+}
+
+func TestQuotePricesInferredTrips(t *testing.T) {
+	// MinBudget 1 exposes the raw margin math; TripAssume is set
+	// absurdly high so any fallback to it would blow the assertion.
+	s := newTestService(t, Config{
+		Workers:          1,
+		MinBudget:        1,
+		TripAssume:       1 << 20,
+		DisableOptimizer: true,
+	})
+	j, err := s.Submit(SubmitRequest{Tenant: "alice", Source: boundedSrc})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	tq, ok := j.Quote.Trips["loop"]
+	if !ok {
+		t.Fatalf("quote has no trip entry for loop: %+v", j.Quote)
+	}
+	if tq.Source != "inferred" || tq.Count != 6 {
+		t.Errorf("loop priced as %+v, want {Count:6 Source:inferred}", tq)
+	}
+	if j.Quote.EstSteps <= 0 || j.Quote.EstSteps >= 100 {
+		t.Errorf("est_steps = %d, want a small fully-numeric estimate", j.Quote.EstSteps)
+	}
+	if want := j.Quote.EstSteps * s.cfg.QuoteMargin; j.Quote.Budget != want {
+		t.Errorf("budget = %d, want est*margin = %d", j.Quote.Budget, want)
+	}
+	v := await(t, j)
+	if v.Status != StatusDone {
+		t.Fatalf("status = %s (%s), want done — an inferred quote must cover the real run", v.Status, v.Error)
+	}
+}
+
+func TestQuoteAssumedTripsProvenance(t *testing.T) {
+	// prod's loop count is an entry register, so its trip is unknowable
+	// statically and the quote must say so.
+	s := newTestService(t, Config{Workers: 1, DisableOptimizer: true})
+	j, err := s.Submit(SubmitRequest{
+		Tenant: "alice",
+		Source: programs.ProdSource,
+		Args:   map[string]int64{"a": 3, "b": 4},
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if len(j.Quote.Trips) == 0 {
+		t.Fatalf("quote has no trip provenance: %+v", j.Quote)
+	}
+	for h, tq := range j.Quote.Trips {
+		if tq.Source != "assumed" || tq.Count != s.cfg.TripAssume {
+			t.Errorf("header %s priced as %+v, want assumed TripAssume=%d", h, tq, s.cfg.TripAssume)
+		}
+	}
+	v := await(t, j)
+	if v.Status != StatusDone {
+		t.Fatalf("status = %s (%s), want done", v.Status, v.Error)
+	}
+}
+
 func TestBadSourceIsBadRequest(t *testing.T) {
 	s := newTestService(t, Config{Workers: 1})
 	_, err := s.Submit(SubmitRequest{Source: "block { nonsense"})

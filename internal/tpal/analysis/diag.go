@@ -132,50 +132,61 @@ const (
 	CodeOptReverted    Code = "TP082" // optimizer pass reverted by the translation-validation certifier
 )
 
+// Trip-count codes (TP09x), emitted by phase 7 — the interval value
+// analysis and its induction/trip-count pass.
+const (
+	CodeTripDivergent     Code = "TP090" // loop is statically divergent: no feasible exit once entered
+	CodeTripCeiling       Code = "TP091" // inferred trip bound exceeds the configured ceiling
+	CodeTripContradiction Code = "TP092" // loop guard contradicted by the entry state: body unreachable
+)
+
 // Codes maps every diagnostic code to a one-line description of the
 // check it names. The table is the authoritative code registry; tests
 // pin its completeness against the checks that emit each code.
 var Codes = map[Code]string{
-	CodeStructural:       "program fails structural validation",
-	CodeForkNoJoinParent: "the forking task can never reach a join",
-	CodeForkNoJoinChild:  "the forked child task can never reach a join",
-	CodeAnnotatedHandler: "a promotion handler carries its own annotation",
-	CodeUseNeverAssigned: "a faulting context reads a never-assigned register",
-	CodeUseBeforeAssign:  "a register is read before any assignment (nil reads as 0)",
-	CodeUseMaybeUnassign: "a register may be unassigned on some path",
-	CodeIfTargetKind:     "an if-jump target register can never hold a label",
-	CodeJumpTargetKind:   "a jump register can never hold a label",
-	CodeForkTargetKind:   "a fork target register can never hold a label",
-	CodeForkRecordKind:   "a fork join register can never hold a join record",
-	CodeJoinRecordKind:   "a join operand can never hold a join record",
-	CodeJrallocNotJtppt:  "a jralloc continuation lacks a jtppt annotation",
-	CodeBinopOperandKind: "an operator operand holds a non-arithmetic sort",
-	CodeDivByZero:        "a division or remainder by the constant zero",
-	CodeStackBaseKind:    "a stack operation's base register can never hold a stack pointer",
-	CodeOutOfFrame:       "a load or store provably lands below the frame base",
-	CodeSfreeBelowBase:   "an sfree reaches below the stack base",
-	CodePrmPopEmpty:      "a prmpop on a stack with no live promotion-ready marks",
-	CodePrmSplitEmpty:    "a prmsplit on a stack with no live promotion-ready marks",
-	CodePrmSplitUnguard:  "a prmsplit not guarded by a prmempty check",
-	CodeNonPromotingLoop: "a cycle crosses no promotion-ready program point",
-	CodeLoopForksNoPrppt: "a loop forks but contains no promotion-ready program point",
-	CodeDeadPrppt:        "a prppt annotation on an unreachable block",
-	CodeDeadJtppt:        "a jtppt continuation never targeted by any jralloc",
-	CodeRaceWriteWrite:   "both branches of a fork write the same stack cell in parallel",
-	CodeRaceReadWrite:    "one branch of a fork reads a stack cell the other writes in parallel",
-	CodeRaceMarkList:     "parallel promotion-mark-list traffic interferes with a stack access",
-	CodeRaceEscape:       "a stack pointer may escape to memory, so forked regions cannot be separated",
-	CodeRaceSameStack:    "fork branches share a stack at cells the analysis cannot separate",
-	CodeRaceMayAlias:     "fork branch regions may alias: same allocation site, instances not separable",
-	CodeAutoNotCounted:   "a sequential loop is not in counted induction form, so it has no iteration space to split",
-	CodeAutoLoopCarried:  "a loop-carried dependence: a cross-iteration update is not in reducible accumulator shape",
-	CodeAutoUnsupported:  "a candidate region contains a statement the transform cannot fork (call, return, or parallel construct)",
-	CodeAutoUnprofitable: "a candidate's static work bound is below the spawn-cost threshold; forking would cost more than it saves",
-	CodeAutoNotDisjoint:  "the would-be branch region summaries are not provably disjoint (a TP06x overlap survives)",
-	CodeAutoDependent:    "a statement pair has overlapping read/write sets and cannot run in parallel",
-	CodeOptPrpptBudget:   "a redundant-looking prppt was kept: removing it would push the promotion-latency bound past the optimizer's gap budget",
-	CodeOptPrpptGrade:    "a prppt was kept: removing it would worsen the promotion-latency grade or surface new diagnostics",
-	CodeOptReverted:      "an optimizer pass was reverted: the translation-validation certifier found a contract violation in its output",
+	CodeStructural:        "program fails structural validation",
+	CodeForkNoJoinParent:  "the forking task can never reach a join",
+	CodeForkNoJoinChild:   "the forked child task can never reach a join",
+	CodeAnnotatedHandler:  "a promotion handler carries its own annotation",
+	CodeUseNeverAssigned:  "a faulting context reads a never-assigned register",
+	CodeUseBeforeAssign:   "a register is read before any assignment (nil reads as 0)",
+	CodeUseMaybeUnassign:  "a register may be unassigned on some path",
+	CodeIfTargetKind:      "an if-jump target register can never hold a label",
+	CodeJumpTargetKind:    "a jump register can never hold a label",
+	CodeForkTargetKind:    "a fork target register can never hold a label",
+	CodeForkRecordKind:    "a fork join register can never hold a join record",
+	CodeJoinRecordKind:    "a join operand can never hold a join record",
+	CodeJrallocNotJtppt:   "a jralloc continuation lacks a jtppt annotation",
+	CodeBinopOperandKind:  "an operator operand holds a non-arithmetic sort",
+	CodeDivByZero:         "a division or remainder by the constant zero",
+	CodeStackBaseKind:     "a stack operation's base register can never hold a stack pointer",
+	CodeOutOfFrame:        "a load or store provably lands below the frame base",
+	CodeSfreeBelowBase:    "an sfree reaches below the stack base",
+	CodePrmPopEmpty:       "a prmpop on a stack with no live promotion-ready marks",
+	CodePrmSplitEmpty:     "a prmsplit on a stack with no live promotion-ready marks",
+	CodePrmSplitUnguard:   "a prmsplit not guarded by a prmempty check",
+	CodeNonPromotingLoop:  "a cycle crosses no promotion-ready program point",
+	CodeLoopForksNoPrppt:  "a loop forks but contains no promotion-ready program point",
+	CodeDeadPrppt:         "a prppt annotation on an unreachable block",
+	CodeDeadJtppt:         "a jtppt continuation never targeted by any jralloc",
+	CodeRaceWriteWrite:    "both branches of a fork write the same stack cell in parallel",
+	CodeRaceReadWrite:     "one branch of a fork reads a stack cell the other writes in parallel",
+	CodeRaceMarkList:      "parallel promotion-mark-list traffic interferes with a stack access",
+	CodeRaceEscape:        "a stack pointer may escape to memory, so forked regions cannot be separated",
+	CodeRaceSameStack:     "fork branches share a stack at cells the analysis cannot separate",
+	CodeRaceMayAlias:      "fork branch regions may alias: same allocation site, instances not separable",
+	CodeAutoNotCounted:    "a sequential loop is not in counted induction form, so it has no iteration space to split",
+	CodeAutoLoopCarried:   "a loop-carried dependence: a cross-iteration update is not in reducible accumulator shape",
+	CodeAutoUnsupported:   "a candidate region contains a statement the transform cannot fork (call, return, or parallel construct)",
+	CodeAutoUnprofitable:  "a candidate's static work bound is below the spawn-cost threshold; forking would cost more than it saves",
+	CodeAutoNotDisjoint:   "the would-be branch region summaries are not provably disjoint (a TP06x overlap survives)",
+	CodeAutoDependent:     "a statement pair has overlapping read/write sets and cannot run in parallel",
+	CodeOptPrpptBudget:    "a redundant-looking prppt was kept: removing it would push the promotion-latency bound past the optimizer's gap budget",
+	CodeOptPrpptGrade:     "a prppt was kept: removing it would worsen the promotion-latency grade or surface new diagnostics",
+	CodeOptReverted:       "an optimizer pass was reverted: the translation-validation certifier found a contract violation in its output",
+	CodeTripDivergent:     "a loop is statically divergent: once entered, no exit edge is feasible and the region never halts or joins",
+	CodeTripCeiling:       "an inferred loop trip bound exceeds the configured ceiling; the loop dominates any fuel budget",
+	CodeTripContradiction: "a loop guard is contradicted by every state reaching its header; the body never runs",
 }
 
 // IsOptCode reports whether a code belongs to the optimizer report
@@ -194,6 +205,16 @@ func IsAutoParCode(c Code) bool {
 	switch c {
 	case CodeAutoNotCounted, CodeAutoLoopCarried, CodeAutoUnsupported,
 		CodeAutoUnprofitable, CodeAutoNotDisjoint, CodeAutoDependent:
+		return true
+	}
+	return false
+}
+
+// IsTripCode reports whether a code belongs to the phase-7 trip-count
+// family (TP090–TP092).
+func IsTripCode(c Code) bool {
+	switch c {
+	case CodeTripDivergent, CodeTripCeiling, CodeTripContradiction:
 		return true
 	}
 	return false

@@ -54,6 +54,9 @@ var allCodes = []analysis.Code{
 	analysis.CodeOptPrpptBudget,
 	analysis.CodeOptPrpptGrade,
 	analysis.CodeOptReverted,
+	analysis.CodeTripDivergent,
+	analysis.CodeTripCeiling,
+	analysis.CodeTripContradiction,
 }
 
 func TestCodesRegistryComplete(t *testing.T) {

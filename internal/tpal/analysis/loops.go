@@ -28,6 +28,9 @@ type Loop struct {
 	// trip counts.
 	Work *Expr
 	Span *Expr
+	// Trip is the phase-7 inferred bound on the header's dynamic
+	// entries per pass of the enclosing region.
+	Trip TripBound
 }
 
 type lpair struct{ from, to tpal.Label }

@@ -19,6 +19,17 @@ type Report struct {
 	// cost-semantics work and span (Figure 28), in machine steps.
 	Work *Expr
 	Span *Expr
+	// Trips maps every loop-forest header to its phase-7 inferred trip
+	// bound (entries per pass of the enclosing region).
+	Trips map[tpal.Label]TripBound
+	// NumWork and NumSpan are Work and Span with every bounded trip
+	// leaf substituted by its inferred upper bound; for constant-bounded
+	// programs they are fully numeric (no trip leaves left).
+	NumWork *Expr
+	NumSpan *Expr
+	// Branches lists the direct if-jumps the interval analysis resolved
+	// to a single direction, for the optimizer's branch-fold pass.
+	Branches []BranchFact
 }
 
 // AllLoops returns every loop in the forest, outer before inner,
@@ -80,8 +91,30 @@ func Analyze(p *tpal.Program, opts Options) *Report {
 	// would hide the parallel structure from the loop forest), while
 	// the liveness pass excludes handler edges itself.
 	cg := newGraph(p, p.Entry, sharp, nil)
-	r.Loops = loopForest(cg, cg.dominators())
+	idom := cg.dominators()
+	r.Loops = loopForest(cg, idom)
 	r.Work, r.Span = costAnalysis(p, cg, r.Loops)
+
+	// Phase 7: interval value analysis and trip-count inference. The
+	// widening points are the loop-forest headers; the inferred bounds
+	// substitute into the symbolic work/span for numeric bounds.
+	headers := make(map[tpal.Label]bool)
+	for _, l := range r.AllLoops() {
+		headers[l.Header] = true
+	}
+	fix := intervalPass(p, cg, headers)
+	var tripDiags []Diag
+	r.Trips, tripDiags = tripPass(p, cg, fix, idom, r.Loops, opts)
+	r.Diags = append(r.Diags, tripDiags...)
+	r.Branches = branchFacts(p, fix)
+	vals := make(map[tpal.Label]int64, len(r.Trips))
+	for h, tb := range r.Trips {
+		if tb.Bounded() {
+			vals[h] = tb.Hi
+		}
+	}
+	r.NumWork = r.Work.Subst(vals)
+	r.NumSpan = r.Span.Subst(vals)
 
 	liveDiags, lb := livenessPass(p, sharp, reached, r.Loops)
 	r.Diags = append(r.Diags, liveDiags...)

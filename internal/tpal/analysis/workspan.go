@@ -181,6 +181,40 @@ func (e *Expr) Eval(trips map[tpal.Label]int64, tau int64) int64 {
 	return 0
 }
 
+// Subst replaces every trip leaf that has a valuation with its
+// constant, rebuilding through the folding constructors so the result
+// is fully folded. Trip leaves without a valuation stay symbolic; a
+// nil receiver stays nil.
+func (e *Expr) Subst(vals map[tpal.Label]int64) *Expr {
+	if e == nil {
+		return nil
+	}
+	switch e.Kind {
+	case ExprTrip:
+		if v, ok := vals[e.Loop]; ok {
+			return eConst(v)
+		}
+	case ExprAdd, ExprMul, ExprMax:
+		args := make([]*Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = a.Subst(vals)
+		}
+		switch e.Kind {
+		case ExprAdd:
+			return eAdd(args...)
+		case ExprMax:
+			return eMax(args...)
+		default:
+			r := args[0]
+			for _, a := range args[1:] {
+				r = eMul(r, a)
+			}
+			return r
+		}
+	}
+	return e
+}
+
 // Trips returns the set of loop headers the expression mentions, in
 // sorted order.
 func (e *Expr) Trips() []tpal.Label {

@@ -90,6 +90,16 @@ type Config struct {
 	// stays cheap on long runs, and its gap events feed the histogram
 	// that the trace tools compare against the static TP050 bound.
 	Tracer *trace.Tracer
+	// CountTrips enables per-label trip counting: each time a task's
+	// control arrives at a block head and executes the block, its
+	// private counter for that label increments. An arrival that is
+	// diverted to a heartbeat handler is not counted — the handler's
+	// return re-arrives at the same head and is counted then, so one
+	// logical loop iteration counts once no matter how many interrupts
+	// it absorbs. Counters fold into Stats.TripCounts at task
+	// retirement; this is the dynamic side of the phase-7 static trip
+	// bound (observed per-task trips never exceed the inferred Hi).
+	CountTrips bool
 }
 
 // Stats aggregates execution statistics, including the cost-semantics
@@ -111,6 +121,13 @@ type Stats struct {
 	// task retirement. The static liveness pass proves an upper bound on
 	// this number for LatencyFinite programs.
 	MaxPromotionGap int64
+	// TripCounts, under Config.CountTrips, maps each block label to the
+	// maximum number of times any single task entered and executed it.
+	// The per-task maximum (not the sum across tasks) is what the
+	// static trip bound constrains: a promoted loop splits its
+	// iteration space across tasks, and every task's share — including
+	// its final guard-failing entry — is at most the serial count.
+	TripCounts map[tpal.Label]int64
 }
 
 // Result is the outcome of a machine run: the register file of the task
@@ -148,6 +165,11 @@ type Task struct {
 	// clock is the task's vector clock, maintained only under
 	// Config.RaceDetect (nil otherwise).
 	clock vclock
+
+	// trips counts executed block entries per label, allocated lazily
+	// under Config.CountTrips and max-folded into Stats.TripCounts when
+	// the task retires.
+	trips map[tpal.Label]int64
 }
 
 // ID returns the task's creation sequence number.
@@ -338,6 +360,11 @@ func (m *Machine) Run() (Result, error) {
 	if !m.halted {
 		return Result{}, fmt.Errorf("%w: all tasks terminated without executing halt", ErrMachine)
 	}
+	// Tasks still live at halt (including the halting task itself)
+	// never pass removeTask; fold their trip counters here.
+	for _, t := range m.tasks {
+		m.foldTrips(t)
+	}
 	return Result{Regs: m.finalRegs, Stats: m.stats}, nil
 }
 
@@ -351,12 +378,30 @@ func (m *Machine) alive(t *Task) bool {
 }
 
 func (m *Machine) removeTask(t *Task) {
+	m.foldTrips(t)
 	for i, u := range m.tasks {
 		if u == t {
 			m.tasks = append(m.tasks[:i], m.tasks[i+1:]...)
 			return
 		}
 	}
+}
+
+// foldTrips retires a task's trip counters into the run-level
+// per-label maximum.
+func (m *Machine) foldTrips(t *Task) {
+	if t.trips == nil {
+		return
+	}
+	if m.stats.TripCounts == nil {
+		m.stats.TripCounts = make(map[tpal.Label]int64)
+	}
+	for l, n := range t.trips {
+		if n > m.stats.TripCounts[l] {
+			m.stats.TripCounts[l] = n
+		}
+	}
+	t.trips = nil
 }
 
 func (m *Machine) addTask(t *Task) {
@@ -422,6 +467,14 @@ func (m *Machine) step(t *Task) error {
 		t.span++
 		m.stats.Work++
 		return m.jumpTo(t, t.block.Ann.Handler)
+	}
+	if m.cfg.CountTrips && t.off == 0 {
+		// The arrival is committed to executing this block (any
+		// heartbeat diversion happened above), so it counts as a trip.
+		if t.trips == nil {
+			t.trips = make(map[tpal.Label]int64)
+		}
+		t.trips[t.label]++
 	}
 	m.traceStep(t)
 	t.cycles++

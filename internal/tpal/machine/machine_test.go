@@ -304,11 +304,13 @@ block m [.] {
 }
 
 func TestMaxStepsGuard(t *testing.T) {
+	// SkipVerify: the static analyzer now rejects this loop outright
+	// (TP090 statically divergent); the point here is the dynamic guard.
 	err := runErr(t, `
 program p entry m
 block m [.] {
   jump m
-}`, Config{MaxSteps: 100})
+}`, Config{MaxSteps: 100, SkipVerify: true})
 	if !errors.Is(err, ErrMaxSteps) {
 		t.Fatalf("expected ErrMaxSteps, got %v", err)
 	}

@@ -1,0 +1,52 @@
+package opt
+
+import (
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/analysis"
+)
+
+// passBranchIntervals folds direct if-jumps the phase-7 interval
+// analysis resolved to a single direction. It strictly generalizes
+// constfold's known-condition rule: constfold needs the condition
+// register pinned to one integer, while an interval fact also resolves
+// range-only conditions (i ∈ [0,5] makes `i < 10` always true). The
+// rewrite shapes mirror foldBlock's: an always-taken branch truncates
+// the block into an unconditional jump (the tail is dead), a
+// never-taken branch is deleted. Every accepted rewrite is certified
+// by the translation-validation harness like any other pass; a fact
+// the certifier disagrees with reverts the whole pass (TP082).
+func passBranchIntervals(p *tpal.Program, c *optCtx) (*tpal.Program, int, []analysis.Diag) {
+	byBlock := make(map[tpal.Label][]analysis.BranchFact)
+	for _, f := range c.report.Branches {
+		byBlock[f.Block] = append(byBlock[f.Block], f)
+	}
+	count := 0
+	for _, b := range p.Blocks {
+		// Facts arrive in ascending instruction order (branchFacts walks
+		// the block in order); deletions shift later indices left.
+		shift := 0
+		for _, f := range byBlock[b.Label] {
+			i := f.Instr - shift
+			if i < 0 || i >= len(b.Instrs) {
+				break
+			}
+			in := b.Instrs[i]
+			if in.Kind != tpal.IIfJump || in.Val.Kind != tpal.OperLabel {
+				break // stale fact; leave the rest of the block alone
+			}
+			if f.Fate == analysis.BranchNeverTaken {
+				b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+				shift++
+				count++
+				continue
+			}
+			if f.Fate == analysis.BranchAlwaysTaken {
+				b.Term = tpal.Term{Kind: tpal.TJump, Val: in.Val}
+				b.Instrs = b.Instrs[:i]
+				count++
+			}
+			break // the truncated tail is dead; later facts with it
+		}
+	}
+	return p, count, nil
+}

@@ -1,0 +1,76 @@
+package opt_test
+
+import (
+	"testing"
+
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/asm"
+	"tpal/internal/tpal/machine"
+	"tpal/internal/tpal/opt"
+	"tpal/internal/tpal/opt/equiv"
+)
+
+// intervalOnlySrc has a branch no constant analysis can fold — the
+// condition register is a range, not a single value — but the interval
+// facts resolve it: i ends the first loop in [0,0]∪... well inside
+// [0,9], so `i < 100` always holds and the check branch is dead
+// weight.
+const intervalOnlySrc = `
+program p entry m
+block m [.] {
+  i := 0
+  jump loop
+}
+block loop [.] {
+  t := i < 10
+  if-jump t, body
+  jump check
+}
+block body [.] {
+  i := i + 1
+  jump loop
+}
+block check [.] {
+  u := i < 100
+  if-jump u, out
+  jump bad
+}
+block bad [.] {
+  x := 1
+  jump out
+}
+block out [.] {
+  halt
+}`
+
+// TestBranchIntervalsFoldsRangeCondition: the branchfold pass must
+// resolve the range-only condition and the certifier must accept it
+// (no TP082 revert); dynamically the program stays equivalent.
+func TestBranchIntervalsFoldsRangeCondition(t *testing.T) {
+	orig := asm.MustParse(intervalOnlySrc)
+	res, err := opt.Optimize(orig, opt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded := false
+	for _, pr := range res.Passes {
+		if pr.Name == "branchfold" {
+			if pr.Reverted {
+				t.Fatalf("branchfold reverted: %+v", pr.Notes)
+			}
+			if pr.Rewrites > 0 {
+				folded = true
+			}
+		}
+	}
+	if !folded {
+		t.Fatal("branchfold made no rewrites on the range-resolved branch")
+	}
+	// The interval-dead block must be gone from the optimized program.
+	if res.Program.Block("bad") != nil {
+		t.Error("interval-dead block \"bad\" survived the pipeline")
+	}
+	if err := equiv.Certify(orig, res.Program, machine.RegFile{}, []tpal.Reg{"i"}); err != nil {
+		t.Fatalf("optimized program not equivalent: %v", err)
+	}
+}

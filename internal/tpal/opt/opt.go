@@ -98,6 +98,10 @@ type Summary struct {
 	Work    *analysis.Expr
 	Span    *analysis.Expr
 	Latency analysis.LatencyBound
+	// Trips carries the phase-7 inferred trip bounds for the program in
+	// this shape, so consumers pricing the bounds (the serve admission
+	// gate) can substitute inferred counts instead of assuming.
+	Trips map[tpal.Label]analysis.TripBound
 }
 
 // Result is the outcome of one optimization.
@@ -222,6 +226,7 @@ func pipeline() []pass {
 	gap := func(c *optCtx) int64 { return c.gapBudget() }
 	return []pass{
 		{name: "constfold", latencyAllowance: zero, fn: passConstFold},
+		{name: "branchfold", latencyAllowance: zero, fn: passBranchIntervals},
 		{name: "thread", latencyAllowance: zero, fn: passThread},
 		{name: "unreachable", latencyAllowance: zero, fn: passUnreachable},
 		{name: "dce", latencyAllowance: zero, fn: passDCE},
@@ -326,6 +331,7 @@ func summarize(p *tpal.Program, r *analysis.Report) Summary {
 		Work:    r.Work,
 		Span:    r.Span,
 		Latency: r.Latency,
+		Trips:   r.Trips,
 	}
 }
 
