@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-test serve-test autopar-test lint lint-go fuzz cover bench-rt ci
+.PHONY: build test vet race race-test serve-test autopar-test compile-test lint lint-go fuzz cover bench bench-rt ci
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,15 @@ autopar-test:
 	$(GO) test -race ./internal/serve -run AutoParallelize
 	$(GO) test -race ./cmd/tpal-lint -run Autopar
 
+# compile-test runs the closure-threaded backend's differential-oracle
+# suite under the Go race detector: the corpus, minipar samples, fault
+# paths, budget/cancellation cuts, and the backend seam, every case
+# cross-checked against the interpreter across the schedule matrix
+# (lockstep, random-order seeds, depth-first, signal-period splits).
+compile-test:
+	$(GO) test -race ./internal/tpal/machine/compile ./internal/tpal/machine
+	$(GO) test -race ./internal/serve -run CompiledBackend
+
 # lint runs the static TPAL verifier — including the interference
 # (determinacy-race) pass — over the built-in corpus and every
 # checked-in minipar sample; any diagnostic (warnings included) fails.
@@ -63,7 +72,9 @@ lint-go:
 # silent sanitizer, results identical to sequential interpretation.
 # FuzzOpt drives mutated corpus programs through the certified
 # optimizer: no panics, no new errors, idempotent, and serially
-# equivalent to the input program.
+# equivalent to the input program. FuzzBackendEquiv holds the compiled
+# backend to the interpreter on mutated corpus programs: identical
+# results, stats, traces, faults, and sanitizer verdicts (DESIGN.md §15).
 fuzz:
 	$(GO) test ./internal/tpal/analysis -run='^$$' -fuzz='^FuzzVerify$$' -fuzztime=10s
 	$(GO) test ./internal/tpal/analysis -run='^$$' -fuzz='^FuzzLiveness$$' -fuzztime=10s
@@ -71,13 +82,16 @@ fuzz:
 	$(GO) test ./internal/minipar/autopar -run='^$$' -fuzz='^FuzzAutoPar$$' -fuzztime=10s
 	$(GO) test ./internal/tpal/opt -run='^$$' -fuzz='^FuzzOpt$$' -fuzztime=10s
 	$(GO) test ./internal/tpal/machine -run='^$$' -fuzz='^FuzzTrips$$' -fuzztime=10s
+	$(GO) test ./internal/tpal/machine/compile -run='^$$' -fuzz='^FuzzBackendEquiv$$' -fuzztime=10s
 
-# cover enforces a statement-coverage floor on internal/tpal/analysis,
-# the package whose verdicts every other surface trusts (serve
-# admission, the optimizer certifier, autopar, the lint CLI). The
-# profile lands in cover.out (gitignored); the floor is a ratchet —
-# raise it when coverage grows, never lower it to admit a regression.
-COVER_PKG   = ./internal/tpal/analysis
+# cover enforces a statement-coverage floor on internal/tpal/analysis
+# — the package whose verdicts every other surface trusts (serve
+# admission, the optimizer certifier, autopar, the lint CLI) — and on
+# the closure-threaded backend, whose lowering must stay observably
+# identical to the interpreter. The profile lands in cover.out
+# (gitignored); the floor is a ratchet — raise it when coverage grows,
+# never lower it to admit a regression.
+COVER_PKG   = ./internal/tpal/analysis ./internal/tpal/machine/compile
 COVER_FLOOR = 80.0
 
 cover:
@@ -87,14 +101,24 @@ cover:
 		  if (pct + 0 < floor + 0) { printf "coverage %s%% is below the %s%% floor\n", pct, floor; exit 1 } \
 		  else { printf "coverage %s%% meets the %s%% floor\n", pct, floor } }'
 
+# bench runs the Go micro-benchmarks for the execution backends:
+# per-step dispatch cost of the interpreter vs the closure-threaded
+# backend across serial, heartbeat, and sanitizer configurations, plus
+# the one-time lowering cost per corpus program.
+bench:
+	$(GO) test ./internal/tpal/machine -run='^$$' -bench 'BenchmarkDispatch|BenchmarkCompile' -benchtime 1s
+
 # bench-rt rewrites BENCH_rt.json, the committed runtime perf baseline:
-# the plus-reduce-array, spmv-random, floyd-warshall-1K, and
-# mergesort-uniform walls with the tracer disabled and enabled, plus
-# the corpus promotion-gap check against the static liveness bounds.
-# It fails if the tracer delta on plus-reduce-array exceeds the 5%
-# overhead contract (DESIGN.md §11) or an observed gap exceeds its
-# static bound.
+# the native-runtime benchmark walls (plus-reduce-array, spmv-random,
+# spmv-powerlaw, floyd-warshall-1K, mergesort-uniform, mergesort-exp)
+# with the tracer disabled and enabled, the abstract-machine kernels on
+# the interpreter vs the compiled backend (with and without the race
+# sanitizer), and the corpus promotion-gap check against the static
+# liveness bounds. It fails if the tracer delta on plus-reduce-array
+# exceeds the 5% overhead contract (DESIGN.md §11), the compiled
+# backend's plus-reduce-array speedup falls below the 3x dispatch
+# floor (DESIGN.md §15), or an observed gap exceeds its static bound.
 bench-rt:
 	$(GO) run ./cmd/tpal-trace -bench-rt -reps 5 -out BENCH_rt.json
 
-ci: vet lint-go build race race-test serve-test autopar-test lint fuzz cover bench-rt
+ci: vet lint-go build race race-test serve-test autopar-test compile-test lint fuzz cover bench-rt

@@ -12,6 +12,7 @@
 //	tpal-run -builtin pow -reg d=3,e=9 -stats
 //	tpal-run -race -reg n=50 program.mp   # determinacy-race sanitizer on
 //	tpal-run -O -builtin pow -reg d=3,e=9  # certified optimizer on
+//	tpal-run -backend compiled -builtin fib -reg n=20  # closure-threaded backend
 //	tpal-run -fuel 100000 program.tpal    # hard step budget
 //	tpal-run -timeout 2s program.tpal     # wall-clock deadline
 //	tpal-run -list-builtins
@@ -49,6 +50,7 @@ import (
 	"tpal/internal/tpal"
 	"tpal/internal/tpal/asm"
 	"tpal/internal/tpal/machine"
+	_ "tpal/internal/tpal/machine/compile" // link the compiled backend
 	"tpal/internal/tpal/opt"
 	"tpal/internal/tpal/programs"
 )
@@ -87,6 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fuel     = fs.Int64("fuel", 0, "hard execution budget in machine steps; exceeding it exits 3 (0 = off)")
 		timeout  = fs.Duration("timeout", 0, "wall-clock deadline for the run; exceeding it exits 4 (0 = off)")
 		race     = fs.Bool("race", false, "enable the determinacy-race sanitizer (halts on the first racing access pair)")
+		backend  = fs.String("backend", "interp", "execution backend: interp (switch dispatcher) or compiled (closure-threaded code)")
 		optimize = fs.Bool("O", false, "run the certified analysis-directed optimizer before executing")
 		stats    = fs.Bool("stats", false, "print execution statistics")
 		list     = fs.Bool("list-builtins", false, "list built-in programs and exit")
@@ -140,6 +143,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		RaceDetect:   *race,
 		Regs:         make(machine.RegFile),
 	}
+	be, err := machine.ParseBackend(*backend)
+	if err != nil {
+		fmt.Fprintln(stderr, "tpal-run:", err)
+		return exitUsage
+	}
+	cfg.Backend = be
 	switch *schedule {
 	case "lockstep":
 		cfg.Schedule = machine.Lockstep
@@ -178,7 +187,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Context = ctx
 	}
 
-	res, err := machine.Run(prog, cfg)
+	res, err := machine.RunBackend(prog, cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "tpal-run:", err)
 		switch {

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"tpal/internal/serve"
+	"tpal/internal/tpal/machine"
 )
 
 const (
@@ -64,6 +65,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		maxTimeout   = fs.Duration("max-timeout", 60*time.Second, "ceiling on client-requested deadlines")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
 		noOpt        = fs.Bool("no-opt", false, "disable the certified optimizer (jobs run and are quoted as submitted)")
+		backendName  = fs.String("backend", "interp", "execution backend for admitted jobs: interp or compiled")
 	)
 	fs.Usage = func() {
 		fmt.Fprint(stderr, "usage: tpal-serve [flags]\n\n")
@@ -75,6 +77,12 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	if fs.NArg() > 0 {
 		fmt.Fprintf(stderr, "tpal-serve: unexpected arguments %q\n", fs.Args())
 		fs.Usage()
+		return exitUsage
+	}
+
+	backend, err := machine.ParseBackend(*backendName)
+	if err != nil {
+		fmt.Fprintf(stderr, "tpal-serve: %v\n", err)
 		return exitUsage
 	}
 
@@ -91,6 +99,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		MaxTimeout:     *maxTimeout,
 
 		DisableOptimizer: *noOpt,
+		Backend:          backend,
 	})
 
 	srv := &http.Server{

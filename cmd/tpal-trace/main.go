@@ -39,9 +39,11 @@ import (
 	"tpal/internal/bench"
 	"tpal/internal/heartbeat"
 	"tpal/internal/interrupt"
+	"tpal/internal/minipar"
 	"tpal/internal/tpal"
 	"tpal/internal/tpal/analysis"
 	"tpal/internal/tpal/machine"
+	"tpal/internal/tpal/machine/compile"
 	"tpal/internal/tpal/opt"
 	"tpal/internal/tpal/programs"
 	"tpal/internal/trace"
@@ -280,15 +282,28 @@ type benchRTDoc struct {
 		Reps      int     `json:"reps"`
 		Mechanism string  `json:"mechanism"`
 	} `json:"config"`
-	Benchmarks   []rtResult `json:"benchmarks"`
-	CorpusGaps   []gapCheck `json:"corpus_gap_check"`
-	OptDeltas    []optCheck `json:"optimizer_delta"`
-	OverheadGate struct {
+	Benchmarks []rtResult `json:"benchmarks"`
+	// MachineBackend is the interp-vs-compiled wall comparison over the
+	// abstract-machine kernels, with the interpreted and compiled walls
+	// as separate fields per row (sanitizer off and on).
+	MachineBackend []backendRow `json:"machine_backend"`
+	CorpusGaps     []gapCheck   `json:"corpus_gap_check"`
+	OptDeltas      []optCheck   `json:"optimizer_delta"`
+	OverheadGate   struct {
 		Benchmark string  `json:"benchmark"`
 		Limit     float64 `json:"limit"`
 		Delta     float64 `json:"delta"`
 		Pass      bool    `json:"pass"`
 	} `json:"overhead_gate"`
+	// BackendGate enforces the dispatch contract: the compiled backend's
+	// speedup on the plus-reduce-array machine kernel (sanitizer off)
+	// must meet the floor.
+	BackendGate struct {
+		Benchmark string  `json:"benchmark"`
+		Floor     float64 `json:"floor"`
+		Speedup   float64 `json:"speedup"`
+		Pass      bool    `json:"pass"`
+	} `json:"backend_gate"`
 }
 
 // optCheck is one corpus program's certified-optimizer delta: the same
@@ -342,12 +357,163 @@ func checkOpt(c corpusEntry, hb int64) (optCheck, error) {
 // the suite (a one-addition loop body maximizes per-event visibility).
 const overheadLimit = 0.05
 
+// backendSpeedupFloor is the dispatch gate: the closure-threaded
+// backend must run the plus-reduce-array machine kernel at least this
+// many times faster than the interpreter (sanitizer off), or bench-rt
+// fails. The kernel is the finest-grained machine program in the
+// suite, so it isolates dispatch cost the way plus-reduce-array
+// isolates tracer cost.
+const backendSpeedupFloor = 3.0
+
+// plusReduceMP is the plus-reduce-array kernel as a minipar reduction
+// loop: the machine-level analogue of the native benchmark, one
+// addition per iteration through the parfor promotion machinery.
+const plusReduceMP = `params n
+var total = 0
+parfor i in 0 .. n reduce(total, +) {
+    total = total + i
+}
+return total
+`
+
+// backendRow is one machine kernel's interp-vs-compiled measurement in
+// BENCH_rt.json. The two backends are observably identical (the
+// equivalence suite holds them to the same results, faults, and
+// stats), so Steps is a single column; the walls are where they
+// differ. The race columns rerun the same configuration with the
+// determinacy-race sanitizer on — the canonical serve admission mode —
+// where shadow-memory cost dilutes the dispatch win.
+type backendRow struct {
+	Name          string  `json:"name"`
+	Steps         int64   `json:"steps"`
+	ChecksHoisted int     `json:"checks_hoisted"`
+
+	WallInterpNS   int64   `json:"wall_interp_ns"`
+	WallCompiledNS int64   `json:"wall_compiled_ns"`
+	Speedup        float64 `json:"speedup"` // interp wall / compiled wall
+
+	WallInterpRaceNS   int64   `json:"wall_interp_race_ns"`
+	WallCompiledRaceNS int64   `json:"wall_compiled_race_ns"`
+	SpeedupRace        float64 `json:"speedup_race"`
+}
+
+// machineKernels are the abstract-machine programs measured on both
+// backends: the plus-reduce-array reduction kernel compiled from
+// minipar plus the paper corpus at argument sizes that make dispatch,
+// not startup, the measured quantity.
+func machineKernels(scale float64) ([]corpusEntry, error) {
+	mp, err := minipar.Parse(plusReduceMP)
+	if err != nil {
+		return nil, fmt.Errorf("plus-reduce-array kernel: %w", err)
+	}
+	prog, err := minipar.Compile(mp)
+	if err != nil {
+		return nil, fmt.Errorf("plus-reduce-array kernel: %w", err)
+	}
+	scaled := func(n int64) int64 {
+		n = int64(float64(n) * scale)
+		if n < 16 {
+			n = 16
+		}
+		return n
+	}
+	return []corpusEntry{
+		{"plus-reduce-array", prog, machine.RegFile{"n": machine.IntV(scaled(60_000))}},
+		{"prod", programs.Prod(), machine.RegFile{"a": machine.IntV(scaled(20_000)), "b": machine.IntV(3)}},
+		{"pow", programs.Pow(), machine.RegFile{"d": machine.IntV(1), "e": machine.IntV(scaled(20_000))}},
+		{"fib", programs.Fib(), machine.RegFile{"n": machine.IntV(18)}},
+	}, nil
+}
+
+// measureBackends times one kernel on the interpreter and the compiled
+// backend (min of reps), sanitizer off and on, cross-checking that the
+// two backends agree on the step count every run.
+func measureBackends(c corpusEntry, reps int) (backendRow, error) {
+	entry := make([]tpal.Reg, 0, len(c.regs))
+	for r := range c.regs {
+		entry = append(entry, r)
+	}
+	report := analysis.Analyze(c.prog, analysis.Options{EntryRegs: entry})
+	opts := compile.Options{}
+	if !analysis.HasErrors(report.Diags) {
+		opts.Report = report
+	}
+	cp, err := compile.Compile(c.prog, opts)
+	if err != nil {
+		return backendRow{}, fmt.Errorf("%s: compile: %w", c.name, err)
+	}
+	row := backendRow{Name: c.name, ChecksHoisted: cp.Hoisted()}
+
+	measure := func(race bool) (interpWall, compiledWall time.Duration, steps int64, err error) {
+		cfg := machine.Config{Heartbeat: 100, RaceDetect: race, SkipVerify: true}
+		for r := 0; r < reps+1; r++ { // first lap is an untimed warm-up
+			icfg := cfg
+			icfg.Regs = c.regs.Clone()
+			start := time.Now()
+			ires, ierr := machine.Run(c.prog, icfg)
+			iw := time.Since(start)
+
+			ccfg := cfg
+			ccfg.Regs = c.regs.Clone()
+			start = time.Now()
+			cres, cerr := cp.Run(ccfg)
+			cw := time.Since(start)
+
+			if ierr != nil || cerr != nil {
+				return 0, 0, 0, fmt.Errorf("%s: interp=%v compiled=%v", c.name, ierr, cerr)
+			}
+			if ires.Stats.Steps != cres.Stats.Steps {
+				return 0, 0, 0, fmt.Errorf("%s: step divergence: interp=%d compiled=%d",
+					c.name, ires.Stats.Steps, cres.Stats.Steps)
+			}
+			if r == 0 {
+				continue
+			}
+			if interpWall == 0 || iw < interpWall {
+				interpWall = iw
+			}
+			if compiledWall == 0 || cw < compiledWall {
+				compiledWall = cw
+			}
+			steps = ires.Stats.Steps
+		}
+		return interpWall, compiledWall, steps, nil
+	}
+
+	iw, cw, steps, err := measure(false)
+	if err != nil {
+		return backendRow{}, err
+	}
+	row.Steps = steps
+	row.WallInterpNS = iw.Nanoseconds()
+	row.WallCompiledNS = cw.Nanoseconds()
+	if cw > 0 {
+		row.Speedup = float64(iw) / float64(cw)
+	}
+
+	iw, cw, _, err = measure(true)
+	if err != nil {
+		return backendRow{}, err
+	}
+	row.WallInterpRaceNS = iw.Nanoseconds()
+	row.WallCompiledRaceNS = cw.Nanoseconds()
+	if cw > 0 {
+		row.SpeedupRace = float64(iw) / float64(cw)
+	}
+	return row, nil
+}
+
 // rtBenchmarks are the canonical baseline benchmarks: the finest-
 // grained loop (every overhead maximally visible), an irregular
-// nested loop (spmv's per-row work varies by structure), a dense
-// phase-barriered loop nest (floyd-warshall), and the mixed
-// recursive/iterative sort.
-var rtBenchmarks = []string{"plus-reduce-array", "spmv-random", "floyd-warshall-1K", "mergesort-uniform"}
+// nested loop (spmv's per-row work varies by structure), the skewed
+// spmv variant (powerlaw's giant rows stress promotion under load
+// imbalance), a dense phase-barriered loop nest (floyd-warshall), and
+// the sort under both input distributions (exponential pre-sorted-ness
+// shifts the recursion shape).
+var rtBenchmarks = []string{
+	"plus-reduce-array", "spmv-random", "spmv-powerlaw",
+	"floyd-warshall-1K", "mergesort-uniform", "mergesort-exp",
+}
 
 // measureRT measures one benchmark: min-of-reps wall with the tracer
 // disabled (nil) and enabled, keeping the enabled run's drained trace
@@ -462,6 +628,29 @@ func runBenchRT(out io.Writer, outPath string, workers int, scale float64, reps,
 		doc.Benchmarks = append(doc.Benchmarks, res)
 	}
 
+	kernels, err := machineKernels(scale)
+	if err != nil {
+		fmt.Fprintln(out, err)
+		return 1
+	}
+	for _, c := range kernels {
+		fmt.Fprintf(out, "measuring machine backend on %s (%d reps)...\n", c.name, reps)
+		row, err := measureBackends(c, reps)
+		if err != nil {
+			fmt.Fprintln(out, err)
+			return 1
+		}
+		fmt.Fprintf(out, "  %d steps: interp %v, compiled %v (%.2fx); with sanitizer %v vs %v (%.2fx); %d checks hoisted\n",
+			row.Steps,
+			time.Duration(row.WallInterpNS).Round(time.Microsecond),
+			time.Duration(row.WallCompiledNS).Round(time.Microsecond),
+			row.Speedup,
+			time.Duration(row.WallInterpRaceNS).Round(time.Microsecond),
+			time.Duration(row.WallCompiledRaceNS).Round(time.Microsecond),
+			row.SpeedupRace, row.ChecksHoisted)
+		doc.MachineBackend = append(doc.MachineBackend, row)
+	}
+
 	gapsOK := true
 	for _, c := range corpus() {
 		g, _, err := checkGap(c, 8, capacity)
@@ -493,6 +682,11 @@ func runBenchRT(out io.Writer, outPath string, workers int, scale float64, reps,
 	doc.OverheadGate.Delta = doc.Benchmarks[0].TracerDelta
 	doc.OverheadGate.Pass = doc.Benchmarks[0].TracerDelta <= overheadLimit
 
+	doc.BackendGate.Benchmark = doc.MachineBackend[0].Name
+	doc.BackendGate.Floor = backendSpeedupFloor
+	doc.BackendGate.Speedup = doc.MachineBackend[0].Speedup
+	doc.BackendGate.Pass = doc.BackendGate.Speedup >= backendSpeedupFloor
+
 	data, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {
 		fmt.Fprintln(out, err)
@@ -513,8 +707,13 @@ func runBenchRT(out io.Writer, outPath string, workers int, scale float64, reps,
 		fmt.Fprintln(out, "FAIL: an observed promotion gap exceeds its static bound")
 		return 1
 	}
-	fmt.Fprintf(out, "PASS: tracer delta %+.2f%% within %.0f%%; all observed gaps respect their static bounds\n",
-		doc.OverheadGate.Delta*100, overheadLimit*100)
+	if !doc.BackendGate.Pass {
+		fmt.Fprintf(out, "FAIL: compiled-backend speedup %.2fx on %s is below the %.1fx floor\n",
+			doc.BackendGate.Speedup, doc.BackendGate.Benchmark, backendSpeedupFloor)
+		return 1
+	}
+	fmt.Fprintf(out, "PASS: tracer delta %+.2f%% within %.0f%%; compiled backend %.2fx on %s; all observed gaps respect their static bounds\n",
+		doc.OverheadGate.Delta*100, overheadLimit*100, doc.BackendGate.Speedup, doc.BackendGate.Benchmark)
 	return 0
 }
 

@@ -76,6 +76,22 @@ func TestBenchRTWritesBaseline(t *testing.T) {
 	if doc.OverheadGate.Benchmark != "plus-reduce-array" || doc.OverheadGate.Limit != overheadLimit {
 		t.Fatalf("overhead gate misconfigured: %+v", doc.OverheadGate)
 	}
+	if len(doc.MachineBackend) == 0 {
+		t.Fatal("baseline has no machine-backend rows")
+	}
+	for _, r := range doc.MachineBackend {
+		if r.Steps == 0 || r.WallInterpNS == 0 || r.WallCompiledNS == 0 {
+			t.Errorf("%s: incomplete backend row: %+v", r.Name, r)
+		}
+		if r.WallInterpRaceNS == 0 || r.WallCompiledRaceNS == 0 {
+			t.Errorf("%s: missing sanitizer walls: %+v", r.Name, r)
+		}
+	}
+	// At toy scale the speedup value is noise, but the gate must be
+	// wired to the first kernel row with the contractual floor.
+	if doc.BackendGate.Benchmark != doc.MachineBackend[0].Name || doc.BackendGate.Floor != backendSpeedupFloor {
+		t.Fatalf("backend gate misconfigured: %+v", doc.BackendGate)
+	}
 }
 
 func TestNoModeIsUsageError(t *testing.T) {

@@ -10,6 +10,7 @@ import (
 	"tpal/internal/tpal"
 	"tpal/internal/tpal/analysis"
 	"tpal/internal/tpal/asm"
+	"tpal/internal/tpal/machine/compile"
 	"tpal/internal/tpal/opt"
 )
 
@@ -173,6 +174,45 @@ func (s *Service) admit(p *tpal.Program, entry []tpal.Reg) *admission {
 	s.analysisCache[key] = a
 	s.mu.Unlock()
 	return a
+}
+
+// compiledFor returns the closure-threaded form of the program the
+// pool will execute, memoized beside the analysis cache under the same
+// admission key. On a miss it re-analyzes the program being lowered —
+// which may be the optimizer's rewrite, whose diagnostics differ from
+// the submitted form's admission report — so the lowering hoists
+// exactly the metafunction checks provable for the code that runs.
+// A lowering failure falls back to the interpreter (nil).
+func (s *Service) compiledFor(key string, p *tpal.Program, entry []tpal.Reg) *compile.Program {
+	s.mu.Lock()
+	if cp, ok := s.compiledCache[key]; ok {
+		s.metrics.CompileCacheHits++
+		s.mu.Unlock()
+		return cp
+	}
+	s.mu.Unlock()
+
+	report := analysis.Analyze(p, analysis.Options{EntryRegs: entry})
+	opts := compile.Options{}
+	if !analysis.HasErrors(report.Diags) {
+		opts.Report = report
+	}
+	cp, err := compile.Compile(p, opts)
+	if err != nil {
+		return nil
+	}
+
+	s.mu.Lock()
+	if prev, ok := s.compiledCache[key]; ok { // lost a concurrent-compile race
+		s.metrics.CompileCacheHits++
+		s.mu.Unlock()
+		return prev
+	}
+	s.compiledCache[key] = cp
+	s.metrics.Compiles++
+	s.metrics.ChecksHoisted += int64(cp.Hoisted())
+	s.mu.Unlock()
+	return cp
 }
 
 // quote converts the symbolic work/span estimate into a step budget:

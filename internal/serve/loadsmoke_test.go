@@ -10,20 +10,13 @@ import (
 	"time"
 
 	"tpal/internal/stats"
+	"tpal/internal/tpal/machine"
 	"tpal/internal/tpal/programs"
 )
 
-// benchServe is the schema of BENCH_serve.json: a smoke-level load
-// result for the service, comparable across commits. RaceDetector
-// records the measurement mode: the file is only ever written from a
-// `-race` build (`make serve-test`), so the numbers stay comparable.
-type benchServe struct {
-	Submissions    int     `json:"submissions"`
-	Completed      int64   `json:"completed"`
+// benchServeRun is one backend's load result inside BENCH_serve.json.
+type benchServeRun struct {
 	Throttled      int64   `json:"throttled"`
-	RaceDetector   bool    `json:"race_detector"`
-	Workers        int     `json:"workers"`
-	QueueCap       int     `json:"queue_cap"`
 	WallMS         float64 `json:"wall_ms"`
 	ThroughputJobS float64 `json:"throughput_jobs_per_sec"`
 	SubmitP50US    float64 `json:"submit_p50_us"`
@@ -31,26 +24,44 @@ type benchServe struct {
 	TurnP50MS      float64 `json:"turnaround_p50_ms"`
 	TurnP99MS      float64 `json:"turnaround_p99_ms"`
 	ResultHits     int64   `json:"result_cache_hits"`
+	Compiles       int64   `json:"compiles,omitempty"`
+	CompileHits    int64   `json:"compile_cache_hits,omitempty"`
+	CompiledRuns   int64   `json:"compiled_runs,omitempty"`
 }
 
-// TestLoadSmoke pushes >=200 concurrent submissions from many tenants
-// through a deliberately small queue and records throughput and
-// latency percentiles in BENCH_serve.json at the repo root. Throttled
-// submissions retry, so every job eventually lands: the test asserts
-// full completion, which exercises backpressure, DRR fairness, and the
-// result cache together under load. BENCH_serve.json is only written
-// when the race detector is on (`make serve-test`), so numbers stay
-// comparable across commits; plain `go test` runs still drive the load
-// but leave the file alone.
-func TestLoadSmoke(t *testing.T) {
-	const (
-		submissions = 240
-		tenants     = 8
-	)
+// benchServe is the schema of BENCH_serve.json: a smoke-level load
+// result for the service on each execution backend, comparable across
+// commits. RaceDetector records the measurement mode: the file is only
+// ever written from a `-race` build (`make serve-test`), so the
+// numbers stay comparable.
+type benchServe struct {
+	Submissions  int           `json:"submissions"`
+	RaceDetector bool          `json:"race_detector"`
+	Workers      int           `json:"workers"`
+	QueueCap     int           `json:"queue_cap"`
+	Interp       benchServeRun `json:"interp"`
+	Compiled     benchServeRun `json:"compiled"`
+}
+
+const (
+	smokeSubmissions = 240
+	smokeWorkers     = 4
+	smokeQueueCap    = 16 // small on purpose: the burst must hit backpressure
+)
+
+// driveLoad pushes smokeSubmissions concurrent submissions from many
+// tenants through a deliberately small queue on the given backend and
+// returns throughput and latency percentiles. Throttled submissions
+// retry, so every job eventually lands: full completion is asserted,
+// which exercises backpressure, DRR fairness, and the result cache
+// together under load.
+func driveLoad(t *testing.T, backend machine.Backend) benchServeRun {
+	t.Helper()
 	s := newTestService(t, Config{
-		Workers:    4,
-		QueueCap:   16, // small on purpose: the burst must hit backpressure
+		Workers:    smokeWorkers,
+		QueueCap:   smokeQueueCap,
 		TripAssume: 64,
+		Backend:    backend,
 	})
 
 	tenantNames := []string{"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"}
@@ -66,14 +77,14 @@ func TestLoadSmoke(t *testing.T) {
 
 	start := time.Now()
 	var wg sync.WaitGroup
-	for i := 0; i < submissions; i++ {
+	for i := 0; i < smokeSubmissions; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			// A spread of argument values keeps most submissions distinct
 			// while leaving enough repeats for the result cache to matter.
 			req := SubmitRequest{
-				Tenant: tenantNames[i%tenants],
+				Tenant: tenantNames[i%len(tenantNames)],
 				Source: programs.ProdSource,
 				Args:   map[string]int64{"a": int64(i%40 + 1), "b": 3},
 			}
@@ -119,33 +130,51 @@ func TestLoadSmoke(t *testing.T) {
 	wall := time.Since(start)
 
 	if n := otherErrors.Load(); n > 0 {
-		t.Fatalf("%d submissions failed with unexpected errors", n)
+		t.Fatalf("%s: %d submissions failed with unexpected errors", backend, n)
 	}
 	if n := failedJobs.Load(); n > 0 {
-		t.Fatalf("%d jobs did not complete successfully", n)
+		t.Fatalf("%s: %d jobs did not complete successfully", backend, n)
 	}
-	if got := completed.Load(); got != submissions {
-		t.Fatalf("completed %d of %d submissions", got, submissions)
+	if got := completed.Load(); got != smokeSubmissions {
+		t.Fatalf("%s: completed %d of %d submissions", backend, got, smokeSubmissions)
 	}
 
 	snap := s.Snapshot()
-	report := benchServe{
-		Submissions:    submissions,
-		Completed:      completed.Load(),
+	run := benchServeRun{
 		Throttled:      snap.Throttled,
-		RaceDetector:   raceDetectorOn,
-		Workers:        4,
-		QueueCap:       16,
 		WallMS:         float64(wall.Microseconds()) / 1000,
-		ThroughputJobS: float64(submissions) / wall.Seconds(),
+		ThroughputJobS: float64(smokeSubmissions) / wall.Seconds(),
 		SubmitP50US:    stats.Percentile(submitUS, 50),
 		SubmitP99US:    stats.Percentile(submitUS, 99),
 		TurnP50MS:      stats.Percentile(turnMS, 50),
 		TurnP99MS:      stats.Percentile(turnMS, 99),
 		ResultHits:     snap.ResultHits,
+		Compiles:       snap.Compiles,
+		CompileHits:    snap.CompileCacheHits,
+		CompiledRuns:   snap.CompiledRuns,
 	}
-	t.Logf("load smoke: %d jobs in %v (%.0f jobs/s, %d throttled, %d cache hits)",
-		submissions, wall.Round(time.Millisecond), report.ThroughputJobS, snap.Throttled, snap.ResultHits)
+	t.Logf("load smoke (%s): %d jobs in %v (%.0f jobs/s, %d throttled, %d cache hits)",
+		backend, smokeSubmissions, wall.Round(time.Millisecond), run.ThroughputJobS, snap.Throttled, snap.ResultHits)
+	return run
+}
+
+// TestLoadSmoke drives the burst on both execution backends and records
+// each backend's walls as separate fields in BENCH_serve.json at the
+// repo root. The file is only written when the race detector is on
+// (`make serve-test`), so numbers stay comparable across commits; plain
+// `go test` runs still drive the load but leave the file alone.
+func TestLoadSmoke(t *testing.T) {
+	interp := driveLoad(t, machine.BackendInterp)
+	compiled := driveLoad(t, machine.BackendCompiled)
+
+	// The compiled service must have lowered the one distinct program
+	// fingerprint exactly once and run every cache-missed job on it.
+	if compiled.Compiles != 1 {
+		t.Errorf("compiled smoke: Compiles = %d, want 1", compiled.Compiles)
+	}
+	if compiled.CompiledRuns == 0 {
+		t.Error("compiled smoke: no jobs executed on the compiled backend")
+	}
 
 	// BENCH_serve.json exists to be compared across commits, so it is
 	// only ever written from the canonical measurement mode: a `-race`
@@ -160,10 +189,19 @@ func TestLoadSmoke(t *testing.T) {
 	// In the canonical mode the burst must actually hit the queue cap,
 	// or the recorded run never exercised backpressure or DRR fairness
 	// and its numbers are meaningless as a load benchmark.
-	if snap.Throttled == 0 {
-		t.Fatalf("burst never hit the queue cap: shrink QueueCap or grow the burst so the benchmark exercises backpressure")
+	if interp.Throttled == 0 || compiled.Throttled == 0 {
+		t.Fatalf("burst never hit the queue cap (interp %d, compiled %d throttled): shrink QueueCap or grow the burst so the benchmark exercises backpressure",
+			interp.Throttled, compiled.Throttled)
 	}
 
+	report := benchServe{
+		Submissions:  smokeSubmissions,
+		RaceDetector: raceDetectorOn,
+		Workers:      smokeWorkers,
+		QueueCap:     smokeQueueCap,
+		Interp:       interp,
+		Compiled:     compiled,
+	}
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		t.Fatalf("marshal report: %v", err)

@@ -26,6 +26,7 @@ import (
 
 	"tpal/internal/tpal"
 	"tpal/internal/tpal/machine"
+	"tpal/internal/tpal/machine/compile"
 	"tpal/internal/trace"
 )
 
@@ -91,6 +92,14 @@ type Config struct {
 	// and every static bound are preserved or improved, so the only
 	// observable differences are smaller quotes and fewer steps.
 	DisableOptimizer bool
+	// Backend selects the execution engine for admitted jobs: the
+	// interpreter (default) or the closure-threaded compiled backend.
+	// Compiled programs are cached per admission key beside the analysis
+	// cache, so steady-state submissions pay no lowering cost. The two
+	// backends are observably identical (same results, faults, stats);
+	// the compiled one just dispatches pre-lowered closures instead of
+	// re-decoding instructions every step.
+	Backend machine.Backend
 }
 
 func (c Config) withDefaults() Config {
@@ -188,6 +197,7 @@ type Service struct {
 
 	analysisCache map[string]*admission
 	resultCache   map[string]*cachedResult
+	compiledCache map[string]*compile.Program
 	metrics       *Metrics
 
 	baseCtx    context.Context
@@ -217,6 +227,7 @@ func New(cfg Config) *Service {
 		inflight:      make(map[string]*Job),
 		analysisCache: make(map[string]*admission),
 		resultCache:   make(map[string]*cachedResult),
+		compiledCache: make(map[string]*compile.Program),
 		metrics:       newMetrics(),
 		started:       time.Now(),
 	}
@@ -287,6 +298,10 @@ func (s *Service) Submit(req SubmitRequest) (*Job, error) {
 	if adm.optimized != nil {
 		prog = adm.optimized
 	}
+	var compiled *compile.Program
+	if !adm.rejected && s.cfg.Backend == machine.BackendCompiled {
+		compiled = s.compiledFor(admitKey(adm.fingerprint, entry), prog, entry)
+	}
 
 	tenant := req.Tenant
 	if tenant == "" {
@@ -317,6 +332,7 @@ func (s *Service) Submit(req SubmitRequest) (*Job, error) {
 		Autopar:     autoRep,
 		Submitted:   now,
 		prog:        prog,
+		compiled:    compiled,
 		regs:        regs,
 		heartbeat:   heartbeat,
 		signal:      s.cfg.SignalPeriod,
@@ -426,7 +442,7 @@ func (s *Service) execute(j *Job) {
 
 	// Admission already ran the full pipeline (and cached it), so the
 	// machine's own load-time verification pass is skipped.
-	res, err := machine.Run(j.prog, machine.Config{
+	runCfg := machine.Config{
 		Heartbeat:    j.heartbeat,
 		SignalPeriod: j.signal,
 		Fuel:         j.Quote.Budget,
@@ -435,7 +451,14 @@ func (s *Service) execute(j *Job) {
 		Regs:         j.regs,
 		SkipVerify:   true,
 		Tracer:       tracer,
-	})
+	}
+	var res machine.Result
+	var err error
+	if j.compiled != nil {
+		res, err = j.compiled.Run(runCfg)
+	} else {
+		res, err = machine.Run(j.prog, runCfg)
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -443,6 +466,9 @@ func (s *Service) execute(j *Job) {
 	execNanos := j.Finished.Sub(j.Started).Nanoseconds()
 	s.metrics.exec.add(float64(execNanos) / float64(time.Millisecond))
 	s.metrics.ExecNanos += execNanos
+	if j.compiled != nil {
+		s.metrics.CompiledRuns++
+	}
 	delete(s.inflight, j.ID)
 	j.cancel = nil
 	if tracer != nil {

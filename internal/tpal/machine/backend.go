@@ -1,0 +1,88 @@
+package machine
+
+import (
+	"fmt"
+
+	"tpal/internal/tpal"
+)
+
+// Backend selects which execution engine runs the program.
+type Backend uint8
+
+const (
+	// BackendInterp is the reference interpreter in this package: one
+	// switch dispatch per decoded instruction. It is the differential
+	// oracle every other backend is checked against.
+	BackendInterp Backend = iota
+	// BackendCompiled is the closure-threaded backend in
+	// machine/compile: blocks pre-lowered to chains of Go closures with
+	// registers in a flat array and branch targets resolved to closure
+	// pointers at compile time. Behaviorally identical to the
+	// interpreter (results, faults, Stats, traces, race verdicts) by
+	// contract.
+	BackendCompiled
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendInterp:
+		return "interp"
+	case BackendCompiled:
+		return "compiled"
+	}
+	return fmt.Sprintf("backend(%d)", uint8(b))
+}
+
+// ParseBackend maps a CLI/API spelling to a Backend.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "interp", "":
+		return BackendInterp, nil
+	case "compiled":
+		return BackendCompiled, nil
+	}
+	return 0, fmt.Errorf("unknown backend %q (want interp or compiled)", s)
+}
+
+// compiledRunner is installed by machine/compile's init. The
+// registration hook keeps the dependency one-way (compile imports
+// machine, never the reverse) while letting Run dispatch on
+// Config.Backend.
+var compiledRunner func(prog *tpal.Program, cfg Config) (Result, error)
+
+// RegisterCompiledBackend installs the compiled backend's entry point.
+// Called from machine/compile's init; exported so the seam stays
+// testable.
+func RegisterCompiledBackend(run func(prog *tpal.Program, cfg Config) (Result, error)) {
+	compiledRunner = run
+}
+
+// RunBackend executes the program on the backend cfg.Backend selects.
+// With BackendInterp (the zero value) it is machine.Run; with
+// BackendCompiled it dispatches to machine/compile, which must be
+// linked in (blank-import it or use a surface that does).
+func RunBackend(prog *tpal.Program, cfg Config) (Result, error) {
+	switch cfg.Backend {
+	case BackendInterp:
+		return Run(prog, cfg)
+	case BackendCompiled:
+		if compiledRunner == nil {
+			return Result{}, fmt.Errorf("%w: compiled backend not linked in (import tpal/internal/tpal/machine/compile)", ErrMachine)
+		}
+		return compiledRunner(prog, cfg)
+	}
+	return Result{}, fmt.Errorf("%w: unknown backend %d", ErrMachine, cfg.Backend)
+}
+
+// NewJoinRecord allocates a join record for a non-interpreter backend;
+// id is the backend's jralloc sequence number and cont the jtppt
+// continuation label.
+func NewJoinRecord(id int, cont tpal.Label) *JoinRecord {
+	return &JoinRecord{id: id, Cont: cont}
+}
+
+// AddEdge registers one unresolved fork edge on the record.
+func (j *JoinRecord) AddEdge() { j.edges++ }
+
+// DropEdge unregisters a resolved fork edge.
+func (j *JoinRecord) DropEdge() { j.edges-- }

@@ -1,0 +1,99 @@
+package machine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/machine"
+	"tpal/internal/tpal/machine/compile"
+	"tpal/internal/tpal/programs"
+)
+
+// BenchmarkDispatch measures per-instruction dispatch cost on both
+// backends across the corpus, in several machine configurations:
+//
+//   serial     — no heartbeat, single task, pure dispatch loop
+//   heartbeat  — hb=30, promotion checks and forks on the hot path
+//   race       — hb=30 with the vector-clock sanitizer shadowing memory
+//
+// Each sub-benchmark reports ns/step (amortized per machine
+// transition) so the interp/compiled columns are directly comparable;
+// the compiled rows exist to keep the ≥3x dispatch win honest.
+func BenchmarkDispatch(b *testing.B) {
+	cases := []struct {
+		name string
+		prog *tpal.Program
+		regs machine.RegFile
+	}{
+		{"prod", programs.Prod(), machine.RegFile{"a": machine.IntV(200), "b": machine.IntV(3)}},
+		{"pow", programs.Pow(), machine.RegFile{"d": machine.IntV(1), "e": machine.IntV(200)}},
+		{"fib", programs.Fib(), machine.RegFile{"n": machine.IntV(15)}},
+	}
+	modes := []struct {
+		name string
+		cfg  machine.Config
+	}{
+		{"serial", machine.Config{}},
+		{"heartbeat", machine.Config{Heartbeat: 30}},
+		{"race", machine.Config{Heartbeat: 30, RaceDetect: true}},
+	}
+	for _, c := range cases {
+		// Pre-compile once: the serve/run surfaces compile per program
+		// fingerprint, so compilation cost is off the steady-state path.
+		cp, err := compile.Compile(c.prog, compile.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range modes {
+			cfg := m.cfg
+			cfg.SkipVerify = true
+			run := func(compiled bool) (machine.Stats, error) {
+				rc := cfg
+				rc.Regs = c.regs.Clone()
+				if compiled {
+					res, err := cp.Run(rc)
+					return res.Stats, err
+				}
+				res, err := machine.Run(c.prog, rc)
+				return res.Stats, err
+			}
+			for _, backend := range []string{"interp", "compiled"} {
+				b.Run(fmt.Sprintf("%s/%s/%s", c.name, m.name, backend), func(b *testing.B) {
+					var steps int64
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						st, err := run(backend == "compiled")
+						if err != nil {
+							b.Fatal(err)
+						}
+						steps += st.Steps
+					}
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(steps), "ns/step")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkCompile measures the one-time lowering cost per program,
+// the price the serve cache pays on a compiled-cache miss.
+func BenchmarkCompile(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		prog *tpal.Program
+	}{
+		{"prod", programs.Prod()},
+		{"pow", programs.Pow()},
+		{"fib", programs.Fib()},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := compile.Compile(c.prog, compile.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,486 @@
+package compile
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"tpal/internal/tpal"
+	"tpal/internal/tpal/machine"
+	"tpal/internal/trace"
+)
+
+// ctask is one concurrent task of the compiled backend: the
+// interpreter's Task with the map register file replaced by a flat
+// slot array plus a written bitmap. The bitmap reproduces the
+// interpreter's map key-presence exactly — a register explicitly set
+// to nil is present in the interpreter's final file, an untouched one
+// is absent — so Result.Regs is byte-identical across backends.
+type ctask struct {
+	id      int
+	block   *cblock
+	off     int
+	cycles  int64
+	regs    []machine.Value
+	written []bool
+	edge    *cedge
+	side    uint8
+	gone    bool // removed from the schedule (see alive)
+	span    int64
+
+	sincePrppt    int64
+	sinceSignal   int64
+	pendingSignal bool
+
+	clock machine.Clock
+	trips map[tpal.Label]int64
+}
+
+// cedge mirrors the interpreter's joinEdge for the flat representation.
+type cedge struct {
+	rec    *machine.JoinRecord
+	up     *cedge
+	upSide uint8
+	node   *machine.ForkNode
+
+	arrived        bool
+	stashedRegs    []machine.Value
+	stashedWritten []bool
+	stashedSide    uint8
+	stashedSpan    int64
+	stashedClock   machine.Clock
+}
+
+// exec is one run of a compiled program; it mirrors Machine field for
+// field so every Stats counter, schedule decision, and budget check
+// lands on the same step.
+type exec struct {
+	p   *Program
+	cfg machine.Config
+
+	tasks    []*ctask
+	round    []*ctask // reusable Lockstep round snapshot
+	nextTask int
+	nextJoin int
+	rng      *rand.Rand
+	race     *machine.Sanitizer
+
+	halted bool
+	final  *ctask
+	stats  machine.Stats
+	// extras holds entry registers the program text never names: they
+	// have no compiled slot, are immutable during the run (no slot
+	// means no instruction can touch them), and merge into the final
+	// register file at halt.
+	extras machine.RegFile
+}
+
+func (p *Program) exec(cfg machine.Config) (machine.Result, error) {
+	if cfg.Tau == 0 {
+		cfg.Tau = 1
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 100_000_000
+	}
+	x := &exec{p: p, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	root := &ctask{
+		block:   p.entry,
+		regs:    make([]machine.Value, len(p.regs)),
+		written: make([]bool, len(p.regs)),
+	}
+	for r, v := range cfg.Regs {
+		if s, ok := p.regIdx[r]; ok {
+			root.regs[s] = v
+			root.written[s] = true
+		} else {
+			if x.extras == nil {
+				x.extras = make(machine.RegFile)
+			}
+			x.extras[r] = v
+		}
+	}
+	if cfg.RaceDetect {
+		x.race = machine.NewSanitizer()
+		root.clock = machine.NewClock(root.id)
+	}
+	x.nextTask = 1
+	x.stats.TasksCreated++
+	x.tasks = []*ctask{root}
+	x.stats.MaxLiveTasks = 1
+	x.traceTask(root, machine.TraceTaskStart)
+	return x.run()
+}
+
+// run is machine.Run with the dispatch swapped: same budget cadence,
+// same schedule decisions (including the RNG call sequence, so a seed
+// yields the identical interleaving on both backends), same error
+// texts.
+func (x *exec) run() (machine.Result, error) {
+	for !x.halted && len(x.tasks) > 0 {
+		if err := x.checkBudget(); err != nil {
+			return machine.Result{}, err
+		}
+		var err error
+		switch x.cfg.Schedule {
+		case machine.Lockstep:
+			round := append(x.round[:0], x.tasks...)
+			x.round = round
+			for i, t := range round {
+				if x.halted {
+					break
+				}
+				if !x.alive(t) {
+					continue
+				}
+				if i > 0 {
+					if err = x.checkBudget(); err != nil {
+						return machine.Result{}, err
+					}
+				}
+				if err = x.step(t); err != nil {
+					return machine.Result{}, err
+				}
+			}
+		case machine.RandomOrder:
+			t := x.tasks[x.rng.Intn(len(x.tasks))]
+			err = x.step(t)
+		case machine.DepthFirst:
+			t := x.tasks[len(x.tasks)-1]
+			err = x.step(t)
+		default:
+			return machine.Result{}, fmt.Errorf("%w: unknown schedule policy %d", machine.ErrMachine, x.cfg.Schedule)
+		}
+		if err != nil {
+			return machine.Result{}, err
+		}
+	}
+	if !x.halted {
+		return machine.Result{}, fmt.Errorf("%w: all tasks terminated without executing halt", machine.ErrMachine)
+	}
+	for _, t := range x.tasks {
+		x.foldTrips(t)
+	}
+	return machine.Result{Regs: x.finalRegs(), Stats: x.stats}, nil
+}
+
+// finalRegs rebuilds the halting task's register file as a map: every
+// written slot plus the slot-less extras.
+func (x *exec) finalRegs() machine.RegFile {
+	out := make(machine.RegFile, len(x.extras)+len(x.p.regs))
+	for r, v := range x.extras {
+		out[r] = v
+	}
+	for i, w := range x.final.written {
+		if w {
+			out[x.p.regs[i]] = x.final.regs[i]
+		}
+	}
+	return out
+}
+
+func (x *exec) checkBudget() error {
+	if x.stats.Steps >= x.cfg.MaxSteps {
+		return machine.ErrMaxSteps
+	}
+	if x.cfg.Fuel > 0 && x.stats.Steps >= x.cfg.Fuel {
+		return machine.ErrFuel
+	}
+	if x.cfg.Context != nil && x.stats.Steps&255 == 0 {
+		select {
+		case <-x.cfg.Context.Done():
+			return fmt.Errorf("%w: %w", machine.ErrInterrupted, context.Cause(x.cfg.Context))
+		default:
+		}
+	}
+	if x.cfg.Tracer != nil && x.stats.Steps&255 == 0 {
+		remaining := int64(-1)
+		if x.cfg.Fuel > 0 {
+			remaining = x.cfg.Fuel - x.stats.Steps
+		}
+		x.cfg.Tracer.Record(0, trace.EvFuelCheck, x.stats.Steps, remaining)
+	}
+	return nil
+}
+
+// step is one machine transition: the interpreter's step prologue
+// (heartbeat poll at prppt heads only, trip counting, tracing, cost
+// counters, signal delivery) followed by the threaded dispatch —
+// one indexed closure call instead of decode-and-switch.
+func (x *exec) step(t *ctask) error {
+	x.stats.Steps++
+	b := t.block
+	if t.off == 0 && b.prppt {
+		x.noteGap(t)
+		if (x.cfg.Heartbeat > 0 && t.cycles > x.cfg.Heartbeat) || t.pendingSignal {
+			x.tracePromotion(t)
+			x.stats.HandlerRuns++
+			t.cycles = 0
+			t.pendingSignal = false
+			t.span++
+			x.stats.Work++
+			if b.handler == nil {
+				return x.failf(t, "jump to undefined label %q", b.ann.Handler)
+			}
+			t.block = b.handler
+			t.off = 0
+			return nil
+		}
+	}
+	if x.cfg.CountTrips && t.off == 0 {
+		if t.trips == nil {
+			t.trips = make(map[tpal.Label]int64)
+		}
+		t.trips[b.label]++
+	}
+	if x.cfg.Trace != nil {
+		x.traceStep(t)
+	}
+	t.cycles++
+	t.sincePrppt++
+	t.span++
+	x.stats.Work++
+	if x.cfg.SignalPeriod > 0 {
+		if t.sinceSignal++; t.sinceSignal >= x.cfg.SignalPeriod {
+			t.sinceSignal = 0
+			t.pendingSignal = true
+			x.stats.SignalsDelivered++
+		}
+	}
+	return b.ops[t.off](x, t)
+}
+
+func (x *exec) failf(t *ctask, format string, args ...any) error {
+	loc := fmt.Sprintf("task %d at %s[%d]", t.id, t.block.label, t.off)
+	return fmt.Errorf("%w: %s: %s", machine.ErrMachine, loc, fmt.Sprintf(format, args...))
+}
+
+func (x *exec) binopSlow(t *ctask, op tpal.Op, a, b machine.Value, dst int) error {
+	v, err := machine.EvalBinOp(op, a, b)
+	if err != nil {
+		return x.failf(t, "%v", err)
+	}
+	t.regs[dst] = v
+	t.written[dst] = true
+	t.off++
+	return nil
+}
+
+// access builds the race-sanitizer access record for t's current
+// position.
+func (x *exec) access(t *ctask) machine.Access {
+	var fork *machine.ForkNode
+	if t.edge != nil {
+		fork = t.edge.node
+	}
+	return machine.Access{
+		Task:  t.id,
+		Clock: t.clock,
+		Block: t.block.label,
+		Instr: t.off,
+		Fork:  fork,
+		Side:  t.side,
+	}
+}
+
+func (x *exec) noteGap(t *ctask) {
+	if t.sincePrppt > x.stats.MaxPromotionGap {
+		x.stats.MaxPromotionGap = t.sincePrppt
+	}
+	x.cfg.Tracer.Record(0, trace.EvGap, t.sincePrppt, int64(t.id))
+	t.sincePrppt = 0
+}
+
+func (x *exec) traceStep(t *ctask) {
+	e := machine.TraceEvent{Task: t.id, Cycles: t.cycles, Label: t.block.label, Offset: t.off, Instr: t.block.strs[t.off]}
+	if t.off < t.block.nInstr {
+		e.Kind = machine.TraceInstr
+	} else {
+		e.Kind = machine.TraceTerm
+	}
+	x.cfg.Trace(e)
+}
+
+func (x *exec) tracePromotion(t *ctask) {
+	x.cfg.Tracer.Record(0, trace.EvPromotion, int64(t.id), t.cycles)
+	if x.cfg.Trace == nil {
+		return
+	}
+	x.cfg.Trace(machine.TraceEvent{
+		Task: t.id, Cycles: t.cycles, Label: t.block.label, Offset: t.off,
+		Kind: machine.TracePromotion, Handler: t.block.ann.Handler,
+	})
+}
+
+func (x *exec) traceTask(t *ctask, kind machine.TraceKind) {
+	if kind == machine.TraceTaskStart {
+		x.cfg.Tracer.Record(0, trace.EvTaskStart, int64(t.id), 0)
+	} else if kind == machine.TraceTaskEnd {
+		x.cfg.Tracer.Record(0, trace.EvTaskEnd, int64(t.id), 0)
+	}
+	if x.cfg.Trace == nil {
+		return
+	}
+	x.cfg.Trace(machine.TraceEvent{Task: t.id, Label: t.block.label, Kind: kind})
+}
+
+// alive reports whether t is still scheduled. The interpreter answers
+// this with a linear scan of the task list (quadratic per Lockstep
+// round); here a flag maintained by removeTask gives the same answer
+// in O(1).
+func (x *exec) alive(t *ctask) bool {
+	return !t.gone
+}
+
+func (x *exec) addTask(t *ctask) {
+	x.tasks = append(x.tasks, t)
+	if len(x.tasks) > x.stats.MaxLiveTasks {
+		x.stats.MaxLiveTasks = len(x.tasks)
+	}
+}
+
+func (x *exec) removeTask(t *ctask) {
+	x.foldTrips(t)
+	t.gone = true
+	for i, u := range x.tasks {
+		if u == t {
+			x.tasks = append(x.tasks[:i], x.tasks[i+1:]...)
+			return
+		}
+	}
+}
+
+func (x *exec) foldTrips(t *ctask) {
+	if t.trips == nil {
+		return
+	}
+	if x.stats.TripCounts == nil {
+		x.stats.TripCounts = make(map[tpal.Label]int64)
+	}
+	for l, n := range t.trips {
+		if n > x.stats.TripCounts[l] {
+			x.stats.TripCounts[l] = n
+		}
+	}
+	t.trips = nil
+}
+
+// forkTo is execFork after target resolution: same edge construction,
+// clock updates, cost accounting, and trace calls, in the same order.
+func (x *exec) forkTo(t *ctask, rec *machine.JoinRecord, tb *cblock) error {
+	edge := &cedge{rec: rec, up: t.edge, upSide: t.side}
+	if x.race != nil {
+		var up *machine.ForkNode
+		if t.edge != nil {
+			up = t.edge.node
+		}
+		edge.node = &machine.ForkNode{Up: up, UpSide: t.side, Block: t.block.label, Instr: t.off}
+	}
+	rec.AddEdge()
+	x.stats.Work += x.cfg.Tau
+	base := t.span + x.cfg.Tau
+
+	child := &ctask{
+		id:      x.nextTask,
+		block:   tb,
+		regs:    append([]machine.Value(nil), t.regs...),
+		written: append([]bool(nil), t.written...),
+		edge:    edge,
+		side:    machine.SideChild,
+		span:    base,
+	}
+	x.nextTask++
+	x.stats.TasksCreated++
+	x.stats.Forks++
+	if x.race != nil {
+		child.clock = machine.ForkClock(t.clock, t.id, child.id)
+	}
+	x.addTask(child)
+	x.traceTask(child, machine.TraceTaskStart)
+
+	t.edge, t.side = edge, machine.SideParent
+	t.cycles = 0
+	x.noteGap(t)
+	t.span = base
+	t.off++
+	return nil
+}
+
+func sideName(s uint8) string {
+	if s == machine.SideParent {
+		return "parent"
+	}
+	return "child"
+}
+
+// join is execJoin's three-way behavior on the flat representation.
+func (x *exec) join(t *ctask, rec *machine.JoinRecord) error {
+	x.stats.Joins++
+
+	if t.edge == nil || t.edge.rec != rec {
+		// [join-continue]
+		nb := x.p.blocks[rec.Cont]
+		if nb == nil {
+			return x.failf(t, "jump to undefined label %q", rec.Cont)
+		}
+		t.block = nb
+		t.off = 0
+		return nil
+	}
+
+	edge := t.edge
+	if !edge.arrived {
+		// [join-block]: first arriver stashes and terminates.
+		edge.arrived = true
+		edge.stashedRegs = t.regs
+		edge.stashedWritten = t.written
+		edge.stashedSide = t.side
+		edge.stashedSpan = t.span
+		edge.stashedClock = t.clock
+		x.noteGap(t)
+		x.removeTask(t)
+		x.traceTask(t, machine.TraceTaskEnd)
+		return nil
+	}
+
+	// Second arriver: resolve the edge.
+	if edge.stashedSide == t.side {
+		return x.failf(t, "join edge resolved twice from the %s side", sideName(t.side))
+	}
+	cont := x.p.blocks[rec.Cont]
+	if cont == nil || !cont.jtppt {
+		return x.failf(t, "join continuation %q lacks a jtppt annotation", rec.Cont)
+	}
+	var parentRegs, childRegs []machine.Value
+	var parentW []bool
+	if t.side == machine.SideParent {
+		parentRegs, parentW, childRegs = t.regs, t.written, edge.stashedRegs
+	} else {
+		parentRegs, parentW, childRegs = edge.stashedRegs, edge.stashedWritten, t.regs
+	}
+	mergedR := append([]machine.Value(nil), parentRegs...)
+	mergedW := append([]bool(nil), parentW...)
+	for _, rn := range cont.renames {
+		mergedR[rn.to] = childRegs[rn.from]
+		mergedW[rn.to] = true
+	}
+
+	rec.DropEdge()
+	t.regs, t.written = mergedR, mergedW
+	t.edge = edge.up
+	t.side = edge.upSide
+	if x.race != nil {
+		machine.JoinClock(t.clock, t.id, edge.stashedClock)
+	}
+	t.cycles = 0
+	x.noteGap(t)
+	if edge.stashedSpan > t.span {
+		t.span = edge.stashedSpan
+	}
+	x.stats.TasksCreated++ // the combine continuation counts as a scheduled task
+	if cont.comb == nil {
+		return x.failf(t, "jump to undefined label %q", cont.ann.Comb)
+	}
+	t.block = cont.comb
+	t.off = 0
+	return nil
+}

@@ -1,6 +1,9 @@
 package machine
 
 import (
+	"errors"
+	"fmt"
+
 	"tpal/internal/tpal"
 )
 
@@ -219,18 +222,30 @@ func (m *Machine) ptrReg(t *Task, r tpal.Reg) (Ptr, error) {
 	return v.Ptr, nil
 }
 
-// binop evaluates a primitive operation. Integer arithmetic follows Go's
-// int64 semantics; comparisons produce TPAL truth values (0 = true).
-// Pointer ± integer performs stack-pointer arithmetic: adding moves
-// toward the base (older cells), mirroring a downward-growing stack.
+// binop evaluates a primitive operation in the interpreter, locating any
+// fault at the executing task's position.
 func (m *Machine) binop(t *Task, op tpal.Op, a, b Value) (Value, error) {
+	v, err := EvalBinOp(op, a, b)
+	if err != nil {
+		return Value{}, m.failf(t, "%v", err)
+	}
+	return v, nil
+}
+
+// EvalBinOp evaluates a primitive operation. Integer arithmetic follows
+// Go's int64 semantics; comparisons produce TPAL truth values (0 =
+// true). Pointer ± integer performs stack-pointer arithmetic: adding
+// moves toward the base (older cells), mirroring a downward-growing
+// stack. The function is pure so both execution backends share one
+// definition of operator semantics and fault messages.
+func EvalBinOp(op tpal.Op, a, b Value) (Value, error) {
 	if a.Kind == VPtr || b.Kind == VPtr {
-		return m.ptrArith(t, op, a, b)
+		return evalPtrArith(op, a, b)
 	}
 	x, okA := a.AsInt()
 	y, okB := b.AsInt()
 	if !okA || !okB {
-		return Value{}, m.failf(t, "operator %s applied to %s and %s", op, a, b)
+		return Value{}, fmt.Errorf("operator %s applied to %s and %s", op, a, b)
 	}
 	truth := func(cond bool) Value {
 		if cond {
@@ -247,12 +262,12 @@ func (m *Machine) binop(t *Task, op tpal.Op, a, b Value) (Value, error) {
 		return IntV(x * y), nil
 	case tpal.OpDiv:
 		if y == 0 {
-			return Value{}, m.failf(t, "division by zero")
+			return Value{}, errors.New("division by zero")
 		}
 		return IntV(x / y), nil
 	case tpal.OpMod:
 		if y == 0 {
-			return Value{}, m.failf(t, "modulo by zero")
+			return Value{}, errors.New("modulo by zero")
 		}
 		return IntV(x % y), nil
 	case tpal.OpLt:
@@ -278,15 +293,15 @@ func (m *Machine) binop(t *Task, op tpal.Op, a, b Value) (Value, error) {
 	case tpal.OpShr:
 		return IntV(x >> uint64(y)), nil
 	}
-	return Value{}, m.failf(t, "unknown operator %s", op)
+	return Value{}, fmt.Errorf("unknown operator %s", op)
 }
 
-func (m *Machine) ptrArith(t *Task, op tpal.Op, a, b Value) (Value, error) {
+func evalPtrArith(op tpal.Op, a, b Value) (Value, error) {
 	switch {
 	case a.Kind == VPtr && b.Kind != VPtr:
 		n, ok := b.AsInt()
 		if !ok {
-			return Value{}, m.failf(t, "pointer arithmetic with non-integer %s", b)
+			return Value{}, fmt.Errorf("pointer arithmetic with non-integer %s", b)
 		}
 		switch op {
 		case tpal.OpAdd:
@@ -302,5 +317,5 @@ func (m *Machine) ptrArith(t *Task, op tpal.Op, a, b Value) (Value, error) {
 			return IntV(int64(a.Ptr.Abs - b.Ptr.Abs)), nil
 		}
 	}
-	return Value{}, m.failf(t, "unsupported pointer operation %s on %s and %s", op, a, b)
+	return Value{}, fmt.Errorf("unsupported pointer operation %s on %s and %s", op, a, b)
 }

@@ -25,7 +25,14 @@ func (m *Machine) execFork(t *Task, in tpal.Instr) error {
 	}
 
 	rec := jv.Join
-	edge := &joinEdge{rec: rec, up: t.edge, upSide: t.side, forkBlock: t.label, forkInstr: t.off}
+	edge := &joinEdge{rec: rec, up: t.edge, upSide: t.side}
+	if m.race != nil {
+		var up *ForkNode
+		if t.edge != nil {
+			up = t.edge.node
+		}
+		edge.node = &ForkNode{Up: up, UpSide: uint8(t.side), Block: t.label, Instr: t.off}
+	}
 	rec.edges++
 
 	// Cost semantics (Figure 28): each fork-join pair is weighted τ; both

@@ -39,18 +39,17 @@ type joinEdge struct {
 	up     *joinEdge
 	upSide side
 
-	// forkBlock/forkInstr locate the fork instruction that created the
-	// edge — the parallel composition the race sanitizer names when the
-	// edge's two sides conflict.
-	forkBlock tpal.Label
-	forkInstr int
+	// node is the edge's position in the race sanitizer's fork tree —
+	// the parallel composition the sanitizer names when the edge's two
+	// sides conflict. Built only under Config.RaceDetect.
+	node *ForkNode
 
 	arrived     bool
 	stashedRegs RegFile
 	stashedSide side
 	stashedSpan int64
 	// stashedClock is the first arriver's vector clock (RaceDetect only).
-	stashedClock vclock
+	stashedClock Clock
 }
 
 // side is a task's role on a join edge.

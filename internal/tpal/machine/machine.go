@@ -65,6 +65,12 @@ type Config struct {
 	// Schedule selects the interleaving policy; Seed seeds RandomOrder.
 	Schedule SchedulePolicy
 	Seed     int64
+	// Backend selects the execution engine RunBackend dispatches to:
+	// the reference interpreter (zero value) or the closure-threaded
+	// compiled backend in machine/compile. Machine.Run itself always
+	// interprets; the seam lives in RunBackend so the interpreter stays
+	// available as the differential oracle.
+	Backend Backend
 	// Regs is the initial register file of the root task.
 	Regs RegFile
 	// RaceDetect enables the determinacy-race sanitizer (race.go): every
@@ -164,7 +170,7 @@ type Task struct {
 
 	// clock is the task's vector clock, maintained only under
 	// Config.RaceDetect (nil otherwise).
-	clock vclock
+	clock Clock
 
 	// trips counts executed block entries per label, allocated lazily
 	// under Config.CountTrips and max-folded into Stats.TripCounts when
@@ -184,7 +190,7 @@ type Machine struct {
 	nextTask int
 	nextJoin int
 	rng      *rand.Rand
-	race     *raceState
+	race     *Sanitizer
 
 	halted    bool
 	finalRegs RegFile
@@ -231,8 +237,8 @@ func New(prog *tpal.Program, cfg Config) (*Machine, error) {
 	}
 	root := &Task{id: m.nextTask, regs: regs}
 	if cfg.RaceDetect {
-		m.race = newRaceState()
-		root.clock = vclock{root.id: 1}
+		m.race = NewSanitizer()
+		root.clock = NewClock(root.id)
 	}
 	m.nextTask++
 	m.stats.TasksCreated++

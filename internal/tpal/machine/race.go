@@ -33,6 +33,12 @@ import (
 // retiring them) count as writes to the affected range; mark-list
 // scans (prmempty, prmsplit) count as reads of the live region they
 // walk, and prmsplit additionally as a write to the mark it consumes.
+//
+// The sanitizer core is task-representation-agnostic: both the
+// interpreter (which keys accesses off *Task) and the compiled backend
+// (machine/compile, with its own flat-register task type) feed it the
+// same Access records through the exported Sanitizer facade, so the
+// two backends produce byte-identical RaceErrors by construction.
 
 // ErrRace is the class of determinacy-race errors; RaceError unwraps
 // to it.
@@ -76,11 +82,13 @@ func (e *RaceError) Error() string {
 
 func (e *RaceError) Unwrap() error { return ErrRace }
 
-// vclock is a vector clock keyed by task id.
-type vclock map[int]int64
+// Clock is a vector clock keyed by task id. Both execution backends
+// maintain one per task under Config.RaceDetect.
+type Clock map[int]int64
 
-func (c vclock) clone() vclock {
-	n := make(vclock, len(c)+1)
+// Clone copies the clock.
+func (c Clock) Clone() Clock {
+	n := make(Clock, len(c)+1)
 	for k, v := range c {
 		n[k] = v
 	}
@@ -88,12 +96,69 @@ func (c vclock) clone() vclock {
 }
 
 // merge folds other into c pointwise.
-func (c vclock) merge(other vclock) {
+func (c Clock) merge(other Clock) {
 	for k, v := range other {
 		if v > c[k] {
 			c[k] = v
 		}
 	}
+}
+
+// NewClock returns a root task's clock: one fresh entry for the task
+// itself.
+func NewClock(id int) Clock { return Clock{id: 1} }
+
+// ForkClock implements the sanitizer's fork rule: the child starts
+// from a copy of the parent's knowledge plus its own fresh entry, and
+// the parent advances its own entry, making the two branches mutually
+// concurrent while everything pre-fork happens-before both. It
+// returns the child's clock and advances parent in place.
+func ForkClock(parent Clock, parentID, childID int) Clock {
+	child := parent.Clone()
+	child[childID] = 1
+	parent[parentID]++
+	return child
+}
+
+// JoinClock implements the sanitizer's join rule: the surviving task
+// happens-after both branches, so it absorbs the stashed branch clock
+// and ticks its own entry.
+func JoinClock(c Clock, id int, stashed Clock) {
+	c.merge(stashed)
+	c[id]++
+}
+
+// ForkNode is one node of the dynamic fork tree, shared by both
+// backends: each fork links a fresh node above the forking task's
+// current node, and every sanitized access records the node (plus the
+// accessing task's side on it) so a conflicting pair can name the
+// fork whose branches contain the accesses.
+type ForkNode struct {
+	// Up is the node the forking task was participating in when it
+	// issued the fork, and UpSide that task's role in it.
+	Up     *ForkNode
+	UpSide uint8
+	// Block and Instr locate the fork instruction that created the
+	// node.
+	Block tpal.Label
+	Instr int
+}
+
+// Sides of a fork node, used by Access.Side.
+const (
+	SideParent uint8 = iota
+	SideChild
+)
+
+// Access describes one sanitized stack access: who (task id + clock),
+// where in the program, and where in the fork tree.
+type Access struct {
+	Task  int
+	Clock Clock
+	Block tpal.Label
+	Instr int
+	Fork  *ForkNode
+	Side  uint8
 }
 
 // accessRec is one recorded access: the epoch (task, its clock entry at
@@ -105,8 +170,8 @@ type accessRec struct {
 	block tpal.Label
 	instr int
 	write bool
-	edge  *joinEdge
-	side  side
+	fork  *ForkNode
+	side  uint8
 }
 
 func (r accessRec) pos() AccessPos {
@@ -114,9 +179,9 @@ func (r accessRec) pos() AccessPos {
 }
 
 // happensBefore reports whether the recorded access happens-before the
-// given task's current point.
-func (r accessRec) happensBefore(t *Task) bool {
-	return t.clock[r.task] >= r.time
+// point described by the clock.
+func (r accessRec) happensBefore(c Clock) bool {
+	return c[r.task] >= r.time
 }
 
 // shadowCell is the sanitizer's view of one stack cell.
@@ -149,8 +214,17 @@ type shadow struct {
 // never collide even when one Stack is observed by several machines.
 var stackSID atomic.Int64
 
-func newRaceState() *raceState {
-	return &raceState{shadows: make(map[int64]*shadow)}
+// Sanitizer is the exported facade over the sanitizer state. The
+// interpreter holds one under Config.RaceDetect; the compiled backend
+// creates its own, so one run's shadow memory never leaks into
+// another's.
+type Sanitizer struct {
+	rs *raceState
+}
+
+// NewSanitizer returns an empty sanitizer.
+func NewSanitizer() *Sanitizer {
+	return &Sanitizer{rs: &raceState{shadows: make(map[int64]*shadow)}}
 }
 
 // retire runs on the GC's finalizer goroutine when a shadowed stack
@@ -193,16 +267,16 @@ func (rs *raceState) cell(s *Stack, abs int) *shadowCell {
 	return &sh.cells[abs]
 }
 
-// rec builds the access record for t's current position.
-func (m *Machine) raceRec(t *Task, write bool) accessRec {
+// rec builds the access record for an access.
+func (a Access) rec(write bool) accessRec {
 	return accessRec{
-		task:  t.id,
-		time:  t.clock[t.id],
-		block: t.label,
-		instr: t.off,
+		task:  a.Task,
+		time:  a.Clock[a.Task],
+		block: a.Block,
+		instr: a.Instr,
 		write: write,
-		edge:  t.edge,
-		side:  t.side,
+		fork:  a.Fork,
+		side:  a.Side,
 	}
 }
 
@@ -217,18 +291,18 @@ func raceErr(prev accessRec, cur accessRec) error {
 }
 
 // separatingFork walks the two accesses' fork-tree chains to the
-// deepest common join edge; when the accesses sit on opposite sides of
-// it, the fork that created that edge is the parallel composition that
+// deepest common node; when the accesses sit on opposite sides of
+// it, the fork that created that node is the parallel composition that
 // made them logically parallel.
 func separatingFork(a, b accessRec) (AccessPos, bool) {
-	sides := make(map[*joinEdge]side)
-	for e, s := a.edge, a.side; e != nil; s, e = e.upSide, e.up {
-		sides[e] = s
+	sides := make(map[*ForkNode]uint8)
+	for n, s := a.fork, a.side; n != nil; s, n = n.UpSide, n.Up {
+		sides[n] = s
 	}
-	for e, s := b.edge, b.side; e != nil; s, e = e.upSide, e.up {
-		if sa, ok := sides[e]; ok {
+	for n, s := b.fork, b.side; n != nil; s, n = n.UpSide, n.Up {
+		if sa, ok := sides[n]; ok {
 			if sa != s {
-				return AccessPos{Block: e.forkBlock, Instr: e.forkInstr}, true
+				return AccessPos{Block: n.Block, Instr: n.Instr}, true
 			}
 			return AccessPos{}, false
 		}
@@ -236,22 +310,22 @@ func separatingFork(a, b accessRec) (AccessPos, bool) {
 	return AccessPos{}, false
 }
 
-// raceRead records a read of mem[cell abs] of stack s by t, reporting a
-// race against any concurrent write.
-func (m *Machine) raceRead(t *Task, s *Stack, abs int) error {
+// Read records a read of mem[cell abs] of stack s, reporting a race
+// against any concurrent write.
+func (z *Sanitizer) Read(a Access, s *Stack, abs int) error {
 	if abs < 0 {
 		return nil
 	}
-	c := m.race.cell(s, abs)
-	cur := m.raceRec(t, false)
-	if c.hasWrite && !c.write.happensBefore(t) {
+	c := z.rs.cell(s, abs)
+	cur := a.rec(false)
+	if c.hasWrite && !c.write.happensBefore(a.Clock) {
 		return raceErr(c.write, cur)
 	}
 	// Keep the read set small: drop reads that happen-before this one
 	// (they are covered by it for every future write check).
 	kept := c.reads[:0]
 	for _, r := range c.reads {
-		if !r.happensBefore(t) {
+		if !r.happensBefore(a.Clock) {
 			kept = append(kept, r)
 		}
 	}
@@ -259,19 +333,19 @@ func (m *Machine) raceRead(t *Task, s *Stack, abs int) error {
 	return nil
 }
 
-// raceWrite records a write of mem[cell abs] of stack s by t, reporting
-// a race against any concurrent read or write.
-func (m *Machine) raceWrite(t *Task, s *Stack, abs int) error {
+// Write records a write of mem[cell abs] of stack s, reporting a race
+// against any concurrent read or write.
+func (z *Sanitizer) Write(a Access, s *Stack, abs int) error {
 	if abs < 0 {
 		return nil
 	}
-	c := m.race.cell(s, abs)
-	cur := m.raceRec(t, true)
-	if c.hasWrite && !c.write.happensBefore(t) {
+	c := z.rs.cell(s, abs)
+	cur := a.rec(true)
+	if c.hasWrite && !c.write.happensBefore(a.Clock) {
 		return raceErr(c.write, cur)
 	}
 	for _, r := range c.reads {
-		if !r.happensBefore(t) {
+		if !r.happensBefore(a.Clock) {
 			return raceErr(r, cur)
 		}
 	}
@@ -281,45 +355,76 @@ func (m *Machine) raceWrite(t *Task, s *Stack, abs int) error {
 	return nil
 }
 
-// raceWriteRange records writes to every cell in [lo, hi].
-func (m *Machine) raceWriteRange(t *Task, s *Stack, lo, hi int) error {
+// WriteRange records writes to every cell in [lo, hi].
+func (z *Sanitizer) WriteRange(a Access, s *Stack, lo, hi int) error {
 	if lo < 0 {
 		lo = 0
 	}
 	for i := lo; i <= hi; i++ {
-		if err := m.raceWrite(t, s, i); err != nil {
+		if err := z.Write(a, s, i); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// ReadRange records reads of every cell in [lo, hi].
+func (z *Sanitizer) ReadRange(a Access, s *Stack, lo, hi int) error {
+	if lo < 0 {
+		lo = 0
+	}
+	for i := lo; i <= hi; i++ {
+		if err := z.Read(a, s, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// access builds the interpreter task's Access for its current
+// position.
+func (m *Machine) access(t *Task) Access {
+	var fork *ForkNode
+	if t.edge != nil {
+		fork = t.edge.node
+	}
+	return Access{
+		Task:  t.id,
+		Clock: t.clock,
+		Block: t.label,
+		Instr: t.off,
+		Fork:  fork,
+		Side:  uint8(t.side),
+	}
+}
+
+// raceRead records a read of mem[cell abs] of stack s by t.
+func (m *Machine) raceRead(t *Task, s *Stack, abs int) error {
+	return m.race.Read(m.access(t), s, abs)
+}
+
+// raceWrite records a write of mem[cell abs] of stack s by t.
+func (m *Machine) raceWrite(t *Task, s *Stack, abs int) error {
+	return m.race.Write(m.access(t), s, abs)
+}
+
+// raceWriteRange records writes to every cell in [lo, hi].
+func (m *Machine) raceWriteRange(t *Task, s *Stack, lo, hi int) error {
+	return m.race.WriteRange(m.access(t), s, lo, hi)
 }
 
 // raceReadRange records reads of every cell in [lo, hi].
 func (m *Machine) raceReadRange(t *Task, s *Stack, lo, hi int) error {
-	if lo < 0 {
-		lo = 0
-	}
-	for i := lo; i <= hi; i++ {
-		if err := m.raceRead(t, s, i); err != nil {
-			return err
-		}
-	}
-	return nil
+	return m.race.ReadRange(m.access(t), s, lo, hi)
 }
 
-// raceFork updates the clocks at a fork: the child starts from a copy
-// of the parent's knowledge plus its own fresh entry, and the parent
-// advances its own entry, making the two branches mutually concurrent
-// while everything pre-fork happens-before both.
+// raceFork updates the clocks at a fork.
 func (m *Machine) raceFork(parent, child *Task) {
-	child.clock = parent.clock.clone()
-	child.clock[child.id] = 1
-	parent.clock[parent.id]++
+	child.clock = ForkClock(parent.clock, parent.id, child.id)
 }
 
 // raceJoinMerge updates the surviving task's clock when a join edge
 // resolves: the combining task happens-after both branches.
-func (m *Machine) raceJoinMerge(t *Task, stashed vclock) {
-	t.clock.merge(stashed)
-	t.clock[t.id]++
+func (m *Machine) raceJoinMerge(t *Task, stashed Clock) {
+	JoinClock(t.clock, t.id, stashed)
 }

@@ -91,6 +91,23 @@ func (s *Stack) addr(p Ptr, off int64) (int, error) {
 	return idx, nil
 }
 
+// Cell converts a (pointer, offset) pair to an absolute index without
+// materializing an error, reporting whether it is in bounds. The
+// compiled backend uses it on its fast path and falls back to
+// Load/Store for the fault message.
+func (s *Stack) Cell(p Ptr, off int64) (int, bool) {
+	idx := p.Abs - int(off)
+	return idx, idx >= 0 && idx < len(s.cells)
+}
+
+// CellValue reads the cell at an absolute index previously validated by
+// Cell.
+func (s *Stack) CellValue(idx int) Value { return s.cells[idx] }
+
+// SetCellValue writes the cell at an absolute index previously
+// validated by Cell.
+func (s *Stack) SetCellValue(idx int, v Value) { s.cells[idx] = v }
+
 // Load reads mem[p + off].
 func (s *Stack) Load(p Ptr, off int64) (Value, error) {
 	idx, err := s.addr(p, off)
