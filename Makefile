@@ -21,9 +21,12 @@ race-test:
 	$(GO) test -race ./internal/sched ./internal/heartbeat ./internal/cilk
 
 # serve-test runs the job-execution service and daemon suites under
-# the race detector: admission gating, DRR fairness, budget and
-# deadline enforcement, drain, the HTTP E2E batch, and the load smoke
-# (which rewrites BENCH_serve.json with throughput and percentiles).
+# the race detector: admission gating, sharded DRR dispatch with work
+# stealing, batched admission, singleflight dedup, job retention,
+# budget and deadline enforcement, drain, the HTTP E2E batch, the SSE
+# event stream, and the 10k-job many-tenant load smoke (which rewrites
+# BENCH_serve.json and fails if the burst observed no cross-shard
+# steal or no singleflight collapse).
 serve-test:
 	$(GO) test -race ./internal/serve ./cmd/tpal-serve
 

@@ -7,12 +7,21 @@
 //
 // API (see DESIGN.md §10 and internal/serve):
 //
-//	POST /v1/jobs      submit {source, args, ...}; 202 accepted,
-//	                   422 rejected with TP0xx diags, 429 queue full
-//	GET  /v1/jobs/{id} status, result registers, execution stats
-//	POST /v1/analyze   static report + admission verdict, no execution
-//	GET  /healthz      200 serving / 503 draining
-//	GET  /metrics      counters, queue depth, latency percentiles
+//	POST /v1/jobs             submit {source, args, ...}; 202 accepted,
+//	                          422 rejected with TP0xx diags, 429 queue full
+//	GET  /v1/jobs/{id}        status, result registers, execution stats
+//	GET  /v1/jobs/{id}/events live SSE stream: status transitions and,
+//	                          for traced jobs, batched tracer events
+//	POST /v1/analyze          static report + admission verdict, no execution
+//	GET  /healthz             200 serving / 503 draining
+//	GET  /metrics             counters, queue depth, latency percentiles
+//
+// Dispatch is sharded: tenants hash onto -shards independently locked
+// DRR queues and executors steal across shards when their own runs
+// dry. Results are memoized in a bounded LRU (-result-cache) and
+// identical in-flight submissions collapse onto one execution.
+// Terminal job records are retained up to -retain-jobs / -job-ttl and
+// then evicted (GET on an evicted id is a 404).
 //
 // SIGINT/SIGTERM triggers a graceful drain: queued jobs are canceled,
 // in-flight jobs run to completion (bounded by -drain-timeout, after
@@ -54,7 +63,11 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	var (
 		addr         = fs.String("addr", "localhost:8334", "listen address")
 		workers      = fs.Int("workers", 0, "executor goroutines (0 = GOMAXPROCS)")
+		shards       = fs.Int("shards", 0, "queue shards tenants hash onto (0 = min(workers, 16))")
 		queueCap     = fs.Int("queue", 256, "admission queue capacity (full queue => 429)")
+		resultCache  = fs.Int("result-cache", 4096, "LRU capacity of the content-addressed result store")
+		retainJobs   = fs.Int("retain-jobs", 4096, "terminal job records kept before eviction")
+		jobTTL       = fs.Duration("job-ttl", 15*time.Minute, "age at which terminal job records are evicted")
 		heartbeat    = fs.Int64("heartbeat", 100, "heartbeat period N shared by all executors")
 		signalPeriod = fs.Int64("signal-period", 0, "steps per heartbeat signal (0 = N, lockstep)")
 		fuelCap      = fs.Int64("fuel-cap", 20_000_000, "hard per-job step ceiling")
@@ -88,7 +101,11 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 
 	svc := serve.New(serve.Config{
 		Workers:        *workers,
+		Shards:         *shards,
 		QueueCap:       *queueCap,
+		ResultCacheCap: *resultCache,
+		JobRetention:   *retainJobs,
+		JobTTL:         *jobTTL,
 		Heartbeat:      *heartbeat,
 		SignalPeriod:   *signalPeriod,
 		FuelCap:        *fuelCap,

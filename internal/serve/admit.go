@@ -145,6 +145,26 @@ func (s *Service) admit(p *tpal.Program, entry []tpal.Reg) *admission {
 	}
 	s.mu.Unlock()
 
+	a := s.analyze(p, entry, fp)
+
+	s.mu.Lock()
+	if prev, ok := s.analysisCache[key]; ok { // lost a concurrent-analysis race
+		s.metrics.AnalysisHits++
+		s.mu.Unlock()
+		return prev
+	}
+	s.analysisCache[key] = a
+	s.metrics.Analyses++
+	s.mu.Unlock()
+	return a
+}
+
+// analyze runs the analysis pipeline over one (program, entry) pair
+// and builds its admission verdict. It takes no locks and touches no
+// caches — admit and the batched submission path both call it, each
+// managing the analysis cache under the service mutex themselves. The
+// only service state it reads is immutable configuration.
+func (s *Service) analyze(p *tpal.Program, entry []tpal.Reg, fp string) *admission {
 	report := analysis.Analyze(p, analysis.Options{EntryRegs: entry, Races: true})
 	a := &admission{
 		fingerprint: fp,
@@ -169,10 +189,6 @@ func (s *Service) admit(p *tpal.Program, entry []tpal.Reg) *admission {
 			}
 		}
 	}
-
-	s.mu.Lock()
-	s.analysisCache[key] = a
-	s.mu.Unlock()
 	return a
 }
 

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Job event streaming: every job carries a bounded history of events
+// (status transitions and, for traced jobs, batches of live tracer
+// events) plus a set of subscriber channels. GET /v1/jobs/{id}/events
+// replays the history as SSE frames and then follows the live feed
+// until the job reaches a terminal state.
+
+// Event kinds on the SSE stream. The terminal frame is always "done"
+// (the full JobView), appended by the handler after the live channel
+// closes, so a client can stop at the first done frame.
+const (
+	eventKindStatus = "status"
+	eventKindTrace  = "trace"
+	eventKindDone   = "done"
+)
+
+// jobEvent is one frame on a job's event stream.
+type jobEvent struct {
+	Kind string
+	Data jobEventData
+}
+
+// jobEventData is the JSON payload of a status or trace frame.
+type jobEventData struct {
+	ID     string `json:"id"`
+	Status Status `json:"status,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Events carries a batch of rendered tracer events (trace frames
+	// only). Batches bound the frame rate: the pump coalesces whatever
+	// the tracer produced since the last flush.
+	Events []string `json:"events,omitempty"`
+	// Dropped counts tracer events the live feed had to skip because the
+	// subscriber buffer was full; the job's final trace summary remains
+	// exact regardless.
+	Dropped int64 `json:"dropped,omitempty"`
+}
+
+func (e jobEvent) json() []byte {
+	buf, err := json.Marshal(e.Data)
+	if err != nil { // cannot happen for this struct; keep the stream well-formed
+		return []byte("{}")
+	}
+	return buf
+}
+
+// statusEvent renders a job's current status as a stream frame.
+func statusEvent(j *Job) jobEvent {
+	return jobEvent{Kind: eventKindStatus, Data: jobEventData{ID: j.ID, Status: j.Status, Error: j.Error}}
+}
+
+const (
+	// subBuffer is the per-subscriber channel depth; a subscriber that
+	// falls further behind loses intermediate frames (never the terminal
+	// state, which the handler re-reads from the job record).
+	subBuffer = 256
+	// traceHistCap bounds how many trace frames a job's replayable
+	// history retains; the exact aggregate counts live in the final
+	// JobTrace summary, so late subscribers lose only the event text.
+	traceHistCap = 128
+)
+
+// publishLocked appends an event to the job's history and offers it to
+// every live subscriber without blocking. Callers hold the service
+// mutex.
+func (s *Service) publishLocked(j *Job, ev jobEvent) {
+	if ev.Kind == eventKindTrace {
+		if j.traceHistN >= traceHistCap {
+			j.traceHistDropped += int64(len(ev.Data.Events))
+		} else {
+			j.history = append(j.history, ev)
+			j.traceHistN++
+		}
+	} else {
+		j.history = append(j.history, ev)
+	}
+	for _, c := range j.subs {
+		select {
+		case c <- ev:
+		default: // slow subscriber: drop the frame, keep the service moving
+		}
+	}
+}
+
+// subscribeJob returns the replayable history of a job plus a live
+// channel for what follows. The channel is nil when the job is already
+// terminal (the history holds everything there is). cancel detaches
+// the subscription; it is safe to call after the channel closed.
+func (s *Service) subscribeJob(id string) (replay []jobEvent, live <-chan jobEvent, cancel func(), ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pruneLocked(time.Now())
+	j, found := s.jobs[id]
+	if !found {
+		return nil, nil, nil, false
+	}
+	replay = append([]jobEvent(nil), j.history...)
+	if j.Status.Terminal() {
+		return replay, nil, func() {}, true
+	}
+	c := make(chan jobEvent, subBuffer)
+	j.subs = append(j.subs, c)
+	cancel = func() {
+		s.mu.Lock()
+		for i, sc := range j.subs {
+			if sc == c {
+				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+	}
+	return replay, c, cancel, true
+}

@@ -3,8 +3,12 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 
+	"tpal/internal/stats"
 	"tpal/internal/tpal"
 	"tpal/internal/tpal/analysis"
 )
@@ -39,16 +43,21 @@ type errorBody struct {
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/jobs      submit a job  (202 queued / done; 422 rejected;
-//	                   429 queue full; 503 draining; 400 bad request)
-//	GET  /v1/jobs/{id} job status, result, stats (404 unknown)
-//	POST /v1/analyze   run the analysis pipeline without executing
-//	GET  /healthz      200 serving / 503 draining
-//	GET  /metrics      counters, queue depth, latency percentiles
+//	POST /v1/jobs             submit a job  (202 queued / done; 422 rejected;
+//	                          429 queue full; 503 draining; 400 bad request)
+//	GET  /v1/jobs/{id}        job status, result, stats (404 unknown)
+//	GET  /v1/jobs/{id}/events live job event stream over SSE: status
+//	                          transitions and, for traced jobs, batches
+//	                          of tracer events; ends with a "done" frame
+//	                          carrying the full job view
+//	POST /v1/analyze          run the analysis pipeline without executing
+//	GET  /healthz             200 serving / 503 draining
+//	GET  /metrics             counters, queue depth, latency percentiles
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -80,7 +89,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 		return
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 		return
 	case err != nil:
@@ -104,6 +113,92 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, view)
+}
+
+// handleJobEvents serves GET /v1/jobs/{id}/events: the job's event
+// history replayed as SSE frames, then the live feed until the job
+// reaches a terminal state, then one final "done" frame carrying the
+// full job view. Frames are `event: <kind>` + `data: <json>`; clients
+// can stop reading at the first done frame.
+func (s *Service) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	replay, live, cancel, ok := s.subscribeJob(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job " + id})
+		return
+	}
+	defer cancel()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	writeFrame := func(ev jobEvent) {
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, ev.json())
+		fl.Flush()
+	}
+	for _, ev := range replay {
+		writeFrame(ev)
+	}
+	for live != nil {
+		select {
+		case ev, open := <-live:
+			if !open {
+				live = nil
+				break
+			}
+			writeFrame(ev)
+		case <-r.Context().Done():
+			return
+		}
+	}
+	// The live channel closed (or was never opened): the job is
+	// terminal. Re-read the record for the full final view.
+	view, ok := s.JobView(id)
+	if !ok {
+		return
+	}
+	buf, err := json.Marshal(view)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", eventKindDone, buf)
+	fl.Flush()
+}
+
+// retryAfter derives the 429 Retry-After hint from live service state:
+// the current queue depth times the recent median execution time,
+// spread over the worker pool.
+func (s *Service) retryAfter() int {
+	s.mu.Lock()
+	depth := s.queuedN
+	p50 := stats.Percentile(s.metrics.exec.values(), 50)
+	s.mu.Unlock()
+	return retryAfterSeconds(depth, p50, s.cfg.Workers)
+}
+
+// retryAfterSeconds is the header math: ceil(depth × p50 / workers),
+// clamped to [1s, 60s]. With no execution history yet the estimate
+// degrades to the floor.
+func retryAfterSeconds(depth int, execP50MS float64, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	secs := int(math.Ceil(float64(depth) * execP50MS / float64(workers) / 1000))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return secs
 }
 
 func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {

@@ -221,7 +221,8 @@ type Job struct {
 	Trace       *JobTrace      // drained trace summary (traced submissions only)
 	Autopar     *AutoparReport // verdict table (auto_parallelize submissions only)
 	Error       string
-	Cached      bool // result served from the fingerprint cache
+	Cached      bool // result served from the content-addressed result store
+	Coalesced   bool // singleflight follower: rode an identical in-flight execution
 
 	Submitted time.Time
 	Started   time.Time
@@ -237,6 +238,17 @@ type Job struct {
 	traced    bool  // execute with a per-job tracer attached
 	cost      int64 // DRR accounting weight (= Quote.Budget)
 	cacheKey  string
+
+	// followers are identical submissions collapsed onto this job by the
+	// singleflight registry; they inherit its terminal outcome.
+	followers []*Job
+
+	// Event stream state: replayable history, live subscribers, and the
+	// trace-frame retention accounting (events.go).
+	history          []jobEvent
+	subs             []chan jobEvent
+	traceHistN       int
+	traceHistDropped int64
 
 	cancel func()        // set while running; force-drain cancels through it
 	done   chan struct{} // closed when the job reaches a terminal state
@@ -259,6 +271,7 @@ type JobView struct {
 	Autopar     *AutoparReport    `json:"autopar,omitempty"`
 	Error       string            `json:"error,omitempty"`
 	Cached      bool              `json:"cached,omitempty"`
+	Coalesced   bool              `json:"coalesced,omitempty"`
 	QueueWaitMS float64           `json:"queue_wait_ms,omitempty"`
 	ExecMS      float64           `json:"exec_ms,omitempty"`
 }
@@ -276,6 +289,7 @@ func (j *Job) view() JobView {
 		Autopar:     j.Autopar,
 		Error:       j.Error,
 		Cached:      j.Cached,
+		Coalesced:   j.Coalesced,
 	}
 	if j.Status != StatusRejected {
 		q := j.Quote

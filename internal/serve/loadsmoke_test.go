@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -23,7 +24,12 @@ type benchServeRun struct {
 	SubmitP99US    float64 `json:"submit_p99_us"`
 	TurnP50MS      float64 `json:"turnaround_p50_ms"`
 	TurnP99MS      float64 `json:"turnaround_p99_ms"`
+	Executions     int64   `json:"executions"`
+	Steals         int64   `json:"steals"`
+	Singleflight   int64   `json:"singleflight_collapses"`
 	ResultHits     int64   `json:"result_cache_hits"`
+	Evictions      int64   `json:"result_evictions"`
+	JobsEvicted    int64   `json:"jobs_evicted"`
 	Compiles       int64   `json:"compiles,omitempty"`
 	CompileHits    int64   `json:"compile_cache_hits,omitempty"`
 	CompiledRuns   int64   `json:"compiled_runs,omitempty"`
@@ -38,33 +44,53 @@ type benchServe struct {
 	Submissions  int           `json:"submissions"`
 	RaceDetector bool          `json:"race_detector"`
 	Workers      int           `json:"workers"`
+	Shards       int           `json:"shards"`
+	Tenants      int           `json:"tenants"`
 	QueueCap     int           `json:"queue_cap"`
 	Interp       benchServeRun `json:"interp"`
 	Compiled     benchServeRun `json:"compiled"`
 }
 
 const (
-	smokeSubmissions = 240
+	smokeSubmissions = 10_000
+	smokeSubmitters  = 128 // concurrent submitter goroutines feeding the burst
 	smokeWorkers     = 4
-	smokeQueueCap    = 16 // small on purpose: the burst must hit backpressure
+	smokeShards      = 4
+	smokeTenants     = 32
+	smokeQueueCap    = 64  // small on purpose: the burst must hit backpressure
+	smokeResultCap   = 512 // below the distinct-key count, so the LRU must evict
+	smokeRetention   = 4096
 )
 
-// driveLoad pushes smokeSubmissions concurrent submissions from many
+// driveLoad pushes smokeSubmissions submissions from smokeTenants
 // tenants through a deliberately small queue on the given backend and
-// returns throughput and latency percentiles. Throttled submissions
+// returns throughput and latency percentiles. A fixed pool of
+// smokeSubmitters goroutines feeds the burst — enough concurrency to
+// keep duplicates in flight together and the queue saturated, without
+// drowning the race detector in ten thousand goroutines spinning on
+// the retry path. Four in five submissions draw from a small hot set
+// of argument vectors — the singleflight registry and the result
+// store collapse most of them — while the rest are unique and keep
+// real executions flowing through every shard. Throttled submissions
 // retry, so every job eventually lands: full completion is asserted,
-// which exercises backpressure, DRR fairness, and the result cache
-// together under load.
+// which exercises backpressure, sharded DRR dispatch, work stealing,
+// batched admission, and both dedup layers together under load.
 func driveLoad(t *testing.T, backend machine.Backend) benchServeRun {
 	t.Helper()
 	s := newTestService(t, Config{
-		Workers:    smokeWorkers,
-		QueueCap:   smokeQueueCap,
-		TripAssume: 64,
-		Backend:    backend,
+		Workers:        smokeWorkers,
+		Shards:         smokeShards,
+		QueueCap:       smokeQueueCap,
+		ResultCacheCap: smokeResultCap,
+		JobRetention:   smokeRetention,
+		TripAssume:     64,
+		Backend:        backend,
 	})
 
-	tenantNames := []string{"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"}
+	tenantNames := make([]string, smokeTenants)
+	for i := range tenantNames {
+		tenantNames[i] = fmt.Sprintf("t%02d", i)
+	}
 	var (
 		mu          sync.Mutex
 		submitUS    []float64
@@ -76,56 +102,72 @@ func driveLoad(t *testing.T, backend machine.Backend) benchServeRun {
 	)
 
 	start := time.Now()
+	work := make(chan int)
 	var wg sync.WaitGroup
-	for i := 0; i < smokeSubmissions; i++ {
+	for w := 0; w < smokeSubmitters; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			// A spread of argument values keeps most submissions distinct
-			// while leaving enough repeats for the result cache to matter.
-			req := SubmitRequest{
-				Tenant: tenantNames[i%len(tenantNames)],
-				Source: programs.ProdSource,
-				Args:   map[string]int64{"a": int64(i%40 + 1), "b": 3},
-			}
-			born := time.Now()
-			var j *Job
-			for {
-				t0 := time.Now()
-				var err error
-				j, err = s.Submit(req)
-				elapsed := time.Since(t0)
-				if err == nil {
-					mu.Lock()
-					submitUS = append(submitUS, float64(elapsed.Microseconds()))
-					mu.Unlock()
+			for i := range work {
+				// Every fifth submission is unique (fresh cache key, must
+				// execute); the rest cycle a hot set of 97 argument vectors
+				// that singleflight and the result store collapse.
+				args := map[string]int64{"a": int64(i%97 + 1), "b": 3}
+				if i%5 == 0 {
+					args = map[string]int64{"a": 40, "b": int64(1000 + i)}
+				}
+				req := SubmitRequest{
+					Tenant: tenantNames[i%smokeTenants],
+					Source: programs.ProdSource,
+					Args:   args,
+				}
+				born := time.Now()
+				var j *Job
+				for {
+					t0 := time.Now()
+					var err error
+					j, err = s.Submit(req)
+					elapsed := time.Since(t0)
+					if err == nil {
+						mu.Lock()
+						submitUS = append(submitUS, float64(elapsed.Microseconds()))
+						mu.Unlock()
+						break
+					}
+					if errors.Is(err, ErrQueueFull) {
+						throttled.Add(1)
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					otherErrors.Add(1)
+					j = nil
 					break
 				}
-				if errors.Is(err, ErrQueueFull) {
-					throttled.Add(1)
-					time.Sleep(time.Millisecond)
+				if j == nil {
 					continue
 				}
-				otherErrors.Add(1)
-				return
+				select {
+				case <-j.Done():
+				case <-time.After(120 * time.Second):
+					failedJobs.Add(1)
+					continue
+				}
+				v := j.view()
+				if v.Status != StatusDone {
+					failedJobs.Add(1)
+					continue
+				}
+				completed.Add(1)
+				mu.Lock()
+				turnMS = append(turnMS, float64(time.Since(born).Microseconds())/1000)
+				mu.Unlock()
 			}
-			select {
-			case <-j.Done():
-			case <-time.After(60 * time.Second):
-				failedJobs.Add(1)
-				return
-			}
-			v := j.view()
-			if v.Status != StatusDone {
-				failedJobs.Add(1)
-				return
-			}
-			completed.Add(1)
-			mu.Lock()
-			turnMS = append(turnMS, float64(time.Since(born).Microseconds())/1000)
-			mu.Unlock()
-		}(i)
+		}()
 	}
+	for i := 0; i < smokeSubmissions; i++ {
+		work <- i
+	}
+	close(work)
 	wg.Wait()
 	wall := time.Since(start)
 
@@ -148,13 +190,19 @@ func driveLoad(t *testing.T, backend machine.Backend) benchServeRun {
 		SubmitP99US:    stats.Percentile(submitUS, 99),
 		TurnP50MS:      stats.Percentile(turnMS, 50),
 		TurnP99MS:      stats.Percentile(turnMS, 99),
+		Executions:     snap.Executions,
+		Steals:         snap.Steals,
+		Singleflight:   snap.SingleflightCollapses,
 		ResultHits:     snap.ResultHits,
+		Evictions:      snap.ResultEvictions,
+		JobsEvicted:    snap.JobsEvicted,
 		Compiles:       snap.Compiles,
 		CompileHits:    snap.CompileCacheHits,
 		CompiledRuns:   snap.CompiledRuns,
 	}
-	t.Logf("load smoke (%s): %d jobs in %v (%.0f jobs/s, %d throttled, %d cache hits)",
-		backend, smokeSubmissions, wall.Round(time.Millisecond), run.ThroughputJobS, snap.Throttled, snap.ResultHits)
+	t.Logf("load smoke (%s): %d jobs in %v (%.0f jobs/s; %d executions, %d steals, %d collapses, %d cache hits, %d throttled)",
+		backend, smokeSubmissions, wall.Round(time.Millisecond), run.ThroughputJobS,
+		run.Executions, run.Steals, run.Singleflight, run.ResultHits, run.Throttled)
 	return run
 }
 
@@ -168,7 +216,7 @@ func TestLoadSmoke(t *testing.T) {
 	compiled := driveLoad(t, machine.BackendCompiled)
 
 	// The compiled service must have lowered the one distinct program
-	// fingerprint exactly once and run every cache-missed job on it.
+	// fingerprint exactly once and run every real execution on it.
 	if compiled.Compiles != 1 {
 		t.Errorf("compiled smoke: Compiles = %d, want 1", compiled.Compiles)
 	}
@@ -186,18 +234,30 @@ func TestLoadSmoke(t *testing.T) {
 		return
 	}
 
-	// In the canonical mode the burst must actually hit the queue cap,
-	// or the recorded run never exercised backpressure or DRR fairness
-	// and its numbers are meaningless as a load benchmark.
-	if interp.Throttled == 0 || compiled.Throttled == 0 {
-		t.Fatalf("burst never hit the queue cap (interp %d, compiled %d throttled): shrink QueueCap or grow the burst so the benchmark exercises backpressure",
-			interp.Throttled, compiled.Throttled)
+	// In the canonical mode the burst must actually exercise the sharded
+	// dispatch and dedup machinery, or the recorded numbers never touched
+	// the code paths this benchmark exists to watch: a run with no
+	// cross-shard steal means the affinity/stealing scan never balanced
+	// load, and one with no singleflight collapse means the concurrent
+	// duplicates all executed redundantly.
+	for _, r := range []struct {
+		name string
+		run  benchServeRun
+	}{{"interp", interp}, {"compiled", compiled}} {
+		if r.run.Steals == 0 {
+			t.Errorf("%s burst recorded no cross-shard steals: the stealing path was never exercised", r.name)
+		}
+		if r.run.Singleflight == 0 {
+			t.Errorf("%s burst recorded no singleflight collapses: concurrent duplicates all executed", r.name)
+		}
 	}
 
 	report := benchServe{
 		Submissions:  smokeSubmissions,
 		RaceDetector: raceDetectorOn,
 		Workers:      smokeWorkers,
+		Shards:       smokeShards,
+		Tenants:      smokeTenants,
 		QueueCap:     smokeQueueCap,
 		Interp:       interp,
 		Compiled:     compiled,

@@ -50,6 +50,18 @@ type Metrics struct {
 	ResultHits     int64
 	TracedJobs     int64 // executions run with a per-job tracer
 
+	// Sharded-dispatch counters: executions started, jobs a worker stole
+	// from another shard's queue, admission batches processed, analysis
+	// pipeline runs (unique fingerprints actually analyzed), identical
+	// in-flight submissions collapsed by singleflight, and eviction
+	// counts for the two bounded stores (results LRU, job retention).
+	Executions            int64
+	Steals                int64
+	Batches               int64
+	Analyses              int64
+	SingleflightCollapses int64
+	JobsEvicted           int64
+
 	// Compiled-backend counters: programs lowered to closure-threaded
 	// form, submissions that reused a cached lowering, executions that
 	// ran on the compiled backend, and metafunction checks the verifier
@@ -147,7 +159,21 @@ type MetricsSnapshot struct {
 	QueueDepth int  `json:"queue_depth"`
 	InFlight   int  `json:"in_flight"`
 	Workers    int  `json:"workers"`
+	Shards     int  `json:"shards"`
 	Draining   bool `json:"draining"`
+
+	// Sharded-dispatch gauges: executions started, cross-shard steals,
+	// admission batches, unique analyses, concurrent duplicates collapsed
+	// by singleflight, and eviction/retention state of the two bounded
+	// stores.
+	Executions            int64 `json:"executions"`
+	Steals                int64 `json:"steals"`
+	Batches               int64 `json:"admission_batches"`
+	Analyses              int64 `json:"analyses"`
+	SingleflightCollapses int64 `json:"singleflight_collapses"`
+	ResultEvictions       int64 `json:"result_evictions"`
+	JobsEvicted           int64 `json:"jobs_evicted"`
+	JobsRetained          int   `json:"jobs_retained"`
 
 	// TenantDeficits exposes the DRR fairness state: the current credit
 	// of every backlogged tenant (absent tenants are idle and hold no
@@ -227,11 +253,22 @@ func (s *Service) Snapshot() MetricsSnapshot {
 		CompileCacheHits: m.CompileCacheHits,
 		CompiledRuns:     m.CompiledRuns,
 		ChecksHoisted:    m.ChecksHoisted,
-		QueueDepth:       s.queue.len(),
+		QueueDepth:       s.queuedN,
 		InFlight:         len(s.inflight),
 		Workers:          s.cfg.Workers,
+		Shards:           len(s.shards),
 		Draining:         s.draining,
-		TenantDeficits:   s.queue.deficits(),
+
+		Executions:            m.Executions,
+		Steals:                m.Steals,
+		Batches:               m.Batches,
+		Analyses:              m.Analyses,
+		SingleflightCollapses: m.SingleflightCollapses,
+		ResultEvictions:       s.results.evictions,
+		JobsEvicted:           m.JobsEvicted,
+		JobsRetained:          len(s.jobs),
+
+		TenantDeficits:   s.shardDeficits(),
 		BusyFraction:     busy,
 		PromotionRate:    rate,
 		TracedJobs:       m.TracedJobs,

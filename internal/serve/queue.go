@@ -6,14 +6,18 @@ package serve
 // tenant's head job once its deficit covers the job's cost (the quoted
 // step budget). A tenant streaming expensive jobs therefore yields the
 // pool to cheap-job tenants in proportion to cost, while a lone tenant
-// still gets every slot. The queue is not goroutine-safe; the Service
-// mutex guards it.
+// still gets every slot. The queue is not goroutine-safe; each shard's
+// mutex guards its own instance.
 type drrQueue struct {
 	quantum int64
 	tenants map[string]*tenantQueue
 	ring    []*tenantQueue // tenants with queued jobs, round-robin order
 	cursor  int
 	size    int
+	// visits counts tenant inspections across all pops. It exists to pin
+	// the shortfall-crediting fast path: a head job costing cost must be
+	// dispatched in O(ring) visits, not O(cost/quantum) ring passes.
+	visits int64
 }
 
 type tenantQueue struct {
@@ -44,34 +48,62 @@ func (q *drrQueue) push(j *Job) {
 }
 
 // pop removes and returns the next job under DRR, or nil when empty.
-// Each full ring pass credits every backlogged tenant one quantum, and
-// job costs are bounded by the service's fuel cap, so the scan always
-// terminates with a dispatch while jobs are queued.
+// Each visit credits the tenant one quantum; when a full ring pass
+// dispatches nothing (every backlogged head job still exceeds its
+// deficit), the minimum shortfall across the ring is credited in one
+// arithmetic step instead of re-scanning O(cost/quantum) times — the
+// dispatch order is identical, because every tenant receives the same
+// per-pass credit, so adding k·quantum to all of them at once lands on
+// exactly the tenant (and ring position) the slow scan would have
+// reached after k passes. A tenant drained to empty leaves both the
+// ring and the tenant map: idle tenants keep no credit and no state.
 func (q *drrQueue) pop() *Job {
 	if q.size == 0 {
 		return nil
 	}
 	for {
-		if q.cursor >= len(q.ring) {
-			q.cursor = 0
-		}
-		tq := q.ring[q.cursor]
-		tq.deficit += q.quantum
-		if head := tq.jobs[0]; tq.deficit >= head.cost {
-			tq.deficit -= head.cost
-			tq.jobs = tq.jobs[1:]
-			q.size--
-			if len(tq.jobs) == 0 {
-				// An idle tenant keeps no credit: deficits only meter
-				// backlogged tenants against each other.
-				tq.deficit = 0
-				q.ring = append(q.ring[:q.cursor], q.ring[q.cursor+1:]...)
-			} else {
-				q.cursor++
+		for n := len(q.ring); n > 0; n-- {
+			if q.cursor >= len(q.ring) {
+				q.cursor = 0
 			}
-			return head
+			tq := q.ring[q.cursor]
+			tq.deficit += q.quantum
+			q.visits++
+			if head := tq.jobs[0]; tq.deficit >= head.cost {
+				tq.deficit -= head.cost
+				tq.jobs = tq.jobs[1:]
+				q.size--
+				if len(tq.jobs) == 0 {
+					// An idle tenant keeps no credit and no map entry:
+					// deficits only meter backlogged tenants against each
+					// other, and a tenant key seen once must not leak a
+					// tenantQueue forever.
+					delete(q.tenants, tq.key)
+					q.ring = append(q.ring[:q.cursor], q.ring[q.cursor+1:]...)
+				} else {
+					q.cursor++
+				}
+				return head
+			}
+			q.cursor++
 		}
-		q.cursor++
+		// Full uncredited pass: no head job is affordable yet. Compute how
+		// many more whole passes the smallest shortfall needs and credit
+		// them all at once.
+		passes := int64(1) << 62
+		for _, tq := range q.ring {
+			short := tq.jobs[0].cost - tq.deficit
+			p := (short + q.quantum - 1) / q.quantum
+			if p < passes {
+				passes = p
+			}
+		}
+		if passes > 1 {
+			add := (passes - 1) * q.quantum
+			for _, tq := range q.ring {
+				tq.deficit += add
+			}
+		}
 	}
 }
 
@@ -90,7 +122,7 @@ func (q *drrQueue) deficits() map[string]int64 {
 }
 
 // drainAll empties the queue and returns every job that was waiting,
-// in tenant-ring order.
+// in tenant-ring order. Tenant state is dropped wholesale.
 func (q *drrQueue) drainAll() []*Job {
 	var out []*Job
 	for _, tq := range q.ring {
@@ -99,6 +131,7 @@ func (q *drrQueue) drainAll() []*Job {
 		tq.deficit = 0
 	}
 	q.ring = q.ring[:0]
+	q.tenants = make(map[string]*tenantQueue)
 	q.cursor = 0
 	q.size = 0
 	return out

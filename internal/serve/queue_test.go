@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDRRTenantChurnNoLeak pins the tenant-state leak fix: a queue
+// that has seen 10k distinct tenant keys come and go must retain no
+// per-tenant state once their jobs are dispatched. (The original
+// implementation kept one tenantQueue per key ever pushed, so a
+// service facing churning tenant populations leaked without bound.)
+func TestDRRTenantChurnNoLeak(t *testing.T) {
+	q := newDRRQueue(100)
+	const tenants = 10_000
+	for i := 0; i < tenants; i++ {
+		q.push(&Job{Tenant: fmt.Sprintf("t%05d", i), cost: 1})
+	}
+	if got := len(q.tenants); got != tenants {
+		t.Fatalf("backlogged tenants = %d, want %d", got, tenants)
+	}
+	for i := 0; i < tenants; i++ {
+		if q.pop() == nil {
+			t.Fatalf("pop %d returned nil with %d still queued", i, q.len())
+		}
+	}
+	if q.len() != 0 {
+		t.Fatalf("queue not empty after popping everything: %d left", q.len())
+	}
+	if got := len(q.tenants); got != 0 {
+		t.Errorf("tenant map retains %d entries after churn, want 0", got)
+	}
+	if got := len(q.ring); got != 0 {
+		t.Errorf("ring retains %d entries after churn, want 0", got)
+	}
+}
+
+// TestDRRBigCostFewVisits pins the credit-shortfall fix: dispatching a
+// job whose cost is astronomically larger than the quantum must take
+// O(ring) tenant visits, not O(cost/quantum) ring passes. With cost
+// 20M and quantum 1 the original loop spun 20 million passes.
+func TestDRRBigCostFewVisits(t *testing.T) {
+	q := newDRRQueue(1)
+	q.push(&Job{Tenant: "whale", cost: 20_000_000})
+	j := q.pop()
+	if j == nil || j.Tenant != "whale" {
+		t.Fatalf("pop = %+v, want the whale job", j)
+	}
+	if q.visits > 8 {
+		t.Errorf("dispatch took %d tenant visits, want O(ring) not O(cost/quantum)", q.visits)
+	}
+}
+
+// TestDRRShortfallPreservesOrder checks that bulk-crediting a full
+// uncredited pass lands on exactly the tenant the one-quantum-per-pass
+// scan would have reached: the smaller head job goes first even when
+// pushed second.
+func TestDRRShortfallPreservesOrder(t *testing.T) {
+	q := newDRRQueue(1)
+	q.push(&Job{Tenant: "big", cost: 20_000_000})
+	q.push(&Job{Tenant: "small", cost: 10_000_000})
+	if j := q.pop(); j.Tenant != "small" {
+		t.Fatalf("first dispatch = %s, want small (cheapest shortfall)", j.Tenant)
+	}
+	if j := q.pop(); j.Tenant != "big" {
+		t.Fatalf("second dispatch = %s, want big", j.Tenant)
+	}
+	if q.visits > 16 {
+		t.Errorf("two dispatches took %d visits, want O(ring) each", q.visits)
+	}
+}

@@ -14,6 +14,16 @@
 // promotion points, so a fixed worker pool can run many mutually
 // untrusted jobs without oversubscription, and the same analyses that
 // prove a program safe also price it.
+//
+// Dispatch is sharded (shard.go): tenants hash onto independently
+// locked DRR queues, each executor has an affinity shard and steals
+// from the others when its own runs dry. Admission is batched
+// (batch.go): concurrent submissions combine into leader-processed
+// batches that analyze once per unique program and admit under one
+// mutex hold. Completed results live in a bounded LRU store (store.go)
+// and identical in-flight submissions collapse onto one execution via
+// the singleflight registry. Every job carries a replayable event
+// stream (events.go) served over SSE by GET /v1/jobs/{id}/events.
 package serve
 
 import (
@@ -22,6 +32,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tpal/internal/tpal"
@@ -52,6 +63,10 @@ type Config struct {
 	// Workers is the executor pool size (default GOMAXPROCS). The pool
 	// is fixed: admission control, not spawning, absorbs load.
 	Workers int
+	// Shards is the number of independently locked queue shards tenants
+	// hash onto (default min(Workers, 16)). Each worker has an affinity
+	// shard and steals from the others when its own is empty.
+	Shards int
 	// QueueCap bounds the number of queued jobs across all tenants;
 	// submissions beyond it fail with ErrQueueFull (default 256).
 	QueueCap int
@@ -85,6 +100,15 @@ type Config struct {
 	// Quantum is the DRR credit per scheduling visit, in budget steps
 	// (default 100k).
 	Quantum int64
+	// ResultCacheCap bounds the content-addressed result store; the
+	// least-recently-used entries are evicted past it (default 4096).
+	ResultCacheCap int
+	// JobRetention caps how many terminal job records the service keeps
+	// (default 4096); JobTTL additionally expires terminal records by
+	// age (default 15m). A GET on an evicted id is a 404. Queued and
+	// running jobs are never evicted.
+	JobRetention int
+	JobTTL       time.Duration
 	// DisableOptimizer skips the certified analysis-directed optimizer
 	// that normally runs over every admitted program. By default the
 	// service executes (and quotes) the optimized form: the optimizer's
@@ -105,6 +129,12 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards <= 0 {
+		c.Shards = c.Workers
+		if c.Shards > 16 {
+			c.Shards = 16
+		}
 	}
 	if c.QueueCap <= 0 {
 		c.QueueCap = 256
@@ -136,6 +166,15 @@ func (c Config) withDefaults() Config {
 	if c.Quantum <= 0 {
 		c.Quantum = 100_000
 	}
+	if c.ResultCacheCap <= 0 {
+		c.ResultCacheCap = 4096
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 4096
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 15 * time.Minute
+	}
 	return c
 }
 
@@ -163,8 +202,9 @@ type SubmitRequest struct {
 	// ring-buffer tracer attached and the job record carries the drained
 	// trace summary (GET /v1/jobs/{id} returns it under "trace"). The
 	// HTTP layer also accepts it as the ?trace=1 query parameter on
-	// POST /v1/jobs. Traced submissions bypass the result cache so the
-	// trace always reflects a real execution.
+	// POST /v1/jobs. Traced submissions bypass the result cache and the
+	// singleflight registry so the trace always reflects a real
+	// execution; their live events also stream over the job's SSE feed.
 	Trace bool `json:"trace"`
 	// AutoParallelize runs the autopar dependence pass over the
 	// submission before admission: sequential loops and independent
@@ -176,27 +216,38 @@ type SubmitRequest struct {
 	AutoParallelize bool `json:"auto_parallelize"`
 }
 
-// cachedResult is a completed run memoized by resultKey.
-type cachedResult struct {
-	result map[string]string
-	stats  *JobStats
-}
-
 // Service is the job-execution subsystem.
 type Service struct {
 	cfg Config
 
-	mu   sync.Mutex
-	cond *sync.Cond
+	// mu guards the job table, metrics, caches, and all per-job mutable
+	// state. It is deliberately NOT on the queue hot path: shards carry
+	// their own locks (lock order: mu may nest a shard lock; never the
+	// reverse), and idle workers park on idleCond, not on mu.
+	mu sync.Mutex
 
-	queue    *drrQueue
+	shards  []*shard
+	qdepth  atomic.Int64 // jobs physically sitting in shard queues
+	queuedN int          // admission-visible queue depth, guarded by mu
+
+	idleMu   sync.Mutex
+	idleCond *sync.Cond  // workers park here when every shard is dry
+	drain    atomic.Bool // mirrors draining for lock-free worker exits
+
+	batch batcher
+
 	jobs     map[string]*Job
+	retired  []*Job // terminal jobs in finish order, pruned by cap and TTL
 	inflight map[string]*Job
-	seq      int64
-	draining bool
+	// primaries is the singleflight registry: cacheKey → the in-flight
+	// job concurrent identical submissions coalesce onto. Entries are
+	// removed when the primary reaches a terminal state.
+	primaries map[string]*Job
+	seq       int64
+	draining  bool
 
 	analysisCache map[string]*admission
-	resultCache   map[string]*cachedResult
+	results       *resultStore
 	compiledCache map[string]*compile.Program
 	metrics       *Metrics
 
@@ -222,20 +273,24 @@ func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
 		cfg:           cfg,
-		queue:         newDRRQueue(cfg.Quantum),
 		jobs:          make(map[string]*Job),
 		inflight:      make(map[string]*Job),
+		primaries:     make(map[string]*Job),
 		analysisCache: make(map[string]*admission),
-		resultCache:   make(map[string]*cachedResult),
+		results:       newResultStore(cfg.ResultCacheCap),
 		compiledCache: make(map[string]*compile.Program),
 		metrics:       newMetrics(),
 		started:       time.Now(),
 	}
-	s.cond = sync.NewCond(&s.mu)
+	s.idleCond = sync.NewCond(&s.idleMu)
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		s.shards[i] = &shard{q: newDRRQueue(cfg.Quantum)}
+	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
-		go s.worker()
+		go s.worker(i % cfg.Shards)
 	}
 	return s
 }
@@ -248,10 +303,12 @@ func (s *Service) Job(id string) (*Job, bool) {
 	return j, ok
 }
 
-// JobView returns the wire snapshot of a job.
+// JobView returns the wire snapshot of a job. Terminal records past
+// the retention cap or TTL have been evicted and report not-found.
 func (s *Service) JobView(id string) (JobView, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.pruneLocked(time.Now())
 	j, ok := s.jobs[id]
 	if !ok {
 		return JobView{}, false
@@ -261,9 +318,10 @@ func (s *Service) JobView(id string) (JobView, bool) {
 
 // Submit admits one job. The returned Job is terminal immediately for
 // rejections (StatusRejected, with the gate's diagnostics attached) and
-// cache hits (StatusDone, Cached); otherwise it is queued. ErrQueueFull
-// and ErrDraining report backpressure without creating a job record;
-// parse failures wrap ErrBadRequest.
+// cache hits (StatusDone, Cached); otherwise it is queued — possibly as
+// a singleflight follower (Coalesced) of an identical in-flight job.
+// ErrQueueFull and ErrDraining report backpressure without creating a
+// job record; parse failures wrap ErrBadRequest.
 func (s *Service) Submit(req SubmitRequest) (*Job, error) {
 	s.mu.Lock()
 	if s.draining {
@@ -273,9 +331,20 @@ func (s *Service) Submit(req SubmitRequest) (*Job, error) {
 	s.metrics.Submitted++
 	s.mu.Unlock()
 
-	prog, params, autoRep, err := s.loadSubmission(req)
+	w, err := s.prepare(req)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
+	}
+	s.enqueueBatch(w)
+	return w.j, w.err
+}
+
+// prepare parses one submission into a batch work item: program, entry
+// register set, fingerprint, and admission key. It takes no locks.
+func (s *Service) prepare(req SubmitRequest) (*submitWork, error) {
+	prog, params, autoRep, err := s.loadSubmission(req)
+	if err != nil {
+		return nil, err
 	}
 
 	// Entry registers: declared params, argument keys, and any extras.
@@ -294,128 +363,47 @@ func (s *Service) Submit(req SubmitRequest) (*Job, error) {
 		entry = append(entry, r)
 	}
 
-	adm := s.admit(prog, entry)
-	if adm.optimized != nil {
-		prog = adm.optimized
-	}
-	var compiled *compile.Program
-	if !adm.rejected && s.cfg.Backend == machine.BackendCompiled {
-		compiled = s.compiledFor(admitKey(adm.fingerprint, entry), prog, entry)
-	}
-
-	tenant := req.Tenant
-	if tenant == "" {
-		tenant = "anonymous"
-	}
-	heartbeat := s.cfg.Heartbeat
-	if req.Heartbeat > 0 {
-		heartbeat = req.Heartbeat
-	}
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMS > 0 {
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
-	}
-	if timeout > s.cfg.MaxTimeout {
-		timeout = s.cfg.MaxTimeout
-	}
-
-	regs := make(machine.RegFile, len(req.Args))
-	for k, v := range req.Args {
-		regs[tpal.Reg(k)] = machine.IntV(v)
-	}
-
-	now := time.Now()
-	j := &Job{
-		Tenant:      tenant,
-		Fingerprint: adm.fingerprint,
-		Quote:       adm.quote,
-		Autopar:     autoRep,
-		Submitted:   now,
-		prog:        prog,
-		compiled:    compiled,
-		regs:        regs,
-		heartbeat:   heartbeat,
-		signal:      s.cfg.SignalPeriod,
-		timeout:     timeout,
-		traced:      req.Trace,
-		done:        make(chan struct{}),
-	}
-	if req.Fuel > 0 && req.Fuel < j.Quote.Budget {
-		j.Quote.Budget = req.Fuel
-	}
-	j.cost = j.Quote.Budget
-	if j.cost <= 0 {
-		j.cost = 1
-	}
-	j.cacheKey = resultKey(adm.fingerprint, req.Args, heartbeat, s.cfg.SignalPeriod)
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.draining {
-		return nil, ErrDraining
-	}
-	s.seq++
-	j.ID = fmt.Sprintf("j%06d", s.seq)
-
-	if adm.rejected {
-		j.Status = StatusRejected
-		j.Diags = adm.diags
-		j.Error = adm.reason
-		j.Finished = now
-		close(j.done)
-		s.jobs[j.ID] = j
-		s.metrics.Rejected++
-		return j, nil
-	}
-
-	if cached, ok := s.resultCache[j.cacheKey]; ok && !j.traced {
-		j.Status = StatusDone
-		j.Result = cached.result
-		j.Stats = cached.stats
-		j.Cached = true
-		j.Started = now
-		j.Finished = now
-		close(j.done)
-		s.jobs[j.ID] = j
-		s.metrics.ResultHits++
-		s.metrics.Admitted++
-		s.metrics.Completed++
-		s.metrics.noteAutopar(j.Autopar)
-		return j, nil
-	}
-
-	if s.queue.len() >= s.cfg.QueueCap {
-		s.metrics.Throttled++
-		return nil, ErrQueueFull
-	}
-
-	j.Status = StatusQueued
-	s.jobs[j.ID] = j
-	s.queue.push(j)
-	s.metrics.Admitted++
-	s.metrics.noteAutopar(j.Autopar)
-	s.cond.Signal()
-	return j, nil
+	fp := tpal.Fingerprint(prog)
+	return &submitWork{
+		req:     req,
+		prog:    prog,
+		entry:   entry,
+		autoRep: autoRep,
+		fp:      fp,
+		key:     admitKey(fp, entry),
+		done:    make(chan struct{}),
+	}, nil
 }
 
-// worker is one executor goroutine: it pulls jobs off the fair queue
-// and runs them until drain empties the queue.
-func (s *Service) worker() {
+// worker is one executor goroutine: it serves its affinity shard,
+// steals from the others when that runs dry, and parks on idleCond
+// when every shard is empty.
+func (s *Service) worker(affinity int) {
 	defer s.wg.Done()
 	for {
+		j, stolen := s.take(affinity)
+		if j == nil {
+			s.idleMu.Lock()
+			for s.qdepth.Load() == 0 && !s.drain.Load() {
+				s.idleCond.Wait()
+			}
+			s.idleMu.Unlock()
+			if s.drain.Load() && s.qdepth.Load() == 0 {
+				return
+			}
+			continue
+		}
+
 		s.mu.Lock()
-		for s.queue.len() == 0 && !s.draining {
-			s.cond.Wait()
-		}
-		j := s.queue.pop()
-		if j == nil { // draining and nothing queued
-			s.mu.Unlock()
-			return
-		}
 		j.Status = StatusRunning
 		j.Started = time.Now()
+		s.queuedN--
 		s.inflight[j.ID] = j
 		s.metrics.queueWait.add(float64(j.Started.Sub(j.Submitted)) / float64(time.Millisecond))
+		if stolen {
+			s.metrics.Steals++
+		}
+		s.publishLocked(j, statusEvent(j))
 		hook := s.hookRunning
 		s.mu.Unlock()
 
@@ -426,18 +414,43 @@ func (s *Service) worker() {
 	}
 }
 
+// Trace streaming plumbing: the tracer's sink does a non-blocking send
+// into a buffered channel; pumpTrace batches what arrives into SSE
+// trace frames so a hot run produces bounded frame rates.
+const (
+	traceSinkBuffer = 1024
+	traceBatchMax   = 64
+)
+
 // execute runs one admitted job on the abstract machine under the
 // job's fuel budget and deadline, then classifies the outcome.
 func (s *Service) execute(j *Job) {
 	ctx, cancel := context.WithTimeout(s.baseCtx, j.timeout)
 	s.mu.Lock()
 	j.cancel = cancel
+	s.metrics.Executions++
 	s.mu.Unlock()
 	defer cancel()
 
 	var tracer *trace.Tracer
+	var sink chan trace.Event
+	var pumpDone chan struct{}
+	var sinkDropped atomic.Int64
 	if j.traced {
 		tracer = trace.New(1, jobTraceCapacity)
+		sink = make(chan trace.Event, traceSinkBuffer)
+		tracer.SetSink(func(e trace.Event) {
+			select {
+			case sink <- e:
+			default: // live feed saturated; the ring stays exact
+				sinkDropped.Add(1)
+			}
+		})
+		pumpDone = make(chan struct{})
+		go func() {
+			defer close(pumpDone)
+			s.pumpTrace(j, sink, &sinkDropped)
+		}()
 	}
 
 	// Admission already ran the full pipeline (and cached it), so the
@@ -458,6 +471,12 @@ func (s *Service) execute(j *Job) {
 		res, err = j.compiled.Run(runCfg)
 	} else {
 		res, err = machine.Run(j.prog, runCfg)
+	}
+	if tracer != nil {
+		// Run has returned, so no goroutine records into the tracer
+		// anymore; closing the sink flushes and stops the pump.
+		close(sink)
+		<-pumpDone
 	}
 
 	s.mu.Lock()
@@ -485,7 +504,7 @@ func (s *Service) execute(j *Job) {
 		j.Result = renderRegs(res.Regs)
 		j.Stats = statsOf(res.Stats)
 		s.metrics.Promotions += res.Stats.HandlerRuns
-		s.resultCache[j.cacheKey] = &cachedResult{result: j.Result, stats: j.Stats}
+		s.results.put(j.cacheKey, &cachedResult{result: j.Result, stats: j.Stats})
 		s.metrics.Completed++
 	case errors.Is(err, machine.ErrFuel), errors.Is(err, machine.ErrMaxSteps):
 		j.Status = StatusBudget
@@ -506,7 +525,119 @@ func (s *Service) execute(j *Job) {
 		j.Error = err.Error()
 		s.metrics.Failed++
 	}
+	s.finishLocked(j)
+}
+
+// pumpTrace forwards live tracer events to the job's event stream in
+// batches. It exits when the sink channel closes (after Run returns).
+func (s *Service) pumpTrace(j *Job, sink <-chan trace.Event, dropped *atomic.Int64) {
+	for ev := range sink {
+		batch := make([]string, 1, traceBatchMax)
+		batch[0] = ev.String()
+	fill:
+		for len(batch) < traceBatchMax {
+			select {
+			case ev, ok := <-sink:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, ev.String())
+			default:
+				break fill
+			}
+		}
+		frame := jobEvent{Kind: eventKindTrace, Data: jobEventData{
+			ID:      j.ID,
+			Events:  batch,
+			Dropped: dropped.Swap(0),
+		}}
+		s.mu.Lock()
+		s.publishLocked(j, frame)
+		s.mu.Unlock()
+	}
+}
+
+// finishLocked settles a job that just reached a terminal state: it
+// publishes the terminal event, releases the singleflight slot,
+// propagates the outcome to any coalesced followers, closes the done
+// channel and every subscriber feed, and moves the record onto the
+// bounded retention list. The caller holds the service mutex, has set
+// Status/Finished and the outcome fields, and has counted the job's
+// own outcome metric; finishLocked counts the followers'.
+func (s *Service) finishLocked(j *Job) {
+	s.publishLocked(j, statusEvent(j))
+	if s.primaries[j.cacheKey] == j {
+		delete(s.primaries, j.cacheKey)
+	}
+	for _, f := range j.followers {
+		f.Status = j.Status
+		f.Result = j.Result
+		f.Stats = j.Stats
+		f.Error = j.Error
+		f.Finished = j.Finished
+		if f.Finished.IsZero() {
+			f.Finished = time.Now()
+		}
+		s.countOutcomeLocked(f.Status)
+		s.finishLocked(f)
+	}
+	j.followers = nil
 	close(j.done)
+	for _, c := range j.subs {
+		close(c)
+	}
+	j.subs = nil
+	s.retireLocked(j)
+}
+
+// countOutcomeLocked bumps the outcome counter for one terminal
+// status; finishLocked uses it for singleflight followers, whose
+// outcomes are inherited rather than executed.
+func (s *Service) countOutcomeLocked(st Status) {
+	switch st {
+	case StatusDone:
+		s.metrics.Completed++
+	case StatusFailed:
+		s.metrics.Failed++
+	case StatusBudget:
+		s.metrics.BudgetExceeded++
+	case StatusTimeout:
+		s.metrics.Timeouts++
+	case StatusCanceled:
+		s.metrics.Canceled++
+	}
+}
+
+// retireLocked appends a terminal job to the retention list and prunes.
+func (s *Service) retireLocked(j *Job) {
+	s.retired = append(s.retired, j)
+	s.pruneLocked(time.Now())
+}
+
+// pruneLocked evicts terminal job records past the retention cap or
+// older than the TTL. The retired list is in finish order, so evicting
+// from the head removes the oldest records first. Queued and running
+// jobs are not on the list and therefore never evicted.
+func (s *Service) pruneLocked(now time.Time) {
+	for len(s.retired) > 0 {
+		old := s.retired[0]
+		overCap := len(s.retired) > s.cfg.JobRetention
+		expired := now.Sub(old.Finished) > s.cfg.JobTTL
+		if !overCap && !expired {
+			break
+		}
+		s.retired[0] = nil
+		s.retired = s.retired[1:]
+		if s.jobs[old.ID] == old {
+			delete(s.jobs, old.ID)
+			s.metrics.JobsEvicted++
+		}
+	}
+	// Re-home the slice when the window has slid far from its backing
+	// array, so the evicted prefix can be collected.
+	if cap(s.retired) > 64 && len(s.retired) < cap(s.retired)/4 {
+		s.retired = append(make([]*Job, 0, len(s.retired)), s.retired...)
+	}
 }
 
 func renderRegs(regs machine.RegFile) map[string]string {
@@ -519,26 +650,40 @@ func renderRegs(regs machine.RegFile) map[string]string {
 
 // Drain gracefully shuts the service down: admission stops (new
 // submissions fail with ErrDraining), every queued-but-unstarted job is
-// canceled, and in-flight jobs run to completion. If ctx expires first,
-// in-flight jobs are interrupted through their run contexts and the
-// drain still completes. Drain is idempotent; it returns once every
-// worker goroutine has exited.
+// canceled (along with its singleflight followers), and in-flight jobs
+// run to completion. If ctx expires first, in-flight jobs are
+// interrupted through their run contexts and the drain still completes.
+// Drain is idempotent; it returns once every worker goroutine has
+// exited.
 func (s *Service) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	already := s.draining
 	s.draining = true
+	s.drain.Store(true)
 	if !already {
 		now := time.Now()
-		for _, j := range s.queue.drainAll() {
+		var drained []*Job
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			js := sh.q.drainAll()
+			sh.mu.Unlock()
+			s.qdepth.Add(-int64(len(js)))
+			drained = append(drained, js...)
+		}
+		s.queuedN -= len(drained)
+		for _, j := range drained {
 			j.Status = StatusCanceled
 			j.Error = "server draining"
 			j.Finished = now
 			s.metrics.Canceled++
-			close(j.done)
+			s.finishLocked(j)
 		}
 	}
-	s.cond.Broadcast()
 	s.mu.Unlock()
+
+	s.idleMu.Lock()
+	s.idleCond.Broadcast()
+	s.idleMu.Unlock()
 
 	done := make(chan struct{})
 	go func() {

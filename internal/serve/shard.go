@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// shard is one independently locked slice of the admission queue: a
+// DRR queue over the tenants that hash here, guarded by its own mutex
+// so executors and admitters on different shards never contend. Lock
+// order: a holder of the service mutex may take a shard mutex (batch
+// pushes, drain), but a shard mutex holder must never take the service
+// mutex — workers pop under the shard lock alone and only then touch
+// service state.
+type shard struct {
+	mu sync.Mutex
+	q  *drrQueue
+}
+
+// tenantShard maps a tenant key onto a shard index by FNV-1a hash, so
+// a tenant's jobs always share one queue (and its DRR deficit meters
+// the tenant coherently) while distinct tenants spread across shards.
+func tenantShard(tenant string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(tenant))
+	return int(h.Sum32() % uint32(n))
+}
+
+// take pops the next job for a worker with the given shard affinity:
+// the worker's own shard first, then the others in ring order (work
+// stealing — a shard that runs dry serves its executor from whichever
+// shard still has backlog). Reports whether the job was stolen.
+func (s *Service) take(affinity int) (*Job, bool) {
+	n := len(s.shards)
+	for i := 0; i < n; i++ {
+		sh := s.shards[(affinity+i)%n]
+		sh.mu.Lock()
+		j := sh.q.pop()
+		if j != nil {
+			s.qdepth.Add(-1)
+			sh.mu.Unlock()
+			return j, i != 0
+		}
+		sh.mu.Unlock()
+	}
+	return nil, false
+}
+
+// shardDeficits merges the per-shard DRR credit maps for the /metrics
+// fairness gauge; a tenant lives on exactly one shard, so the merge
+// never collides. Callers hold the service mutex (shard locks nest
+// under it).
+func (s *Service) shardDeficits() map[string]int64 {
+	var out map[string]int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		d := sh.q.deficits()
+		sh.mu.Unlock()
+		if len(d) == 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]int64, len(d))
+		}
+		for k, v := range d {
+			out[k] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"tpal/internal/tpal/programs"
+)
+
+// TestSingleflightCollapsesConcurrentDuplicates proves that N
+// concurrent identical submissions run once: the first becomes the
+// singleflight primary, the rest coalesce onto it, and all inherit one
+// execution's result. (Before the singleflight registry, each
+// concurrent duplicate executed independently — the result store only
+// collapses duplicates that arrive after the first run finished.)
+func TestSingleflightCollapsesConcurrentDuplicates(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, QueueCap: 64})
+
+	// Wedge the lone worker inside the primary's execution so the
+	// duplicates demonstrably arrive while it is in flight.
+	release := make(chan struct{})
+	running := make(chan struct{})
+	var once sync.Once
+	s.setRunningHook(func(*Job) {
+		once.Do(func() { close(running) })
+		<-release
+	})
+
+	req := SubmitRequest{
+		Tenant: "alice",
+		Source: programs.ProdSource,
+		Args:   map[string]int64{"a": 21, "b": 2},
+	}
+	primary, err := s.Submit(req)
+	if err != nil {
+		t.Fatalf("Submit primary: %v", err)
+	}
+	<-running // the primary is wedged in execution now
+
+	const dups = 8
+	followers := make([]*Job, dups)
+	var wg sync.WaitGroup
+	for i := 0; i < dups; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			j, err := s.Submit(req)
+			if err != nil {
+				t.Errorf("Submit duplicate %d: %v", i, err)
+				return
+			}
+			followers[i] = j
+		}()
+	}
+	wg.Wait()
+	s.setRunningHook(nil)
+	close(release)
+
+	v := await(t, primary)
+	if v.Status != StatusDone || v.Result["c"] != "42" {
+		t.Fatalf("primary: status %s result %v", v.Status, v.Result)
+	}
+	for i, f := range followers {
+		if f == nil {
+			continue
+		}
+		fv := await(t, f)
+		if fv.Status != StatusDone {
+			t.Errorf("follower %d: status = %s (%s), want done", i, fv.Status, fv.Error)
+		}
+		if fv.Result["c"] != "42" {
+			t.Errorf("follower %d: c = %q, want 42", i, fv.Result["c"])
+		}
+		if !fv.Coalesced {
+			t.Errorf("follower %d not marked coalesced", i)
+		}
+	}
+
+	m := s.Snapshot()
+	if m.Executions != 1 {
+		t.Errorf("Executions = %d, want exactly 1 for %d identical submissions", m.Executions, dups+1)
+	}
+	if m.SingleflightCollapses != dups {
+		t.Errorf("SingleflightCollapses = %d, want %d", m.SingleflightCollapses, dups)
+	}
+	if m.Completed != dups+1 {
+		t.Errorf("Completed = %d, want %d (every submission reaches done)", m.Completed, dups+1)
+	}
+}
+
+// TestSingleflightBudgetMismatchDoesNotCoalesce: a duplicate that
+// lowered its own fuel below the primary's budget must not ride the
+// primary's execution — its outcome could legitimately differ.
+func TestSingleflightBudgetMismatchDoesNotCoalesce(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, QueueCap: 64})
+	release := make(chan struct{})
+	running := make(chan struct{})
+	var once sync.Once
+	s.setRunningHook(func(*Job) {
+		once.Do(func() { close(running) })
+		<-release
+	})
+
+	req := SubmitRequest{
+		Tenant: "alice",
+		Source: programs.ProdSource,
+		Args:   map[string]int64{"a": 21, "b": 2},
+	}
+	primary, err := s.Submit(req)
+	if err != nil {
+		t.Fatalf("Submit primary: %v", err)
+	}
+	<-running
+
+	starved := req
+	starved.Fuel = 1 // below any quote: must execute (and fail) on its own
+	follower, err := s.Submit(starved)
+	if err != nil {
+		t.Fatalf("Submit starved duplicate: %v", err)
+	}
+	if follower.Coalesced {
+		t.Fatalf("budget-mismatched duplicate was coalesced")
+	}
+	s.setRunningHook(nil)
+	close(release)
+
+	if v := await(t, primary); v.Status != StatusDone {
+		t.Fatalf("primary: %s (%s)", v.Status, v.Error)
+	}
+	if v := await(t, follower); v.Status != StatusBudget {
+		t.Errorf("starved duplicate: status = %s, want budget_exceeded", v.Status)
+	}
+	if m := s.Snapshot(); m.SingleflightCollapses != 0 {
+		t.Errorf("SingleflightCollapses = %d, want 0", m.SingleflightCollapses)
+	}
+}

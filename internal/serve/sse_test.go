@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// sseFrame is one parsed server-sent event.
+type sseFrame struct {
+	kind string
+	data []byte
+}
+
+// readSSE consumes an SSE stream until (and including) the first
+// "done" frame, or until the stream ends.
+func readSSE(t *testing.T, body *bufio.Reader) []sseFrame {
+	t.Helper()
+	var frames []sseFrame
+	var kind string
+	var data []byte
+	for {
+		line, err := body.ReadString('\n')
+		if err != nil {
+			return frames
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			kind = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "": // frame boundary
+			if kind == "" && data == nil {
+				continue
+			}
+			frames = append(frames, sseFrame{kind: kind, data: data})
+			if kind == eventKindDone {
+				return frames
+			}
+			kind, data = "", nil
+		}
+	}
+}
+
+// TestJobEventsSSE drives the event stream end to end over HTTP: a
+// traced job is submitted, GET /v1/jobs/{id}/events replays and
+// follows its stream, and the stream carries status transitions, at
+// least one batch of live tracer events, and a final done frame with
+// the full job view.
+func TestJobEventsSSE(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2, Heartbeat: 20})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	buf, _ := json.Marshal(SubmitRequest{
+		Tenant: "alice",
+		Source: sumsqSrc,
+		Args:   map[string]int64{"n": 200},
+	})
+	resp, err := http.Post(srv.URL+"/v1/jobs?trace=1", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	var view JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatalf("decode submit response: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+
+	evResp, err := http.Get(srv.URL + "/v1/jobs/" + view.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer evResp.Body.Close()
+	if evResp.StatusCode != http.StatusOK {
+		t.Fatalf("events status = %d, want 200", evResp.StatusCode)
+	}
+	if ct := evResp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q, want text/event-stream", ct)
+	}
+
+	frames := readSSE(t, bufio.NewReader(evResp.Body))
+	if len(frames) == 0 {
+		t.Fatal("no SSE frames received")
+	}
+
+	var statuses []Status
+	var traceFrames, traceEvents int
+	for _, f := range frames {
+		switch f.kind {
+		case eventKindStatus:
+			var d jobEventData
+			if err := json.Unmarshal(f.data, &d); err != nil {
+				t.Fatalf("bad status frame %q: %v", f.data, err)
+			}
+			if d.ID != view.ID {
+				t.Errorf("status frame for job %q, want %q", d.ID, view.ID)
+			}
+			statuses = append(statuses, d.Status)
+		case eventKindTrace:
+			var d jobEventData
+			if err := json.Unmarshal(f.data, &d); err != nil {
+				t.Fatalf("bad trace frame %q: %v", f.data, err)
+			}
+			traceFrames++
+			traceEvents += len(d.Events)
+		}
+	}
+
+	if len(statuses) == 0 || statuses[0] != StatusQueued {
+		t.Errorf("status sequence %v, want it to open with queued", statuses)
+	}
+	last := statuses[len(statuses)-1]
+	if !last.Terminal() {
+		t.Errorf("status sequence %v does not end terminal", statuses)
+	}
+	if traceFrames == 0 || traceEvents == 0 {
+		t.Errorf("traced job streamed %d trace frames / %d events, want >= 1", traceFrames, traceEvents)
+	}
+
+	final := frames[len(frames)-1]
+	if final.kind != eventKindDone {
+		t.Fatalf("final frame kind = %q, want done", final.kind)
+	}
+	var done JobView
+	if err := json.Unmarshal(final.data, &done); err != nil {
+		t.Fatalf("bad done frame: %v", err)
+	}
+	if done.Status != StatusDone {
+		t.Errorf("done frame status = %s (%s), want done", done.Status, done.Error)
+	}
+	if done.Trace == nil || done.Trace.Retained == 0 {
+		t.Errorf("done frame carries no trace summary: %+v", done.Trace)
+	}
+}
+
+// TestJobEventsSSEUnknownJob: streaming an unknown id is a 404, same
+// contract as the plain job GET.
+func TestJobEventsSSEUnknownJob(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/jobs/j999999/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,77 @@
+package serve
+
+import "container/list"
+
+// cachedResult is a completed run memoized by resultKey.
+type cachedResult struct {
+	result map[string]string
+	stats  *JobStats
+}
+
+// resultStore is the content-addressed result cache: completed runs
+// keyed by fingerprint × args × heartbeat (resultKey), bounded by an
+// LRU eviction policy so a long-lived service holding millions of
+// distinct submissions cannot grow without bound. Get promotes; Put
+// inserts (or refreshes) and evicts the least-recently-used entries
+// past the cap. Not goroutine-safe; the service mutex guards it.
+//
+// The store is one half of the dedup story: it collapses *sequential*
+// duplicates (submit after the first run finished). Concurrent
+// duplicates are collapsed by the singleflight registry
+// (Service.primaries), which attaches them to the in-flight execution
+// before any result exists to cache.
+type resultStore struct {
+	cap       int
+	entries   map[string]*list.Element
+	order     *list.List // front = most recently used
+	evictions int64
+}
+
+type storeEntry struct {
+	key string
+	val *cachedResult
+}
+
+func newResultStore(capacity int) *resultStore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultStore{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+func (rs *resultStore) len() int { return len(rs.entries) }
+
+// get returns the cached result for key and marks it recently used,
+// or nil on a miss.
+func (rs *resultStore) get(key string) *cachedResult {
+	el, ok := rs.entries[key]
+	if !ok {
+		return nil
+	}
+	rs.order.MoveToFront(el)
+	return el.Value.(*storeEntry).val
+}
+
+// put inserts (or refreshes) key and evicts from the cold end past
+// the cap.
+func (rs *resultStore) put(key string, val *cachedResult) {
+	if el, ok := rs.entries[key]; ok {
+		el.Value.(*storeEntry).val = val
+		rs.order.MoveToFront(el)
+		return
+	}
+	rs.entries[key] = rs.order.PushFront(&storeEntry{key: key, val: val})
+	for len(rs.entries) > rs.cap {
+		cold := rs.order.Back()
+		if cold == nil {
+			break
+		}
+		rs.order.Remove(cold)
+		delete(rs.entries, cold.Value.(*storeEntry).key)
+		rs.evictions++
+	}
+}

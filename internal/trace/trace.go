@@ -165,6 +165,24 @@ type Tracer struct {
 	rings   []*ring // lanes 0..workers-1; last entry is the external lane
 	workers int
 	extMu   sync.Mutex
+
+	// sink, when set, mirrors every recorded event to a live consumer
+	// (serve's job event stream). It is called synchronously from the
+	// recording goroutine and read unsynchronized on the hot path, so it
+	// must be installed before recording starts and never changed after.
+	sink func(Event)
+}
+
+// SetSink installs a live event mirror: every event recorded after this
+// call is also passed to fn, synchronously, from the recording
+// goroutine. fn must be fast and non-blocking (drop, don't wait — the
+// rings stay exact regardless). Install before the traced run starts;
+// mutating the sink concurrently with recording is a data race.
+func (t *Tracer) SetSink(fn func(Event)) {
+	if t == nil {
+		return
+	}
+	t.sink = fn
 }
 
 // DefaultCapacity is the per-lane ring capacity used when New is given
@@ -210,7 +228,11 @@ func (t *Tracer) Record(worker int, k Kind, a, b int64) {
 		t.RecordExternal(k, a, b)
 		return
 	}
-	t.rings[worker].record(time.Since(t.start).Nanoseconds(), int32(worker), k, a, b)
+	ts := time.Since(t.start).Nanoseconds()
+	t.rings[worker].record(ts, int32(worker), k, a, b)
+	if t.sink != nil {
+		t.sink(Event{TS: ts, Worker: int32(worker), Kind: k, A: a, B: b})
+	}
 }
 
 // RecordExternal appends an event to the external lane. Safe from any
@@ -223,6 +245,9 @@ func (t *Tracer) RecordExternal(k Kind, a, b int64) {
 	t.extMu.Lock()
 	t.rings[t.workers].record(ts, LaneExternal, k, a, b)
 	t.extMu.Unlock()
+	if t.sink != nil {
+		t.sink(Event{TS: ts, Worker: LaneExternal, Kind: k, A: a, B: b})
+	}
 }
 
 // Trace is the drained form of a Tracer: the retained events of every
